@@ -1,0 +1,37 @@
+//! Benchmarks the experiment harness: one full per-scene evaluation and
+//! each figure computation on a cached evaluation set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaurast::experiments::{
+    baseline, endtoend, evaluate_scene, raster_perf, Algorithm, EvaluationSet, ExperimentContext,
+};
+use gaurast_scene::nerf360::Nerf360Scene;
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("evaluate_scene_bonsai", |b| {
+        b.iter(|| evaluate_scene(Nerf360Scene::Bonsai, &ctx));
+    });
+
+    let set = EvaluationSet::compute(ctx.clone());
+    group.bench_function("figure10", |b| {
+        b.iter(|| raster_perf::figure10(&set, Algorithm::Original));
+    });
+    group.bench_function("table3", |b| {
+        b.iter(|| raster_perf::table3(&set));
+    });
+    group.bench_function("figure11", |b| {
+        b.iter(|| endtoend::figure11(&set, Algorithm::Original));
+    });
+    group.bench_function("baseline_profile_fig4_fig5", |b| {
+        b.iter(|| baseline::baseline_profile(&set));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table II benchmark: times the instrumented triangle and Gaussian
+//! rasterization kernels and prints the measured per-pair operation mix.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gaurast::experiments::primitives::table2;
+use gaurast_math::Vec3;
+use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_render::triangle::render_mesh;
+use gaurast_scene::generator::SceneParams;
+use gaurast_scene::{Camera, TriangleMesh};
+
+fn bench_ops(c: &mut Criterion) {
+    // Print the Table II reproduction once, so `cargo bench` output carries
+    // the artifact alongside the timings.
+    println!("{}", table2());
+
+    let cam = Camera::look_at(
+        Vec3::new(0.0, 6.0, -28.0),
+        Vec3::zero(),
+        Vec3::new(0.0, 1.0, 0.0),
+        256,
+        256,
+        1.05,
+    )
+    .expect("valid camera");
+
+    let mut group = c.benchmark_group("ops_count");
+    group.sample_size(10);
+
+    let mesh = TriangleMesh::uv_sphere(Vec3::zero(), 7.0, 32, 48);
+    group.bench_function("triangle_rasterization", |b| {
+        b.iter(|| render_mesh(&mesh, &cam));
+    });
+
+    let scene = SceneParams::new(8_000).seed(3).generate().expect("valid params");
+    let cfg = RenderConfig::default();
+    group.bench_function("gaussian_rasterization", |b| {
+        b.iter_batched(
+            || (),
+            |()| render(&scene, &cam, &cfg),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks the cycle-accurate GauRast simulator itself (host speed of
+//! simulating one frame) and prints the simulated frame reports that feed
+//! Fig. 10 / Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaurast_hw::{EnhancedRasterizer, RasterizerConfig};
+use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
+
+fn bench_hw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rasterize_hw");
+    group.sample_size(10);
+
+    for scene in [Nerf360Scene::Bicycle, Nerf360Scene::Bonsai] {
+        let desc = scene.descriptor();
+        let gscene = desc.synthesize(SceneScale::UNIT_TEST);
+        let cam = desc.camera(SceneScale::UNIT_TEST, 0.4).expect("valid camera");
+        let out = render(&gscene, &cam, &RenderConfig::default());
+        let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
+        let report = hw.simulate_gaussian(&out.workload);
+        println!(
+            "{}: simulated {} cycles ({:.3} ms at 1 GHz), utilization {:.2}",
+            scene.name(),
+            report.cycles,
+            report.time_s * 1e3,
+            report.utilization
+        );
+        group.bench_function(format!("simulate_{}", scene.name()), |b| {
+            b.iter(|| hw.simulate_gaussian(&out.workload));
+        });
+        group.bench_function(format!("render_functional_{}", scene.name()), |b| {
+            b.iter(|| hw.render_gaussian(&out.workload));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

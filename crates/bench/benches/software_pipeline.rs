@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the software reference pipeline (Stages 1–3),
+//! per stage, on a mid-size synthetic scene.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_render::preprocess::preprocess;
+use gaurast_render::rasterize::rasterize;
+use gaurast_render::tile::bin_splats;
+use gaurast_scene::generator::SceneParams;
+use gaurast_scene::Camera;
+use gaurast_math::Vec3;
+
+fn camera() -> Camera {
+    Camera::look_at(
+        Vec3::new(0.0, 6.0, -28.0),
+        Vec3::zero(),
+        Vec3::new(0.0, 1.0, 0.0),
+        320,
+        208,
+        1.05,
+    )
+    .expect("valid camera")
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scene = SceneParams::new(20_000).seed(42).generate().expect("valid params");
+    let cam = camera();
+    let cfg = RenderConfig::default();
+
+    let mut group = c.benchmark_group("software_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("stage1_preprocess", |b| {
+        b.iter(|| preprocess(&scene, &cam));
+    });
+
+    let pre = preprocess(&scene, &cam);
+    group.bench_function("stage2_sort_bin", |b| {
+        b.iter_batched(
+            || pre.splats.clone(),
+            |splats| bin_splats(splats, cam.width(), cam.height(), cfg.tile_size),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let workload = bin_splats(pre.splats.clone(), cam.width(), cam.height(), cfg.tile_size);
+    group.bench_function("stage3_rasterize", |b| {
+        b.iter_batched(
+            || workload.clone(),
+            |mut w| rasterize(&mut w),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("full_frame", |b| {
+        b.iter(|| render(&scene, &cam, &cfg));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Fig. 9 — layout and area breakdown of the enhanced rasterizer.
+
+use crate::report::{fmt_f, fmt_pct, TextTable};
+use gaurast_hw::area::{AreaBreakdown, AreaModel};
+use gaurast_hw::{Precision, RasterizerConfig};
+
+/// Fig. 9 reproduction: the module breakdown plus the derived SoC-level
+/// fractions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaReport {
+    /// The 16-PE module breakdown at 28 nm FP32.
+    pub module: AreaBreakdown,
+    /// Enhancement area of the scaled (15-module) design, mm² at 28 nm.
+    pub scaled_enhancement_mm2: f64,
+    /// Enhancement as a fraction of the baseline SoC die.
+    pub soc_fraction: f64,
+}
+
+/// Computes the Fig. 9 reproduction.
+pub fn figure9() -> AreaReport {
+    let model = AreaModel::new(Precision::Fp32);
+    let module = model.module_breakdown(&RasterizerConfig::prototype());
+    AreaReport {
+        module,
+        scaled_enhancement_mm2: model.enhancement_mm2(&RasterizerConfig::scaled()),
+        soc_fraction: model.enhancement_soc_fraction(&RasterizerConfig::scaled()),
+    }
+}
+
+impl std::fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 9 — area breakdown of the enhanced rasterizer (28 nm, FP32)")?;
+        let b = &self.module;
+        let mut t = TextTable::new(vec!["component", "area mm2", "share"]);
+        t.row(vec![
+            "PE block (16 PEs)".into(),
+            fmt_f(b.pe_block_um2 / 1e6, 3),
+            fmt_pct(b.pe_block_fraction()),
+        ]);
+        t.row(vec![
+            "tile buffers".into(),
+            fmt_f(b.tile_buffers_um2 / 1e6, 3),
+            fmt_pct(b.tile_buffer_fraction()),
+        ]);
+        t.row(vec![
+            "controller".into(),
+            fmt_f(b.controller_um2 / 1e6, 4),
+            fmt_pct(b.controller_fraction()),
+        ]);
+        t.row(vec![
+            "routing/other".into(),
+            fmt_f(b.routing_um2 / 1e6, 3),
+            fmt_pct(b.routing_um2 / b.total_um2()),
+        ]);
+        t.row(vec!["module total".into(), fmt_f(b.total_mm2(), 3), fmt_pct(1.0)]);
+        write!(f, "{t}")?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "per-PE split: triangle (pre-existing) {}, gaussian (enhancement) {}",
+            fmt_pct(1.0 - b.enhancement_fraction()),
+            fmt_pct(b.enhancement_fraction()),
+        )?;
+        writeln!(
+            f,
+            "scaled design enhancement: {:.2} mm2 at 28 nm = {} of the SoC after node scaling",
+            self.scaled_enhancement_mm2,
+            fmt_pct(self.soc_fraction),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_matches_paper_breakdown() {
+        let r = figure9();
+        assert!((r.module.pe_block_fraction() - 0.892).abs() < 0.01);
+        assert!((r.module.enhancement_fraction() - 0.21).abs() < 0.01);
+        assert!((r.soc_fraction - 0.002).abs() < 0.0005);
+    }
+
+    #[test]
+    fn display_has_all_components() {
+        let text = figure9().to_string();
+        for needle in ["PE block", "tile buffers", "controller", "enhancement"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 4 (baseline throughput) and Fig. 5 (runtime breakdown) — the
+//! profiling results that motivate GauRast.
+
+use crate::experiments::EvaluationSet;
+use crate::report::{fmt_f, fmt_ms, fmt_pct, TextTable};
+
+/// One scene's baseline profile (original 3DGS on the Orin NX model).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineProfile {
+    /// End-to-end FPS.
+    pub fps: f64,
+    /// Stage-1 (preprocess) time, s.
+    pub preprocess_s: f64,
+    /// Stage-2 (sort) time, s.
+    pub sort_s: f64,
+    /// Stage-3 (rasterization) time, s.
+    pub raster_s: f64,
+}
+
+impl BaselineProfile {
+    /// Stage-3 share of the frame.
+    pub fn raster_share(&self) -> f64 {
+        self.raster_s / (self.preprocess_s + self.sort_s + self.raster_s)
+    }
+}
+
+/// Fig. 4 + Fig. 5 results.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// Per-scene profiles (paper order).
+    pub rows: Vec<(String, BaselineProfile)>,
+}
+
+impl BaselineReport {
+    /// Minimum Stage-3 share across scenes (paper: > 80 %).
+    pub fn min_raster_share(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|(_, p)| p.raster_share())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// FPS range across scenes.
+    pub fn fps_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for (_, p) in &self.rows {
+            lo = lo.min(p.fps);
+            hi = hi.max(p.fps);
+        }
+        (lo, hi)
+    }
+}
+
+/// Computes the baseline profile from the evaluation set (original
+/// algorithm, as profiled in the paper).
+pub fn baseline_profile(set: &EvaluationSet) -> BaselineReport {
+    let rows = set
+        .original
+        .iter()
+        .map(|e| {
+            (
+                e.scene.name().to_string(),
+                BaselineProfile {
+                    fps: e.baseline_fps(),
+                    preprocess_s: e.preprocess_paper_s,
+                    sort_s: e.sort_paper_s,
+                    raster_s: e.raster_cuda_paper_s,
+                },
+            )
+        })
+        .collect();
+    BaselineReport { rows }
+}
+
+impl std::fmt::Display for BaselineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 4 — baseline 3DGS throughput on the edge SoC model")?;
+        let mut t4 = TextTable::new(vec!["scene", "fps"]);
+        for (name, p) in &self.rows {
+            t4.row(vec![name.clone(), fmt_f(p.fps, 2)]);
+        }
+        write!(f, "{t4}")?;
+        writeln!(f)?;
+        writeln!(f, "Fig. 5 — baseline runtime breakdown")?;
+        let mut t5 = TextTable::new(vec![
+            "scene",
+            "step1 ms",
+            "step2 ms",
+            "step3 ms",
+            "step3 share",
+        ]);
+        for (name, p) in &self.rows {
+            t5.row(vec![
+                name.clone(),
+                fmt_ms(p.preprocess_s),
+                fmt_ms(p.sort_s),
+                fmt_ms(p.raster_s),
+                fmt_pct(p.raster_share()),
+            ]);
+        }
+        write!(f, "{t5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_set;
+
+    #[test]
+    fn baseline_fps_in_low_single_digits() {
+        let report = baseline_profile(quick_set());
+        let (lo, hi) = report.fps_range();
+        // Paper band is 2-5 FPS; our stage-1/2 model is slightly lighter on
+        // the small indoor scenes, so allow up to 7.
+        assert!(lo > 1.5, "min fps {lo}");
+        assert!(hi < 7.5, "max fps {hi}");
+    }
+
+    #[test]
+    fn raster_dominates_every_scene() {
+        let report = baseline_profile(quick_set());
+        assert!(report.min_raster_share() > 0.80, "min share {}", report.min_raster_share());
+    }
+
+    #[test]
+    fn display_mentions_both_figures() {
+        let text = baseline_profile(quick_set()).to_string();
+        assert!(text.contains("Fig. 4") && text.contains("Fig. 5"));
+        assert!(text.contains("garden"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 11 — end-to-end FPS with and without GauRast.
+
+use crate::experiments::{Algorithm, EvaluationSet};
+use crate::report::{fmt_f, fmt_x, TextTable};
+
+/// One scene's end-to-end comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EndToEndRow {
+    /// Baseline FPS (everything on CUDA).
+    pub baseline_fps: f64,
+    /// FPS with GauRast under the CUDA-collaborative schedule.
+    pub gaurast_fps: f64,
+}
+
+impl EndToEndRow {
+    /// End-to-end speedup.
+    pub fn speedup(&self) -> f64 {
+        self.gaurast_fps / self.baseline_fps
+    }
+}
+
+/// Fig. 11 for one algorithm.
+#[derive(Clone, Debug)]
+pub struct EndToEndReport {
+    /// Algorithm variant.
+    pub algorithm: Algorithm,
+    /// Per-scene rows (paper order).
+    pub rows: Vec<(String, EndToEndRow)>,
+    /// Mean FPS with GauRast.
+    pub mean_gaurast_fps: f64,
+    /// Mean end-to-end speedup.
+    pub mean_speedup: f64,
+}
+
+/// Computes Fig. 11 for one algorithm.
+pub fn figure11(set: &EvaluationSet, algorithm: Algorithm) -> EndToEndReport {
+    let rows: Vec<(String, EndToEndRow)> = set
+        .for_algorithm(algorithm)
+        .iter()
+        .map(|e| {
+            (
+                e.scene.name().to_string(),
+                EndToEndRow { baseline_fps: e.baseline_fps(), gaurast_fps: e.gaurast_fps() },
+            )
+        })
+        .collect();
+    let n = rows.len() as f64;
+    let mean_gaurast_fps = rows.iter().map(|r| r.1.gaurast_fps).sum::<f64>() / n;
+    let mean_speedup = rows.iter().map(|r| r.1.speedup()).sum::<f64>() / n;
+    EndToEndReport { algorithm, rows, mean_gaurast_fps, mean_speedup }
+}
+
+impl std::fmt::Display for EndToEndReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 11 — end-to-end FPS ({})", self.algorithm.label())?;
+        let mut t = TextTable::new(vec!["scene", "w/o gaurast", "w/ gaurast", "speedup"]);
+        for (name, r) in &self.rows {
+            t.row(vec![
+                name.clone(),
+                fmt_f(r.baseline_fps, 2),
+                fmt_f(r.gaurast_fps, 1),
+                fmt_x(r.speedup()),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "average: {:.1} FPS with GauRast ({} end-to-end)",
+            self.mean_gaurast_fps,
+            fmt_x(self.mean_speedup)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_set;
+
+    #[test]
+    fn original_reaches_realtime_ballpark() {
+        let report = figure11(quick_set(), Algorithm::Original);
+        // Paper: 24 FPS average, 6x speedup. Shape check with wide bands.
+        assert!((12.0..45.0).contains(&report.mean_gaurast_fps),
+            "mean fps {}", report.mean_gaurast_fps);
+        assert!((3.5..9.0).contains(&report.mean_speedup),
+            "mean speedup {}", report.mean_speedup);
+    }
+
+    #[test]
+    fn optimized_is_faster_but_smaller_gain() {
+        let orig = figure11(quick_set(), Algorithm::Original);
+        let mini = figure11(quick_set(), Algorithm::MiniSplatting);
+        // Mini-splatting: higher absolute FPS, smaller relative speedup —
+        // exactly the paper's 46 FPS @ 4x vs 24 FPS @ 6x relationship.
+        assert!(mini.mean_gaurast_fps > orig.mean_gaurast_fps);
+        assert!(mini.mean_speedup < orig.mean_speedup);
+    }
+
+    #[test]
+    fn every_scene_improves() {
+        let report = figure11(quick_set(), Algorithm::Original);
+        for (name, r) in &report.rows {
+            assert!(r.speedup() > 2.0, "{name}: {}", r.speedup());
+        }
+    }
+}

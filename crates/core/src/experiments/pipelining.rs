@@ -1,0 +1,80 @@
+//! Fig. 8 — CUDA-collaborative scheduling timeline.
+
+use crate::experiments::{Algorithm, EvaluationSet};
+use gaurast_scene::nerf360::Nerf360Scene;
+use gaurast_sched::{PipelineSchedule, Timeline, Unit};
+
+/// Fig. 8 reproduction for one scene: the 4-frame schedule of the paper's
+/// illustration, with utilizations and the throughput gain of pipelining.
+#[derive(Clone, Debug)]
+pub struct PipeliningReport {
+    /// Scene illustrated.
+    pub scene: Nerf360Scene,
+    /// The schedule used.
+    pub schedule: PipelineSchedule,
+    /// Four-frame timeline.
+    pub timeline: Timeline,
+    /// Throughput gain of pipelining over serial execution.
+    pub gain: f64,
+}
+
+/// Builds the Fig. 8 illustration from an evaluation set (bicycle scene,
+/// original algorithm, as in the paper's running example).
+///
+/// # Panics
+/// Panics if the evaluation set is empty (cannot happen for
+/// [`EvaluationSet::compute`]).
+pub fn figure8(set: &EvaluationSet) -> PipeliningReport {
+    let e = set
+        .for_algorithm(Algorithm::Original)
+        .iter()
+        .find(|e| e.scene == Nerf360Scene::Bicycle)
+        .expect("bicycle is evaluated");
+    let schedule = e.end_to_end().gaurast_schedule();
+    PipeliningReport {
+        scene: e.scene,
+        schedule,
+        timeline: schedule.timeline(4),
+        gain: schedule.pipelining_gain(),
+    }
+}
+
+impl std::fmt::Display for PipeliningReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 8 — CUDA-collaborative scheduling ({}, 4 frames; digits are frame ids)",
+            self.scene.name()
+        )?;
+        write!(f, "{}", self.timeline.ascii_gantt(72))?;
+        writeln!(
+            f,
+            "stages 1-2: {:.1} ms on CUDA; stage 3: {:.1} ms on GauRast; \
+             pipelining gain {:.2}x; CUDA util {:.0}%, rasterizer util {:.0}%",
+            self.schedule.stages12_s() * 1e3,
+            self.schedule.stage3_s() * 1e3,
+            self.gain,
+            self.timeline.utilization(Unit::CudaCores) * 100.0,
+            self.timeline.utilization(Unit::Rasterizer) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_set;
+
+    #[test]
+    fn figure8_overlaps_units() {
+        let set = quick_set();
+        let r = figure8(set);
+        assert_eq!(r.scene, Nerf360Scene::Bicycle);
+        assert!(r.gain > 1.0 && r.gain <= 2.0, "gain {}", r.gain);
+        // Both units busy a meaningful fraction of the makespan.
+        assert!(r.timeline.utilization(Unit::CudaCores) > 0.2);
+        assert!(r.timeline.utilization(Unit::Rasterizer) > 0.2);
+        let text = r.to_string();
+        assert!(text.contains("CUDA"));
+    }
+}

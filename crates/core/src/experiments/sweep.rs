@@ -1,0 +1,149 @@
+//! PE-scaling sweep: how many PEs are *worth it* end to end.
+//!
+//! The paper sizes GauRast by area-matching the SoC's existing triangle
+//! rasterizer (15 modules). This experiment shows why that is enough: under
+//! the CUDA-collaborative schedule the steady-state frame rate is
+//! `1 / max(t₁₂, t₃)`, so once Stage 3 drops below Stages 1–2 the extra
+//! PEs buy nothing — the knee sits almost exactly at the paper's design
+//! point for the heavy scenes.
+
+use crate::report::{fmt_f, fmt_pct, TextTable};
+use gaurast_gpu::device;
+use gaurast_hw::{EnhancedRasterizer, RasterizerConfig};
+use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
+use gaurast_sched::PipelineSchedule;
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Total PEs.
+    pub pes: u32,
+    /// Paper-scale Stage-3 time on this configuration, s.
+    pub raster_s: f64,
+    /// End-to-end FPS under the pipelined schedule.
+    pub fps: f64,
+    /// PE utilization at this width.
+    pub utilization: f64,
+}
+
+/// The sweep result for one scene.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeSweep {
+    /// Scene swept.
+    pub scene: Nerf360Scene,
+    /// Paper-scale Stages 1–2 time (constant across the sweep), s.
+    pub stages12_s: f64,
+    /// Sweep points in increasing PE order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl PeSweep {
+    /// Smallest configuration within 5 % of the peak FPS — the knee.
+    pub fn knee_pes(&self) -> u32 {
+        let peak = self.points.iter().map(|p| p.fps).fold(0.0, f64::max);
+        self.points
+            .iter()
+            .find(|p| p.fps >= 0.95 * peak)
+            .map_or(0, |p| p.pes)
+    }
+}
+
+/// Sweeps module counts on one scene at `scale`.
+pub fn pe_sweep(scene: Nerf360Scene, scale: SceneScale) -> PeSweep {
+    let desc = scene.descriptor();
+    let gscene = desc.synthesize(scale);
+    let cam = desc.camera(scale, 0.4).expect("descriptor camera");
+    let out = render(&gscene, &cam, &RenderConfig::default());
+    let sim_work = out.workload.blend_work().max(1) as f64;
+
+    let orin = device::orin_nx();
+    let stages12_s = orin.preprocess_time((desc.full_gaussians as f64 * 0.85) as u64)
+        + orin.sort_time(desc.sort_pairs_per_frame as u64);
+
+    let points = [2u32, 4, 8, 15, 23, 30, 45]
+        .into_iter()
+        .map(|modules| {
+            let cfg = RasterizerConfig { modules, ..RasterizerConfig::prototype() };
+            let report = EnhancedRasterizer::new(cfg).simulate_gaussian(&out.workload);
+            let raster_s = report.time_s * desc.raster_work_per_frame / sim_work;
+            let fps = PipelineSchedule::new(stages12_s, raster_s)
+                .expect("positive times")
+                .steady_state_fps();
+            SweepPoint { pes: cfg.total_pes(), raster_s, fps, utilization: report.utilization }
+        })
+        .collect();
+
+    PeSweep { scene, stages12_s, points }
+}
+
+impl std::fmt::Display for PeSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "PE-scaling sweep ({}; stages 1-2 fixed at {:.1} ms on CUDA)",
+            self.scene,
+            self.stages12_s * 1e3
+        )?;
+        let mut t = TextTable::new(vec!["PEs", "stage-3 ms", "e2e fps", "PE util"]);
+        for p in &self.points {
+            t.row(vec![
+                p.pes.to_string(),
+                fmt_f(p.raster_s * 1e3, 2),
+                fmt_f(p.fps, 1),
+                fmt_pct(p.utilization),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "knee: {} PEs reach 95% of peak FPS (paper design point: 240 PEs)",
+            self.knee_pes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn sweep() -> &'static PeSweep {
+        static S: OnceLock<PeSweep> = OnceLock::new();
+        S.get_or_init(|| pe_sweep(Nerf360Scene::Bicycle, SceneScale::UNIT_TEST))
+    }
+
+    #[test]
+    fn fps_is_monotone_then_flat() {
+        let s = sweep();
+        for w in s.points.windows(2) {
+            assert!(w[1].fps >= w[0].fps - 1e-9, "{} -> {}", w[0].fps, w[1].fps);
+        }
+        // The last doubling must buy almost nothing: e2e is stages-1-2
+        // bound at the top of the sweep.
+        let last = &s.points[s.points.len() - 1];
+        let prev = &s.points[s.points.len() - 2];
+        assert!(last.fps / prev.fps < 1.05, "still scaling at the top");
+    }
+
+    #[test]
+    fn knee_is_at_or_below_paper_design_point() {
+        let s = sweep();
+        let knee = s.knee_pes();
+        assert!(knee <= 240, "knee {knee} PEs");
+        assert!(knee >= 64, "knee {knee} suspiciously low");
+    }
+
+    #[test]
+    fn utilization_decreases_with_width() {
+        let s = sweep();
+        let first = s.points.first().unwrap();
+        let last = s.points.last().unwrap();
+        assert!(first.utilization > last.utilization);
+    }
+
+    #[test]
+    fn display_mentions_knee() {
+        assert!(sweep().to_string().contains("knee"));
+    }
+}

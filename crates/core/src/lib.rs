@@ -1,0 +1,52 @@
+//! # GauRast — enhancing GPU triangle rasterizers for 3D Gaussian Splatting
+//!
+//! A full Rust reproduction of *"GauRast: Enhancing GPU Triangle Rasterizers
+//! to Accelerate 3D Gaussian Splatting"* (DAC 2025): the 3DGS rendering
+//! pipeline, a classic triangle rasterizer, a cycle-accurate model of the
+//! enhanced rasterizer hardware, calibrated baseline GPU models, the
+//! CUDA-collaborative scheduler, and an experiment harness regenerating
+//! every table and figure of the paper's evaluation.
+//!
+//! This crate is the facade: it re-exports the substrate crates and hosts
+//! the [`experiments`] harness. Typical entry points:
+//!
+//! * render a scene in software: [`render::pipeline::render`];
+//! * simulate the hardware: [`hw::EnhancedRasterizer`];
+//! * reproduce a paper artifact: [`experiments::raster_perf::figure10`] and
+//!   friends, or run `cargo run -p gaurast-bench --bin repro`.
+//!
+//! # Example
+//!
+//! ```
+//! use gaurast::experiments::{evaluate_scene, ExperimentContext};
+//! use gaurast::scene::nerf360::Nerf360Scene;
+//!
+//! let ctx = ExperimentContext::quick();
+//! let (original, mini) = evaluate_scene(Nerf360Scene::Bonsai, &ctx);
+//! assert!(original.raster_speedup() > 1.0);
+//! assert!(mini.paper_work < original.paper_work);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+
+/// Math substrate (vectors, matrices, quaternions, SH, FP16).
+pub use gaurast_math as math;
+
+/// Scene substrate (Gaussians, meshes, cameras, NeRF-360 descriptors).
+pub use gaurast_scene as scene;
+
+/// Software reference renderer (3DGS pipeline + triangle rasterizer).
+pub use gaurast_render as render;
+
+/// Hardware model (cycle simulator, area, power).
+pub use gaurast_hw as hw;
+
+/// Baseline GPU models (Orin NX, Xavier NX, M2 Pro, GSCore envelope).
+pub use gaurast_gpu as gpu;
+
+/// CUDA-collaborative scheduler.
+pub use gaurast_sched as sched;

@@ -1,0 +1,176 @@
+//! Plain-text table rendering for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Example
+/// ```
+/// use gaurast::report::TextTable;
+/// let mut t = TextTable::new(vec!["scene", "fps"]);
+/// t.row(vec!["bicycle".into(), "2.6".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("bicycle"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+        }
+        writeln!(f, "{}", line.trim_end())?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", c, w = widths[i]);
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt_f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Serializes a full evaluation set to CSV (one row per scene per
+/// algorithm) for external plotting: the machine-readable companion of the
+/// repro tables.
+pub fn evaluation_to_csv(set: &crate::experiments::EvaluationSet) -> String {
+    use crate::experiments::Algorithm;
+    let mut out = String::from(
+        "scene,algorithm,baseline_raster_ms,gaurast_raster_ms,speedup,energy_improvement,\
+         stages12_ms,baseline_fps,gaurast_fps,e2e_speedup,hw_utilization,gaurast_power_w\n",
+    );
+    for a in [Algorithm::Original, Algorithm::MiniSplatting] {
+        for e in set.for_algorithm(a) {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3},{:.2},{:.2},{:.3},{:.2}\n",
+                    e.scene.name(),
+                    match a {
+                        Algorithm::Original => "original",
+                        Algorithm::MiniSplatting => "mini_splatting",
+                    },
+                    e.raster_cuda_paper_s * 1e3,
+                    e.raster_gaurast_paper_s * 1e3,
+                    e.raster_speedup(),
+                    e.energy_improvement(),
+                    e.stages12_paper_s() * 1e3,
+                    e.baseline_fps(),
+                    e.gaurast_fps(),
+                    e.gaurast_fps() / e.baseline_fps(),
+                    e.hw_utilization,
+                    e.gaurast_power_w,
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Formats seconds as milliseconds with one decimal.
+pub fn fmt_ms(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e3)
+}
+
+/// Formats a ratio as `N.N x`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["a", "longer"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(0.3214), "321.4");
+        assert_eq!(fmt_x(23.04), "23.0x");
+        assert_eq!(fmt_pct(0.892), "89.2%");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn csv_has_14_rows_and_header() {
+        let set = crate::experiments::quick_set();
+        let csv = evaluation_to_csv(set);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 14, "header + 7 scenes x 2 algorithms");
+        assert!(lines[0].starts_with("scene,algorithm"));
+        assert_eq!(lines[1].split(',').count(), 12);
+        assert!(csv.contains("bicycle,original"));
+        assert!(csv.contains("bonsai,mini_splatting"));
+    }
+}

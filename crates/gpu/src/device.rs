@@ -1,0 +1,123 @@
+//! Device presets for the baseline GPU model.
+
+use crate::cuda_model::CudaGpuModel;
+
+/// NVIDIA Jetson Orin NX under a 10 W power limit — the paper's baseline
+/// edge SoC.
+///
+/// 1024 CUDA cores at a sustained ~625 MHz under the cap, ~60 GB/s
+/// effective LPDDR5 bandwidth. `base_efficiency` and `efficiency_knee` are
+/// calibrated against Table III (fit error < 8 % on every scene — see the
+/// `cuda_model` tests).
+pub fn orin_nx() -> CudaGpuModel {
+    CudaGpuModel {
+        name: "jetson-orin-nx-10w".into(),
+        cuda_cores: 1024,
+        clock_hz: 625.0e6,
+        mem_bw_bytes_per_s: 60.0e9,
+        base_efficiency: 0.75,
+        efficiency_knee: 2171.0,
+        raster_power_w: 10.0,
+    }
+}
+
+/// NVIDIA Jetson Xavier NX — the edge SoC hosting the GSCore comparison
+/// (§V-C). Older Volta-class GPU: 384 CUDA cores, lower sustained clock,
+/// and a less efficient 3DGS kernel (the GSCore paper's baseline).
+pub fn xavier_nx() -> CudaGpuModel {
+    CudaGpuModel {
+        name: "jetson-xavier-nx".into(),
+        cuda_cores: 384,
+        clock_hz: 800.0e6,
+        mem_bw_bytes_per_s: 45.0e9,
+        base_efficiency: 0.62,
+        efficiency_knee: 2171.0,
+        raster_power_w: 15.0,
+    }
+}
+
+/// NVIDIA RTX A6000 — the ≥200 W desktop GPU class the paper's
+/// introduction contrasts against (3DGS is real-time there and only there).
+/// 10752 CUDA cores at boost clocks with GDDR6 bandwidth; the kernel
+/// efficiency matches the tuned reference implementation on big GPUs.
+pub fn rtx_a6000() -> CudaGpuModel {
+    CudaGpuModel {
+        name: "rtx-a6000-300w".into(),
+        cuda_cores: 10_752,
+        clock_hz: 1.62e9,
+        mem_bw_bytes_per_s: 700.0e9,
+        base_efficiency: 0.70,
+        efficiency_knee: 2171.0,
+        raster_power_w: 300.0,
+    }
+}
+
+/// Apple M2 Pro GPU running OpenSplat (§V-D). The paper states 2.6× the
+/// FP32 capability of the Orin NX GPU; OpenSplat's Metal port is less
+/// tuned than the CUDA reference, which the lower base efficiency captures
+/// (calibrated to the reported 11.2× bicycle-scene speedup).
+pub fn m2_pro() -> CudaGpuModel {
+    CudaGpuModel {
+        name: "apple-m2-pro-opensplat".into(),
+        // Express the 2.6× FP32 ratio in CUDA-lane-equivalent terms.
+        cuda_cores: 2048,
+        clock_hz: 812.5e6,
+        mem_bw_bytes_per_s: 200.0e9,
+        base_efficiency: 0.574,
+        efficiency_knee: 2171.0,
+        raster_power_w: 30.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn m2_pro_is_2_6x_orin_fp32() {
+        let ratio = m2_pro().peak_blend_rate() / orin_nx().peak_blend_rate();
+        assert!((ratio - paper::M2_PRO_FP32_RATIO).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn xavier_is_slower_than_orin() {
+        assert!(xavier_nx().peak_blend_rate() < 0.6 * orin_nx().peak_blend_rate());
+    }
+
+    #[test]
+    fn orin_runs_at_power_cap() {
+        assert_eq!(orin_nx().raster_power_w, 10.0);
+    }
+
+    #[test]
+    fn m2_pro_less_efficient_kernel() {
+        // OpenSplat vs the tuned CUDA reference.
+        assert!(m2_pro().base_efficiency < orin_nx().base_efficiency);
+    }
+
+    #[test]
+    fn desktop_gpu_is_realtime_at_paper_scale() {
+        // The introduction's premise: 3DGS is real-time (>= 30 FPS) on
+        // >= 200 W desktop GPUs but not on the edge SoC. Validate on the
+        // heaviest scene (bicycle).
+        use gaurast_scene::nerf360::Nerf360Scene;
+        let d = Nerf360Scene::Bicycle.descriptor();
+        let tiles = f64::from(d.width.div_ceil(16) * d.height.div_ceil(16));
+        let mean_len = d.sort_pairs_per_frame / tiles;
+        let a6000 = rtx_a6000();
+        let raster = a6000.raster_time_for_work(d.raster_work_per_frame, mean_len);
+        let pre = a6000.preprocess_time((d.full_gaussians as f64 * 0.85) as u64);
+        let sort = a6000.sort_time(d.sort_pairs_per_frame as u64);
+        let fps = 1.0 / (raster + pre + sort);
+        assert!(fps >= 30.0, "desktop bicycle fps {fps}");
+        // And the edge SoC is ~2-5 FPS on the same scene (Fig. 4).
+        let edge = orin_nx();
+        let edge_fps = 1.0
+            / (edge.raster_time_for_work(d.raster_work_per_frame, mean_len)
+                + edge.preprocess_time((d.full_gaussians as f64 * 0.85) as u64)
+                + edge.sort_time(d.sort_pairs_per_frame as u64));
+        assert!(edge_fps < 5.0, "edge bicycle fps {edge_fps}");
+        assert!(fps / edge_fps > 10.0, "the intro's gap must be an order of magnitude");
+    }
+}

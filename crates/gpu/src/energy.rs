@@ -1,0 +1,75 @@
+//! Energy accounting and baseline-vs-GauRast comparisons.
+
+/// Energy comparison of one rasterization workload on two executors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyComparison {
+    /// Baseline time, s.
+    pub baseline_s: f64,
+    /// Baseline average power, W.
+    pub baseline_w: f64,
+    /// Accelerated time, s.
+    pub accelerated_s: f64,
+    /// Accelerated average power, W.
+    pub accelerated_w: f64,
+}
+
+impl EnergyComparison {
+    /// Runtime speedup (baseline / accelerated).
+    ///
+    /// # Panics
+    /// Panics in debug builds for non-positive accelerated time.
+    pub fn speedup(&self) -> f64 {
+        debug_assert!(self.accelerated_s > 0.0);
+        self.baseline_s / self.accelerated_s
+    }
+
+    /// Energy-efficiency improvement (baseline energy / accelerated
+    /// energy) — the paper's Fig. 10 right-hand metric.
+    pub fn energy_improvement(&self) -> f64 {
+        (self.baseline_w * self.baseline_s) / (self.accelerated_w * self.accelerated_s)
+    }
+
+    /// Baseline energy, J.
+    pub fn baseline_j(&self) -> f64 {
+        self.baseline_w * self.baseline_s
+    }
+
+    /// Accelerated energy, J.
+    pub fn accelerated_j(&self) -> f64 {
+        self.accelerated_w * self.accelerated_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp() -> EnergyComparison {
+        EnergyComparison {
+            baseline_s: 0.321,
+            baseline_w: 10.0,
+            accelerated_s: 0.015,
+            accelerated_w: 9.5,
+        }
+    }
+
+    #[test]
+    fn speedup_and_energy_track_paper_shape() {
+        let c = cmp();
+        let s = c.speedup();
+        let e = c.energy_improvement();
+        assert!((s - 21.4).abs() < 0.1);
+        // With near-equal power, the energy ratio slightly exceeds the
+        // speedup — exactly the paper's 23× vs 24× relationship.
+        assert!(e > s);
+        assert!((e - s * 10.0 / 9.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn energies_consistent() {
+        let c = cmp();
+        assert!((c.baseline_j() - 3.21).abs() < 1e-9);
+        assert!((c.accelerated_j() - 0.1425).abs() < 1e-9);
+        assert!((c.energy_improvement() - c.baseline_j() / c.accelerated_j()).abs() < 1e-12);
+    }
+}

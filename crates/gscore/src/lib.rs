@@ -1,0 +1,31 @@
+//! Simplified simulator of **GSCore** (Lee et al., ASPLOS 2024) — the
+//! dedicated 3DGS accelerator the GauRast paper compares against in §V-C.
+//!
+//! The paper treats GSCore as a published envelope (3.95 mm², FP16, 20×
+//! rasterization speedup on a Jetson Xavier NX). To make the comparison a
+//! real architecture-vs-architecture experiment rather than a constant
+//! lookup, this crate implements the two mechanisms that define GSCore's
+//! rasterization datapath and lets them run on the *same*
+//! [`RasterWorkload`](gaurast_render::RasterWorkload) every other model
+//! consumes:
+//!
+//! * **shape-aware intersection** ([`shape`]): an exact ellipse-vs-
+//!   rectangle test replaces the reference's conservative 3σ bounding
+//!   square, culling splat/tile pairs that never contribute;
+//! * **subtile skipping** ([`subtile`]): each 16×16 tile splits into 4×4
+//!   subtiles and a splat is only evaluated on subtiles its ellipse
+//!   touches, shrinking the pair-pixel work several-fold;
+//! * a three-stage pipeline cost model ([`accel`]): culling/conversion
+//!   unit (CCU), sorting unit (GSU) and volume-rendering unit (VRU),
+//!   with the VRU width calibrated to the published envelope.
+//!
+//! What is measured vs. assumed is documented per item in [`accel`].
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod accel;
+pub mod shape;
+pub mod subtile;
+
+pub use accel::{GscoreAccelerator, GscoreConfig, GscoreFrameReport};

@@ -1,0 +1,188 @@
+//! Subtile skipping: GSCore evaluates a splat only on the 4×4-pixel
+//! subtiles of a tile that its ellipse actually touches.
+
+use crate::shape::splat_touches_rect;
+use gaurast_render::{RasterWorkload, Splat2D};
+
+/// Subtile edge in pixels (GSCore's granularity).
+pub const SUBTILE: u32 = 4;
+
+/// Number of subtiles of a tile rectangle a splat touches, and the pixel
+/// count those subtiles cover (edge subtiles may be partial).
+pub fn covered_subtiles(
+    s: &Splat2D,
+    tile_x0: u32,
+    tile_y0: u32,
+    tile_x1: u32,
+    tile_y1: u32,
+) -> (u32, u64) {
+    let mut subtiles = 0u32;
+    let mut pixels = 0u64;
+    let mut y = tile_y0;
+    while y < tile_y1 {
+        let y_end = (y + SUBTILE).min(tile_y1);
+        let mut x = tile_x0;
+        while x < tile_x1 {
+            let x_end = (x + SUBTILE).min(tile_x1);
+            if splat_touches_rect(s, x, y, x_end, y_end) {
+                subtiles += 1;
+                pixels += u64::from(x_end - x) * u64::from(y_end - y);
+            }
+            x = x_end;
+        }
+        y = y_end;
+    }
+    (subtiles, pixels)
+}
+
+/// Workload statistics after GSCore's two refinements, measured exactly on
+/// a binned workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefinedWork {
+    /// (splat, tile) pairs admitted by the reference AABB binning
+    /// (saturation-truncated lists, i.e. the pairs anyone processes).
+    pub aabb_pairs: u64,
+    /// Pairs surviving the exact shape-aware tile test.
+    pub shape_pairs: u64,
+    /// Splat-pixel work of the reference (full tiles for every processed
+    /// splat).
+    pub full_pixel_work: u64,
+    /// Splat-pixel work after subtile skipping.
+    pub subtile_pixel_work: u64,
+}
+
+impl RefinedWork {
+    /// Fraction of AABB pairs the shape test culls.
+    pub fn shape_cull_fraction(&self) -> f64 {
+        if self.aabb_pairs == 0 {
+            return 0.0;
+        }
+        1.0 - self.shape_pairs as f64 / self.aabb_pairs as f64
+    }
+
+    /// Work-reduction factor of subtile skipping (≥ 1).
+    pub fn work_reduction(&self) -> f64 {
+        if self.subtile_pixel_work == 0 {
+            return 1.0;
+        }
+        self.full_pixel_work as f64 / self.subtile_pixel_work as f64
+    }
+}
+
+/// Measures the refined work of a workload (processed-list prefix per tile,
+/// exactly the work the other models bill).
+pub fn refine(workload: &RasterWorkload) -> RefinedWork {
+    let mut out = RefinedWork::default();
+    let splats = workload.splats();
+    for ty in 0..workload.tiles_y() {
+        for tx in 0..workload.tiles_x() {
+            let list = workload.tile_list(tx, ty);
+            let n = workload.processed_count(tx, ty) as usize;
+            let (x0, y0, x1, y1) = workload.tile_rect(tx, ty);
+            let tile_pixels = workload.tile_pixels(tx, ty);
+            for &si in &list[..n] {
+                let s = &splats[si as usize];
+                out.aabb_pairs += 1;
+                out.full_pixel_work += tile_pixels;
+                let (subtiles, pixels) = covered_subtiles(s, x0, y0, x1, y1);
+                if subtiles > 0 {
+                    out.shape_pairs += 1;
+                    out.subtile_pixel_work += pixels;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_math::{Vec2, Vec3};
+    use gaurast_render::rasterize::rasterize;
+    use gaurast_render::tile::bin_splats;
+
+    fn small_splat(x: f32, y: f32) -> Splat2D {
+        Splat2D {
+            mean: Vec2::new(x, y),
+            conic: [2.0, 0.0, 2.0], // ~2 px ellipse
+            depth: 1.0,
+            color: Vec3::one(),
+            opacity: 0.9,
+            radius: 8.0, // deliberately loose AABB (the reference's 3σ ceil)
+            source: 0,
+        }
+    }
+
+    #[test]
+    fn tight_splat_covers_few_subtiles() {
+        let s = small_splat(8.0, 8.0);
+        let (subtiles, pixels) = covered_subtiles(&s, 0, 0, 16, 16);
+        assert!(subtiles >= 1 && subtiles <= 4, "subtiles {subtiles}");
+        assert!(pixels < 256, "pixels {pixels}");
+    }
+
+    #[test]
+    fn huge_splat_covers_all_subtiles() {
+        let s = Splat2D { conic: [1e-4, 0.0, 1e-4], ..small_splat(8.0, 8.0) };
+        let (subtiles, pixels) = covered_subtiles(&s, 0, 0, 16, 16);
+        assert_eq!(subtiles, 16);
+        assert_eq!(pixels, 256);
+    }
+
+    #[test]
+    fn refine_reduces_work_on_small_splat_workloads() {
+        let splats: Vec<Splat2D> = (0..60)
+            .map(|i| small_splat((i * 7 % 64) as f32, (i * 11 % 64) as f32))
+            .collect();
+        let mut w = bin_splats(splats, 64, 64, 16);
+        let _ = rasterize(&mut w);
+        let r = refine(&w);
+        assert!(r.aabb_pairs > 0);
+        assert!(r.work_reduction() > 2.0, "reduction {}", r.work_reduction());
+        assert!(r.shape_pairs <= r.aabb_pairs);
+        assert!(r.subtile_pixel_work <= r.full_pixel_work);
+    }
+
+    #[test]
+    fn shape_test_culls_loose_aabb_pairs() {
+        // Elongated splats: AABB (square) binning admits tiles the ellipse
+        // misses entirely.
+        let splats: Vec<Splat2D> = (0..20)
+            .map(|i| Splat2D {
+                conic: [5.0, 0.0, 0.002],
+                radius: 40.0,
+                ..small_splat(32.0, (i * 13 % 64) as f32)
+            })
+            .collect();
+        let mut w = bin_splats(splats, 64, 64, 16);
+        let _ = rasterize(&mut w);
+        let r = refine(&w);
+        assert!(r.shape_cull_fraction() > 0.1, "cull {}", r.shape_cull_fraction());
+    }
+
+    #[test]
+    fn subtile_coverage_is_superset_of_committed_blends() {
+        // Every pixel the reference actually blends must lie in a covered
+        // subtile (no false culls).
+        let splats: Vec<Splat2D> = (0..40)
+            .map(|i| small_splat((i * 17 % 48) as f32, (i * 23 % 48) as f32))
+            .collect();
+        let mut w = bin_splats(splats.clone(), 48, 48, 16);
+        let (img, _) = rasterize(&mut w);
+        let r = refine(&w);
+        // If anything rendered, the refined work cannot be zero.
+        if img.coverage() > 0.0 {
+            assert!(r.subtile_pixel_work > 0);
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_empty_refinement() {
+        let w = bin_splats(vec![], 32, 32, 16);
+        let r = refine(&w);
+        assert_eq!(r, RefinedWork::default());
+        assert_eq!(r.work_reduction(), 1.0);
+        assert_eq!(r.shape_cull_fraction(), 0.0);
+    }
+}

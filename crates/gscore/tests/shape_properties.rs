@@ -1,0 +1,98 @@
+//! Property tests for the exact ellipse/rectangle intersection.
+
+use gaurast_gscore::shape::{alpha_bound, min_quadratic_on_rect, splat_touches_rect};
+use gaurast_math::{Vec2, Vec3};
+use gaurast_render::Splat2D;
+use proptest::prelude::*;
+
+fn pd_conic() -> impl Strategy<Value = (f32, f32, f32)> {
+    // Positive-definite conics: a, c > 0 and b² < ac.
+    (0.01f32..3.0, 0.01f32..3.0, -0.99f32..0.99)
+        .prop_map(|(a, c, t)| (a, c, t * (a * c).sqrt() * 0.95))
+        .prop_map(|(a, c, b)| (a, b, c))
+}
+
+fn rect() -> impl Strategy<Value = (f32, f32, f32, f32)> {
+    (-30.0f32..30.0, 0.5f32..25.0, -30.0f32..30.0, 0.5f32..25.0)
+        .prop_map(|(x0, w, y0, h)| (x0, x0 + w, y0, y0 + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn min_is_lower_bound_of_samples((a, b, c) in pd_conic(), (x0, x1, y0, y1) in rect()) {
+        let exact = min_quadratic_on_rect(a, b, c, x0, x1, y0, y1);
+        let q = |x: f32, y: f32| a * x * x + 2.0 * b * x * y + c * y * y;
+        for i in 0..=24 {
+            for j in 0..=24 {
+                let x = x0 + (x1 - x0) * i as f32 / 24.0;
+                let y = y0 + (y1 - y0) * j as f32 / 24.0;
+                let v = q(x, y);
+                prop_assert!(exact <= v + 1e-3 * v.abs().max(1.0), "q({x},{y}) = {v} < min {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_is_attained_on_grid_within_tolerance((a, b, c) in pd_conic(), (x0, x1, y0, y1) in rect()) {
+        // A fine grid must come close to the reported minimum (soundness of
+        // the closed form, not just the bound direction).
+        let exact = min_quadratic_on_rect(a, b, c, x0, x1, y0, y1);
+        let q = |x: f32, y: f32| a * x * x + 2.0 * b * x * y + c * y * y;
+        let mut best = f32::INFINITY;
+        for i in 0..=64 {
+            for j in 0..=64 {
+                let x = x0 + (x1 - x0) * i as f32 / 64.0;
+                let y = y0 + (y1 - y0) * j as f32 / 64.0;
+                best = best.min(q(x, y));
+            }
+        }
+        prop_assert!(best <= exact + 0.15 * exact.abs() + 0.15, "grid {best} vs exact {exact}");
+    }
+
+    #[test]
+    fn no_false_negatives_on_pixel_centers(
+        (a, b, c) in pd_conic(),
+        mx in 0.0f32..48.0,
+        my in 0.0f32..48.0,
+        opacity in 0.02f32..1.0,
+    ) {
+        let s = Splat2D {
+            mean: Vec2::new(mx, my),
+            conic: [a, b, c],
+            depth: 1.0,
+            color: Vec3::one(),
+            opacity,
+            radius: 1000.0,
+            source: 0,
+        };
+        // For every 16x16 tile of a 48x48 region: if any pixel center
+        // passes the alpha test, the shape test must report a touch.
+        for ty in 0..3u32 {
+            for tx in 0..3u32 {
+                let (x0, y0) = (tx * 16, ty * 16);
+                let mut any = false;
+                for py in y0..y0 + 16 {
+                    for px in x0..x0 + 16 {
+                        let alpha = s.opacity * s.density_at(Vec2::new(px as f32 + 0.5, py as f32 + 0.5));
+                        any |= alpha >= 1.0 / 255.0;
+                    }
+                }
+                if any {
+                    prop_assert!(
+                        splat_touches_rect(&s, x0, y0, x0 + 16, y0 + 16),
+                        "false negative at tile ({tx},{ty})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_bound_monotone_in_opacity(o1 in 0.01f32..1.0, o2 in 0.01f32..1.0) {
+        if o1 < o2 {
+            prop_assert!(alpha_bound(o1) <= alpha_bound(o2));
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Command-stream (driver) interface to the enhanced rasterizer.
+//!
+//! One of the paper's central arguments for enhancing the existing
+//! rasterizer — rather than bolting on an accelerator — is that the GPU's
+//! programming interface survives: the driver keeps submitting tile work
+//! through the same kind of command stream, with one new mode bit. This
+//! module models that interface: a validated [`CommandBuffer`] of
+//! register-level operations, an encoder from the workload types, and a
+//! [`CommandProcessor`] that executes streams on the cycle-stepped
+//! microarchitecture, charging mode switches.
+
+use crate::config::RasterizerConfig;
+use crate::microarch::{chunk_jobs, ModuleMicroArch, TileJob};
+use crate::rasterizer::{RasterMode, MODE_SWITCH_CYCLES};
+use crate::tile_buffer::TileBufferModel;
+use gaurast_render::triangle::TriangleWorkload;
+use gaurast_render::RasterWorkload;
+use std::fmt;
+
+/// One driver-visible command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Select the PE datapath mode (flips the input muxes).
+    SetMode(RasterMode),
+    /// Stage a tile: stream its primitive list and pixel state into a
+    /// buffer.
+    StageTile(TileJob),
+    /// Rasterize the most recently staged tile and write its results back.
+    Rasterize,
+    /// Wait until every outstanding writeback retired (end-of-frame).
+    Fence,
+}
+
+/// Errors a malformed command stream can raise at validation time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommandError {
+    /// `Rasterize` or `StageTile` before any `SetMode`.
+    ModeNotSet {
+        /// Offending command index.
+        at: usize,
+    },
+    /// `Rasterize` with no staged tile pending.
+    NothingStaged {
+        /// Offending command index.
+        at: usize,
+    },
+    /// `StageTile` while a staged tile is still unconsumed.
+    StageOverrun {
+        /// Offending command index.
+        at: usize,
+    },
+    /// A staged tile exceeds the buffer capacity.
+    TileTooLarge {
+        /// Offending command index.
+        at: usize,
+        /// The primitive count that did not fit.
+        primitives: u32,
+    },
+    /// Stream ended with staged-but-unrasterized work or without a fence.
+    UnterminatedStream,
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::ModeNotSet { at } => write!(f, "command {at}: mode not set"),
+            CommandError::NothingStaged { at } => {
+                write!(f, "command {at}: rasterize with nothing staged")
+            }
+            CommandError::StageOverrun { at } => {
+                write!(f, "command {at}: staging over an unconsumed tile")
+            }
+            CommandError::TileTooLarge { at, primitives } => {
+                write!(f, "command {at}: {primitives} primitives exceed buffer capacity")
+            }
+            CommandError::UnterminatedStream => write!(f, "stream not terminated by a fence"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+/// A validated sequence of commands.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommandBuffer {
+    commands: Vec<Command>,
+}
+
+impl CommandBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw command list.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Appends a command (validation happens at [`Self::validate`] /
+    /// execution time, like a real driver's deferred validation).
+    pub fn push(&mut self, c: Command) -> &mut Self {
+        self.commands.push(c);
+        self
+    }
+
+    /// Encodes a Gaussian frame: mode select, then stage/rasterize per
+    /// tile chunk (saturation-truncated lists), terminated by a fence.
+    pub fn encode_gaussian(workload: &RasterWorkload, config: &RasterizerConfig) -> Self {
+        let cap = TileBufferModel::new(config.bus_words_per_cycle).capacity_primitives;
+        let mut jobs = Vec::new();
+        for ty in 0..workload.tiles_y() {
+            for tx in 0..workload.tiles_x() {
+                jobs.push(TileJob {
+                    primitives: workload.processed_count(tx, ty),
+                    pixels: workload.tile_pixels(tx, ty) as u32,
+                });
+            }
+        }
+        Self::encode_jobs(RasterMode::Gaussian, &chunk_jobs(&jobs, cap))
+    }
+
+    /// Encodes a triangle frame.
+    pub fn encode_triangles(workload: &TriangleWorkload, config: &RasterizerConfig) -> Self {
+        let cap = TileBufferModel::new(config.bus_words_per_cycle).capacity_primitives;
+        let mut jobs = Vec::new();
+        for ty in 0..workload.tiles_y() {
+            for tx in 0..workload.tiles_x() {
+                jobs.push(TileJob {
+                    primitives: workload.tile_list(tx, ty).len() as u32,
+                    pixels: workload.tile_pixels(tx, ty) as u32,
+                });
+            }
+        }
+        Self::encode_jobs(RasterMode::Triangle, &chunk_jobs(&jobs, cap))
+    }
+
+    /// Concatenates two frames into one mixed stream (the second mode
+    /// select is the switch the hardware pays for).
+    pub fn then(mut self, mut other: CommandBuffer) -> Self {
+        // Drop the intermediate fence so only one end-of-frame fence stays.
+        if self.commands.last() == Some(&Command::Fence) {
+            self.commands.pop();
+        }
+        self.commands.append(&mut other.commands);
+        self
+    }
+
+    fn encode_jobs(mode: RasterMode, jobs: &[TileJob]) -> Self {
+        let mut cb = Self::new();
+        cb.push(Command::SetMode(mode));
+        for &job in jobs {
+            cb.push(Command::StageTile(job));
+            cb.push(Command::Rasterize);
+        }
+        cb.push(Command::Fence);
+        cb
+    }
+
+    /// Checks the stream's driver-level invariants.
+    ///
+    /// # Errors
+    /// Returns the first [`CommandError`] found.
+    pub fn validate(&self, config: &RasterizerConfig) -> Result<(), CommandError> {
+        let cap = TileBufferModel::new(config.bus_words_per_cycle).capacity_primitives;
+        let mut mode_set = false;
+        let mut staged = false;
+        let mut fenced = false;
+        for (at, c) in self.commands.iter().enumerate() {
+            fenced = false;
+            match c {
+                Command::SetMode(_) => mode_set = true,
+                Command::StageTile(job) => {
+                    if !mode_set {
+                        return Err(CommandError::ModeNotSet { at });
+                    }
+                    if staged {
+                        return Err(CommandError::StageOverrun { at });
+                    }
+                    if job.primitives > cap {
+                        return Err(CommandError::TileTooLarge { at, primitives: job.primitives });
+                    }
+                    staged = true;
+                }
+                Command::Rasterize => {
+                    if !mode_set {
+                        return Err(CommandError::ModeNotSet { at });
+                    }
+                    if !staged {
+                        return Err(CommandError::NothingStaged { at });
+                    }
+                    staged = false;
+                }
+                Command::Fence => fenced = true,
+            }
+        }
+        if staged || (!self.commands.is_empty() && !fenced) {
+            return Err(CommandError::UnterminatedStream);
+        }
+        Ok(())
+    }
+}
+
+/// Execution result of a command stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Total cycles including mode switches.
+    pub cycles: u64,
+    /// Mode switches performed (first `SetMode` is free — the mux has no
+    /// prior state to drain).
+    pub mode_switches: u32,
+    /// Primitive-pixel pairs issued.
+    pub pairs: u64,
+    /// Tiles rasterized.
+    pub tiles: u64,
+}
+
+/// Executes command streams on one module's cycle-stepped model.
+#[derive(Clone, Debug)]
+pub struct CommandProcessor {
+    config: RasterizerConfig,
+}
+
+impl CommandProcessor {
+    /// Processor for one module of `config`.
+    ///
+    /// # Panics
+    /// Panics for invalid configurations.
+    pub fn new(config: RasterizerConfig) -> Self {
+        config.validate().expect("invalid rasterizer configuration");
+        Self { config }
+    }
+
+    /// Validates and executes a stream.
+    ///
+    /// Consecutive same-mode tile sequences run as one batch on the
+    /// microarchitecture (ping-pong overlap applies within a batch); each
+    /// mode change drains the pipeline and costs
+    /// [`MODE_SWITCH_CYCLES`].
+    ///
+    /// # Errors
+    /// Returns the stream's first validation error.
+    pub fn execute(&self, stream: &CommandBuffer) -> Result<ExecutionReport, CommandError> {
+        stream.validate(&self.config)?;
+        let machine = ModuleMicroArch::new(self.config);
+
+        let mut cycles = 0u64;
+        let mut pairs = 0u64;
+        let mut tiles = 0u64;
+        let mut mode_switches = 0u32;
+        let mut current_mode: Option<RasterMode> = None;
+        let mut batch: Vec<TileJob> = Vec::new();
+        let mut staged: Option<TileJob> = None;
+
+        let flush = |batch: &mut Vec<TileJob>, cycles: &mut u64, pairs: &mut u64| {
+            if !batch.is_empty() {
+                let r = machine.run(batch);
+                *cycles += r.cycles;
+                *pairs += r.pairs;
+                batch.clear();
+            }
+        };
+
+        for c in stream.commands() {
+            match c {
+                Command::SetMode(m) => {
+                    if current_mode.is_some() && current_mode != Some(*m) {
+                        flush(&mut batch, &mut cycles, &mut pairs);
+                        cycles += MODE_SWITCH_CYCLES;
+                        mode_switches += 1;
+                    }
+                    current_mode = Some(*m);
+                }
+                Command::StageTile(job) => staged = Some(*job),
+                Command::Rasterize => {
+                    batch.push(staged.take().expect("validated: staged"));
+                    tiles += 1;
+                }
+                Command::Fence => flush(&mut batch, &mut cycles, &mut pairs),
+            }
+        }
+        flush(&mut batch, &mut cycles, &mut pairs);
+
+        Ok(ExecutionReport { cycles, mode_switches, pairs, tiles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_math::{Vec2, Vec3};
+    use gaurast_render::rasterize::rasterize;
+    use gaurast_render::tile::bin_splats;
+    use gaurast_render::Splat2D;
+
+    fn config() -> RasterizerConfig {
+        RasterizerConfig::prototype()
+    }
+
+    fn gaussian_workload() -> RasterWorkload {
+        let splats: Vec<Splat2D> = (0..120)
+            .map(|i| Splat2D {
+                mean: Vec2::new((i * 13 % 64) as f32, (i * 29 % 64) as f32),
+                conic: [0.1, 0.0, 0.1],
+                depth: 1.0 + i as f32,
+                color: Vec3::one(),
+                opacity: 0.5,
+                radius: 5.0,
+                source: i,
+            })
+            .collect();
+        let mut w = bin_splats(splats, 64, 64, 16);
+        let _ = rasterize(&mut w);
+        w
+    }
+
+    #[test]
+    fn encoded_stream_validates_and_executes() {
+        let w = gaussian_workload();
+        let cb = CommandBuffer::encode_gaussian(&w, &config());
+        assert!(cb.validate(&config()).is_ok());
+        let report = CommandProcessor::new(config()).execute(&cb).unwrap();
+        assert_eq!(report.tiles, 16);
+        assert_eq!(report.mode_switches, 0, "single-mode stream");
+        assert!(report.cycles > 0);
+        assert_eq!(report.pairs, w.blend_work());
+    }
+
+    #[test]
+    fn stream_cycles_close_to_direct_simulation() {
+        // The driver layer adds no modeling error beyond batching: stream
+        // execution must track the fast model.
+        use crate::rasterizer::EnhancedRasterizer;
+        let w = gaussian_workload();
+        let cb = CommandBuffer::encode_gaussian(&w, &config());
+        let stream_cycles = CommandProcessor::new(config()).execute(&cb).unwrap().cycles;
+        let direct = EnhancedRasterizer::new(config()).simulate_gaussian(&w).cycles;
+        let err = (stream_cycles as f64 - direct as f64).abs() / direct as f64;
+        assert!(err < 0.05, "stream {stream_cycles} vs direct {direct}");
+    }
+
+    #[test]
+    fn mixed_stream_pays_one_switch() {
+        use gaurast_render::triangle::{ScreenTriangle, TriangleWorkload};
+        let tri = ScreenTriangle {
+            v: [Vec2::new(1.0, 1.0), Vec2::new(60.0, 1.0), Vec2::new(1.0, 60.0)],
+            depth: [1.0; 3],
+            uv: [Vec2::zero(); 3],
+            color: [Vec3::one(); 3],
+            area2: 59.0 * 59.0,
+        };
+        let tw = TriangleWorkload::bin(vec![tri], 64, 64, 16);
+        let gw = gaussian_workload();
+        let mixed = CommandBuffer::encode_triangles(&tw, &config())
+            .then(CommandBuffer::encode_gaussian(&gw, &config()));
+        assert!(mixed.validate(&config()).is_ok());
+        let report = CommandProcessor::new(config()).execute(&mixed).unwrap();
+        assert_eq!(report.mode_switches, 1);
+        assert_eq!(report.tiles, 16 + 16);
+    }
+
+    #[test]
+    fn rasterize_without_stage_rejected() {
+        let mut cb = CommandBuffer::new();
+        cb.push(Command::SetMode(RasterMode::Gaussian));
+        cb.push(Command::Rasterize);
+        cb.push(Command::Fence);
+        assert_eq!(
+            cb.validate(&config()),
+            Err(CommandError::NothingStaged { at: 1 })
+        );
+        assert!(CommandProcessor::new(config()).execute(&cb).is_err());
+    }
+
+    #[test]
+    fn stage_before_mode_rejected() {
+        let mut cb = CommandBuffer::new();
+        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
+        assert_eq!(cb.validate(&config()), Err(CommandError::ModeNotSet { at: 0 }));
+    }
+
+    #[test]
+    fn double_stage_rejected() {
+        let mut cb = CommandBuffer::new();
+        cb.push(Command::SetMode(RasterMode::Gaussian));
+        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
+        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
+        assert_eq!(cb.validate(&config()), Err(CommandError::StageOverrun { at: 2 }));
+    }
+
+    #[test]
+    fn oversized_tile_rejected() {
+        let mut cb = CommandBuffer::new();
+        cb.push(Command::SetMode(RasterMode::Gaussian));
+        cb.push(Command::StageTile(TileJob { primitives: 100_000, pixels: 256 }));
+        cb.push(Command::Rasterize);
+        cb.push(Command::Fence);
+        assert!(matches!(
+            cb.validate(&config()),
+            Err(CommandError::TileTooLarge { at: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_fence_rejected() {
+        let mut cb = CommandBuffer::new();
+        cb.push(Command::SetMode(RasterMode::Gaussian));
+        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
+        cb.push(Command::Rasterize);
+        assert_eq!(cb.validate(&config()), Err(CommandError::UnterminatedStream));
+    }
+
+    #[test]
+    fn empty_stream_is_valid_and_free() {
+        let cb = CommandBuffer::new();
+        assert!(cb.validate(&config()).is_ok());
+        let report = CommandProcessor::new(config()).execute(&cb).unwrap();
+        assert_eq!(report.cycles, 0);
+        assert!(cb.is_empty());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = CommandError::TileTooLarge { at: 3, primitives: 9999 };
+        assert!(e.to_string().contains("9999"));
+        assert!(CommandError::UnterminatedStream.to_string().contains("fence"));
+    }
+}

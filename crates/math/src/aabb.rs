@@ -1,0 +1,262 @@
+//! Axis-aligned bounding boxes for tile binning and scene extents.
+
+use crate::vec::{Vec2, Vec3};
+
+/// 2D axis-aligned bounding box (screen-space Gaussian extents, tile
+/// rectangles).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb2 {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+/// 3D axis-aligned bounding box (scene extents).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb3 {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb2 {
+    /// Box from corners. Components of `min` must not exceed `max`.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `min > max` on any axis.
+    #[inline]
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted Aabb2");
+        Self { min, max }
+    }
+
+    /// Empty box (inverted infinities); the identity for [`Self::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            min: Vec2::splat(f32::INFINITY),
+            max: Vec2::splat(f32::NEG_INFINITY),
+        }
+    }
+
+    /// Box centered at `c` with half-extent `r` on both axes (the 3σ square
+    /// around a projected Gaussian).
+    #[inline]
+    pub fn from_center_radius(c: Vec2, r: f32) -> Self {
+        debug_assert!(r >= 0.0);
+        Self::new(c - Vec2::splat(r), c + Vec2::splat(r))
+    }
+
+    /// `true` when the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Smallest box containing both.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Grows to include a point.
+    #[inline]
+    pub fn expand(&mut self, p: Vec2) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Intersection, or an empty box when disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        }
+    }
+
+    /// `true` when the boxes overlap (closed intervals).
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// `true` when the point lies inside (closed).
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Width and height. Zero for empty boxes.
+    #[inline]
+    pub fn size(&self) -> Vec2 {
+        if self.is_empty() {
+            Vec2::zero()
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Area. Zero for empty boxes.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        let s = self.size();
+        s.x * s.y
+    }
+}
+
+impl Aabb3 {
+    /// Box from corners.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `min > max` on any axis.
+    #[inline]
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted Aabb3"
+        );
+        Self { min, max }
+    }
+
+    /// Empty box; the identity for [`Self::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
+    }
+
+    /// `true` when the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Smallest box containing both.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Grows to include a point.
+    #[inline]
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// `true` when the point lies inside (closed).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Center point.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the box is empty.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        debug_assert!(!self.is_empty(), "center of empty Aabb3");
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths. Zero for empty boxes.
+    #[inline]
+    pub fn size(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::zero()
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Length of the diagonal (scene extent measure used by the generators).
+    #[inline]
+    pub fn diagonal(&self) -> f32 {
+        self.size().length()
+    }
+}
+
+impl Default for Aabb2 {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl Default for Aabb3 {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_union_identity() {
+        let b = Aabb2::new(Vec2::new(1.0, 2.0), Vec2::new(3.0, 4.0));
+        assert_eq!(Aabb2::empty().union(&b), b);
+    }
+
+    #[test]
+    fn expand_builds_hull() {
+        let mut b = Aabb2::empty();
+        b.expand(Vec2::new(1.0, 5.0));
+        b.expand(Vec2::new(-2.0, 3.0));
+        assert_eq!(b.min, Vec2::new(-2.0, 3.0));
+        assert_eq!(b.max, Vec2::new(1.0, 5.0));
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let a = Aabb2::new(Vec2::zero(), Vec2::one());
+        let b = Aabb2::new(Vec2::splat(2.0), Vec2::splat(3.0));
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = Aabb2::new(Vec2::zero(), Vec2::one());
+        let b = Aabb2::new(Vec2::new(1.0, 0.0), Vec2::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn from_center_radius_contains_center() {
+        let b = Aabb2::from_center_radius(Vec2::new(5.0, -3.0), 2.0);
+        assert!(b.contains(Vec2::new(5.0, -3.0)));
+        assert!(b.contains(Vec2::new(7.0, -1.0)));
+        assert!(!b.contains(Vec2::new(7.1, -1.0)));
+    }
+
+    #[test]
+    fn aabb3_center_and_diagonal() {
+        let b = Aabb3::new(Vec3::zero(), Vec3::new(2.0, 2.0, 1.0));
+        assert_eq!(b.center(), Vec3::new(1.0, 1.0, 0.5));
+        assert!((b.diagonal() - 3.0) < 1e-6);
+    }
+
+    #[test]
+    fn empty_area_is_zero() {
+        assert_eq!(Aabb2::empty().area(), 0.0);
+        assert_eq!(Aabb3::empty().size(), Vec3::zero());
+    }
+}

@@ -1,0 +1,242 @@
+//! Floating-point precision utilities for the hardware model.
+//!
+//! The GauRast prototype computes in FP32; §V-C re-implements the datapath
+//! in FP16 for the iso-precision comparison against GSCore. This module
+//! provides bit-exact IEEE 754 binary16 conversion (round-to-nearest-even)
+//! so the simulator can model the FP16 datapath without an external half
+//! crate.
+
+/// IEEE 754 binary16 value stored as raw bits.
+///
+/// # Example
+/// ```
+/// use gaurast_math::fp::F16;
+/// let h = F16::from_f32(1.5);
+/// assert_eq!(h.to_f32(), 1.5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+
+    /// Converts from `f32` with round-to-nearest-even, matching hardware
+    /// FP32→FP16 down-conversion.
+    pub fn from_f32(v: f32) -> Self {
+        let bits = v.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN. Preserve NaN-ness with a quiet bit.
+            let mant = if frac != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | mant);
+        }
+
+        // Unbiased exponent.
+        let e = exp - 127;
+        if e > 15 {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if e >= -14 {
+            // Normal range. 10-bit mantissa with RNE on the dropped 13 bits.
+            let mant13 = frac >> 13;
+            let round_bits = frac & 0x1FFF;
+            let mut mant = mant13 as u16;
+            let mut exp16 = (e + 15) as u16;
+            let halfway = 0x1000;
+            if round_bits > halfway || (round_bits == halfway && (mant & 1) == 1) {
+                mant += 1;
+                if mant == 0x400 {
+                    mant = 0;
+                    exp16 += 1;
+                    if exp16 >= 31 {
+                        return F16(sign | 0x7C00);
+                    }
+                }
+            }
+            return F16(sign | (exp16 << 10) | mant);
+        }
+        if e >= -24 {
+            // Subnormal range: implicit leading 1 becomes explicit.
+            let full = frac | 0x0080_0000;
+            let shift = (-14 - e) as u32 + 13;
+            let mant = (full >> shift) as u16;
+            let rem = full & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let mut mant = mant;
+            if rem > halfway || (rem == halfway && (mant & 1) == 1) {
+                mant += 1; // may carry into the exponent — that is correct
+            }
+            return F16(sign | mant);
+        }
+        // Underflow to zero.
+        F16(sign)
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1F;
+        let mant = bits & 0x3FF;
+
+        let out = if exp == 0 {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: value = mant * 2^-24. Normalize so the implicit
+                // bit (bit 10) is set; each shift lowers the exponent by one
+                // from the -14 of the largest subnormals.
+                let mut shifts = 0u32;
+                let mut m = mant;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    shifts += 1;
+                }
+                m &= 0x3FF;
+                let exp32 = 127 - 14 - shifts;
+                sign | (exp32 << 23) | (m << 13)
+            }
+        } else if exp == 31 {
+            sign | 0x7F80_0000 | (mant << 13)
+        } else {
+            let exp32 = exp + (127 - 15);
+            sign | (exp32 << 23) | (mant << 13)
+        };
+        f32::from_bits(out)
+    }
+
+    /// `true` for NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+/// Rounds an `f32` through binary16 and back — the value a pure-FP16
+/// datapath would carry between operations.
+///
+/// # Example
+/// ```
+/// use gaurast_math::fp::round_to_f16;
+/// // 0.1 is inexact in fp16; rounding through fp16 changes it.
+/// assert_ne!(round_to_f16(0.1), 0.1);
+/// assert!((round_to_f16(0.1) - 0.1).abs() < 1e-3);
+/// ```
+#[inline]
+pub fn round_to_f16(v: f32) -> f32 {
+    F16::from_f32(v).to_f32()
+}
+
+/// Units-in-last-place distance between two finite `f32` values; large for
+/// values of different signs. Used by the RTL-vs-reference validation tests.
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return u32::MAX;
+    }
+    let to_ordered = |f: f32| -> i64 {
+        let bits = f.to_bits() as i64;
+        if bits < 0 {
+            // Map negative floats below the positives, preserving order.
+            i64::from(i32::MIN) - (bits - 0x8000_0000_i64) - 1
+        } else {
+            bits
+        }
+    };
+    let d = (to_ordered(a) - to_ordered(b)).unsigned_abs();
+    u32::try_from(d).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(round_to_f16(v), v, "integer {i} must be exact in fp16");
+        }
+    }
+
+    #[test]
+    fn one_and_constants() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::from_f32(1.0), F16::ONE);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e6).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        assert_eq!(round_to_f16(1e-10), 0.0);
+        assert_eq!(round_to_f16(-1e-10), -0.0);
+    }
+
+    #[test]
+    fn subnormal_roundtrip() {
+        // Smallest positive subnormal: 2^-24.
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(round_to_f16(tiny), tiny);
+        // Largest subnormal: (1023/1024) * 2^-14.
+        let sub = 1023.0 / 1024.0 * 2.0_f32.powi(-14);
+        assert_eq!(round_to_f16(sub), sub);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; RNE keeps 1.0.
+        let halfway = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(round_to_f16(halfway), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE rounds up to even.
+        let halfway_up = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(round_to_f16(halfway_up), 1.0 + 2.0 * 2.0_f32.powi(-10));
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_roundtrip() {
+        // Exhaustive: every finite f16 converts to f32 and back unchanged.
+        for bits in 0..=u16::MAX {
+            let h = F16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            // -0.0 and 0.0 have distinct bit patterns; both must roundtrip.
+            assert_eq!(back, h, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0_f32.to_bits() + 1)), 1);
+        assert!(ulp_distance(-1.0, 1.0) > 1_000_000);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+    }
+}

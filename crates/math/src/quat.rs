@@ -1,0 +1,186 @@
+//! Unit quaternions for Gaussian orientations.
+//!
+//! 3DGS parameterizes each Gaussian's covariance as `R S Sᵀ Rᵀ` where `R`
+//! comes from a unit quaternion. This module provides exactly the quaternion
+//! operations the pipeline needs.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+
+/// Unit quaternion `w + xi + yj + zk`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f32,
+    /// i component.
+    pub x: f32,
+    /// j component.
+    pub y: f32,
+    /// k component.
+    pub z: f32,
+}
+
+impl Quat {
+    /// Quaternion from raw components (not normalized).
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Self { w, x, y, z }
+    }
+
+    /// Identity rotation.
+    #[inline]
+    pub const fn identity() -> Self {
+        Self::new(1.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Rotation of `angle` radians about the (unit) `axis`.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `axis` is not unit length.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        debug_assert!(
+            (axis.length() - 1.0).abs() < 1e-4,
+            "axis must be unit length"
+        );
+        let half = 0.5 * angle;
+        let s = half.sin();
+        Self::new(half.cos(), axis.x * s, axis.y * s, axis.z * s)
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_squared(self) -> f32 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Norm.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Returns the normalized quaternion, or the identity when degenerate.
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        if !n.is_finite() || n < 1e-12 {
+            return Self::identity();
+        }
+        Self::new(self.w / n, self.x / n, self.y / n, self.z / n)
+    }
+
+    /// Conjugate (inverse for unit quaternions).
+    #[inline]
+    pub fn conjugate(self) -> Self {
+        Self::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Rotation matrix of the normalized quaternion.
+    ///
+    /// This is the exact formula from the 3DGS reference implementation's
+    /// `computeCov3D`.
+    pub fn to_mat3(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_rows(
+            1.0 - 2.0 * (y * y + z * z),
+            2.0 * (x * y - w * z),
+            2.0 * (x * z + w * y),
+            2.0 * (x * y + w * z),
+            1.0 - 2.0 * (x * x + z * z),
+            2.0 * (y * z - w * x),
+            2.0 * (x * z - w * y),
+            2.0 * (y * z + w * x),
+            1.0 - 2.0 * (x * x + y * y),
+        )
+    }
+
+    /// Rotates a vector.
+    #[inline]
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        self.to_mat3() * v
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl std::ops::Mul for Quat {
+    type Output = Quat;
+
+    /// Hamilton product `self * rhs` (applies `rhs` first).
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Quat::identity().rotate(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
+        let v = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+        assert!((v - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-6);
+    }
+
+    #[test]
+    fn half_turn_flips() {
+        let q = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), PI);
+        let v = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+        assert!((v - Vec3::new(-1.0, 0.0, 0.0)).length() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal() {
+        let q = Quat::new(0.3, -0.5, 0.7, 0.4);
+        let r = q.to_mat3();
+        let rt_r = r.transposed() * r;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(rt_r.at(i, j), expected, 1e-5), "({i},{j})");
+            }
+        }
+        assert!(approx_eq(r.determinant(), 1.0, 1e-5));
+    }
+
+    #[test]
+    fn composition_matches_matrix_product() {
+        let a = Quat::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), 0.7);
+        let b = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), -1.2);
+        let v = Vec3::new(0.2, -0.4, 0.9);
+        let via_quat = (a * b).rotate(v);
+        let via_mats = a.to_mat3() * (b.to_mat3() * v);
+        assert!((via_quat - via_mats).length() < 1e-5);
+    }
+
+    #[test]
+    fn conjugate_inverts_unit_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(0.6, 0.8, 0.0), 0.9);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let roundtrip = q.conjugate().rotate(q.rotate(v));
+        assert!((roundtrip - v).length() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_normalizes_to_identity() {
+        assert_eq!(Quat::new(0.0, 0.0, 0.0, 0.0).normalized(), Quat::identity());
+    }
+}

@@ -1,0 +1,180 @@
+//! Spherical-harmonics color evaluation.
+//!
+//! 3DGS stores view-dependent color as SH coefficients (up to degree 3,
+//! 16 coefficients per channel). Stage 1 of the pipeline converts them to an
+//! RGB color for the current view direction. The constants below are the
+//! real SH basis constants used by the reference CUDA implementation.
+
+use crate::vec::Vec3;
+
+/// Number of SH coefficients for a given degree (`(deg+1)²`).
+///
+/// # Example
+/// ```
+/// assert_eq!(gaurast_math::sh::coeff_count(3), 16);
+/// ```
+#[inline]
+pub const fn coeff_count(degree: u8) -> usize {
+    let d = degree as usize;
+    (d + 1) * (d + 1)
+}
+
+/// Maximum supported SH degree.
+pub const MAX_DEGREE: u8 = 3;
+
+const SH_C0: f32 = 0.282_094_79;
+const SH_C1: f32 = 0.488_602_51;
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
+const SH_C3: [f32; 7] = [
+    -0.590_043_6,
+    2.890_611_4,
+    -0.457_045_8,
+    0.373_176_33,
+    -0.457_045_8,
+    1.445_305_7,
+    -0.590_043_6,
+];
+
+/// Evaluates the SH color for a view direction.
+///
+/// `coeffs` holds one [`Vec3`] (RGB) per SH basis function, ordered exactly
+/// like the 3DGS checkpoints (`DC, l1m-1, l1m0, l1m1, l2m-2, ...`). `dir`
+/// must be a unit vector pointing from the camera to the Gaussian.
+///
+/// The returned value has the conventional `+0.5` offset applied and is
+/// clamped to be non-negative, matching `computeColorFromSH` in the 3DGS
+/// reference rasterizer.
+///
+/// # Panics
+/// Panics when `degree > 3` or `coeffs` has fewer than
+/// [`coeff_count`]`(degree)` entries.
+///
+/// # Example
+/// ```
+/// use gaurast_math::{sh, Vec3};
+/// let coeffs = [Vec3::new(1.0, 0.5, 0.25)];
+/// let rgb = sh::eval(0, &coeffs, Vec3::new(0.0, 0.0, 1.0));
+/// assert!(rgb.x > rgb.y && rgb.y > rgb.z);
+/// ```
+pub fn eval(degree: u8, coeffs: &[Vec3], dir: Vec3) -> Vec3 {
+    assert!(degree <= MAX_DEGREE, "SH degree {degree} > {MAX_DEGREE}");
+    let needed = coeff_count(degree);
+    assert!(
+        coeffs.len() >= needed,
+        "need {needed} SH coefficients for degree {degree}, got {}",
+        coeffs.len()
+    );
+
+    let mut result = coeffs[0] * SH_C0;
+
+    if degree >= 1 {
+        let (x, y, z) = (dir.x, dir.y, dir.z);
+        result = result - coeffs[1] * (SH_C1 * y) + coeffs[2] * (SH_C1 * z)
+            - coeffs[3] * (SH_C1 * x);
+
+        if degree >= 2 {
+            let (xx, yy, zz) = (x * x, y * y, z * z);
+            let (xy, yz, xz) = (x * y, y * z, x * z);
+            result = result
+                + coeffs[4] * (SH_C2[0] * xy)
+                + coeffs[5] * (SH_C2[1] * yz)
+                + coeffs[6] * (SH_C2[2] * (2.0 * zz - xx - yy))
+                + coeffs[7] * (SH_C2[3] * xz)
+                + coeffs[8] * (SH_C2[4] * (xx - yy));
+
+            if degree >= 3 {
+                result = result
+                    + coeffs[9] * (SH_C3[0] * y * (3.0 * xx - yy))
+                    + coeffs[10] * (SH_C3[1] * xy * z)
+                    + coeffs[11] * (SH_C3[2] * y * (4.0 * zz - xx - yy))
+                    + coeffs[12] * (SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy))
+                    + coeffs[13] * (SH_C3[4] * x * (4.0 * zz - xx - yy))
+                    + coeffs[14] * (SH_C3[5] * z * (xx - yy))
+                    + coeffs[15] * (SH_C3[6] * x * (xx - 3.0 * yy));
+            }
+        }
+    }
+
+    (result + Vec3::splat(0.5)).max(Vec3::zero())
+}
+
+/// Converts a plain RGB color in `[0, 1]` into the degree-0 SH DC
+/// coefficient that [`eval`] maps back to that color.
+///
+/// # Example
+/// ```
+/// use gaurast_math::{sh, Vec3};
+/// let rgb = Vec3::new(0.8, 0.2, 0.4);
+/// let dc = sh::dc_from_rgb(rgb);
+/// let back = sh::eval(0, &[dc], Vec3::new(0.0, 0.0, 1.0));
+/// assert!((back - rgb).length() < 1e-5);
+/// ```
+#[inline]
+pub fn dc_from_rgb(rgb: Vec3) -> Vec3 {
+    (rgb - Vec3::splat(0.5)) * (1.0 / SH_C0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coeff_counts() {
+        assert_eq!(coeff_count(0), 1);
+        assert_eq!(coeff_count(1), 4);
+        assert_eq!(coeff_count(2), 9);
+        assert_eq!(coeff_count(3), 16);
+    }
+
+    #[test]
+    fn degree0_is_view_independent() {
+        let coeffs = [Vec3::new(0.3, -0.1, 0.9)];
+        let a = eval(0, &coeffs, Vec3::new(0.0, 0.0, 1.0));
+        let b = eval(0, &coeffs, Vec3::new(1.0, 0.0, 0.0).normalized());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dc_roundtrip() {
+        for &c in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let rgb = Vec3::splat(c);
+            let back = eval(0, &[dc_from_rgb(rgb)], Vec3::new(0.0, 1.0, 0.0));
+            assert!((back - rgb).length() < 1e-5, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn higher_degrees_are_view_dependent() {
+        let mut coeffs = vec![Vec3::zero(); 16];
+        coeffs[0] = dc_from_rgb(Vec3::splat(0.5));
+        coeffs[2] = Vec3::splat(0.5); // l=1, m=0 term, varies with z
+        let front = eval(3, &coeffs, Vec3::new(0.0, 0.0, 1.0));
+        let back = eval(3, &coeffs, Vec3::new(0.0, 0.0, -1.0));
+        assert!((front - back).length() > 0.1);
+    }
+
+    #[test]
+    fn output_is_clamped_non_negative() {
+        let coeffs = [Vec3::splat(-100.0)];
+        let c = eval(0, &coeffs, Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(c, Vec3::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "SH degree")]
+    fn degree_too_high_panics() {
+        let _ = eval(4, &[Vec3::zero(); 25], Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "SH coefficients")]
+    fn too_few_coeffs_panics() {
+        let _ = eval(2, &[Vec3::zero(); 4], Vec3::new(0.0, 0.0, 1.0));
+    }
+}

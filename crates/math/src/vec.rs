@@ -1,0 +1,464 @@
+//! Fixed-size `f32` vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_vec_common {
+    ($name:ident, $($field:ident),+) => {
+        impl $name {
+            /// Vector with every component set to `v`.
+            #[inline]
+            pub const fn splat(v: f32) -> Self {
+                Self { $($field: v),+ }
+            }
+
+            /// Zero vector.
+            #[inline]
+            pub const fn zero() -> Self {
+                Self::splat(0.0)
+            }
+
+            /// Vector of ones.
+            #[inline]
+            pub const fn one() -> Self {
+                Self::splat(1.0)
+            }
+
+            /// Dot product.
+            #[inline]
+            pub fn dot(self, rhs: Self) -> f32 {
+                0.0 $(+ self.$field * rhs.$field)+
+            }
+
+            /// Squared Euclidean length. Cheaper than [`Self::length`] when
+            /// only comparisons are needed.
+            #[inline]
+            pub fn length_squared(self) -> f32 {
+                self.dot(self)
+            }
+
+            /// Euclidean length.
+            #[inline]
+            pub fn length(self) -> f32 {
+                self.length_squared().sqrt()
+            }
+
+            /// Unit vector in the same direction.
+            ///
+            /// # Panics
+            /// Panics in debug builds when the length is zero or non-finite.
+            #[inline]
+            pub fn normalized(self) -> Self {
+                let len = self.length();
+                debug_assert!(len.is_finite() && len > 0.0, "normalizing degenerate vector");
+                self / len
+            }
+
+            /// Unit vector, or `None` when the length is below `1e-12`.
+            #[inline]
+            pub fn try_normalized(self) -> Option<Self> {
+                let len = self.length();
+                if len.is_finite() && len > 1e-12 { Some(self / len) } else { None }
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self {
+                Self { $($field: self.$field.min(rhs.$field)),+ }
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self {
+                Self { $($field: self.$field.max(rhs.$field)),+ }
+            }
+
+            /// Component-wise product (Hadamard product).
+            #[inline]
+            pub fn hadamard(self, rhs: Self) -> Self {
+                Self { $($field: self.$field * rhs.$field),+ }
+            }
+
+            /// Component-wise absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self { $($field: self.$field.abs()),+ }
+            }
+
+            /// Largest component.
+            #[inline]
+            pub fn max_component(self) -> f32 {
+                f32::NEG_INFINITY $(.max(self.$field))+
+            }
+
+            /// Smallest component.
+            #[inline]
+            pub fn min_component(self) -> f32 {
+                f32::INFINITY $(.min(self.$field))+
+            }
+
+            /// Linear interpolation: `self * (1 - t) + rhs * t`.
+            #[inline]
+            pub fn lerp(self, rhs: Self, t: f32) -> Self {
+                self * (1.0 - t) + rhs * t
+            }
+
+            /// `true` when every component is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                true $(&& self.$field.is_finite())+
+            }
+
+            /// Component-wise clamp to `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: f32, hi: f32) -> Self {
+                Self { $($field: self.$field.clamp(lo, hi)),+ }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { $($field: self.$field + rhs.$field),+ }
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($field: self.$field - rhs.$field),+ }
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl Mul<f32> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f32) -> Self {
+                Self { $($field: self.$field * rhs),+ }
+            }
+        }
+
+        impl Mul<$name> for f32 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                rhs * self
+            }
+        }
+
+        impl MulAssign<f32> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f32) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl Div<f32> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f32) -> Self {
+                Self { $($field: self.$field / rhs),+ }
+            }
+        }
+
+        impl DivAssign<f32> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f32) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { $($field: -self.$field),+ }
+            }
+        }
+
+        impl Default for $name {
+            #[inline]
+            fn default() -> Self {
+                Self::zero()
+            }
+        }
+    };
+}
+
+/// 2-component `f32` vector (pixel coordinates, 2D Gaussian centers).
+#[derive(Clone, Copy, PartialEq)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+}
+
+/// 3-component `f32` vector (world positions, RGB colors, scales).
+#[derive(Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+/// 4-component `f32` vector (homogeneous coordinates, RGBA).
+#[derive(Clone, Copy, PartialEq)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+impl_vec_common!(Vec2, x, y);
+impl_vec_common!(Vec3, x, y, z);
+impl_vec_common!(Vec4, x, y, z, w);
+
+impl Vec2 {
+    /// Constructs a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// 2D cross product (z-component of the 3D cross product). Positive when
+    /// `rhs` is counter-clockwise from `self` — the edge-function primitive
+    /// used by the triangle rasterizer.
+    #[inline]
+    pub fn perp_dot(self, rhs: Self) -> f32 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Extends to a [`Vec3`] with the given z.
+    #[inline]
+    pub const fn extend(self, z: f32) -> Vec3 {
+        Vec3::new(self.x, self.y, z)
+    }
+}
+
+impl Vec3 {
+    /// Constructs a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Drops the z component.
+    #[inline]
+    pub const fn truncate(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Extends to a [`Vec4`] with the given w.
+    #[inline]
+    pub const fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+}
+
+impl Vec4 {
+    /// Constructs a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// Drops the w component.
+    #[inline]
+    pub const fn truncate(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective division: `(x/w, y/w, z/w)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `w` is zero.
+    #[inline]
+    pub fn project(self) -> Vec3 {
+        debug_assert!(self.w != 0.0, "perspective division by zero w");
+        Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+}
+
+macro_rules! impl_index {
+    ($name:ident, $n:expr, $($idx:expr => $field:ident),+) => {
+        impl Index<usize> for $name {
+            type Output = f32;
+            #[inline]
+            fn index(&self, i: usize) -> &f32 {
+                match i {
+                    $($idx => &self.$field,)+
+                    _ => panic!(concat!("index out of bounds for ", stringify!($name), ": {}"), i),
+                }
+            }
+        }
+        impl IndexMut<usize> for $name {
+            #[inline]
+            fn index_mut(&mut self, i: usize) -> &mut f32 {
+                match i {
+                    $($idx => &mut self.$field,)+
+                    _ => panic!(concat!("index out of bounds for ", stringify!($name), ": {}"), i),
+                }
+            }
+        }
+        impl From<[f32; $n]> for $name {
+            #[inline]
+            fn from(a: [f32; $n]) -> Self {
+                Self { $($field: a[$idx]),+ }
+            }
+        }
+        impl From<$name> for [f32; $n] {
+            #[inline]
+            fn from(v: $name) -> [f32; $n] {
+                [$(v.$field),+]
+            }
+        }
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_tuple(stringify!($name))$(.field(&self.$field))+.finish()
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                let parts: [f32; $n] = (*self).into();
+                for (k, p) in parts.iter().enumerate() {
+                    if k > 0 { write!(f, ", ")?; }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    };
+}
+
+impl_index!(Vec2, 2, 0 => x, 1 => y);
+impl_index!(Vec3, 3, 0 => x, 1 => y, 2 => z);
+impl_index!(Vec4, 4, 0 => x, 1 => y, 2 => z, 3 => w);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(approx_eq(c.dot(a), 0.0, 1e-5));
+        assert!(approx_eq(c.dot(b), 0.0, 1e-5));
+    }
+
+    #[test]
+    fn vec3_cross_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let v = Vec3::new(3.0, -4.0, 12.0);
+        assert!(approx_eq(v.normalized().length(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn try_normalized_zero_is_none() {
+        assert!(Vec3::zero().try_normalized().is_none());
+        assert!(Vec2::zero().try_normalized().is_none());
+    }
+
+    #[test]
+    fn perp_dot_sign() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert!(a.perp_dot(b) > 0.0);
+        assert!(b.perp_dot(a) < 0.0);
+    }
+
+    #[test]
+    fn project_divides_by_w() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut v = Vec4::new(1.0, 2.0, 3.0, 4.0);
+        for i in 0..4 {
+            v[i] += 1.0;
+        }
+        assert_eq!(v, Vec4::new(2.0, 3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let v = Vec2::new(1.0, 2.0);
+        let _ = v[2];
+    }
+
+    #[test]
+    fn array_conversion_roundtrip() {
+        let v = Vec3::new(0.5, -1.5, 2.5);
+        let a: [f32; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let v = Vec3::new(-1.0, 5.0, 2.0);
+        assert_eq!(v.max_component(), 5.0);
+        assert_eq!(v.min_component(), -1.0);
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = Vec2::new(2.0, 3.0);
+        let b = Vec2::new(4.0, 5.0);
+        assert_eq!(a.hadamard(b), Vec2::new(8.0, 15.0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the math substrate.
+
+use gaurast_math::fp::{round_to_f16, F16};
+use gaurast_math::{approx_eq, look_at, Aabb2, Mat2, Mat3, Quat, Vec2, Vec3};
+use proptest::prelude::*;
+
+fn finite_f32(range: std::ops::RangeInclusive<f32>) -> impl Strategy<Value = f32> {
+    let (lo, hi) = (*range.start(), *range.end());
+    // proptest's f64 range strategy, narrowed to f32, avoids NaN/Inf.
+    (lo as f64..=hi as f64).prop_map(|v| v as f32)
+}
+
+fn vec3_strategy() -> impl Strategy<Value = Vec3> {
+    (finite_f32(-100.0..=100.0), finite_f32(-100.0..=100.0), finite_f32(-100.0..=100.0))
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn quat_strategy() -> impl Strategy<Value = Quat> {
+    (
+        finite_f32(-1.0..=1.0),
+        finite_f32(-1.0..=1.0),
+        finite_f32(-1.0..=1.0),
+        finite_f32(-1.0..=1.0),
+    )
+        .prop_filter_map("nonzero quat", |(w, x, y, z)| {
+            let q = Quat::new(w, x, y, z);
+            (q.norm() > 1e-3).then(|| q.normalized())
+        })
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in vec3_strategy(), b in vec3_strategy()) {
+        prop_assert!(approx_eq(a.dot(b), b.dot(a), 1e-4));
+    }
+
+    #[test]
+    fn cross_is_anticommutative(a in vec3_strategy(), b in vec3_strategy()) {
+        let lhs = a.cross(b);
+        let rhs = -(b.cross(a));
+        prop_assert!((lhs - rhs).length() <= 1e-3 * (1.0 + lhs.length()));
+    }
+
+    #[test]
+    fn cross_orthogonal_to_inputs(a in vec3_strategy(), b in vec3_strategy()) {
+        let c = a.cross(b);
+        let scale = (a.length() * b.length()).max(1.0);
+        prop_assert!(c.dot(a).abs() <= 1e-2 * scale * scale.max(1.0));
+    }
+
+    #[test]
+    fn quat_rotation_preserves_length(q in quat_strategy(), v in vec3_strategy()) {
+        let rotated = q.rotate(v);
+        prop_assert!(approx_eq(rotated.length(), v.length(), 1e-3));
+    }
+
+    #[test]
+    fn quat_to_mat3_det_one(q in quat_strategy()) {
+        prop_assert!(approx_eq(q.to_mat3().determinant(), 1.0, 1e-4));
+    }
+
+    #[test]
+    fn mat2_inverse_composes_to_identity(
+        a in finite_f32(-10.0..=10.0),
+        b in finite_f32(-10.0..=10.0),
+        c in finite_f32(-10.0..=10.0),
+        d in finite_f32(-10.0..=10.0),
+    ) {
+        let m = Mat2::from_rows(a, b, c, d);
+        prop_assume!(m.determinant().abs() > 1e-3);
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        prop_assert!(approx_eq(id.at(0, 0), 1.0, 1e-3));
+        prop_assert!(approx_eq(id.at(1, 1), 1.0, 1e-3));
+        prop_assert!(id.at(0, 1).abs() < 1e-2);
+        prop_assert!(id.at(1, 0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn symmetric_eigenvalues_bound_quadratic_form(
+        a in finite_f32(0.1..=50.0),
+        b in finite_f32(-5.0..=5.0),
+        c in finite_f32(0.1..=50.0),
+        vx in finite_f32(-1.0..=1.0),
+        vy in finite_f32(-1.0..=1.0),
+    ) {
+        // Symmetric PSD-ish matrix; eigenvalues bound v^T M v / |v|^2.
+        let m = Mat2::from_rows(a, b, b, c);
+        let (l1, l2) = m.symmetric_eigenvalues();
+        let v = Vec2::new(vx, vy);
+        prop_assume!(v.length_squared() > 1e-6);
+        let rayleigh = v.dot(m * v) / v.length_squared();
+        prop_assert!(rayleigh <= l1 + 1e-2 * l1.abs().max(1.0));
+        prop_assert!(rayleigh >= l2 - 1e-2 * l2.abs().max(1.0));
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip(q in quat_strategy(), s in finite_f32(0.1..=10.0)) {
+        let m = q.to_mat3() * s;
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                prop_assert!(approx_eq(id.at(i, j), expected, 1e-3), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_is_idempotent(v in prop::num::f32::NORMAL) {
+        // Rounding twice must equal rounding once (fp16 is a projection).
+        let once = round_to_f16(v);
+        let twice = round_to_f16(once);
+        if once.is_nan() {
+            prop_assert!(twice.is_nan());
+        } else {
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn f16_rounding_error_is_bounded(v in finite_f32(-60000.0..=60000.0)) {
+        let r = round_to_f16(v);
+        // Relative error of RNE to fp16 is at most 2^-11 for normal range.
+        if v.abs() > 6.2e-5 {
+            prop_assert!((r - v).abs() <= v.abs() * (1.0 / 2048.0) + 1e-7, "v = {v}, r = {r}");
+        }
+    }
+
+    #[test]
+    fn f16_order_preserving(a in finite_f32(-1000.0..=1000.0), b in finite_f32(-1000.0..=1000.0)) {
+        let (ra, rb) = (F16::from_f32(a).to_f32(), F16::from_f32(b).to_f32());
+        if a <= b {
+            prop_assert!(ra <= rb);
+        }
+    }
+
+    #[test]
+    fn aabb_union_contains_both(
+        ax in finite_f32(-10.0..=10.0), ay in finite_f32(-10.0..=10.0),
+        bx in finite_f32(-10.0..=10.0), by in finite_f32(-10.0..=10.0),
+        r1 in finite_f32(0.0..=5.0), r2 in finite_f32(0.0..=5.0),
+    ) {
+        let a = Aabb2::from_center_radius(Vec2::new(ax, ay), r1);
+        let b = Aabb2::from_center_radius(Vec2::new(bx, by), r2);
+        let u = a.union(&b);
+        prop_assert!(u.contains(a.min) && u.contains(a.max));
+        prop_assert!(u.contains(b.min) && u.contains(b.max));
+    }
+
+    #[test]
+    fn look_at_preserves_distances(eye in vec3_strategy(), p in vec3_strategy(), q in vec3_strategy()) {
+        let target = Vec3::zero();
+        prop_assume!((eye - target).length() > 1e-2);
+        // Avoid up parallel to the view direction.
+        let dir = (target - eye).normalized();
+        prop_assume!(dir.cross(Vec3::new(0.0, 1.0, 0.0)).length() > 1e-3);
+        let view = look_at(eye, target, Vec3::new(0.0, 1.0, 0.0));
+        let pc = view.transform_point(p).truncate();
+        let qc = view.transform_point(q).truncate();
+        let d_world = (p - q).length();
+        let d_cam = (pc - qc).length();
+        prop_assert!(approx_eq(d_world, d_cam, 1e-2));
+    }
+
+    #[test]
+    fn mat3_det_product_rule(q1 in quat_strategy(), q2 in quat_strategy(), s in finite_f32(0.2..=5.0)) {
+        let a = q1.to_mat3() * s;
+        let b: Mat3 = q2.to_mat3();
+        let lhs = (a * b).determinant();
+        let rhs = a.determinant() * b.determinant();
+        prop_assert!(approx_eq(lhs, rhs, 1e-3));
+    }
+}

@@ -1,0 +1,139 @@
+//! Compositing of Gaussian-splat layers over conventionally rendered
+//! content.
+//!
+//! GauRast's dual-mode design makes mixed frames natural: a triangle pass
+//! renders meshes (UI, avatars, CAD geometry), a Gaussian pass renders the
+//! photoreal environment, and the two composite with the splat layer's
+//! remaining transmittance: `C = C_gauss + T_gauss · C_mesh`. This is
+//! exactly the reference rasterizer's background-color term, generalized
+//! from a constant to an image.
+
+use crate::framebuffer::Framebuffer;
+
+/// Composites a Gaussian layer over a background layer:
+/// `out = gaussian.color + gaussian.T × background.color` per pixel.
+///
+/// The background's depth plane is carried through (the splat layer has no
+/// meaningful Z-buffer).
+///
+/// # Panics
+/// Panics when the layer dimensions differ.
+pub fn over(gaussian: &Framebuffer, background: &Framebuffer) -> Framebuffer {
+    assert_eq!(
+        (gaussian.width(), gaussian.height()),
+        (background.width(), background.height()),
+        "layer dimensions differ"
+    );
+    let mut out = Framebuffer::new(gaussian.width(), gaussian.height());
+    for y in 0..gaussian.height() {
+        for x in 0..gaussian.width() {
+            let t = gaussian.transmittance_at(x, y);
+            let c = gaussian.color_at(x, y) + background.color_at(x, y) * t;
+            out.set_color(x, y, c.clamp(0.0, 1.0));
+            out.set_depth(x, y, background.depth_at(x, y));
+            out.set_transmittance(x, y, t);
+        }
+    }
+    out
+}
+
+/// Composites over a constant background color — the reference
+/// implementation's `background` parameter.
+pub fn over_color(gaussian: &Framebuffer, rgb: gaurast_math::Vec3) -> Framebuffer {
+    let mut bg = Framebuffer::new(gaussian.width(), gaussian.height());
+    for y in 0..gaussian.height() {
+        for x in 0..gaussian.width() {
+            bg.set_color(x, y, rgb);
+        }
+    }
+    over(gaussian, &bg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rasterize::rasterize;
+    use crate::tile::bin_splats;
+    use crate::Splat2D;
+    use gaurast_math::{Vec2, Vec3};
+
+    fn gaussian_layer(opacity: f32) -> Framebuffer {
+        let s = Splat2D {
+            mean: Vec2::new(8.5, 8.5),
+            conic: [0.3, 0.0, 0.3],
+            depth: 1.0,
+            color: Vec3::new(1.0, 0.0, 0.0),
+            opacity,
+            radius: 8.0,
+            source: 0,
+        };
+        let mut w = bin_splats(vec![s], 16, 16, 16);
+        rasterize(&mut w).0
+    }
+
+    fn solid(rgb: Vec3) -> Framebuffer {
+        let mut fb = Framebuffer::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                fb.set_color(x, y, rgb);
+            }
+        }
+        fb
+    }
+
+    #[test]
+    fn empty_layer_passes_background_through() {
+        let empty = Framebuffer::new(16, 16); // T = 1 everywhere
+        let bg = solid(Vec3::new(0.2, 0.4, 0.6));
+        let out = over(&empty, &bg);
+        assert_eq!(out.color_at(7, 7), Vec3::new(0.2, 0.4, 0.6));
+    }
+
+    #[test]
+    fn opaque_splat_hides_background() {
+        let layer = gaussian_layer(0.99);
+        let bg = solid(Vec3::one());
+        let out = over(&layer, &bg);
+        let center = out.color_at(8, 8);
+        // T at the mean is 0.01: background contributes at most 1 %.
+        assert!(center.x > 0.98, "{center:?}");
+        assert!(center.y < 0.02 && center.z < 0.02, "{center:?}");
+    }
+
+    #[test]
+    fn translucent_splat_blends_linearly() {
+        let layer = gaussian_layer(0.5);
+        let bg = solid(Vec3::new(0.0, 1.0, 0.0));
+        let out = over(&layer, &bg);
+        let center = out.color_at(8, 8);
+        // 0.5 red over green: 0.5 red + 0.5 green.
+        assert!((center.x - 0.5).abs() < 1e-3, "{center:?}");
+        assert!((center.y - 0.5).abs() < 1e-3, "{center:?}");
+    }
+
+    #[test]
+    fn over_color_matches_over_with_solid() {
+        let layer = gaussian_layer(0.7);
+        let rgb = Vec3::new(0.3, 0.3, 0.9);
+        let a = over_color(&layer, rgb);
+        let b = over(&layer, &solid(rgb));
+        assert_eq!(a.mean_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn depth_comes_from_background() {
+        let layer = gaussian_layer(0.5);
+        let mut bg = solid(Vec3::one());
+        bg.set_depth(3, 3, 7.5);
+        let out = over(&layer, &bg);
+        assert_eq!(out.depth_at(3, 3), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn size_mismatch_panics() {
+        let a = Framebuffer::new(16, 16);
+        let b = Framebuffer::new(8, 8);
+        let _ = over(&a, &b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Software reference implementation of the 3D Gaussian Splatting rendering
+//! pipeline and of classic triangle rasterization.
+//!
+//! This crate is the *algorithmic ground truth* of the workspace. It
+//! implements the three-stage 3DGS pipeline exactly as described in §II of
+//! the GauRast paper:
+//!
+//! 1. **Preprocessing** ([`preprocess`]) — project every 3D Gaussian to a 2D
+//!    splat (EWA covariance projection), convert spherical harmonics to RGB,
+//!    compute depth;
+//! 2. **Sorting** ([`sort`]) — order splats by depth and bin them into
+//!    16×16-pixel tiles ([`tile`]);
+//! 3. **Gaussian rasterization** ([`rasterize`]) — per pixel, front-to-back
+//!    alpha blending of the covering splats.
+//!
+//! It also implements the triangle pipeline ([`triangle`]) that the original
+//! rasterizer hardware supports, with the same four subtasks the paper's
+//! Table II contrasts, and full operation counting ([`ops`]) so that table
+//! can be regenerated from measurements instead of by inspection.
+//!
+//! The output of stages 1–2 — a [`RasterWorkload`] — is the interface
+//! consumed by both architecture models (`gaurast-hw` cycle simulator and
+//! `gaurast-gpu` CUDA model), guaranteeing both see identical work.
+//!
+//! # Example
+//!
+//! ```
+//! use gaurast_render::pipeline::{render, RenderConfig};
+//! use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
+//!
+//! let desc = Nerf360Scene::Bonsai.descriptor();
+//! let scene = desc.synthesize(SceneScale::UNIT_TEST);
+//! let camera = desc.camera(SceneScale::UNIT_TEST, 0.0)?;
+//! let out = render(&scene, &camera, &RenderConfig::default());
+//! assert_eq!(out.image.width(), camera.width());
+//! # Ok::<(), gaurast_scene::SceneError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod compose;
+mod framebuffer;
+pub mod ops;
+pub mod pipeline;
+pub mod preprocess;
+pub mod rasterize;
+pub mod sort;
+pub mod tile;
+pub mod trace;
+pub mod triangle;
+mod workload;
+
+pub use framebuffer::Framebuffer;
+pub use preprocess::Splat2D;
+pub use workload::RasterWorkload;
+
+/// Default tile edge in pixels — the 16×16 tiling of the reference 3DGS
+/// rasterizer, also the granularity of GauRast's tile buffers.
+pub const DEFAULT_TILE_SIZE: u32 = 16;
+
+/// Alpha threshold below which a splat contributes nothing to a pixel
+/// (1/255, as in the reference implementation).
+pub const ALPHA_CUTOFF: f32 = 1.0 / 255.0;
+
+/// Transmittance threshold at which a pixel is saturated and blending
+/// stops (matches the reference implementation's `T < 0.0001`).
+pub const TRANSMITTANCE_EPS: f32 = 1.0e-4;

@@ -1,0 +1,176 @@
+//! End-to-end orchestration of the three-stage 3DGS pipeline.
+
+use crate::framebuffer::Framebuffer;
+use crate::ops::OpCounts;
+use crate::preprocess::{preprocess, PreprocessOutput};
+use crate::rasterize::{rasterize, RasterStats};
+use crate::tile::bin_splats;
+use crate::workload::RasterWorkload;
+use crate::DEFAULT_TILE_SIZE;
+use gaurast_scene::{Camera, GaussianScene};
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RenderConfig {
+    /// Tile edge in pixels (16 in the reference and in GauRast).
+    pub tile_size: u32,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        Self { tile_size: DEFAULT_TILE_SIZE }
+    }
+}
+
+/// Everything one frame produces: the image, the workload (with processed
+/// counts filled in), and per-stage statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenderOutput {
+    /// Rendered image.
+    pub image: Framebuffer,
+    /// The Stage-1/2 product consumed by the architecture models.
+    pub workload: RasterWorkload,
+    /// Stage-1 statistics (culling, FP ops).
+    pub preprocess: PreprocessStats,
+    /// Stage-3 statistics (pairs, blends, per-subtask ops).
+    pub raster: RasterStats,
+}
+
+/// Stage-1 summary retained in [`RenderOutput`] (the splats themselves live
+/// in the workload).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PreprocessStats {
+    /// Gaussians surviving culling.
+    pub visible: usize,
+    /// Gaussians culled.
+    pub culled: usize,
+    /// FP operations spent in Stage 1.
+    pub ops: OpCounts,
+}
+
+impl From<&PreprocessOutput> for PreprocessStats {
+    fn from(p: &PreprocessOutput) -> Self {
+        Self { visible: p.splats.len(), culled: p.culled, ops: p.ops }
+    }
+}
+
+/// Runs Stages 1–3 for one frame.
+///
+/// # Example
+/// ```
+/// use gaurast_render::pipeline::{render, RenderConfig};
+/// use gaurast_scene::generator::SceneParams;
+/// use gaurast_scene::Camera;
+/// use gaurast_math::Vec3;
+///
+/// let scene = SceneParams::new(200).generate()?;
+/// let cam = Camera::look_at(Vec3::new(0.0, 5.0, -25.0), Vec3::zero(),
+///                           Vec3::new(0.0, 1.0, 0.0), 64, 64, 1.0)?;
+/// let out = render(&scene, &cam, &RenderConfig::default());
+/// assert!(out.workload.blend_work() > 0);
+/// # Ok::<(), gaurast_scene::SceneError>(())
+/// ```
+pub fn render(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> RenderOutput {
+    // Stage 1: preprocessing.
+    let pre = preprocess(scene, camera);
+    let pre_stats = PreprocessStats::from(&pre);
+
+    // Stage 2: sorting + tiling.
+    let mut workload = bin_splats(pre.splats, camera.width(), camera.height(), config.tile_size);
+
+    // Stage 3: Gaussian rasterization (fills processed counts).
+    let (image, raster) = rasterize(&mut workload);
+
+    RenderOutput { image, workload, preprocess: pre_stats, raster }
+}
+
+/// Builds only the workload (Stages 1–2 plus a reference Stage-3 pass to
+/// record processed counts) without keeping the image — the common entry
+/// point for the architecture models.
+pub fn build_workload(
+    scene: &GaussianScene,
+    camera: &Camera,
+    config: &RenderConfig,
+) -> RasterWorkload {
+    render(scene, camera, config).workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_math::Vec3;
+    use gaurast_scene::generator::SceneParams;
+    use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
+
+    fn camera(w: u32, h: u32) -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, 6.0, -28.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            w,
+            h,
+            1.05,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_frame_has_work_and_coverage() {
+        let scene = SceneParams::new(3000).seed(11).generate().unwrap();
+        let out = render(&scene, &camera(128, 96), &RenderConfig::default());
+        assert!(out.preprocess.visible > 100);
+        assert!(out.workload.blend_work() > 0);
+        assert!(out.image.coverage() > 0.05, "coverage {}", out.image.coverage());
+        assert!(out.raster.blends_committed > 0);
+    }
+
+    #[test]
+    fn nerf360_scene_renders() {
+        let desc = Nerf360Scene::Bonsai.descriptor();
+        let scene = desc.synthesize(SceneScale::UNIT_TEST);
+        let cam = desc.camera(SceneScale::UNIT_TEST, 0.3).unwrap();
+        let out = render(&scene, &cam, &RenderConfig::default());
+        assert!(out.image.coverage() > 0.01);
+        assert!(out.workload.total_pairs() > 0);
+    }
+
+    #[test]
+    fn tile_size_changes_grid_not_image() {
+        let scene = SceneParams::new(500).generate().unwrap();
+        let cam = camera(64, 64);
+        let a = render(&scene, &cam, &RenderConfig { tile_size: 16 });
+        let b = render(&scene, &cam, &RenderConfig { tile_size: 8 });
+        assert_eq!(a.workload.tile_count(), 16);
+        assert_eq!(b.workload.tile_count(), 64);
+        // Rendered images agree except for tile-level early-termination
+        // differences, which only suppress invisible (saturated) tails.
+        assert!(a.image.mean_abs_diff(&b.image) < 1e-3);
+    }
+
+    #[test]
+    fn build_workload_matches_render() {
+        let scene = SceneParams::new(400).generate().unwrap();
+        let cam = camera(64, 64);
+        let cfg = RenderConfig::default();
+        let w = build_workload(&scene, &cam, &cfg);
+        let out = render(&scene, &cam, &cfg);
+        assert_eq!(w.blend_work(), out.workload.blend_work());
+    }
+
+    #[test]
+    fn mini_splatting_reduces_blend_work() {
+        let scene = SceneParams::new(4000).seed(3).generate().unwrap();
+        let simplified = gaurast_scene::mini_splatting::simplify(
+            &scene,
+            gaurast_scene::mini_splatting::MiniSplatConfig::PAPER,
+        )
+        .unwrap();
+        let cam = camera(128, 128);
+        let cfg = RenderConfig::default();
+        let full = build_workload(&scene, &cam, &cfg);
+        let mini = build_workload(&simplified, &cam, &cfg);
+        let ratio = mini.blend_work() as f64 / full.blend_work() as f64;
+        assert!(ratio < 0.7, "mini-splatting work ratio {ratio}");
+        assert!(ratio > 0.02);
+    }
+}

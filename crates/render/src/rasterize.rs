@@ -1,0 +1,317 @@
+//! Stage 3 — Gaussian rasterization (the operator GauRast accelerates).
+//!
+//! Per tile, per pixel, splats arrive front-to-back; each contributes
+//! `α = o · exp(-½ dᵀΣ'⁻¹d)` and colors blend as `C += T·α·c`,
+//! `T ← T·(1-α)` until the transmittance saturates. This is a faithful port
+//! of `renderCUDA` from the reference implementation, with two additions:
+//!
+//! * full FP-operation accounting per Table II subtask ([`crate::ops`]),
+//! * per-tile *processed counts* written back into the workload so the
+//!   architecture models bill exactly the work this reference performed.
+
+use crate::framebuffer::Framebuffer;
+use crate::ops::{Subtask, SubtaskCounts};
+use crate::workload::RasterWorkload;
+use crate::{ALPHA_CUTOFF, TRANSMITTANCE_EPS};
+use gaurast_math::{Vec2, Vec3};
+
+/// Statistics of one rasterization pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RasterStats {
+    /// (splat, pixel) pairs evaluated (before any cutoff).
+    pub pairs_evaluated: u64,
+    /// Blends actually committed (alpha above cutoff, pixel not saturated).
+    pub blends_committed: u64,
+    /// Tiles whose every pixel saturated before the list was exhausted.
+    pub tiles_early_terminated: u64,
+    /// Per-subtask FP operation tallies.
+    pub ops: SubtaskCounts,
+}
+
+/// Rasterizes a workload, returning the image and statistics, and recording
+/// per-tile processed counts into `workload`.
+///
+/// # Example
+/// ```
+/// use gaurast_render::{rasterize::rasterize, tile::bin_splats, Splat2D};
+/// use gaurast_math::{Vec2, Vec3};
+///
+/// let splat = Splat2D {
+///     mean: Vec2::new(8.0, 8.0), conic: [0.08, 0.0, 0.08], depth: 1.0,
+///     color: Vec3::new(1.0, 0.0, 0.0), opacity: 0.9, radius: 6.0, source: 0,
+/// };
+/// let mut workload = bin_splats(vec![splat], 16, 16, 16);
+/// let (image, stats) = rasterize(&mut workload);
+/// assert!(image.color_at(8, 8).x > 0.5);
+/// assert!(stats.blends_committed > 0);
+/// ```
+pub fn rasterize(workload: &mut RasterWorkload) -> (Framebuffer, RasterStats) {
+    let mut fb = Framebuffer::new(workload.width(), workload.height());
+    let mut stats = RasterStats::default();
+    let mut processed = Vec::with_capacity(workload.tile_count());
+
+    for ty in 0..workload.tiles_y() {
+        for tx in 0..workload.tiles_x() {
+            let n = rasterize_tile(workload, tx, ty, &mut fb, &mut stats);
+            processed.push(n);
+        }
+    }
+    workload.set_processed(processed);
+    (fb, stats)
+}
+
+/// Rasterizes one tile; returns how many splats of its list were processed
+/// before every pixel saturated.
+fn rasterize_tile(
+    workload: &RasterWorkload,
+    tx: u32,
+    ty: u32,
+    fb: &mut Framebuffer,
+    stats: &mut RasterStats,
+) -> u32 {
+    let list = workload.tile_list(tx, ty);
+    if list.is_empty() {
+        return 0;
+    }
+    let (x0, y0, x1, y1) = workload.tile_rect(tx, ty);
+    let w = (x1 - x0) as usize;
+    let h = (y1 - y0) as usize;
+    let n_px = w * h;
+
+    // Per-pixel accumulation state, tile-local (this is the pixel data held
+    // in GauRast's tile buffers).
+    let mut color = vec![Vec3::zero(); n_px];
+    let mut transmittance = vec![1.0f32; n_px];
+    let mut alive = n_px as u32;
+
+    let splats = workload.splats();
+    let mut processed = 0u32;
+
+    // Local op tallies; folded into stats once per tile to keep the inner
+    // loop lean.
+    let (mut shift_add, mut det_add, mut det_mul, mut det_exp, mut det_cmp) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut wgt_mul, mut red_add, mut red_mul, mut red_cmp) = (0u64, 0u64, 0u64, 0u64);
+    let mut pairs = 0u64;
+
+    'list: for &si in list {
+        processed += 1;
+        let s = &splats[si as usize];
+        let (a, b, c) = (s.conic[0], s.conic[1], s.conic[2]);
+
+        for py in 0..h {
+            for px in 0..w {
+                let i = py * w + px;
+                if transmittance[i] < TRANSMITTANCE_EPS {
+                    continue;
+                }
+                pairs += 1;
+
+                // Subtask 1: coordinate shift (pixel center convention).
+                let p = Vec2::new((x0 + px as u32) as f32 + 0.5, (y0 + py as u32) as f32 + 0.5);
+                let d = p - s.mean;
+                shift_add += 2;
+
+                // Subtask 2: Gaussian probability and alpha.
+                let power = -0.5 * (a * d.x * d.x + c * d.y * d.y) - b * d.x * d.y;
+                det_mul += 7; // dx², dy², dx·dy, a·, c·, b·, ½·
+                det_add += 3;
+                det_cmp += 1;
+                if power > 0.0 {
+                    continue;
+                }
+                let alpha = (s.opacity * power.exp()).min(0.99);
+                det_exp += 1;
+                det_mul += 1;
+                det_cmp += 2;
+                if alpha < ALPHA_CUTOFF {
+                    continue;
+                }
+
+                // Subtask 3: color weight.
+                let weight = transmittance[i] * alpha;
+                let contribution = s.color * weight;
+                wgt_mul += 4;
+
+                // Subtask 4: accumulate and update transmittance.
+                color[i] += contribution;
+                transmittance[i] *= 1.0 - alpha;
+                red_add += 4;
+                red_mul += 1;
+                red_cmp += 1;
+                stats.blends_committed += 1;
+
+                if transmittance[i] < TRANSMITTANCE_EPS {
+                    alive -= 1;
+                    if alive == 0 {
+                        // Whole tile saturated: the reference kernel's warps
+                        // all exit; later splats cost nothing.
+                        if processed < list.len() as u32 {
+                            stats.tiles_early_terminated += 1;
+                        }
+                        break 'list;
+                    }
+                }
+            }
+        }
+    }
+
+    // Write the tile back to the framebuffer (background stays black, as in
+    // the reference with a black background color). The remaining
+    // transmittance is kept for downstream compositing (see `compose`).
+    for py in 0..h {
+        for px in 0..w {
+            let i = py * w + px;
+            fb.set_color(x0 + px as u32, y0 + py as u32, color[i]);
+            fb.set_transmittance(x0 + px as u32, y0 + py as u32, transmittance[i]);
+        }
+    }
+
+    stats.pairs_evaluated += pairs;
+    stats.ops.pairs += pairs;
+    stats.ops.at(Subtask::CoordinateShift).add += shift_add;
+    let det = stats.ops.at(Subtask::Detection);
+    det.add += det_add;
+    det.mul += det_mul;
+    det.exp += det_exp;
+    det.cmp += det_cmp;
+    stats.ops.at(Subtask::WeightComputation).mul += wgt_mul;
+    let red = stats.ops.at(Subtask::Reduction);
+    red.add += red_add;
+    red.mul += red_mul;
+    red.cmp += red_cmp;
+
+    processed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::bin_splats;
+    use crate::Splat2D;
+
+    fn splat(x: f32, y: f32, opacity: f32, color: Vec3, depth: f32) -> Splat2D {
+        Splat2D {
+            mean: Vec2::new(x, y),
+            conic: [0.05, 0.0, 0.05],
+            depth,
+            color,
+            opacity,
+            radius: 12.0,
+            source: 0,
+        }
+    }
+
+    #[test]
+    fn single_splat_peak_color() {
+        // Mean exactly on the pixel-center grid so density there is 1.
+        let s = splat(8.5, 8.5, 0.9, Vec3::new(1.0, 0.0, 0.0), 1.0);
+        let mut w = bin_splats(vec![s], 16, 16, 16);
+        let (fb, stats) = rasterize(&mut w);
+        let c = fb.color_at(8, 8);
+        // At the mean the density is 1 so color = opacity × red.
+        assert!((c.x - 0.9).abs() < 1e-5, "got {c:?}");
+        assert!(c.y < 1e-6 && c.z < 1e-6);
+        assert!(stats.blends_committed > 0);
+        assert_eq!(stats.tiles_early_terminated, 0);
+    }
+
+    #[test]
+    fn color_decays_away_from_mean() {
+        let s = splat(8.0, 8.0, 0.9, Vec3::one(), 1.0);
+        let mut w = bin_splats(vec![s], 16, 16, 16);
+        let (fb, _) = rasterize(&mut w);
+        let center = fb.color_at(8, 8).x;
+        let edge = fb.color_at(15, 8).x;
+        assert!(center > edge);
+    }
+
+    #[test]
+    fn front_to_back_occlusion() {
+        // An opaque near-white splat in front of a red one: red barely shows.
+        let front = Splat2D { opacity: 0.99, ..splat(8.0, 8.0, 0.99, Vec3::one(), 1.0) };
+        let back = splat(8.0, 8.0, 0.99, Vec3::new(1.0, 0.0, 0.0), 2.0);
+        let mut w = bin_splats(vec![back, front], 16, 16, 16);
+        let (fb, _) = rasterize(&mut w);
+        let c = fb.color_at(8, 8);
+        // Front is white; back contributes at most (1-0.99) of its color.
+        assert!(c.y > 0.9);
+        assert!(c.x - c.y < 0.05);
+    }
+
+    #[test]
+    fn order_independence_of_binning_depth_sort() {
+        // Same two splats in either submission order must render identically
+        // because the tiler depth-sorts.
+        let a = splat(8.0, 8.0, 0.8, Vec3::new(1.0, 0.0, 0.0), 1.0);
+        let b = splat(8.0, 8.0, 0.8, Vec3::new(0.0, 1.0, 0.0), 2.0);
+        let mut w1 = bin_splats(vec![a, b], 16, 16, 16);
+        let mut w2 = bin_splats(vec![b, a], 16, 16, 16);
+        let (fb1, _) = rasterize(&mut w1);
+        let (fb2, _) = rasterize(&mut w2);
+        assert_eq!(fb1.mean_abs_diff(&fb2), 0.0);
+    }
+
+    #[test]
+    fn transmittance_never_negative_color_bounded() {
+        // Stack many opaque splats; accumulated color must stay <= 1 + eps.
+        let splats: Vec<Splat2D> = (0..50)
+            .map(|i| splat(8.0, 8.0, 0.95, Vec3::one(), 1.0 + i as f32))
+            .collect();
+        let mut w = bin_splats(splats, 16, 16, 16);
+        let (fb, _) = rasterize(&mut w);
+        let c = fb.color_at(8, 8);
+        assert!(c.max_component() <= 1.0 + 1e-4, "got {c:?}");
+    }
+
+    #[test]
+    fn saturated_tile_terminates_early() {
+        // Wide, nearly opaque splats saturate the whole 16x16 tile quickly;
+        // the tail of the list must not be processed.
+        let splats: Vec<Splat2D> = (0..200)
+            .map(|i| Splat2D {
+                conic: [1e-4, 0.0, 1e-4], // essentially flat across the tile
+                ..splat(8.0, 8.0, 0.99, Vec3::one(), 1.0 + i as f32)
+            })
+            .collect();
+        let mut w = bin_splats(splats, 16, 16, 16);
+        let (_, stats) = rasterize(&mut w);
+        assert_eq!(stats.tiles_early_terminated, 1);
+        assert!(w.processed_count(0, 0) < 200);
+        assert!(w.blend_work() < 200 * 256);
+    }
+
+    #[test]
+    fn alpha_cutoff_skips_blend() {
+        // A splat with tiny opacity commits no blends.
+        let s = splat(8.0, 8.0, 0.003, Vec3::one(), 1.0);
+        let mut w = bin_splats(vec![s], 16, 16, 16);
+        let (fb, stats) = rasterize(&mut w);
+        assert_eq!(stats.blends_committed, 0);
+        assert_eq!(fb.coverage(), 0.0);
+    }
+
+    #[test]
+    fn ops_tally_matches_pairs() {
+        let s = splat(8.0, 8.0, 0.9, Vec3::one(), 1.0);
+        let mut w = bin_splats(vec![s], 16, 16, 16);
+        let (_, stats) = rasterize(&mut w);
+        assert_eq!(stats.ops.pairs, stats.pairs_evaluated);
+        // Every evaluated pair costs exactly 2 shift adds.
+        assert_eq!(stats.ops.of(Subtask::CoordinateShift).add, 2 * stats.pairs_evaluated);
+        // Detection uses the exponential; weight/reduction do not.
+        assert!(stats.ops.of(Subtask::Detection).exp > 0);
+        assert_eq!(stats.ops.of(Subtask::WeightComputation).exp, 0);
+        assert_eq!(stats.ops.of(Subtask::Reduction).exp, 0);
+        assert_eq!(stats.ops.of(Subtask::Reduction).div, 0);
+    }
+
+    #[test]
+    fn empty_workload_renders_black() {
+        let mut w = bin_splats(vec![], 32, 32, 16);
+        let (fb, stats) = rasterize(&mut w);
+        assert_eq!(fb.coverage(), 0.0);
+        assert_eq!(stats.pairs_evaluated, 0);
+        assert_eq!(w.blend_work(), 0);
+    }
+}

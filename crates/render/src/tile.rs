@@ -1,0 +1,141 @@
+//! Tile binning: assign splats to the 16×16-pixel tiles they may touch.
+//!
+//! The reference rasterizer duplicates each splat key into every tile its
+//! 3σ bounding square overlaps, then sorts per tile by depth. This module
+//! reproduces that exactly and emits the [`RasterWorkload`].
+
+use crate::preprocess::Splat2D;
+use crate::sort::sort_indices_by_depth;
+use crate::workload::RasterWorkload;
+use gaurast_math::{Aabb2, Vec2};
+
+/// Tile index range `(x0, y0, x1, y1)` (inclusive bounds) overlapped by a
+/// splat's 3σ square, or `None` when it misses the image entirely.
+pub fn tile_range(
+    splat: &Splat2D,
+    width: u32,
+    height: u32,
+    tile_size: u32,
+) -> Option<(u32, u32, u32, u32)> {
+    let bbox = Aabb2::from_center_radius(splat.mean, splat.radius);
+    let img = Aabb2::new(Vec2::zero(), Vec2::new(width as f32, height as f32));
+    if !bbox.intersects(&img) {
+        return None;
+    }
+    let clipped = bbox.intersection(&img);
+    let ts = tile_size as f32;
+    let x0 = (clipped.min.x / ts).floor().max(0.0) as u32;
+    let y0 = (clipped.min.y / ts).floor().max(0.0) as u32;
+    let tiles_x = width.div_ceil(tile_size);
+    let tiles_y = height.div_ceil(tile_size);
+    let x1 = ((clipped.max.x / ts).floor() as u32).min(tiles_x - 1);
+    let y1 = ((clipped.max.y / ts).floor() as u32).min(tiles_y - 1);
+    Some((x0, y0, x1, y1))
+}
+
+/// Bins depth-sortable splats into per-tile lists and returns the workload.
+///
+/// Each tile's list is sorted front-to-back. The input order of `splats` is
+/// irrelevant; determinism comes from the stable depth sort.
+///
+/// # Panics
+/// Panics when `tile_size` is zero or the image is empty.
+pub fn bin_splats(
+    splats: Vec<Splat2D>,
+    width: u32,
+    height: u32,
+    tile_size: u32,
+) -> RasterWorkload {
+    assert!(tile_size > 0 && width > 0 && height > 0);
+    let tiles_x = width.div_ceil(tile_size);
+    let tiles_y = height.div_ceil(tile_size);
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+
+    for (i, s) in splats.iter().enumerate() {
+        if let Some((x0, y0, x1, y1)) = tile_range(s, width, height, tile_size) {
+            for ty in y0..=y1 {
+                for tx in x0..=x1 {
+                    lists[(ty * tiles_x + tx) as usize].push(i as u32);
+                }
+            }
+        }
+    }
+    for list in &mut lists {
+        sort_indices_by_depth(list, &splats);
+    }
+    RasterWorkload::new(width, height, tile_size, splats, lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_math::Vec3;
+
+    fn splat_at(x: f32, y: f32, radius: f32, depth: f32) -> Splat2D {
+        Splat2D {
+            mean: Vec2::new(x, y),
+            conic: [0.05, 0.0, 0.05],
+            depth,
+            color: Vec3::one(),
+            opacity: 0.9,
+            radius,
+            source: 0,
+        }
+    }
+
+    #[test]
+    fn small_splat_lands_in_one_tile() {
+        let w = bin_splats(vec![splat_at(8.0, 8.0, 3.0, 1.0)], 64, 64, 16);
+        assert_eq!(w.tile_list(0, 0), &[0]);
+        assert!(w.tile_list(1, 0).is_empty());
+        assert!(w.tile_list(0, 1).is_empty());
+        assert_eq!(w.total_pairs(), 1);
+    }
+
+    #[test]
+    fn splat_on_tile_border_lands_in_both() {
+        let w = bin_splats(vec![splat_at(16.0, 8.0, 3.0, 1.0)], 64, 64, 16);
+        assert_eq!(w.tile_list(0, 0), &[0]);
+        assert_eq!(w.tile_list(1, 0), &[0]);
+        assert_eq!(w.total_pairs(), 2);
+    }
+
+    #[test]
+    fn huge_splat_covers_all_tiles() {
+        let w = bin_splats(vec![splat_at(32.0, 32.0, 100.0, 1.0)], 64, 64, 16);
+        assert_eq!(w.total_pairs(), 16);
+    }
+
+    #[test]
+    fn off_image_splat_binned_nowhere() {
+        let w = bin_splats(vec![splat_at(-50.0, -50.0, 3.0, 1.0)], 64, 64, 16);
+        assert_eq!(w.total_pairs(), 0);
+    }
+
+    #[test]
+    fn tile_lists_are_depth_sorted() {
+        let splats = vec![
+            splat_at(8.0, 8.0, 3.0, 5.0),
+            splat_at(9.0, 9.0, 3.0, 1.0),
+            splat_at(7.0, 7.0, 3.0, 3.0),
+        ];
+        let w = bin_splats(splats, 32, 32, 16);
+        assert_eq!(w.tile_list(0, 0), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn tile_range_clamps_to_grid() {
+        let s = splat_at(63.0, 63.0, 10.0, 1.0);
+        let (x0, y0, x1, y1) = tile_range(&s, 64, 64, 16).unwrap();
+        assert!(x1 <= 3 && y1 <= 3);
+        assert!(x0 <= x1 && y0 <= y1);
+    }
+
+    #[test]
+    fn partial_edge_tile_binning() {
+        // 20x20 image with 16px tiles: 2x2 grid with partial edges.
+        let w = bin_splats(vec![splat_at(18.0, 18.0, 1.5, 1.0)], 20, 20, 16);
+        assert_eq!(w.tile_list(1, 1), &[0]);
+        assert_eq!(w.total_pairs(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Binary serialization of rasterization workloads.
+//!
+//! A [`RasterWorkload`] is the exact interface between the software
+//! pipeline and every architecture model, so being able to persist one —
+//! a *workload trace* — makes hardware experiments reproducible without
+//! re-running Stages 1–3: traces recorded on one machine replay bit-for-bit
+//! on another, the same way architecture groups exchange trace files.
+//!
+//! Format: a fixed little-endian header (`magic, version, dims, counts`)
+//! followed by the splat records, the per-tile index lists, and the
+//! per-tile processed counts.
+
+use crate::workload::RasterWorkload;
+use crate::Splat2D;
+use gaurast_math::{Vec2, Vec3};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"GAURWKL\0";
+const VERSION: u32 = 1;
+/// f32 words per serialized splat record.
+const SPLAT_WORDS: usize = 11;
+
+/// Errors raised when decoding a workload trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Missing or wrong magic/version.
+    BadHeader(String),
+    /// The byte stream ended early or has trailing garbage.
+    BadLength {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// An index or count is inconsistent.
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadHeader(m) => write!(f, "bad trace header: {m}"),
+            TraceError::BadLength { expected, got } => {
+                write!(f, "bad trace length: expected {expected} bytes, got {got}")
+            }
+            TraceError::Corrupt(m) => write!(f, "corrupt trace: {m}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Serializes a workload (with its processed counts) to bytes.
+pub fn to_bytes(w: &RasterWorkload) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let push_u32 = |v: u32, out: &mut Vec<u8>| out.extend_from_slice(&v.to_le_bytes());
+    let push_f32 = |v: f32, out: &mut Vec<u8>| out.extend_from_slice(&v.to_le_bytes());
+    push_u32(VERSION, &mut out);
+    push_u32(w.width(), &mut out);
+    push_u32(w.height(), &mut out);
+    push_u32(w.tile_size(), &mut out);
+    push_u32(w.splats().len() as u32, &mut out);
+
+    for s in w.splats() {
+        for v in [
+            s.mean.x, s.mean.y, s.conic[0], s.conic[1], s.conic[2], s.depth, s.color.x,
+            s.color.y, s.color.z, s.opacity, s.radius,
+        ] {
+            push_f32(v, &mut out);
+        }
+    }
+    for ty in 0..w.tiles_y() {
+        for tx in 0..w.tiles_x() {
+            let list = w.tile_list(tx, ty);
+            push_u32(list.len() as u32, &mut out);
+            for &i in list {
+                push_u32(i, &mut out);
+            }
+        }
+    }
+    for ty in 0..w.tiles_y() {
+        for tx in 0..w.tiles_x() {
+            push_u32(w.processed_count(tx, ty), &mut out);
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(TraceError::BadLength { expected: end, got: self.bytes.len() });
+        }
+        let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().expect("4 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn f32(&mut self) -> Result<f32, TraceError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+}
+
+/// Decodes a workload trace.
+///
+/// # Errors
+/// Returns a [`TraceError`] for malformed input; the decoded workload is
+/// re-validated by [`RasterWorkload::new`]'s own invariants.
+pub fn from_bytes(bytes: &[u8]) -> Result<RasterWorkload, TraceError> {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(TraceError::BadHeader("magic mismatch".into()));
+    }
+    let mut r = Reader { bytes, pos: 8 };
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(TraceError::BadHeader(format!("unsupported version {version}")));
+    }
+    let width = r.u32()?;
+    let height = r.u32()?;
+    let tile_size = r.u32()?;
+    if width == 0 || height == 0 || tile_size == 0 {
+        return Err(TraceError::Corrupt("zero dimension".into()));
+    }
+    let n_splats = r.u32()? as usize;
+    if n_splats > bytes.len() / (SPLAT_WORDS * 4) + 1 {
+        return Err(TraceError::Corrupt(format!("splat count {n_splats} exceeds payload")));
+    }
+
+    let mut splats = Vec::with_capacity(n_splats);
+    for i in 0..n_splats {
+        let mean = Vec2::new(r.f32()?, r.f32()?);
+        let conic = [r.f32()?, r.f32()?, r.f32()?];
+        let depth = r.f32()?;
+        let color = Vec3::new(r.f32()?, r.f32()?, r.f32()?);
+        let opacity = r.f32()?;
+        let radius = r.f32()?;
+        splats.push(Splat2D { mean, conic, depth, color, opacity, radius, source: i as u32 });
+    }
+
+    let tiles_x = width.div_ceil(tile_size);
+    let tiles_y = height.div_ceil(tile_size);
+    let tile_count = (tiles_x * tiles_y) as usize;
+    let mut lists = Vec::with_capacity(tile_count);
+    for _ in 0..tile_count {
+        let len = r.u32()? as usize;
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            let idx = r.u32()?;
+            if idx as usize >= n_splats {
+                return Err(TraceError::Corrupt(format!("index {idx} out of bounds")));
+            }
+            list.push(idx);
+        }
+        lists.push(list);
+    }
+
+    let mut processed = Vec::with_capacity(tile_count);
+    for (t, list) in lists.iter().enumerate() {
+        let p = r.u32()?;
+        if p as usize > list.len() {
+            return Err(TraceError::Corrupt(format!("processed count {p} exceeds tile {t} list")));
+        }
+        processed.push(p);
+    }
+    if r.pos != bytes.len() {
+        return Err(TraceError::BadLength { expected: r.pos, got: bytes.len() });
+    }
+
+    let mut w = RasterWorkload::new(width, height, tile_size, splats, lists);
+    w.set_processed(processed);
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rasterize::rasterize;
+    use crate::tile::bin_splats;
+
+    fn workload() -> RasterWorkload {
+        let splats: Vec<Splat2D> = (0..80)
+            .map(|i| Splat2D {
+                mean: Vec2::new((i * 11 % 64) as f32, (i * 17 % 48) as f32),
+                conic: [0.07, 0.01, 0.09],
+                depth: 1.0 + i as f32 * 0.1,
+                color: Vec3::new(0.2, 0.5, 0.8),
+                opacity: 0.6,
+                radius: 5.0,
+                source: i,
+            })
+            .collect();
+        let mut w = bin_splats(splats, 64, 48, 16);
+        let _ = rasterize(&mut w);
+        w
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let w = workload();
+        let back = from_bytes(&to_bytes(&w)).expect("valid trace");
+        assert_eq!(back.width(), w.width());
+        assert_eq!(back.blend_work(), w.blend_work());
+        assert_eq!(back.total_pairs(), w.total_pairs());
+        // The replayed workload renders identically.
+        let mut w2 = back.clone();
+        let mut w1 = w.clone();
+        let (a, _) = rasterize(&mut w1);
+        let (b, _) = rasterize(&mut w2);
+        assert_eq!(a.mean_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn trace_replays_identically_on_hardware_model() {
+        // Same cycles from the trace as from the original workload.
+        let w = workload();
+        let back = from_bytes(&to_bytes(&w)).expect("valid trace");
+        // blend_work + per-tile counts determine the simulation; both equal.
+        for ty in 0..w.tiles_y() {
+            for tx in 0..w.tiles_x() {
+                assert_eq!(w.processed_count(tx, ty), back.processed_count(tx, ty));
+                assert_eq!(w.tile_list(tx, ty), back.tile_list(tx, ty));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(from_bytes(b"NOTATRACE"), Err(TraceError::BadHeader(_))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&workload());
+        for cut in [9, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&workload());
+        bytes.push(0);
+        assert!(matches!(from_bytes(&bytes), Err(TraceError::BadLength { .. })));
+    }
+
+    #[test]
+    fn corrupt_index_rejected() {
+        let w = workload();
+        let mut bytes = to_bytes(&w);
+        // Corrupt the first tile-list entry (right after header + splats).
+        let lists_start = 8 + 4 * 5 + w.splats().len() * SPLAT_WORDS * 4;
+        // first u32 is the list length; next is the first index.
+        let idx_pos = lists_start + 4;
+        if bytes.len() > idx_pos + 4 {
+            bytes[idx_pos..idx_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_workload_roundtrips() {
+        let w = bin_splats(vec![], 32, 32, 16);
+        let back = from_bytes(&to_bytes(&w)).expect("valid trace");
+        assert_eq!(back.total_pairs(), 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! Classic triangle rasterization — the workload the original hardware
+//! rasterizer supports and GauRast must keep supporting.
+//!
+//! The implementation mirrors Table II's four subtasks:
+//!
+//! 1. coordinate shift of the pixel into the triangle's frame,
+//! 2. intersection detection via three edge functions plus the barycentric
+//!    reciprocal (the `DIV` that triangles need and Gaussians do not),
+//! 3. UV weight computation (barycentric attribute interpolation),
+//! 4. min-depth color hold (Z-test reduction).
+
+use crate::framebuffer::Framebuffer;
+use crate::ops::{Subtask, SubtaskCounts};
+use gaurast_math::{Vec2, Vec3};
+use gaurast_scene::{Camera, TriangleMesh};
+
+/// A triangle after projection to screen space, ready for rasterization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScreenTriangle {
+    /// Vertex positions in pixel coordinates.
+    pub v: [Vec2; 3],
+    /// Per-vertex camera-space depths.
+    pub depth: [f32; 3],
+    /// Per-vertex texture coordinates.
+    pub uv: [Vec2; 3],
+    /// Per-vertex colors (shaded by the "CUDA side" after rasterization;
+    /// carried here so the software path can produce an image).
+    pub color: [Vec3; 3],
+    /// Twice the signed area (from the edge function of the full triangle).
+    pub area2: f32,
+}
+
+impl ScreenTriangle {
+    /// Axis-aligned pixel bounding box `(x0, y0, x1, y1)` (inclusive),
+    /// clipped to the image; `None` when fully outside.
+    pub fn bbox(&self, width: u32, height: u32) -> Option<(u32, u32, u32, u32)> {
+        let min_x = self.v.iter().map(|p| p.x).fold(f32::INFINITY, f32::min);
+        let max_x = self.v.iter().map(|p| p.x).fold(f32::NEG_INFINITY, f32::max);
+        let min_y = self.v.iter().map(|p| p.y).fold(f32::INFINITY, f32::min);
+        let max_y = self.v.iter().map(|p| p.y).fold(f32::NEG_INFINITY, f32::max);
+        if max_x < 0.0 || max_y < 0.0 || min_x >= width as f32 || min_y >= height as f32 {
+            return None;
+        }
+        Some((
+            min_x.max(0.0) as u32,
+            min_y.max(0.0) as u32,
+            (max_x.min(width as f32 - 1.0)) as u32,
+            (max_y.min(height as f32 - 1.0)) as u32,
+        ))
+    }
+}
+
+/// Statistics of one triangle rasterization pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TriangleStats {
+    /// (triangle, pixel) pairs evaluated.
+    pub pairs_evaluated: u64,
+    /// Pixels that passed the inside test and the depth test.
+    pub fragments_written: u64,
+    /// Triangles culled before per-pixel work (off-screen or degenerate).
+    pub culled: u64,
+    /// Per-subtask FP operation tallies.
+    pub ops: SubtaskCounts,
+}
+
+/// Projects a mesh through a camera into screen triangles.
+///
+/// Back-facing and degenerate (zero-area) triangles are dropped, as are
+/// triangles with any vertex behind the near plane (no clipping — the
+/// synthetic meshes keep safely inside the frustum, and clipping is
+/// orthogonal to the rasterizer datapath being studied).
+pub fn project_mesh(mesh: &TriangleMesh, camera: &Camera) -> Vec<ScreenTriangle> {
+    let mut out = Vec::with_capacity(mesh.len());
+    'tri: for i in 0..mesh.len() {
+        let verts = mesh.triangle_vertices(i);
+        let mut v = [Vec2::zero(); 3];
+        let mut depth = [0.0f32; 3];
+        let mut uv = [Vec2::zero(); 3];
+        let mut color = [Vec3::zero(); 3];
+        for (k, vert) in verts.iter().enumerate() {
+            let cam = camera.world_to_camera(vert.position);
+            if cam.z < camera.near() || cam.z > camera.far() {
+                continue 'tri;
+            }
+            let Some(px) = camera.camera_to_pixel(cam) else { continue 'tri };
+            v[k] = px;
+            depth[k] = cam.z;
+            uv[k] = vert.uv;
+            color[k] = vert.color;
+        }
+        let area2 = (v[1] - v[0]).perp_dot(v[2] - v[0]);
+        // Cull degenerate and back-facing (negative-area) triangles.
+        if area2 <= 1e-6 {
+            continue;
+        }
+        out.push(ScreenTriangle { v, depth, uv, color, area2 });
+    }
+    out
+}
+
+/// Rasterizes screen triangles with a Z-buffer; returns the shaded image
+/// and statistics. The G-buffer the fixed-function unit would emit (UV +
+/// depth) is also materialized in the framebuffer depth plane.
+pub fn rasterize_mesh(
+    triangles: &[ScreenTriangle],
+    width: u32,
+    height: u32,
+) -> (Framebuffer, TriangleStats) {
+    let mut fb = Framebuffer::new(width, height);
+    let mut stats = TriangleStats::default();
+
+    for tri in triangles {
+        let Some((x0, y0, x1, y1)) = tri.bbox(width, height) else {
+            stats.culled += 1;
+            continue;
+        };
+        let inv_area = 1.0 / tri.area2;
+        // One reciprocal per triangle, amortized into the detection subtask.
+        stats.ops.at(Subtask::Detection).div += 1;
+
+        let (mut pairs, mut frags) = (0u64, 0u64);
+        let (mut shift_add, mut det_mul, mut det_add, mut det_cmp) = (0u64, 0u64, 0u64, 0u64);
+        let (mut wgt_mul, mut wgt_add) = (0u64, 0u64);
+        let (mut red_mul, mut red_add, mut red_cmp) = (0u64, 0u64, 0u64);
+
+        for py in y0..=y1 {
+            for px in x0..=x1 {
+                pairs += 1;
+                let p = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+
+                // Subtask 1: coordinate shift into the triangle frame.
+                let d0 = p - tri.v[0];
+                let d1 = p - tri.v[1];
+                let d2 = p - tri.v[2];
+                shift_add += 6;
+
+                // Subtask 2: inside test via edge functions, then
+                // barycentric weights with the per-triangle reciprocal.
+                let e0 = (tri.v[2] - tri.v[1]).perp_dot(d1);
+                let e1 = (tri.v[0] - tri.v[2]).perp_dot(d2);
+                let e2 = (tri.v[1] - tri.v[0]).perp_dot(d0);
+                det_mul += 6;
+                det_add += 3;
+                det_cmp += 3;
+                if e0 < 0.0 || e1 < 0.0 || e2 < 0.0 {
+                    continue;
+                }
+                let w0 = e0 * inv_area;
+                let w1 = e1 * inv_area;
+                let w2 = e2 * inv_area;
+                det_mul += 3;
+
+                // Subtask 3: UV weight computation.
+                let uv = tri.uv[0] * w0 + tri.uv[1] * w1 + tri.uv[2] * w2;
+                wgt_mul += 6;
+                wgt_add += 4;
+
+                // Subtask 4: depth interpolation and min-depth hold.
+                let z = tri.depth[0] * w0 + tri.depth[1] * w1 + tri.depth[2] * w2;
+                red_mul += 3;
+                red_add += 2;
+                red_cmp += 1;
+                if z >= fb.depth_at(px, py) {
+                    continue;
+                }
+                // Shading (outside the fixed-function subtasks): barycentric
+                // vertex-color interpolation, modulated by UV for a cheap
+                // texture-like pattern.
+                let base = tri.color[0] * w0 + tri.color[1] * w1 + tri.color[2] * w2;
+                let texture = 0.75 + 0.25 * ((uv.x * 8.0).fract() - 0.5).abs() * 2.0;
+                fb.set_depth(px, py, z);
+                fb.set_color(px, py, base * texture);
+                frags += 1;
+            }
+        }
+
+        stats.pairs_evaluated += pairs;
+        stats.fragments_written += frags;
+        stats.ops.pairs += pairs;
+        stats.ops.at(Subtask::CoordinateShift).add += shift_add;
+        let det = stats.ops.at(Subtask::Detection);
+        det.mul += det_mul;
+        det.add += det_add;
+        det.cmp += det_cmp;
+        let wgt = stats.ops.at(Subtask::WeightComputation);
+        wgt.mul += wgt_mul;
+        wgt.add += wgt_add;
+        let red = stats.ops.at(Subtask::Reduction);
+        red.mul += red_mul;
+        red.add += red_add;
+        red.cmp += red_cmp;
+    }
+
+    (fb, stats)
+}
+
+/// Renders a mesh end to end (projection + rasterization).
+pub fn render_mesh(mesh: &TriangleMesh, camera: &Camera) -> (Framebuffer, TriangleStats) {
+    let tris = project_mesh(mesh, camera);
+    rasterize_mesh(&tris, camera.width(), camera.height())
+}
+
+/// Screen triangles binned into tiles — the triangle-mode input of the
+/// GauRast hardware (mirrors [`crate::RasterWorkload`] for splats).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TriangleWorkload {
+    width: u32,
+    height: u32,
+    tile_size: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+    triangles: Vec<ScreenTriangle>,
+    tile_lists: Vec<Vec<u32>>,
+}
+
+impl TriangleWorkload {
+    /// Bins screen triangles by bounding-box overlap into `tile_size`-pixel
+    /// tiles.
+    ///
+    /// # Panics
+    /// Panics when `tile_size` is zero or the image is empty.
+    pub fn bin(triangles: Vec<ScreenTriangle>, width: u32, height: u32, tile_size: u32) -> Self {
+        assert!(tile_size > 0 && width > 0 && height > 0);
+        let tiles_x = width.div_ceil(tile_size);
+        let tiles_y = height.div_ceil(tile_size);
+        let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+        for (i, t) in triangles.iter().enumerate() {
+            if let Some((x0, y0, x1, y1)) = t.bbox(width, height) {
+                for ty in (y0 / tile_size)..=(y1 / tile_size) {
+                    for tx in (x0 / tile_size)..=(x1 / tile_size) {
+                        tile_lists[(ty * tiles_x + tx) as usize].push(i as u32);
+                    }
+                }
+            }
+        }
+        Self { width, height, tile_size, tiles_x, tiles_y, triangles, tile_lists }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Tile edge in pixels.
+    #[inline]
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Number of tile columns.
+    #[inline]
+    pub fn tiles_x(&self) -> u32 {
+        self.tiles_x
+    }
+
+    /// Number of tile rows.
+    #[inline]
+    pub fn tiles_y(&self) -> u32 {
+        self.tiles_y
+    }
+
+    /// All screen triangles.
+    #[inline]
+    pub fn triangles(&self) -> &[ScreenTriangle] {
+        &self.triangles
+    }
+
+    /// Triangle indices overlapping tile `(tx, ty)`.
+    ///
+    /// # Panics
+    /// Panics when the tile coordinate is out of range.
+    #[inline]
+    pub fn tile_list(&self, tx: u32, ty: u32) -> &[u32] {
+        assert!(tx < self.tiles_x && ty < self.tiles_y, "tile out of range");
+        &self.tile_lists[(ty * self.tiles_x + tx) as usize]
+    }
+
+    /// Pixel rectangle of tile `(tx, ty)` (exclusive upper bounds, clipped).
+    pub fn tile_rect(&self, tx: u32, ty: u32) -> (u32, u32, u32, u32) {
+        let x0 = tx * self.tile_size;
+        let y0 = ty * self.tile_size;
+        (
+            x0,
+            y0,
+            (x0 + self.tile_size).min(self.width),
+            (y0 + self.tile_size).min(self.height),
+        )
+    }
+
+    /// Pixels in tile `(tx, ty)`.
+    pub fn tile_pixels(&self, tx: u32, ty: u32) -> u64 {
+        let (x0, y0, x1, y1) = self.tile_rect(tx, ty);
+        u64::from(x1 - x0) * u64::from(y1 - y0)
+    }
+
+    /// Total (triangle, tile) pairs.
+    pub fn total_pairs(&self) -> u64 {
+        self.tile_lists.iter().map(|l| l.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_math::Vec3;
+    use gaurast_scene::{Triangle, TriangleMesh, Vertex};
+
+    fn camera() -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            128,
+            128,
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn full_screen_triangle(z: f32, color: Vec3) -> ScreenTriangle {
+        // Positive-area winding: (v1-v0) × (v2-v0) > 0 in pixel coordinates.
+        ScreenTriangle {
+            v: [Vec2::new(-200.0, -200.0), Vec2::new(600.0, -200.0), Vec2::new(-200.0, 600.0)],
+            depth: [z; 3],
+            uv: [Vec2::zero(), Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)],
+            color: [color; 3],
+            area2: 800.0 * 800.0,
+        }
+    }
+
+    #[test]
+    fn cube_renders_with_coverage() {
+        let mesh = TriangleMesh::cube(Vec3::zero(), 2.0);
+        let (fb, stats) = render_mesh(&mesh, &camera());
+        assert!(fb.coverage() > 0.02, "coverage {}", fb.coverage());
+        assert!(stats.fragments_written > 0);
+    }
+
+    #[test]
+    fn backfaces_are_culled() {
+        let mesh = TriangleMesh::cube(Vec3::zero(), 2.0);
+        let tris = project_mesh(&mesh, &camera());
+        // Half of the cube's 12 faces are back-facing from any generic view.
+        assert!(tris.len() < 12 && tris.len() >= 3, "visible {}", tris.len());
+    }
+
+    #[test]
+    fn depth_test_keeps_nearest() {
+        let far = full_screen_triangle(10.0, Vec3::new(1.0, 0.0, 0.0));
+        let near = full_screen_triangle(2.0, Vec3::new(0.0, 1.0, 0.0));
+        // Submit far-then-near and near-then-far: same result.
+        let (fb1, _) = rasterize_mesh(&[far, near], 64, 64);
+        let (fb2, _) = rasterize_mesh(&[near, far], 64, 64);
+        assert_eq!(fb1.mean_abs_diff(&fb2), 0.0);
+        let c = fb1.color_at(32, 32);
+        assert!(c.y > c.x, "near green triangle must win: {c:?}");
+        assert!((fb1.depth_at(32, 32) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pixels_outside_triangle_untouched() {
+        let tri = ScreenTriangle {
+            v: [Vec2::new(2.0, 2.0), Vec2::new(10.0, 2.0), Vec2::new(2.0, 10.0)],
+            depth: [1.0; 3],
+            uv: [Vec2::zero(); 3],
+            color: [Vec3::one(); 3],
+            area2: 64.0,
+        };
+        let (fb, _) = rasterize_mesh(&[tri], 32, 32);
+        assert_eq!(fb.color_at(31, 31), Vec3::zero());
+        assert!(fb.color_at(4, 4).max_component() > 0.0);
+    }
+
+    #[test]
+    fn behind_camera_triangle_dropped() {
+        let mesh = TriangleMesh::cube(Vec3::new(0.0, 0.0, -20.0), 2.0);
+        let tris = project_mesh(&mesh, &camera());
+        assert!(tris.is_empty());
+    }
+
+    #[test]
+    fn division_counted_for_triangles() {
+        let mesh = TriangleMesh::cube(Vec3::zero(), 2.0);
+        let (_, stats) = render_mesh(&mesh, &camera());
+        // The divider is the triangle-only unit (Table II).
+        assert!(stats.ops.of(Subtask::Detection).div > 0);
+        // Triangles never use the exponential unit.
+        let total_exp: u64 = Subtask::ALL.iter().map(|&s| stats.ops.of(s).exp).sum();
+        assert_eq!(total_exp, 0);
+    }
+
+    #[test]
+    fn barycentric_interpolation_center() {
+        // Equilateral-ish triangle: at the centroid all weights are 1/3 so
+        // the interpolated depth is the average.
+        let tri = ScreenTriangle {
+            v: [Vec2::new(10.0, 10.0), Vec2::new(50.0, 10.0), Vec2::new(30.0, 50.0)],
+            depth: [3.0, 6.0, 9.0],
+            uv: [Vec2::zero(); 3],
+            color: [Vec3::one(); 3],
+            area2: (Vec2::new(40.0, 0.0)).perp_dot(Vec2::new(20.0, 40.0)),
+        };
+        let (fb, _) = rasterize_mesh(&[tri], 64, 64);
+        let centroid_depth = fb.depth_at(30, 23);
+        assert!((centroid_depth - 6.0).abs() < 0.3, "depth {centroid_depth}");
+    }
+
+    #[test]
+    fn stats_pairs_bound_by_bboxes() {
+        let mesh = TriangleMesh::cube(Vec3::zero(), 1.0);
+        let (_, stats) = render_mesh(&mesh, &camera());
+        assert!(stats.pairs_evaluated >= stats.fragments_written);
+    }
+
+    #[test]
+    fn triangle_workload_binning() {
+        let tri = ScreenTriangle {
+            v: [Vec2::new(2.0, 2.0), Vec2::new(14.0, 2.0), Vec2::new(2.0, 14.0)],
+            depth: [1.0; 3],
+            uv: [Vec2::zero(); 3],
+            color: [Vec3::one(); 3],
+            area2: 144.0,
+        };
+        let w = TriangleWorkload::bin(vec![tri], 64, 64, 16);
+        assert_eq!(w.tile_list(0, 0), &[0]);
+        assert!(w.tile_list(1, 0).is_empty());
+        assert_eq!(w.total_pairs(), 1);
+        assert_eq!((w.tiles_x(), w.tiles_y()), (4, 4));
+    }
+
+    #[test]
+    fn triangle_workload_spanning_tiles() {
+        let tri = full_screen_triangle(1.0, Vec3::one());
+        let w = TriangleWorkload::bin(vec![tri], 64, 64, 16);
+        assert_eq!(w.total_pairs(), 16);
+        assert_eq!(w.tile_pixels(0, 0), 256);
+    }
+}

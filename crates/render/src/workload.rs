@@ -1,0 +1,278 @@
+//! The rasterization workload — the interface between the software pipeline
+//! and the architecture models.
+//!
+//! Stages 1–2 produce a [`RasterWorkload`]: the preprocessed splats plus a
+//! depth-sorted index list per 16×16 tile. Both the CUDA baseline model and
+//! the GauRast cycle-accurate simulator consume this same structure, so the
+//! speedups compare identical work (DESIGN.md §6, decision 1).
+
+use crate::preprocess::Splat2D;
+
+/// Per-tile, depth-ordered rasterization work for one frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RasterWorkload {
+    width: u32,
+    height: u32,
+    tile_size: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+    splats: Vec<Splat2D>,
+    tile_lists: Vec<Vec<u32>>,
+    processed: Option<Vec<u32>>,
+}
+
+impl RasterWorkload {
+    /// Assembles a workload. Intended to be called by
+    /// [`crate::tile::bin_splats`]; exposed for tests and custom tilers.
+    ///
+    /// # Panics
+    /// Panics when the tile-list count does not match the grid, when the
+    /// tile size is zero, or when any index is out of bounds.
+    pub fn new(
+        width: u32,
+        height: u32,
+        tile_size: u32,
+        splats: Vec<Splat2D>,
+        tile_lists: Vec<Vec<u32>>,
+    ) -> Self {
+        assert!(tile_size > 0, "tile size must be positive");
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let tiles_x = width.div_ceil(tile_size);
+        let tiles_y = height.div_ceil(tile_size);
+        assert_eq!(
+            tile_lists.len(),
+            (tiles_x * tiles_y) as usize,
+            "tile list count must match the grid"
+        );
+        for list in &tile_lists {
+            for &i in list {
+                assert!((i as usize) < splats.len(), "splat index {i} out of bounds");
+            }
+        }
+        Self {
+            width,
+            height,
+            tile_size,
+            tiles_x,
+            tiles_y,
+            splats,
+            tile_lists,
+            processed: None,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Tile edge in pixels.
+    #[inline]
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Number of tile columns.
+    #[inline]
+    pub fn tiles_x(&self) -> u32 {
+        self.tiles_x
+    }
+
+    /// Number of tile rows.
+    #[inline]
+    pub fn tiles_y(&self) -> u32 {
+        self.tiles_y
+    }
+
+    /// Total tiles.
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        (self.tiles_x * self.tiles_y) as usize
+    }
+
+    /// All preprocessed splats.
+    #[inline]
+    pub fn splats(&self) -> &[Splat2D] {
+        &self.splats
+    }
+
+    /// Depth-sorted splat indices for tile `(tx, ty)`.
+    ///
+    /// # Panics
+    /// Panics when the tile coordinate is out of range.
+    #[inline]
+    pub fn tile_list(&self, tx: u32, ty: u32) -> &[u32] {
+        assert!(tx < self.tiles_x && ty < self.tiles_y, "tile out of range");
+        &self.tile_lists[(ty * self.tiles_x + tx) as usize]
+    }
+
+    /// Pixel rectangle of tile `(tx, ty)`: `(x0, y0, x1, y1)`, exclusive
+    /// upper bounds, clipped to the image.
+    pub fn tile_rect(&self, tx: u32, ty: u32) -> (u32, u32, u32, u32) {
+        let x0 = tx * self.tile_size;
+        let y0 = ty * self.tile_size;
+        (
+            x0,
+            y0,
+            (x0 + self.tile_size).min(self.width),
+            (y0 + self.tile_size).min(self.height),
+        )
+    }
+
+    /// Number of pixels in tile `(tx, ty)` (edge tiles may be partial).
+    pub fn tile_pixels(&self, tx: u32, ty: u32) -> u64 {
+        let (x0, y0, x1, y1) = self.tile_rect(tx, ty);
+        u64::from(x1 - x0) * u64::from(y1 - y0)
+    }
+
+    /// Total (splat, tile) pairs — the length sum of all tile lists, i.e.
+    /// the sort/binning workload of Stage 2.
+    pub fn total_pairs(&self) -> u64 {
+        self.tile_lists.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// Records how many splats of each tile's list were actually processed
+    /// before the whole tile saturated (filled in by the reference
+    /// rasterizer; both architecture models bill exactly this much work).
+    ///
+    /// # Panics
+    /// Panics when the vector length does not match the tile count or when
+    /// any count exceeds the corresponding list length.
+    pub fn set_processed(&mut self, processed: Vec<u32>) {
+        assert_eq!(processed.len(), self.tile_count(), "one count per tile");
+        for (p, list) in processed.iter().zip(&self.tile_lists) {
+            assert!(
+                *p as usize <= list.len(),
+                "processed count {p} exceeds list length {}",
+                list.len()
+            );
+        }
+        self.processed = Some(processed);
+    }
+
+    /// Processed splat count for tile `(tx, ty)`: the recorded count if the
+    /// reference rasterizer ran, otherwise the full list length.
+    pub fn processed_count(&self, tx: u32, ty: u32) -> u32 {
+        let idx = (ty * self.tiles_x + tx) as usize;
+        match &self.processed {
+            Some(p) => p[idx],
+            None => self.tile_lists[idx].len() as u32,
+        }
+    }
+
+    /// Total Gaussian-pixel blend operations for the frame:
+    /// `Σ_tiles processed(tile) × pixels(tile)`. This is the `W` that both
+    /// architecture models divide by their respective throughputs.
+    pub fn blend_work(&self) -> u64 {
+        let mut total = 0u64;
+        for ty in 0..self.tiles_y {
+            for tx in 0..self.tiles_x {
+                total += u64::from(self.processed_count(tx, ty)) * self.tile_pixels(tx, ty);
+            }
+        }
+        total
+    }
+
+    /// Length of the longest tile list (load-imbalance metric).
+    pub fn max_list_len(&self) -> usize {
+        self.tile_lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean tile-list length.
+    pub fn mean_list_len(&self) -> f64 {
+        if self.tile_lists.is_empty() {
+            return 0.0;
+        }
+        self.total_pairs() as f64 / self.tile_lists.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_math::{Vec2, Vec3};
+
+    fn splat() -> Splat2D {
+        Splat2D {
+            mean: Vec2::new(8.0, 8.0),
+            conic: [0.1, 0.0, 0.1],
+            depth: 1.0,
+            color: Vec3::one(),
+            opacity: 0.9,
+            radius: 4.0,
+            source: 0,
+        }
+    }
+
+    fn workload_2x2() -> RasterWorkload {
+        // 32x32 image, 16px tiles -> 2x2 grid.
+        RasterWorkload::new(
+            32,
+            32,
+            16,
+            vec![splat(), splat()],
+            vec![vec![0, 1], vec![0], vec![], vec![1]],
+        )
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let w = workload_2x2();
+        assert_eq!((w.tiles_x(), w.tiles_y()), (2, 2));
+        assert_eq!(w.tile_count(), 4);
+        assert_eq!(w.tile_pixels(0, 0), 256);
+    }
+
+    #[test]
+    fn partial_edge_tiles() {
+        let w = RasterWorkload::new(20, 18, 16, vec![], vec![vec![], vec![], vec![], vec![]]);
+        assert_eq!(w.tile_rect(1, 1), (16, 16, 20, 18));
+        assert_eq!(w.tile_pixels(1, 1), 4 * 2);
+    }
+
+    #[test]
+    fn total_pairs_sums_lists() {
+        assert_eq!(workload_2x2().total_pairs(), 4);
+    }
+
+    #[test]
+    fn blend_work_without_processed_uses_full_lists() {
+        let w = workload_2x2();
+        assert_eq!(w.blend_work(), (2 + 1 + 0 + 1) * 256);
+    }
+
+    #[test]
+    fn blend_work_with_processed() {
+        let mut w = workload_2x2();
+        w.set_processed(vec![1, 1, 0, 0]);
+        assert_eq!(w.blend_work(), 2 * 256);
+        assert_eq!(w.processed_count(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds list length")]
+    fn processed_cannot_exceed_list() {
+        let mut w = workload_2x2();
+        w.set_processed(vec![3, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn dangling_index_rejected() {
+        let _ = RasterWorkload::new(16, 16, 16, vec![splat()], vec![vec![1]]);
+    }
+
+    #[test]
+    fn list_stats() {
+        let w = workload_2x2();
+        assert_eq!(w.max_list_len(), 2);
+        assert!((w.mean_list_len() - 1.0).abs() < 1e-9);
+    }
+}

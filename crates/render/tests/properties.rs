@@ -1,0 +1,154 @@
+//! Property-based tests for the software rendering pipeline.
+
+use gaurast_math::{Vec2, Vec3};
+use gaurast_render::preprocess::preprocess;
+use gaurast_render::rasterize::rasterize;
+use gaurast_render::sort::{depth_order, is_depth_sorted};
+use gaurast_render::tile::{bin_splats, tile_range};
+use gaurast_render::Splat2D;
+use gaurast_scene::{Camera, Gaussian3, GaussianScene};
+use proptest::prelude::*;
+
+fn splat_strategy() -> impl Strategy<Value = Splat2D> {
+    (
+        -20.0f32..84.0,
+        -20.0f32..84.0,
+        0.01f32..1.0,
+        0.1f32..100.0,
+        0.05f32..0.99,
+        1.0f32..40.0,
+    )
+        .prop_map(|(mx, my, conic, depth, opacity, radius)| Splat2D {
+            mean: Vec2::new(mx, my),
+            conic: [conic, 0.0, conic],
+            depth,
+            color: Vec3::new(0.6, 0.3, 0.8),
+            opacity,
+            radius,
+            source: 0,
+        })
+}
+
+fn gaussian_strategy() -> impl Strategy<Value = Gaussian3> {
+    (
+        -8.0f32..8.0,
+        -8.0f32..8.0,
+        -8.0f32..8.0,
+        0.01f32..1.5,
+        0.05f32..1.0,
+    )
+        .prop_map(|(x, y, z, sigma, opacity)| {
+            Gaussian3::isotropic(Vec3::new(x, y, z), sigma, opacity, Vec3::new(0.9, 0.4, 0.1))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn depth_order_is_a_permutation(splats in prop::collection::vec(splat_strategy(), 0..50)) {
+        let order = depth_order(&splats);
+        prop_assert!(is_depth_sorted(&order, &splats));
+        let mut seen = vec![false; splats.len()];
+        for &i in &order {
+            prop_assert!(!seen[i as usize], "duplicate index {i}");
+            seen[i as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn every_tile_list_entry_overlaps_its_tile(splats in prop::collection::vec(splat_strategy(), 0..40)) {
+        let w = bin_splats(splats, 64, 64, 16);
+        for ty in 0..w.tiles_y() {
+            for tx in 0..w.tiles_x() {
+                for &si in w.tile_list(tx, ty) {
+                    let s = &w.splats()[si as usize];
+                    let range = tile_range(s, 64, 64, 16).expect("binned splat must be on image");
+                    let (x0, y0, x1, y1) = range;
+                    prop_assert!(tx >= x0 && tx <= x1 && ty >= y0 && ty <= y1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binning_covers_all_overlapped_tiles(s in splat_strategy()) {
+        // A splat reported in tile_range must appear in exactly those lists.
+        let w = bin_splats(vec![s], 64, 64, 16);
+        match tile_range(&s, 64, 64, 16) {
+            None => prop_assert_eq!(w.total_pairs(), 0),
+            Some((x0, y0, x1, y1)) => {
+                let expected = u64::from(x1 - x0 + 1) * u64::from(y1 - y0 + 1);
+                prop_assert_eq!(w.total_pairs(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn transmittance_invariant_under_any_splat_set(
+        splats in prop::collection::vec(splat_strategy(), 1..40)
+    ) {
+        let mut w = bin_splats(splats, 48, 48, 16);
+        let (img, stats) = rasterize(&mut w);
+        // Color channels bounded by 1 (transmittance-weighted convex sums).
+        for y in 0..48 {
+            for x in 0..48 {
+                prop_assert!(img.color_at(x, y).max_component() <= 1.0 + 1e-4);
+            }
+        }
+        prop_assert!(stats.blends_committed <= stats.pairs_evaluated);
+        prop_assert!(w.blend_work() <= w.total_pairs() * 256);
+    }
+
+    #[test]
+    fn preprocess_never_produces_invalid_splats(
+        gaussians in prop::collection::vec(gaussian_strategy(), 1..60)
+    ) {
+        let scene = GaussianScene::from_gaussians(gaussians).expect("strategy is valid");
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -20.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            96,
+            96,
+            1.0,
+        ).expect("camera valid");
+        let out = preprocess(&scene, &cam);
+        prop_assert_eq!(out.splats.len() + out.culled, scene.len());
+        for s in &out.splats {
+            prop_assert!(s.depth > 0.0 && s.depth.is_finite());
+            prop_assert!(s.radius >= 1.0);
+            prop_assert!(s.opacity > 0.0 && s.opacity <= 1.0);
+            prop_assert!(s.conic.iter().all(|c| c.is_finite()));
+            // Conic must be positive definite: a > 0, c > 0, ac - b² > 0.
+            prop_assert!(s.conic[0] > 0.0 && s.conic[2] > 0.0);
+            prop_assert!(s.conic[0] * s.conic[2] - s.conic[1] * s.conic[1] > 0.0);
+            prop_assert!(s.color.is_finite());
+        }
+    }
+
+    #[test]
+    fn splitting_a_scene_preserves_total_visibility(
+        gaussians in prop::collection::vec(gaussian_strategy(), 2..40),
+        cut in 1usize..39,
+    ) {
+        // Preprocessing a scene equals preprocessing its two halves:
+        // culling is per-Gaussian.
+        let cut = cut.min(gaussians.len() - 1);
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -20.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            64,
+            64,
+            1.0,
+        ).expect("camera valid");
+        let all = GaussianScene::from_gaussians(gaussians.clone()).expect("valid");
+        let first = GaussianScene::from_gaussians(gaussians[..cut].to_vec()).expect("valid");
+        let second = GaussianScene::from_gaussians(gaussians[cut..].to_vec()).expect("valid");
+        let v_all = preprocess(&all, &cam).splats.len();
+        let v_split = preprocess(&first, &cam).splats.len() + preprocess(&second, &cam).splats.len();
+        prop_assert_eq!(v_all, v_split);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for scene construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by scene constructors and validators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SceneError {
+    /// A Gaussian parameter is out of its valid domain.
+    InvalidGaussian {
+        /// Index of the offending Gaussian.
+        index: usize,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A mesh index references a vertex that does not exist.
+    IndexOutOfBounds {
+        /// The offending vertex index.
+        index: u32,
+        /// Number of vertices in the mesh.
+        vertex_count: usize,
+    },
+    /// A camera parameter is out of its valid domain.
+    InvalidCamera(String),
+    /// A generator or descriptor parameter is out of its valid domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SceneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SceneError::InvalidGaussian { index, reason } => {
+                write!(f, "invalid gaussian at index {index}: {reason}")
+            }
+            SceneError::IndexOutOfBounds { index, vertex_count } => {
+                write!(f, "triangle index {index} out of bounds for {vertex_count} vertices")
+            }
+            SceneError::InvalidCamera(reason) => write!(f, "invalid camera: {reason}"),
+            SceneError::InvalidParameter(reason) => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for SceneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SceneError::InvalidGaussian { index: 3, reason: "opacity 2 > 1".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("index 3"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SceneError>();
+    }
+}

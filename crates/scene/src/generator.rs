@@ -1,0 +1,406 @@
+//! Deterministic synthetic Gaussian scene generation.
+//!
+//! Trained 3DGS checkpoints of real scenes share a characteristic structure:
+//! dense clusters of small Gaussians on object surfaces, plus a sparse shell
+//! of large Gaussians modelling the far-away environment (sky, walls). The
+//! generator reproduces that structure from a handful of statistics so the
+//! rasterization workload — the only thing the architecture models consume —
+//! matches the shape of real scenes. All randomness is seeded; the same
+//! [`SceneParams`] always generate the same scene.
+
+use crate::{Gaussian3, GaussianScene, SceneError, ShColor};
+use gaurast_math::{Quat, Vec3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the synthetic scene generator (builder-style).
+///
+/// # Example
+/// ```
+/// use gaurast_scene::generator::SceneParams;
+///
+/// let scene = SceneParams::new(5_000)
+///     .seed(7)
+///     .extent(8.0)
+///     .clusters(12)
+///     .background_fraction(0.3)
+///     .generate()
+///     .expect("valid parameters");
+/// assert_eq!(scene.len(), 5_000);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SceneParams {
+    count: usize,
+    seed: u64,
+    extent: f32,
+    clusters: usize,
+    background_fraction: f32,
+    mean_log_scale: f32,
+    sigma_log_scale: f32,
+    background_scale_boost: f32,
+    opacity_alpha: f32,
+    opacity_beta: f32,
+    sh_degree: u8,
+}
+
+impl SceneParams {
+    /// Parameters for a scene with `count` Gaussians and sensible defaults
+    /// (matching the mid-range of trained Mip-NeRF360 checkpoints).
+    pub fn new(count: usize) -> Self {
+        Self {
+            count,
+            seed: 0x6A75_5261,
+            extent: 10.0,
+            clusters: 16,
+            background_fraction: 0.25,
+            mean_log_scale: -3.2,
+            sigma_log_scale: 0.8,
+            background_scale_boost: 8.0,
+            opacity_alpha: 2.0,
+            opacity_beta: 1.5,
+            sh_degree: 1,
+        }
+    }
+
+    /// RNG seed (default fixed; change to vary the scene).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Half-extent of the object region in world units.
+    pub fn extent(mut self, extent: f32) -> Self {
+        self.extent = extent;
+        self
+    }
+
+    /// Number of object clusters.
+    pub fn clusters(mut self, clusters: usize) -> Self {
+        self.clusters = clusters;
+        self
+    }
+
+    /// Fraction of Gaussians placed on the background shell (`[0, 1]`).
+    pub fn background_fraction(mut self, f: f32) -> Self {
+        self.background_fraction = f;
+        self
+    }
+
+    /// Mean of `ln(scale)` for object Gaussians, in units of the extent
+    /// (default −3.2 ⇒ median scale ≈ 4 % of the extent).
+    pub fn mean_log_scale(mut self, m: f32) -> Self {
+        self.mean_log_scale = m;
+        self
+    }
+
+    /// Standard deviation of `ln(scale)`.
+    pub fn sigma_log_scale(mut self, s: f32) -> Self {
+        self.sigma_log_scale = s;
+        self
+    }
+
+    /// Multiplier applied to background Gaussian scales (sky splats are
+    /// large; default 8).
+    pub fn background_scale_boost(mut self, b: f32) -> Self {
+        self.background_scale_boost = b;
+        self
+    }
+
+    /// Beta-distribution parameters for opacity (default `Beta(2, 1.5)` —
+    /// skewed toward opaque, like trained checkpoints).
+    pub fn opacity_beta_params(mut self, alpha: f32, beta: f32) -> Self {
+        self.opacity_alpha = alpha;
+        self.opacity_beta = beta;
+        self
+    }
+
+    /// SH degree of the generated colors (0–3; higher degrees exercise more
+    /// Stage-1 work).
+    pub fn sh_degree(mut self, degree: u8) -> Self {
+        self.sh_degree = degree;
+        self
+    }
+
+    /// Generates the scene.
+    ///
+    /// # Errors
+    /// Returns [`SceneError::InvalidParameter`] for out-of-domain
+    /// parameters (zero count or clusters, fraction outside `[0, 1]`,
+    /// non-positive extent, SH degree above 3).
+    pub fn generate(&self) -> Result<GaussianScene, SceneError> {
+        if self.count == 0 {
+            return Err(SceneError::InvalidParameter("gaussian count must be positive".into()));
+        }
+        if self.clusters == 0 {
+            return Err(SceneError::InvalidParameter("cluster count must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.background_fraction) {
+            return Err(SceneError::InvalidParameter(format!(
+                "background fraction must be in [0, 1], got {}",
+                self.background_fraction
+            )));
+        }
+        if !self.extent.is_finite() || self.extent <= 0.0 {
+            return Err(SceneError::InvalidParameter(format!(
+                "extent must be positive, got {}",
+                self.extent
+            )));
+        }
+        if self.sh_degree > 3 {
+            return Err(SceneError::InvalidParameter(format!(
+                "sh degree must be at most 3, got {}",
+                self.sh_degree
+            )));
+        }
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // Cluster centers and radii inside the object region.
+        let cluster_centers: Vec<Vec3> = (0..self.clusters)
+            .map(|_| sample_in_ball(&mut rng) * (self.extent * 0.8))
+            .collect();
+        let cluster_radii: Vec<f32> = (0..self.clusters)
+            .map(|_| self.extent * rng.gen_range(0.08..0.35))
+            .collect();
+        // Per-cluster base colors so clusters are visually distinct.
+        let cluster_colors: Vec<Vec3> = (0..self.clusters)
+            .map(|_| Vec3::new(rng.gen_range(0.1..0.95), rng.gen_range(0.1..0.95), rng.gen_range(0.1..0.95)))
+            .collect();
+
+        let n_background = (self.count as f32 * self.background_fraction).round() as usize;
+        let n_object = self.count - n_background.min(self.count);
+
+        let mut gaussians = Vec::with_capacity(self.count);
+        for _ in 0..n_object {
+            let c = rng.gen_range(0..self.clusters);
+            let offset = sample_normal3(&mut rng) * (cluster_radii[c] * 0.5);
+            let position = cluster_centers[c] + offset;
+            let scale = self.sample_scale(&mut rng, 1.0);
+            let base = cluster_colors[c];
+            gaussians.push(self.make_gaussian(&mut rng, position, scale, base));
+        }
+        for _ in 0..n_background.min(self.count) {
+            // Shell between 2x and 4x the object extent.
+            let dir = sample_on_sphere(&mut rng);
+            let r = self.extent * rng.gen_range(2.0..4.0);
+            let position = dir * r;
+            let scale = self.sample_scale(&mut rng, self.background_scale_boost);
+            let base = Vec3::new(0.5, 0.6, 0.8); // sky-ish
+            gaussians.push(self.make_gaussian(&mut rng, position, scale, base));
+        }
+
+        GaussianScene::from_gaussians(gaussians)
+    }
+
+    fn sample_scale(&self, rng: &mut SmallRng, boost: f32) -> Vec3 {
+        // Log-normal per-axis scales with shared magnitude and mild
+        // anisotropy, in units of the extent.
+        let magnitude = (self.mean_log_scale + self.sigma_log_scale * sample_normal(rng)).exp()
+            * self.extent
+            * boost;
+        let aniso = Vec3::new(
+            (0.4 * sample_normal(rng)).exp(),
+            (0.4 * sample_normal(rng)).exp(),
+            (0.4 * sample_normal(rng)).exp(),
+        );
+        (aniso * magnitude).clamp(1e-5 * self.extent, 2.0 * self.extent)
+    }
+
+    fn make_gaussian(
+        &self,
+        rng: &mut SmallRng,
+        position: Vec3,
+        scale: Vec3,
+        base_color: Vec3,
+    ) -> Gaussian3 {
+        let rotation = sample_rotation(rng);
+        let opacity = sample_beta(rng, self.opacity_alpha, self.opacity_beta)
+            .clamp(0.02, 1.0);
+        let color = self.sample_color(rng, base_color);
+        Gaussian3 { position, scale, rotation, opacity, color }
+    }
+
+    fn sample_color(&self, rng: &mut SmallRng, base: Vec3) -> ShColor {
+        let jitter = Vec3::new(
+            rng.gen_range(-0.1..0.1),
+            rng.gen_range(-0.1..0.1),
+            rng.gen_range(-0.1..0.1),
+        );
+        let rgb = (base + jitter).clamp(0.0, 1.0);
+        if self.sh_degree == 0 {
+            return ShColor::flat(rgb);
+        }
+        let n = gaurast_math::sh::coeff_count(self.sh_degree);
+        let mut coeffs = vec![Vec3::zero(); n];
+        coeffs[0] = gaurast_math::sh::dc_from_rgb(rgb);
+        // Small view-dependent terms (specular-ish highlights).
+        for c in coeffs.iter_mut().skip(1) {
+            *c = sample_normal3(rng) * 0.05;
+        }
+        ShColor::from_coeffs(self.sh_degree, coeffs).expect("count matches degree")
+    }
+}
+
+/// Standard normal sample (Box–Muller; the allowed `rand` crate has no
+/// normal distribution without `rand_distr`).
+fn sample_normal(rng: &mut SmallRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+fn sample_normal3(rng: &mut SmallRng) -> Vec3 {
+    Vec3::new(sample_normal(rng), sample_normal(rng), sample_normal(rng))
+}
+
+/// Uniform sample inside the unit ball (rejection-free via radius cube root).
+fn sample_in_ball(rng: &mut SmallRng) -> Vec3 {
+    let dir = sample_on_sphere(rng);
+    let r: f32 = rng.gen_range(0.0f32..1.0).cbrt();
+    dir * r
+}
+
+/// Uniform sample on the unit sphere.
+fn sample_on_sphere(rng: &mut SmallRng) -> Vec3 {
+    loop {
+        let v = sample_normal3(rng);
+        if let Some(unit) = v.try_normalized() {
+            return unit;
+        }
+    }
+}
+
+/// Uniform random rotation (normalized 4D normal).
+fn sample_rotation(rng: &mut SmallRng) -> Quat {
+    loop {
+        let q = Quat::new(
+            sample_normal(rng),
+            sample_normal(rng),
+            sample_normal(rng),
+            sample_normal(rng),
+        );
+        if q.norm() > 1e-4 {
+            return q.normalized();
+        }
+    }
+}
+
+/// Beta(α, β) sample via the Jöhnk/gamma-free ratio method for small
+/// parameters (adequate for opacity shaping).
+fn sample_beta(rng: &mut SmallRng, alpha: f32, beta: f32) -> f32 {
+    // Use the fact that X = U^(1/α), Y = V^(1/β); accept when X + Y <= 1,
+    // return X / (X + Y). Falls back to the mean after many rejections.
+    for _ in 0..64 {
+        let x = rng.gen_range(0.0f32..1.0).powf(1.0 / alpha);
+        let y = rng.gen_range(0.0f32..1.0).powf(1.0 / beta);
+        if x + y <= 1.0 && x + y > 0.0 {
+            return x / (x + y);
+        }
+    }
+    alpha / (alpha + beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SceneParams::new(500).seed(42).generate().unwrap();
+        let b = SceneParams::new(500).seed(42).generate().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SceneParams::new(100).seed(1).generate().unwrap();
+        let b = SceneParams::new(100).seed(2).generate().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn count_is_exact() {
+        for &n in &[1usize, 17, 1000] {
+            let s = SceneParams::new(n).generate().unwrap();
+            assert_eq!(s.len(), n);
+        }
+    }
+
+    #[test]
+    fn all_gaussians_valid() {
+        let s = SceneParams::new(2000).seed(9).sh_degree(3).generate().unwrap();
+        for g in &s {
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn background_fraction_controls_far_gaussians() {
+        let extent = 10.0;
+        let near_only = SceneParams::new(1000).extent(extent).background_fraction(0.0).generate().unwrap();
+        let with_bg = SceneParams::new(1000).extent(extent).background_fraction(0.5).generate().unwrap();
+        let count_far = |s: &GaussianScene| {
+            s.iter().filter(|g| g.position.length() > extent * 1.8).count()
+        };
+        assert_eq!(count_far(&near_only), 0);
+        let far = count_far(&with_bg);
+        assert!(far > 400 && far < 600, "got {far}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SceneParams::new(0).generate().is_err());
+        assert!(SceneParams::new(10).clusters(0).generate().is_err());
+        assert!(SceneParams::new(10).background_fraction(1.5).generate().is_err());
+        assert!(SceneParams::new(10).extent(-1.0).generate().is_err());
+        assert!(SceneParams::new(10).sh_degree(4).generate().is_err());
+    }
+
+    #[test]
+    fn opacity_distribution_in_range() {
+        let s = SceneParams::new(1000).generate().unwrap();
+        let mean: f32 = s.iter().map(|g| g.opacity).sum::<f32>() / s.len() as f32;
+        assert!(mean > 0.3 && mean < 0.9, "opacity mean {mean}");
+        for g in &s {
+            assert!(g.opacity > 0.0 && g.opacity <= 1.0);
+        }
+    }
+
+    #[test]
+    fn background_gaussians_are_larger() {
+        let s = SceneParams::new(4000).extent(10.0).background_fraction(0.5).generate().unwrap();
+        let (mut near_sum, mut near_n, mut far_sum, mut far_n) = (0.0f32, 0, 0.0f32, 0);
+        for g in &s {
+            let sc = g.scale.max_component();
+            if g.position.length() > 18.0 {
+                far_sum += sc;
+                far_n += 1;
+            } else {
+                near_sum += sc;
+                near_n += 1;
+            }
+        }
+        assert!(far_n > 0 && near_n > 0);
+        assert!(far_sum / far_n as f32 > 2.0 * near_sum / near_n as f32);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn beta_sampler_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let b = sample_beta(&mut rng, 2.0, 1.5);
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Triangle meshes — the primitive type the original rasterizer supports.
+//!
+//! GauRast must preserve triangle rasterization (the paper validates both
+//! modes against software references), so the scene crate provides meshes
+//! and a few procedural generators used by the dual-mode tests and the
+//! Table I comparison.
+
+use crate::SceneError;
+use gaurast_math::{Aabb3, Vec2, Vec3};
+
+/// Mesh vertex: position, vertex color and texture coordinate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Vertex {
+    /// World-space position.
+    pub position: Vec3,
+    /// Vertex RGB color in `[0, 1]`.
+    pub color: Vec3,
+    /// Texture (UV) coordinate — interpolated by the rasterizer exactly as
+    /// in Table II's "UV weight computation" subtask.
+    pub uv: Vec2,
+}
+
+impl Vertex {
+    /// Vertex with a color and zero UV.
+    pub fn new(position: Vec3, color: Vec3) -> Self {
+        Self { position, color, uv: Vec2::zero() }
+    }
+
+    /// Vertex with explicit UV.
+    pub fn with_uv(position: Vec3, color: Vec3, uv: Vec2) -> Self {
+        Self { position, color, uv }
+    }
+}
+
+/// Indexed triangle (three vertex indices, counter-clockwise front face).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Triangle(pub u32, pub u32, pub u32);
+
+/// Indexed triangle mesh.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TriangleMesh {
+    vertices: Vec<Vertex>,
+    triangles: Vec<Triangle>,
+}
+
+impl TriangleMesh {
+    /// Empty mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a mesh, validating all indices.
+    ///
+    /// # Errors
+    /// Returns [`SceneError::IndexOutOfBounds`] for any dangling index.
+    pub fn from_parts(vertices: Vec<Vertex>, triangles: Vec<Triangle>) -> Result<Self, SceneError> {
+        let n = vertices.len();
+        for t in &triangles {
+            for idx in [t.0, t.1, t.2] {
+                if idx as usize >= n {
+                    return Err(SceneError::IndexOutOfBounds { index: idx, vertex_count: n });
+                }
+            }
+        }
+        Ok(Self { vertices, triangles })
+    }
+
+    /// Vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// Triangles.
+    #[inline]
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// Number of triangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// `true` when there are no triangles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// The three vertices of triangle `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn triangle_vertices(&self, i: usize) -> [Vertex; 3] {
+        let t = self.triangles[i];
+        [
+            self.vertices[t.0 as usize],
+            self.vertices[t.1 as usize],
+            self.vertices[t.2 as usize],
+        ]
+    }
+
+    /// World-space bounding box of all vertices.
+    pub fn bounds(&self) -> Aabb3 {
+        let mut b = Aabb3::empty();
+        for v in &self.vertices {
+            b.expand(v.position);
+        }
+        b
+    }
+
+    /// Axis-aligned unit cube centered at `center` with edge length `size`,
+    /// one color per face pair, 12 triangles.
+    pub fn cube(center: Vec3, size: f32) -> Self {
+        let h = size * 0.5;
+        let corners = [
+            Vec3::new(-h, -h, -h), Vec3::new(h, -h, -h),
+            Vec3::new(h, h, -h),   Vec3::new(-h, h, -h),
+            Vec3::new(-h, -h, h),  Vec3::new(h, -h, h),
+            Vec3::new(h, h, h),    Vec3::new(-h, h, h),
+        ];
+        let colors = [
+            Vec3::new(1.0, 0.2, 0.2),
+            Vec3::new(0.2, 1.0, 0.2),
+            Vec3::new(0.2, 0.2, 1.0),
+        ];
+        let vertices: Vec<Vertex> = corners
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Vertex::new(c + center, colors[i % 3]))
+            .collect();
+        // 6 faces, CCW seen from outside.
+        let quads = [
+            [0u32, 3, 2, 1], // -z
+            [4, 5, 6, 7],    // +z
+            [0, 4, 7, 3],    // -x
+            [1, 2, 6, 5],    // +x
+            [0, 1, 5, 4],    // -y
+            [3, 7, 6, 2],    // +y
+        ];
+        let mut triangles = Vec::with_capacity(12);
+        for q in quads {
+            triangles.push(Triangle(q[0], q[1], q[2]));
+            triangles.push(Triangle(q[0], q[2], q[3]));
+        }
+        Self { vertices, triangles }
+    }
+
+    /// UV-sphere with `stacks × slices` quads (each split into two
+    /// triangles), colored by surface normal.
+    ///
+    /// # Panics
+    /// Panics when `stacks < 2` or `slices < 3`.
+    pub fn uv_sphere(center: Vec3, radius: f32, stacks: u32, slices: u32) -> Self {
+        assert!(stacks >= 2 && slices >= 3, "degenerate sphere tessellation");
+        let mut vertices = Vec::new();
+        for i in 0..=stacks {
+            let phi = std::f32::consts::PI * i as f32 / stacks as f32;
+            for j in 0..=slices {
+                let theta = std::f32::consts::TAU * j as f32 / slices as f32;
+                let n = Vec3::new(phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin());
+                let color = (n + Vec3::one()) * 0.5;
+                let uv = Vec2::new(j as f32 / slices as f32, i as f32 / stacks as f32);
+                vertices.push(Vertex::with_uv(center + n * radius, color, uv));
+            }
+        }
+        let cols = slices + 1;
+        let mut triangles = Vec::new();
+        for i in 0..stacks {
+            for j in 0..slices {
+                let a = i * cols + j;
+                let b = a + 1;
+                let c = a + cols;
+                let d = c + 1;
+                triangles.push(Triangle(a, c, b));
+                triangles.push(Triangle(b, c, d));
+            }
+        }
+        Self { vertices, triangles }
+    }
+
+    /// Flat grid in the XZ plane (`nx × nz` quads) with a checkerboard
+    /// color, useful as a ground plane.
+    ///
+    /// # Panics
+    /// Panics when `nx == 0` or `nz == 0`.
+    pub fn grid(center: Vec3, extent: f32, nx: u32, nz: u32) -> Self {
+        assert!(nx > 0 && nz > 0, "degenerate grid tessellation");
+        let mut vertices = Vec::new();
+        for i in 0..=nz {
+            for j in 0..=nx {
+                let fx = j as f32 / nx as f32 - 0.5;
+                let fz = i as f32 / nz as f32 - 0.5;
+                let p = center + Vec3::new(fx * extent, 0.0, fz * extent);
+                let checker = (i + j) % 2 == 0;
+                let color = if checker { Vec3::splat(0.85) } else { Vec3::splat(0.25) };
+                vertices.push(Vertex::with_uv(p, color, Vec2::new(fx + 0.5, fz + 0.5)));
+            }
+        }
+        let cols = nx + 1;
+        let mut triangles = Vec::new();
+        for i in 0..nz {
+            for j in 0..nx {
+                let a = i * cols + j;
+                let b = a + 1;
+                let c = a + cols;
+                let d = c + 1;
+                triangles.push(Triangle(a, b, c));
+                triangles.push(Triangle(b, d, c));
+            }
+        }
+        Self { vertices, triangles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_has_12_triangles() {
+        let m = TriangleMesh::cube(Vec3::zero(), 2.0);
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.vertices().len(), 8);
+        let b = m.bounds();
+        assert_eq!(b.min, Vec3::splat(-1.0));
+        assert_eq!(b.max, Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn sphere_vertex_distance_is_radius() {
+        let c = Vec3::new(1.0, 2.0, 3.0);
+        let m = TriangleMesh::uv_sphere(c, 2.5, 8, 12);
+        for v in m.vertices() {
+            assert!(((v.position - c).length() - 2.5).abs() < 1e-4);
+        }
+        assert_eq!(m.len() as u32, 8 * 12 * 2);
+    }
+
+    #[test]
+    fn grid_triangle_count() {
+        let m = TriangleMesh::grid(Vec3::zero(), 10.0, 4, 3);
+        assert_eq!(m.len() as u32, 4 * 3 * 2);
+        assert_eq!(m.vertices().len() as u32, 5 * 4);
+    }
+
+    #[test]
+    fn from_parts_rejects_dangling_indices() {
+        let verts = vec![Vertex::new(Vec3::zero(), Vec3::one()); 3];
+        let err = TriangleMesh::from_parts(verts, vec![Triangle(0, 1, 3)]).unwrap_err();
+        match err {
+            SceneError::IndexOutOfBounds { index, vertex_count } => {
+                assert_eq!(index, 3);
+                assert_eq!(vertex_count, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn triangle_vertices_accessor() {
+        let m = TriangleMesh::cube(Vec3::zero(), 1.0);
+        let tv = m.triangle_vertices(0);
+        assert_eq!(tv.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate sphere")]
+    fn sphere_rejects_degenerate() {
+        let _ = TriangleMesh::uv_sphere(Vec3::zero(), 1.0, 1, 3);
+    }
+}

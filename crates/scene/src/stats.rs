@@ -1,0 +1,122 @@
+//! Scene statistics used for workload calibration and sanity checks.
+
+use crate::GaussianScene;
+
+/// Summary statistics of a Gaussian scene.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SceneStats {
+    /// Number of Gaussians.
+    pub count: usize,
+    /// Mean opacity.
+    pub mean_opacity: f32,
+    /// Mean of the per-Gaussian maximum scale.
+    pub mean_max_scale: f32,
+    /// 95th percentile of the per-Gaussian maximum scale.
+    pub p95_max_scale: f32,
+    /// Scene bounding-box diagonal.
+    pub extent_diagonal: f32,
+    /// Sum of `opacity × mean_scale²` — a proxy for total blend work.
+    pub total_importance: f32,
+}
+
+impl SceneStats {
+    /// Computes statistics for a scene. All-zero stats for an empty scene.
+    pub fn compute(scene: &GaussianScene) -> Self {
+        if scene.is_empty() {
+            return Self {
+                count: 0,
+                mean_opacity: 0.0,
+                mean_max_scale: 0.0,
+                p95_max_scale: 0.0,
+                extent_diagonal: 0.0,
+                total_importance: 0.0,
+            };
+        }
+        let n = scene.len() as f32;
+        let mut opacity_sum = 0.0f32;
+        let mut scale_sum = 0.0f32;
+        let mut importance_sum = 0.0f32;
+        let mut max_scales: Vec<f32> = Vec::with_capacity(scene.len());
+        for g in scene {
+            opacity_sum += g.opacity;
+            let ms = g.scale.max_component();
+            scale_sum += ms;
+            max_scales.push(ms);
+            importance_sum += crate::mini_splatting::importance(g);
+        }
+        max_scales.sort_by(|a, b| a.partial_cmp(b).expect("scales are finite"));
+        let p95_idx = ((max_scales.len() as f32 * 0.95) as usize).min(max_scales.len() - 1);
+        Self {
+            count: scene.len(),
+            mean_opacity: opacity_sum / n,
+            mean_max_scale: scale_sum / n,
+            p95_max_scale: max_scales[p95_idx],
+            extent_diagonal: scene.bounds().diagonal(),
+            total_importance: importance_sum,
+        }
+    }
+}
+
+impl std::fmt::Display for SceneStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} gaussians, mean opacity {:.3}, mean max scale {:.4}, p95 {:.4}, diagonal {:.2}",
+            self.count, self.mean_opacity, self.mean_max_scale, self.p95_max_scale, self.extent_diagonal
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SceneParams;
+    use crate::mini_splatting::{simplify, MiniSplatConfig};
+
+    #[test]
+    fn empty_scene_zero_stats() {
+        let s = SceneStats::compute(&GaussianScene::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total_importance, 0.0);
+    }
+
+    #[test]
+    fn stats_reflect_scene_size() {
+        let small = SceneParams::new(100).generate().unwrap();
+        let large = SceneParams::new(1000).generate().unwrap();
+        let ss = SceneStats::compute(&small);
+        let ls = SceneStats::compute(&large);
+        assert_eq!(ss.count, 100);
+        assert_eq!(ls.count, 1000);
+        assert!(ls.total_importance > ss.total_importance);
+    }
+
+    #[test]
+    fn p95_at_least_mean() {
+        let scene = SceneParams::new(500).generate().unwrap();
+        let s = SceneStats::compute(&scene);
+        assert!(s.p95_max_scale >= s.mean_max_scale * 0.5);
+        assert!(s.mean_opacity > 0.0 && s.mean_opacity <= 1.0);
+    }
+
+    #[test]
+    fn mini_splatting_reduces_importance_less_than_count() {
+        // The pass keeps the *most* important Gaussians, so importance drops
+        // by much less than the count does — exactly Mini-Splatting's point.
+        let scene = SceneParams::new(2000).generate().unwrap();
+        let simplified = simplify(&scene, MiniSplatConfig::PAPER).unwrap();
+        let before = SceneStats::compute(&scene);
+        let after = SceneStats::compute(&simplified);
+        let count_ratio = after.count as f32 / before.count as f32;
+        let importance_ratio = after.total_importance / before.total_importance;
+        assert!(count_ratio < 0.2);
+        assert!(importance_ratio > count_ratio * 2.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let scene = SceneParams::new(10).generate().unwrap();
+        let text = SceneStats::compute(&scene).to_string();
+        assert!(text.contains("10 gaussians"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for scene generation, simplification and PLY I/O.
+
+use gaurast_scene::generator::SceneParams;
+use gaurast_scene::mini_splatting::{simplify, MiniSplatConfig};
+use gaurast_scene::ply::{from_ply, to_ply};
+use gaurast_scene::stats::SceneStats;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = SceneParams> {
+    (
+        1usize..400,
+        any::<u64>(),
+        1.0f32..30.0,
+        1usize..24,
+        0.0f32..1.0,
+        0u8..=3,
+    )
+        .prop_map(|(count, seed, extent, clusters, bg, degree)| {
+            SceneParams::new(count)
+                .seed(seed)
+                .extent(extent)
+                .clusters(clusters)
+                .background_fraction(bg)
+                .sh_degree(degree)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_valid_params_generate_valid_scenes(params in params_strategy()) {
+        let scene = params.generate().expect("strategy stays in the valid domain");
+        for (i, g) in scene.iter().enumerate() {
+            prop_assert!(g.validate().is_ok(), "gaussian {i} invalid");
+        }
+        let stats = SceneStats::compute(&scene);
+        prop_assert_eq!(stats.count, scene.len());
+        prop_assert!(stats.mean_opacity > 0.0 && stats.mean_opacity <= 1.0);
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_params(params in params_strategy()) {
+        let a = params.generate().expect("valid");
+        let b = params.generate().expect("valid");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simplify_budget_exact_and_importance_ordered(
+        params in params_strategy(),
+        keep in 0.05f32..1.0,
+    ) {
+        let scene = params.generate().expect("valid");
+        let cfg = MiniSplatConfig { keep_fraction: keep, opacity_boost: 1.0, scale_boost: 1.0 };
+        let out = simplify(&scene, cfg).expect("valid config");
+        let budget = ((scene.len() as f32 * keep).round() as usize).clamp(1, scene.len());
+        prop_assert_eq!(out.len(), budget);
+        // Every kept Gaussian must be at least as important as the least
+        // important kept one would suggest: the minimum kept importance is
+        // >= the maximum dropped importance.
+        if out.len() < scene.len() {
+            use gaurast_scene::mini_splatting::importance;
+            let kept_min = out.iter().map(importance).fold(f32::INFINITY, f32::min);
+            // Count how many originals strictly exceed kept_min: they must
+            // all have been kept (ties may go either way).
+            let above: usize = scene.iter().filter(|g| importance(g) > kept_min).count();
+            prop_assert!(above <= out.len());
+        }
+    }
+
+    #[test]
+    fn ply_roundtrip_preserves_rendar_relevant_fields(params in params_strategy()) {
+        let scene = params.generate().expect("valid");
+        let back = from_ply(&to_ply(&scene).expect("serialize")).expect("parse");
+        prop_assert_eq!(back.len(), scene.len());
+        for (a, b) in scene.iter().zip(back.iter()) {
+            prop_assert_eq!(a.position, b.position);
+            prop_assert!((a.opacity - b.opacity).abs() < 1e-4);
+            prop_assert!((a.scale - b.scale).length() <= 1e-3 * a.scale.length());
+            prop_assert_eq!(a.color.degree(), b.color.degree());
+        }
+    }
+
+    #[test]
+    fn bounds_contain_every_center(params in params_strategy()) {
+        let scene = params.generate().expect("valid");
+        let b = scene.bounds();
+        for g in &scene {
+            prop_assert!(b.contains(g.position));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end FPS comparison: baseline (all on CUDA, serial) versus the
+//! CUDA-collaborative schedule (Stage 3 on GauRast, pipelined).
+
+use crate::pipeline::{PipelineSchedule, ScheduleError};
+
+/// End-to-end comparison for one scene.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EndToEnd {
+    /// Stages 1–2 time on CUDA, s (same in both systems).
+    pub stages12_s: f64,
+    /// Stage 3 on the CUDA baseline, s.
+    pub raster_cuda_s: f64,
+    /// Stage 3 on GauRast, s.
+    pub raster_gaurast_s: f64,
+}
+
+impl EndToEnd {
+    /// Validates and constructs.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] for non-positive or non-finite times.
+    pub fn new(stages12_s: f64, raster_cuda_s: f64, raster_gaurast_s: f64) -> Result<Self, ScheduleError> {
+        // Reuse the schedule validation for each pair.
+        PipelineSchedule::new(stages12_s, raster_cuda_s)?;
+        PipelineSchedule::new(stages12_s, raster_gaurast_s)?;
+        Ok(Self { stages12_s, raster_cuda_s, raster_gaurast_s })
+    }
+
+    /// Baseline frame time: everything on the CUDA cores, serial.
+    pub fn baseline_period_s(&self) -> f64 {
+        self.stages12_s + self.raster_cuda_s
+    }
+
+    /// Baseline FPS (the paper's "w/o GauRast" bars in Fig. 11).
+    pub fn baseline_fps(&self) -> f64 {
+        1.0 / self.baseline_period_s()
+    }
+
+    /// GauRast schedule (Stage 3 offloaded, pipelined with Stages 1–2).
+    pub fn gaurast_schedule(&self) -> PipelineSchedule {
+        PipelineSchedule::new(self.stages12_s, self.raster_gaurast_s)
+            .expect("validated at construction")
+    }
+
+    /// GauRast steady-state FPS (the "w/ GauRast" bars).
+    pub fn gaurast_fps(&self) -> f64 {
+        self.gaurast_schedule().steady_state_fps()
+    }
+
+    /// GauRast FPS without pipelining (ablation): serial Stages 1–2 then
+    /// Stage 3.
+    pub fn gaurast_serial_fps(&self) -> f64 {
+        1.0 / (self.stages12_s + self.raster_gaurast_s)
+    }
+
+    /// End-to-end speedup (the paper's headline 6× / 4×).
+    pub fn speedup(&self) -> f64 {
+        self.gaurast_fps() / self.baseline_fps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bicycle-like numbers: 57 ms Stages 1–2, 321 ms CUDA raster, 15 ms
+    /// GauRast raster.
+    fn bicycle() -> EndToEnd {
+        EndToEnd::new(0.057, 0.321, 0.015).unwrap()
+    }
+
+    #[test]
+    fn baseline_fps_in_fig4_band() {
+        let e = bicycle();
+        let fps = e.baseline_fps();
+        assert!((2.0..5.0).contains(&fps), "baseline {fps}");
+    }
+
+    #[test]
+    fn speedup_is_large_and_bounded_by_stage12() {
+        let e = bicycle();
+        let s = e.speedup();
+        // 378 ms -> 57 ms steady state = 6.6x; Amdahl-limited by stages 1-2.
+        assert!((5.0..8.0).contains(&s), "speedup {s}");
+        assert_eq!(e.gaurast_schedule().steady_state_period(), 0.057);
+    }
+
+    #[test]
+    fn pipelining_beats_serial() {
+        let e = bicycle();
+        assert!(e.gaurast_fps() > e.gaurast_serial_fps());
+        // Serial: 72 ms -> 13.9 FPS; pipelined: 57 ms -> 17.5 FPS.
+        assert!((e.gaurast_fps() - 1.0 / 0.057).abs() < 1e-9);
+        assert!((e.gaurast_serial_fps() - 1.0 / 0.072).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(EndToEnd::new(0.0, 1.0, 1.0).is_err());
+        assert!(EndToEnd::new(0.1, -1.0, 1.0).is_err());
+        assert!(EndToEnd::new(0.1, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn raster_bound_case() {
+        // If GauRast raster still dominates stages 1-2, it is the bottleneck.
+        let e = EndToEnd::new(0.005, 0.3, 0.02).unwrap();
+        assert!((e.gaurast_fps() - 50.0).abs() < 1e-9);
+    }
+}

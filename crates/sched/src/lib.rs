@@ -1,0 +1,36 @@
+//! CUDA-collaborative scheduling (paper §IV-C, Fig. 8).
+//!
+//! GauRast keeps the non-dominant pipeline stages — preprocessing and
+//! sorting (Stages 1–2) — on the CUDA cores and offloads the dominant
+//! Gaussian rasterization (Stage 3) to the enhanced rasterizer. Because the
+//! two units are independent, frame `i+1`'s Stages 1–2 run while frame
+//! `i`'s Stage 3 rasterizes: a classic two-stage software pipeline whose
+//! steady-state period is `max(t₁₂, t₃)` instead of `t₁₂ + t₃`.
+//!
+//! This crate is dependency-free: it consumes plain per-stage times and
+//! produces timelines ([`Timeline`]), steady-state throughput
+//! ([`PipelineSchedule`]) and end-to-end comparisons ([`EndToEnd`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gaurast_sched::PipelineSchedule;
+//!
+//! // Stages 1-2 take 20 ms on CUDA, Stage 3 takes 15 ms on GauRast.
+//! let sched = PipelineSchedule::new(0.020, 0.015)?;
+//! assert!((sched.steady_state_fps() - 50.0).abs() < 1e-9);
+//! # Ok::<(), gaurast_sched::ScheduleError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod endtoend;
+mod pipeline;
+pub mod sequence;
+mod timeline;
+
+pub use endtoend::EndToEnd;
+pub use pipeline::{PipelineSchedule, ScheduleError};
+pub use sequence::{replay, FrameCost, SequenceReport};
+pub use timeline::{StageSpan, Timeline, Unit};

@@ -1,0 +1,157 @@
+//! Execution timelines for the Fig. 8 visualization.
+
+/// The two execution units of the CUDA-collaborative schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// CUDA cores (Stages 1–2: preprocessing + sorting).
+    CudaCores,
+    /// The GauRast enhanced rasterizer (Stage 3).
+    Rasterizer,
+}
+
+impl Unit {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::CudaCores => "CUDA cores",
+            Unit::Rasterizer => "rasterizer",
+        }
+    }
+}
+
+/// One stage execution of one frame on one unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageSpan {
+    /// Frame index.
+    pub frame: usize,
+    /// Executing unit.
+    pub unit: Unit,
+    /// Start time, s.
+    pub start_s: f64,
+    /// End time, s.
+    pub end_s: f64,
+}
+
+impl StageSpan {
+    /// Span duration, s.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// A full multi-frame schedule.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Timeline {
+    spans: Vec<StageSpan>,
+}
+
+impl Timeline {
+    /// Timeline from spans.
+    pub fn new(spans: Vec<StageSpan>) -> Self {
+        Self { spans }
+    }
+
+    /// All spans.
+    pub fn spans(&self) -> &[StageSpan] {
+        &self.spans
+    }
+
+    /// Span of `frame` on `unit`, if present.
+    pub fn span(&self, frame: usize, unit: Unit) -> Option<&StageSpan> {
+        self.spans.iter().find(|s| s.frame == frame && s.unit == unit)
+    }
+
+    /// Completion time of the whole schedule, s.
+    pub fn makespan_s(&self) -> f64 {
+        self.spans.iter().map(|s| s.end_s).fold(0.0, f64::max)
+    }
+
+    /// Busy fraction of a unit over the makespan.
+    pub fn utilization(&self, unit: Unit) -> f64 {
+        let makespan = self.makespan_s();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .spans
+            .iter()
+            .filter(|s| s.unit == unit)
+            .map(StageSpan::duration_s)
+            .sum();
+        busy / makespan
+    }
+
+    /// Renders an ASCII Gantt chart (one row per unit), the textual Fig. 8.
+    pub fn ascii_gantt(&self, columns: usize) -> String {
+        let makespan = self.makespan_s();
+        if makespan <= 0.0 || columns == 0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        for unit in [Unit::CudaCores, Unit::Rasterizer] {
+            let mut row = vec![b'.'; columns];
+            for s in self.spans.iter().filter(|s| s.unit == unit) {
+                let a = ((s.start_s / makespan) * columns as f64) as usize;
+                let b = (((s.end_s / makespan) * columns as f64).ceil() as usize).min(columns);
+                let glyph = b'0' + (s.frame % 10) as u8;
+                for cell in &mut row[a.min(columns - 1)..b] {
+                    *cell = glyph;
+                }
+            }
+            out.push_str(&format!("{:>11} |", unit.label()));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> Timeline {
+        Timeline::new(vec![
+            StageSpan { frame: 0, unit: Unit::CudaCores, start_s: 0.0, end_s: 1.0 },
+            StageSpan { frame: 0, unit: Unit::Rasterizer, start_s: 1.0, end_s: 3.0 },
+            StageSpan { frame: 1, unit: Unit::CudaCores, start_s: 1.0, end_s: 2.0 },
+            StageSpan { frame: 1, unit: Unit::Rasterizer, start_s: 3.0, end_s: 5.0 },
+        ])
+    }
+
+    #[test]
+    fn makespan_is_last_end() {
+        assert_eq!(timeline().makespan_s(), 5.0);
+    }
+
+    #[test]
+    fn utilization_per_unit() {
+        let tl = timeline();
+        assert!((tl.utilization(Unit::CudaCores) - 2.0 / 5.0).abs() < 1e-12);
+        assert!((tl.utilization(Unit::Rasterizer) - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_lookup() {
+        let tl = timeline();
+        assert_eq!(tl.span(1, Unit::Rasterizer).unwrap().start_s, 3.0);
+        assert!(tl.span(2, Unit::Rasterizer).is_none());
+    }
+
+    #[test]
+    fn gantt_has_two_rows_and_digits() {
+        let g = timeline().ascii_gantt(40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('0') && lines[0].contains('1'));
+        assert!(lines[1].contains('0') && lines[1].contains('1'));
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let tl = Timeline::default();
+        assert_eq!(tl.makespan_s(), 0.0);
+        assert_eq!(tl.utilization(Unit::CudaCores), 0.0);
+        assert_eq!(tl.ascii_gantt(10), "");
+    }
+}

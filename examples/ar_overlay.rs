@@ -1,0 +1,85 @@
+//! AR overlay: a mixed frame that exercises *both* datapaths of the
+//! enhanced rasterizer — a triangle-mesh HUD/prop layer behind a Gaussian
+//! splat environment, composited with the splat layer's transmittance.
+//! This is the usage pattern GauRast's dual-mode design enables without a
+//! dedicated accelerator (§IV-A).
+//!
+//! ```text
+//! cargo run --release --example ar_overlay
+//! ```
+
+use gaurast::hw::rasterizer::MODE_SWITCH_CYCLES;
+use gaurast::hw::{EnhancedRasterizer, RasterizerConfig};
+use gaurast::render::compose;
+use gaurast::render::pipeline::{render, RenderConfig};
+use gaurast::render::triangle::{project_mesh, TriangleWorkload};
+use gaurast::scene::generator::SceneParams;
+use gaurast::scene::{Camera, TriangleMesh};
+use gaurast_math::Vec3;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let camera = Camera::look_at(
+        Vec3::new(9.0, 7.0, -20.0),
+        Vec3::zero(),
+        Vec3::new(0.0, 1.0, 0.0),
+        384,
+        256,
+        1.05,
+    )?;
+    let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
+
+    // Triangle layer: a "virtual object" (cube) above a ground grid.
+    let cube = TriangleMesh::cube(Vec3::new(0.0, 3.0, 0.0), 5.0);
+    let ground = TriangleMesh::grid(Vec3::new(0.0, -3.0, 0.0), 36.0, 16, 16);
+    let mut verts = cube.vertices().to_vec();
+    let base = verts.len() as u32;
+    verts.extend_from_slice(ground.vertices());
+    let mut tris = cube.triangles().to_vec();
+    tris.extend(ground.triangles().iter().map(|t| {
+        gaurast::scene::Triangle(t.0 + base, t.1 + base, t.2 + base)
+    }));
+    let mesh = TriangleMesh::from_parts(verts, tris)?;
+    let tri_workload = TriangleWorkload::bin(
+        project_mesh(&mesh, &camera),
+        camera.width(),
+        camera.height(),
+        16,
+    );
+
+    // Gaussian layer: a translucent splat environment in front.
+    let scene = SceneParams::new(4_000)
+        .seed(31)
+        .opacity_beta_params(1.2, 2.5) // skew translucent so the mesh shows
+        .generate()?;
+    let gauss_out = render(&scene, &camera, &RenderConfig::default());
+
+    // Both passes on the same hardware, serialized with one mode switch.
+    let (mesh_img, _) = hw.render_triangles(&tri_workload);
+    let (gauss_img, _) = hw.render_gaussian(&gauss_out.workload);
+    let mixed = hw.simulate_mixed(&tri_workload, &gauss_out.workload);
+
+    let frame = compose::over(&gauss_img, &mesh_img);
+    std::fs::write("ar_overlay.ppm", frame.to_ppm())?;
+
+    println!(
+        "triangle pass : {:>9} cycles ({} triangle-tile pairs)",
+        mixed.triangle.cycles,
+        tri_workload.total_pairs()
+    );
+    println!("mode switch   : {MODE_SWITCH_CYCLES:>9} cycles");
+    println!(
+        "gaussian pass : {:>9} cycles ({:.0}% of the frame)",
+        mixed.gaussian.cycles,
+        mixed.gaussian_fraction() * 100.0
+    );
+    let t = mixed.total_time_s(hw.config().clock_hz);
+    println!(
+        "mixed frame   : {:>9} cycles = {:.3} ms -> {:.0} FPS headroom",
+        mixed.total_cycles(),
+        t * 1e3,
+        1.0 / t
+    );
+    println!("wrote ar_overlay.ppm (mesh layer visible through the splats)");
+    Ok(())
+}

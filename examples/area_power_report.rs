@@ -1,0 +1,48 @@
+//! Area and power report: the silicon-cost side of the paper (Fig. 9,
+//! prototype power, SoC fraction, GSCore comparison).
+//!
+//! ```text
+//! cargo run --release --example area_power_report
+//! ```
+
+use gaurast::experiments::area::figure9;
+use gaurast::experiments::competitors::section5c;
+use gaurast::hw::power::PowerModel;
+use gaurast::hw::{EnhancedRasterizer, Precision, RasterizerConfig};
+use gaurast::render::pipeline::{render, RenderConfig};
+use gaurast::scene::nerf360::{Nerf360Scene, SceneScale};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("{}", figure9());
+    println!("{}", section5c());
+
+    // Power of the 16-PE prototype (28 nm) and the scaled design on a busy
+    // frame, matching the paper's 1.7 W typical figure.
+    let desc = Nerf360Scene::Garden.descriptor();
+    let scene = desc.synthesize(SceneScale::UNIT_TEST);
+    let camera = desc.camera(SceneScale::UNIT_TEST, 0.4)?;
+    let out = render(&scene, &camera, &RenderConfig::default());
+
+    type ModelCtor = fn(RasterizerConfig) -> PowerModel;
+    let design_points: [(&str, RasterizerConfig, ModelCtor); 3] = [
+        ("16-PE prototype, 28 nm", RasterizerConfig::prototype(), PowerModel::prototype),
+        ("scaled 15x16 PE, SoC node", RasterizerConfig::scaled(), PowerModel::integrated),
+        (
+            "16-PE FP16 variant, 28 nm",
+            RasterizerConfig { precision: Precision::Fp16, ..RasterizerConfig::prototype() },
+            PowerModel::prototype,
+        ),
+    ];
+    for (label, config, model) in design_points {
+        let report = EnhancedRasterizer::new(config).simulate_gaussian(&out.workload);
+        let power = model(config).evaluate(&report);
+        println!(
+            "{label}: {:.2} W average over a {:.3} ms frame ({:.2} mJ)",
+            power.average_w(),
+            report.time_s * 1e3,
+            power.total_j() * 1e3
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Edge-device frame rates: the paper's motivating scenario. Evaluates all
+//! seven NeRF-360 scenes and reports end-to-end FPS on the Jetson Orin NX
+//! model with and without GauRast, for both 3DGS pipelines.
+//!
+//! ```text
+//! cargo run --release --example edge_device_fps
+//! ```
+
+use gaurast::experiments::{endtoend, Algorithm, EvaluationSet, ExperimentContext};
+
+fn main() {
+    eprintln!("evaluating scenes (repro scale) ...");
+    let set = EvaluationSet::compute(ExperimentContext::repro());
+
+    for algorithm in [Algorithm::Original, Algorithm::MiniSplatting] {
+        let report = endtoend::figure11(&set, algorithm);
+        println!("{report}");
+        let realtime = report.rows.iter().filter(|(_, r)| r.gaurast_fps >= 24.0).count();
+        println!(
+            "{} of 7 scenes reach >= 24 FPS with GauRast ({})\n",
+            realtime,
+            algorithm.label()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Root facade for the GauRast reproduction workspace.
+//!
+//! This crate simply re-exports the public API of [`gaurast`] so that the
+//! repository-level `examples/` and `tests/` directories can exercise the
+//! whole system through a single dependency. See `crates/core` for the actual
+//! facade implementation and `DESIGN.md` for the system inventory.
+
+pub use gaurast::*;
+
+/// Workspace version string, kept in sync with the facade crate.
+pub const WORKSPACE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::WORKSPACE_VERSION.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration: scene generation → software pipeline →
+//! hardware simulation, exercised through the public facade.
+
+use gaurast::hw::{EnhancedRasterizer, RasterizerConfig};
+use gaurast::render::pipeline::{render, RenderConfig};
+use gaurast::scene::mini_splatting::{simplify, MiniSplatConfig};
+use gaurast::scene::nerf360::{Nerf360Scene, SceneScale};
+
+const TEST_SCALE: SceneScale = SceneScale { gaussian_divisor: 4096, resolution_divisor: 16 };
+
+#[test]
+fn every_scene_renders_and_simulates() {
+    let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
+    for scene in Nerf360Scene::ALL {
+        let desc = scene.descriptor();
+        let gscene = desc.synthesize(TEST_SCALE);
+        let cam = desc.camera(TEST_SCALE, 1.1).expect("descriptor camera");
+        let out = render(&gscene, &cam, &RenderConfig::default());
+        assert!(out.preprocess.visible > 0, "{scene}: nothing visible");
+        assert!(out.workload.blend_work() > 0, "{scene}: no blend work");
+        let report = hw.simulate_gaussian(&out.workload);
+        assert!(report.cycles > 0, "{scene}");
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0, "{scene}");
+    }
+}
+
+#[test]
+fn hardware_matches_software_bit_for_bit_on_real_scene() {
+    let desc = Nerf360Scene::Kitchen.descriptor();
+    let gscene = desc.synthesize(TEST_SCALE);
+    let cam = desc.camera(TEST_SCALE, 0.9).expect("descriptor camera");
+    let out = render(&gscene, &cam, &RenderConfig::default());
+    let hw = EnhancedRasterizer::new(RasterizerConfig::prototype());
+    let (image, _) = hw.render_gaussian(&out.workload);
+    assert_eq!(image.mean_abs_diff(&out.image), 0.0);
+    assert_eq!(image.psnr(&out.image), f32::INFINITY);
+}
+
+#[test]
+fn mini_splatting_reduces_hw_cycles() {
+    let desc = Nerf360Scene::Bicycle.descriptor();
+    let full = desc.synthesize(TEST_SCALE);
+    let mini = simplify(&full, MiniSplatConfig::PAPER).expect("valid config");
+    let cam = desc.camera(TEST_SCALE, 0.4).expect("descriptor camera");
+    let cfg = RenderConfig::default();
+    let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
+
+    let full_out = render(&full, &cam, &cfg);
+    let mini_out = render(&mini, &cam, &cfg);
+    let full_report = hw.simulate_gaussian(&full_out.workload);
+    let mini_report = hw.simulate_gaussian(&mini_out.workload);
+    assert!(
+        mini_report.cycles < full_report.cycles,
+        "mini {} vs full {}",
+        mini_report.cycles,
+        full_report.cycles
+    );
+}
+
+#[test]
+fn workload_statistics_are_internally_consistent() {
+    let desc = Nerf360Scene::Garden.descriptor();
+    let gscene = desc.synthesize(TEST_SCALE);
+    let cam = desc.camera(TEST_SCALE, 2.2).expect("descriptor camera");
+    let out = render(&gscene, &cam, &RenderConfig::default());
+    let w = &out.workload;
+
+    // Blend work cannot exceed pairs × pixels-per-tile.
+    let tile_px = u64::from(w.tile_size() * w.tile_size());
+    assert!(w.blend_work() <= w.total_pairs() * tile_px);
+    // Processed counts never exceed list lengths (checked per tile).
+    for ty in 0..w.tiles_y() {
+        for tx in 0..w.tiles_x() {
+            assert!(w.processed_count(tx, ty) as usize <= w.tile_list(tx, ty).len());
+        }
+    }
+    // Committed blends cannot exceed evaluated pairs.
+    assert!(out.raster.blends_committed <= out.raster.pairs_evaluated);
+}
+
+#[test]
+fn camera_angle_changes_but_does_not_break_determinism() {
+    let desc = Nerf360Scene::Room.descriptor();
+    let gscene = desc.synthesize(TEST_SCALE);
+    let cfg = RenderConfig::default();
+    let cam1 = desc.camera(TEST_SCALE, 0.0).expect("camera");
+    let cam2 = desc.camera(TEST_SCALE, 3.0).expect("camera");
+    let a1 = render(&gscene, &cam1, &cfg);
+    let a2 = render(&gscene, &cam1, &cfg);
+    let b = render(&gscene, &cam2, &cfg);
+    assert_eq!(a1.image.mean_abs_diff(&a2.image), 0.0, "same view must be deterministic");
+    assert!(a1.image.mean_abs_diff(&b.image) > 0.0, "different views must differ");
+}

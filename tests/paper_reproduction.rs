@@ -1,0 +1,115 @@
+//! Headline-number regression tests: the paper's key claims must hold in
+//! shape when the full evaluation harness runs (quick scale).
+
+use gaurast::experiments::{
+    area, baseline, competitors, endtoend, raster_perf, Algorithm, EvaluationSet,
+    ExperimentContext,
+};
+use gaurast::gpu::paper;
+use std::sync::OnceLock;
+
+fn set() -> &'static EvaluationSet {
+    static SET: OnceLock<EvaluationSet> = OnceLock::new();
+    SET.get_or_init(|| EvaluationSet::compute(ExperimentContext::quick()))
+}
+
+#[test]
+fn headline_raster_speedup_near_23x() {
+    let fig = raster_perf::figure10(set(), Algorithm::Original);
+    assert!(
+        (fig.mean_speedup - paper::FIG10_AVG_SPEEDUP_ORIGINAL).abs() < 4.0,
+        "mean speedup {} vs paper {}",
+        fig.mean_speedup,
+        paper::FIG10_AVG_SPEEDUP_ORIGINAL
+    );
+}
+
+#[test]
+fn headline_energy_improvement_near_24x() {
+    let fig = raster_perf::figure10(set(), Algorithm::Original);
+    assert!(
+        (fig.mean_energy - paper::FIG10_AVG_ENERGY_ORIGINAL).abs() < 5.0,
+        "mean energy {} vs paper {}",
+        fig.mean_energy,
+        paper::FIG10_AVG_ENERGY_ORIGINAL
+    );
+}
+
+#[test]
+fn table3_within_10_percent_on_baseline() {
+    let t3 = raster_perf::table3(set());
+    for (name, model_base, model_gau, paper_base, paper_gau) in &t3.rows {
+        let base_err = (model_base - paper_base).abs() / paper_base;
+        assert!(base_err < 0.10, "{name}: baseline {model_base} vs {paper_base}");
+        let gau_err = (model_gau - paper_gau).abs() / paper_gau;
+        assert!(gau_err < 0.20, "{name}: gaurast {model_gau} vs {paper_gau}");
+    }
+}
+
+#[test]
+fn endtoend_fps_near_24_at_6x() {
+    let fig = endtoend::figure11(set(), Algorithm::Original);
+    assert!(
+        (fig.mean_gaurast_fps - paper::FIG11_AVG_FPS_ORIGINAL).abs() < 5.0,
+        "mean fps {}",
+        fig.mean_gaurast_fps
+    );
+    assert!(
+        (fig.mean_speedup - paper::FIG11_E2E_SPEEDUP.0).abs() < 1.2,
+        "mean e2e speedup {}",
+        fig.mean_speedup
+    );
+}
+
+#[test]
+fn optimized_pipeline_over_40_fps() {
+    let fig = endtoend::figure11(set(), Algorithm::MiniSplatting);
+    // Paper: 46 FPS at 4x.
+    assert!(
+        (fig.mean_gaurast_fps - paper::FIG11_AVG_FPS_OPTIMIZED).abs() < 10.0,
+        "mean fps {}",
+        fig.mean_gaurast_fps
+    );
+    assert!(fig.mean_speedup > 2.5 && fig.mean_speedup < 5.0, "e2e {}", fig.mean_speedup);
+}
+
+#[test]
+fn baseline_profile_matches_fig4_fig5() {
+    let profile = baseline::baseline_profile(set());
+    let (lo, hi) = profile.fps_range();
+    assert!(lo >= 2.0 && hi <= 6.5, "fps range [{lo}, {hi}] vs paper [2, 5]");
+    assert!(profile.min_raster_share() > paper::FIG5_MIN_RASTER_SHARE);
+}
+
+#[test]
+fn area_claims_hold() {
+    let r = area::figure9();
+    assert!((r.module.enhancement_fraction() - 0.21).abs() < 0.01, "21% enhancement");
+    assert!((r.soc_fraction - 0.002).abs() < 0.0005, "0.2% of SoC");
+    let g = competitors::section5c();
+    assert!((g.comparison.ratio - paper::GSCORE_AREA_EFFICIENCY_RATIO).abs() < 1.0);
+}
+
+#[test]
+fn m2_pro_speedup_near_11x() {
+    let r = competitors::section5d(set());
+    assert!(
+        (r.speedup - paper::M2_PRO_SPEEDUP_BICYCLE).abs() < 2.5,
+        "speedup {} vs paper {}",
+        r.speedup,
+        paper::M2_PRO_SPEEDUP_BICYCLE
+    );
+}
+
+#[test]
+fn per_scene_speedups_in_published_band() {
+    // Table III implies 21.4x (bicycle) … 26.7x (bonsai).
+    let fig = raster_perf::figure10(set(), Algorithm::Original);
+    for (name, row) in &fig.rows {
+        assert!(
+            (17.0..31.0).contains(&row.speedup),
+            "{name}: speedup {} outside the published band",
+            row.speedup
+        );
+    }
+}
