@@ -12,21 +12,29 @@ use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 fn bench_ablations(c: &mut Criterion) {
     let desc = Nerf360Scene::Garden.descriptor();
     let scene = desc.synthesize(SceneScale::UNIT_TEST);
-    let cam = desc.camera(SceneScale::UNIT_TEST, 0.4).expect("valid camera");
+    let cam = desc
+        .camera(SceneScale::UNIT_TEST, 0.4)
+        .expect("valid camera");
 
     println!("ablation: tile size (simulated GauRast frame time)");
     for tile in [8u32, 16, 32] {
         let out = render(&scene, &cam, &RenderConfig { tile_size: tile });
         let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
         let r = hw.simulate_gaussian(&out.workload);
-        println!("  tile {tile:>2} px: {:>9} cycles, util {:.2}", r.cycles, r.utilization);
+        println!(
+            "  tile {tile:>2} px: {:>9} cycles, util {:.2}",
+            r.cycles, r.utilization
+        );
     }
 
     let out = render(&scene, &cam, &RenderConfig::default());
 
     println!("ablation: PE count (simulated frame time)");
     for modules in [1u32, 4, 15, 30] {
-        let cfg = RasterizerConfig { modules, ..RasterizerConfig::prototype() };
+        let cfg = RasterizerConfig {
+            modules,
+            ..RasterizerConfig::prototype()
+        };
         let r = EnhancedRasterizer::new(cfg).simulate_gaussian(&out.workload);
         println!(
             "  {:>3} PEs: {:>9} cycles, util {:.2}",
@@ -38,7 +46,10 @@ fn bench_ablations(c: &mut Criterion) {
 
     println!("ablation: ping-pong vs single tile buffer");
     for ping_pong in [true, false] {
-        let cfg = RasterizerConfig { ping_pong, ..RasterizerConfig::scaled() };
+        let cfg = RasterizerConfig {
+            ping_pong,
+            ..RasterizerConfig::scaled()
+        };
         let r = EnhancedRasterizer::new(cfg).simulate_gaussian(&out.workload);
         println!(
             "  ping_pong={ping_pong:<5}: {:>9} cycles, stalls {}",
@@ -47,8 +58,16 @@ fn bench_ablations(c: &mut Criterion) {
     }
 
     println!("ablation: input gating and precision (energy per frame)");
-    for (gating, precision) in [(true, Precision::Fp32), (false, Precision::Fp32), (true, Precision::Fp16)] {
-        let cfg = RasterizerConfig { input_gating: gating, precision, ..RasterizerConfig::scaled() };
+    for (gating, precision) in [
+        (true, Precision::Fp32),
+        (false, Precision::Fp32),
+        (true, Precision::Fp16),
+    ] {
+        let cfg = RasterizerConfig {
+            input_gating: gating,
+            precision,
+            ..RasterizerConfig::scaled()
+        };
         let r = EnhancedRasterizer::new(cfg).simulate_gaussian(&out.workload);
         let p = PowerModel::prototype(cfg).evaluate(&r);
         println!(
@@ -61,7 +80,10 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     for modules in [1u32, 15] {
-        let cfg = RasterizerConfig { modules, ..RasterizerConfig::prototype() };
+        let cfg = RasterizerConfig {
+            modules,
+            ..RasterizerConfig::prototype()
+        };
         let hw = EnhancedRasterizer::new(cfg);
         group.bench_function(format!("simulate_{}pe", cfg.total_pes()), |b| {
             b.iter(|| hw.simulate_gaussian(&out.workload));

@@ -32,7 +32,10 @@ fn bench_ops(c: &mut Criterion) {
         b.iter(|| render_mesh(&mesh, &cam));
     });
 
-    let scene = SceneParams::new(8_000).seed(3).generate().expect("valid params");
+    let scene = SceneParams::new(8_000)
+        .seed(3)
+        .generate()
+        .expect("valid params");
     let cfg = RenderConfig::default();
     group.bench_function("gaussian_rasterization", |b| {
         b.iter_batched(

@@ -14,7 +14,9 @@ fn bench_hw(c: &mut Criterion) {
     for scene in [Nerf360Scene::Bicycle, Nerf360Scene::Bonsai] {
         let desc = scene.descriptor();
         let gscene = desc.synthesize(SceneScale::UNIT_TEST);
-        let cam = desc.camera(SceneScale::UNIT_TEST, 0.4).expect("valid camera");
+        let cam = desc
+            .camera(SceneScale::UNIT_TEST, 0.4)
+            .expect("valid camera");
         let out = render(&gscene, &cam, &RenderConfig::default());
         let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
         let report = hw.simulate_gaussian(&out.workload);

@@ -2,13 +2,13 @@
 //! per stage, on a mid-size synthetic scene.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gaurast_math::Vec3;
 use gaurast_render::pipeline::{render, RenderConfig};
 use gaurast_render::preprocess::preprocess;
 use gaurast_render::rasterize::rasterize;
 use gaurast_render::tile::bin_splats;
 use gaurast_scene::generator::SceneParams;
 use gaurast_scene::Camera;
-use gaurast_math::Vec3;
 
 fn camera() -> Camera {
     Camera::look_at(
@@ -23,7 +23,10 @@ fn camera() -> Camera {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
-    let scene = SceneParams::new(20_000).seed(42).generate().expect("valid params");
+    let scene = SceneParams::new(20_000)
+        .seed(42)
+        .generate()
+        .expect("valid params");
     let cam = camera();
     let cfg = RenderConfig::default();
 

@@ -7,18 +7,33 @@
 //! ```
 //!
 //! Artifact ids: `tab1 tab2 fig4 fig5 fig8 fig9 fig10 tab3 fig11 sec5c
-//! sec5d ablations quality`.
+//! sec5d ablations quality sweep compare`.
 
+use gaurast::backend::BackendKind;
+use gaurast::engine::EngineBuilder;
 use gaurast::experiments::{
-    ablations, area, baseline, competitors, endtoend, methodology, pipelining, primitives,
-    quality, raster_perf, sweep, Algorithm, EvaluationSet, ExperimentContext,
+    ablations, area, baseline, competitors, endtoend, methodology, pipelining, primitives, quality,
+    raster_perf, sweep, Algorithm, EvaluationSet, ExperimentContext,
 };
 use gaurast_gpu::paper;
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 
-const ALL_IDS: [&str; 14] = [
-    "tab1", "tab2", "fig4", "fig5", "fig8", "fig9", "fig10", "tab3", "fig11", "sec5c", "sec5d",
-    "ablations", "quality", "sweep",
+const ALL_IDS: [&str; 15] = [
+    "tab1",
+    "tab2",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "tab3",
+    "fig11",
+    "sec5c",
+    "sec5d",
+    "ablations",
+    "quality",
+    "sweep",
+    "compare",
 ];
 
 fn main() {
@@ -41,12 +56,19 @@ fn main() {
         selected
     };
 
-    let needs_set = ids
-        .iter()
-        .any(|id| matches!(*id, "fig4" | "fig5" | "fig8" | "fig10" | "tab3" | "fig11" | "sec5d"));
+    let needs_set = ids.iter().any(|id| {
+        matches!(
+            *id,
+            "fig4" | "fig5" | "fig8" | "fig10" | "tab3" | "fig11" | "sec5d"
+        )
+    });
     let csv = args.iter().any(|a| a == "--csv");
     let set = (needs_set || csv).then(|| {
-        let ctx = if quick { ExperimentContext::quick() } else { ExperimentContext::repro() };
+        let ctx = if quick {
+            ExperimentContext::quick()
+        } else {
+            ExperimentContext::repro()
+        };
         eprintln!(
             "evaluating 7 scenes x 2 algorithms at 1/{} gaussians, 1/{} resolution ...",
             ctx.scale.gaussian_divisor, ctx.scale.resolution_divisor
@@ -105,12 +127,20 @@ fn main() {
             }
             "sec5c" => {
                 section(&competitors::section5c().to_string());
-                let scale = if quick { SceneScale::UNIT_TEST } else { SceneScale::REPRO };
+                let scale = if quick {
+                    SceneScale::UNIT_TEST
+                } else {
+                    SceneScale::REPRO
+                };
                 section(&competitors::gscore_architecture(scale).to_string());
             }
             "sec5d" => section(&competitors::section5d(set.expect("set computed")).to_string()),
             "ablations" => {
-                let scale = if quick { SceneScale::UNIT_TEST } else { SceneScale::REPRO };
+                let scale = if quick {
+                    SceneScale::UNIT_TEST
+                } else {
+                    SceneScale::REPRO
+                };
                 section(&ablations::ablations(Nerf360Scene::Garden, scale).to_string());
             }
             "quality" => {
@@ -119,8 +149,27 @@ fn main() {
                 section(&quality::quality(SceneScale::UNIT_TEST).to_string());
             }
             "sweep" => {
-                let scale = if quick { SceneScale::UNIT_TEST } else { SceneScale::REPRO };
+                let scale = if quick {
+                    SceneScale::UNIT_TEST
+                } else {
+                    SceneScale::REPRO
+                };
                 section(&sweep::pe_sweep(Nerf360Scene::Bicycle, scale).to_string());
+            }
+            "compare" => {
+                // One engine call runs the identical workload on every
+                // substrate (software, CUDA baseline, GSCore, GauRast).
+                let scale = if quick {
+                    SceneScale::UNIT_TEST
+                } else {
+                    SceneScale::REPRO
+                };
+                let desc = Nerf360Scene::Garden.descriptor();
+                let mut engine = EngineBuilder::new(desc.synthesize(scale))
+                    .build()
+                    .expect("default configuration is valid");
+                let cam = desc.camera(scale, 0.4).expect("descriptor camera");
+                section(&engine.compare(&cam, &BackendKind::ALL).to_string());
             }
             _ => unreachable!("ids validated above"),
         }

@@ -1,0 +1,5 @@
+//! Benchmark crate of the GauRast workspace: the targets live in
+//! `benches/` and the paper-artifact reproduction binary in
+//! `src/bin/repro.rs`. This library is an intentionally empty anchor.
+
+#![deny(missing_docs)]

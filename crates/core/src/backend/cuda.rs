@@ -1,0 +1,57 @@
+//! Calibrated CUDA baseline GPUs as backends.
+
+use super::{Backend, BackendKind, Frame, FrameReport, FrameStats, GpuPreset};
+use gaurast_gpu::CudaGpuModel;
+
+/// Executes frames on a calibrated analytical CUDA GPU model
+/// ([`gaurast_gpu::CudaGpuModel`]). The reported time and energy cover
+/// Stage 3 (Gaussian rasterization) on the device, comparable with every
+/// other backend; the model's Stage-1/2 bandwidth estimates remain
+/// available through [`CudaGpuBackend::model`].
+#[derive(Clone, Debug)]
+pub struct CudaGpuBackend {
+    preset: GpuPreset,
+    model: CudaGpuModel,
+}
+
+impl CudaGpuBackend {
+    /// Backend for a device preset.
+    pub fn new(preset: GpuPreset) -> Self {
+        Self {
+            preset,
+            model: preset.model(),
+        }
+    }
+
+    /// The underlying analytical model.
+    pub fn model(&self) -> &CudaGpuModel {
+        &self.model
+    }
+}
+
+impl Backend for CudaGpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cuda(self.preset)
+    }
+
+    fn name(&self) -> String {
+        self.model.name.clone()
+    }
+
+    fn execute(&mut self, frame: Frame<'_>) -> FrameReport {
+        let time_s = self.model.raster_time(frame.workload);
+        FrameReport {
+            kind: self.kind(),
+            // The modeled CUDA kernel computes exactly the reference image.
+            image: if frame.retain_image {
+                frame.reference.image.clone()
+            } else {
+                None
+            },
+            time_s,
+            energy_j: self.model.raster_energy_j(time_s),
+            ops: frame.workload.blend_work(),
+            stats: FrameStats::default(),
+        }
+    }
+}

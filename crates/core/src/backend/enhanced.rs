@@ -1,0 +1,70 @@
+//! The GauRast enhanced rasterizer as a backend.
+
+use super::{Backend, BackendKind, Frame, FrameReport, FrameStats};
+use gaurast_hw::power::PowerModel;
+use gaurast_hw::{EnhancedRasterizer, RasterizerConfig};
+
+/// Executes frames on the cycle-accurate GauRast model
+/// ([`gaurast_hw::EnhancedRasterizer`]) with its activity-based power
+/// model. When the frame retains images, the functional PE datapath renders
+/// one (bit-exact with the reference in FP32).
+#[derive(Clone, Debug)]
+pub struct EnhancedRasterizerBackend {
+    hw: EnhancedRasterizer,
+    power: PowerModel,
+}
+
+impl EnhancedRasterizerBackend {
+    /// Backend on the given hardware configuration, with the
+    /// integrated-SoC power model the scene-level results use.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; use
+    /// [`RasterizerConfig::validate`] to check first.
+    pub fn new(config: RasterizerConfig) -> Self {
+        Self {
+            hw: EnhancedRasterizer::new(config),
+            power: PowerModel::integrated(config),
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &RasterizerConfig {
+        self.hw.config()
+    }
+}
+
+impl Backend for EnhancedRasterizerBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Enhanced
+    }
+
+    fn name(&self) -> String {
+        let c = self.config();
+        format!(
+            "gaurast enhanced rasterizer ({} modules x {} PEs, {:?})",
+            c.modules, c.pes_per_module, c.precision
+        )
+    }
+
+    fn execute(&mut self, frame: Frame<'_>) -> FrameReport {
+        let (image, report) = if frame.retain_image {
+            let (img, rep) = self.hw.render_gaussian(frame.workload);
+            (Some(img), rep)
+        } else {
+            (None, self.hw.simulate_gaussian(frame.workload))
+        };
+        let energy_j = self.power.evaluate(&report).total_j();
+        FrameReport {
+            kind: self.kind(),
+            image,
+            time_s: report.time_s,
+            energy_j,
+            ops: report.pairs,
+            stats: FrameStats {
+                utilization: report.utilization,
+                ..FrameStats::default()
+            },
+        }
+    }
+}

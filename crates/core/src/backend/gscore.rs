@@ -1,0 +1,73 @@
+//! The GSCore accelerator model as a backend.
+
+use super::{Backend, BackendKind, Frame, FrameReport, FrameStats};
+use gaurast_gscore::subtile::RefinedWork;
+use gaurast_gscore::{GscoreAccelerator, GscoreConfig};
+
+/// Executes frames on the architecture-level GSCore model
+/// ([`gaurast_gscore::GscoreAccelerator`]). GSCore publishes no power
+/// model, so `energy_j` is reported as zero; the last frame's workload
+/// refinement (shape culling + subtile skipping) is kept for inspection.
+#[derive(Clone, Copy, Debug)]
+pub struct GscoreBackend {
+    accel: GscoreAccelerator,
+    last_refined: Option<RefinedWork>,
+}
+
+impl GscoreBackend {
+    /// Backend on the given configuration.
+    ///
+    /// # Panics
+    /// Panics when any throughput parameter is zero.
+    pub fn new(config: GscoreConfig) -> Self {
+        Self {
+            accel: GscoreAccelerator::new(config),
+            last_refined: None,
+        }
+    }
+
+    /// Backend on the published design point.
+    pub fn published() -> Self {
+        Self::new(GscoreConfig::published())
+    }
+
+    /// The workload refinement GSCore measured on the last executed frame.
+    pub fn last_refinement(&self) -> Option<RefinedWork> {
+        self.last_refined
+    }
+}
+
+impl Default for GscoreBackend {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+impl Backend for GscoreBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Gscore
+    }
+
+    fn name(&self) -> String {
+        "gscore (published design point)".to_string()
+    }
+
+    fn execute(&mut self, frame: Frame<'_>) -> FrameReport {
+        let report = self.accel.simulate(frame.workload);
+        self.last_refined = Some(report.refined);
+        FrameReport {
+            kind: self.kind(),
+            // GSCore's VRU computes the same blend as the reference; the
+            // subtile skip only removes below-cutoff contributions.
+            image: if frame.retain_image {
+                frame.reference.image.clone()
+            } else {
+                None
+            },
+            time_s: report.time_s,
+            energy_j: 0.0,
+            ops: report.refined.subtile_pixel_work,
+            stats: FrameStats::default(),
+        }
+    }
+}

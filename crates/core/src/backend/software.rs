@@ -1,0 +1,45 @@
+//! The software reference renderer as a backend.
+
+use super::{Backend, BackendKind, Frame, FrameReport, FrameStats};
+
+/// Executes frames on the software reference renderer
+/// ([`gaurast_render::pipeline`]). The engine's reference pass *is* this
+/// backend's execution, so `execute` reports the measured host wall-clock
+/// time of that pass instead of re-rendering — all other backends bill the
+/// processed counts this pass recorded.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SoftwareBackend;
+
+impl SoftwareBackend {
+    /// A software backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Backend for SoftwareBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Software
+    }
+
+    fn name(&self) -> String {
+        "software reference (host)".to_string()
+    }
+
+    fn execute(&mut self, frame: Frame<'_>) -> FrameReport {
+        let r = frame.reference;
+        FrameReport {
+            kind: self.kind(),
+            image: if frame.retain_image {
+                r.image.clone()
+            } else {
+                None
+            },
+            time_s: r.wall_s,
+            // Host CPU energy is not modeled.
+            energy_j: 0.0,
+            ops: r.raster.pairs_evaluated,
+            stats: FrameStats::default(),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Engine construction.
+
+use super::{Engine, EngineError, ImagePolicy};
+use crate::backend::BackendKind;
+use gaurast_gpu::{device, CudaGpuModel};
+use gaurast_hw::{Precision, RasterizerConfig};
+use gaurast_render::DEFAULT_TILE_SIZE;
+use gaurast_scene::GaussianScene;
+
+/// Builder for an [`Engine`] session.
+///
+/// Defaults: 16-pixel tiles, the GauRast scaled hardware configuration in
+/// FP32, the Jetson Orin NX as the host device for Stages 1–2, the
+/// [`BackendKind::Enhanced`] backend, and images discarded after
+/// statistics are recorded.
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    scene: GaussianScene,
+    tile_size: u32,
+    backend: BackendKind,
+    precision: Option<Precision>,
+    hw_config: RasterizerConfig,
+    host: CudaGpuModel,
+    image_policy: ImagePolicy,
+}
+
+impl EngineBuilder {
+    /// Starts a builder over a scene with the defaults above.
+    pub fn new(scene: GaussianScene) -> Self {
+        Self {
+            scene,
+            tile_size: DEFAULT_TILE_SIZE,
+            backend: BackendKind::Enhanced,
+            precision: None,
+            hw_config: RasterizerConfig::scaled(),
+            host: device::orin_nx(),
+            image_policy: ImagePolicy::Discard,
+        }
+    }
+
+    /// Tile edge in pixels (16 in the reference and in GauRast).
+    pub fn tile_size(mut self, tile_size: u32) -> Self {
+        self.tile_size = tile_size;
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// Datapath precision of the enhanced-rasterizer backend (overrides
+    /// the hardware configuration's precision).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Hardware configuration of the enhanced-rasterizer backend.
+    pub fn hw_config(mut self, config: RasterizerConfig) -> Self {
+        self.hw_config = config;
+        self
+    }
+
+    /// Host device model billing Stages 1–2 under the CUDA-collaborative
+    /// schedule (and serving as the `Cuda` backend preset's sibling).
+    pub fn host(mut self, host: CudaGpuModel) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Image retention policy for reports.
+    pub fn image_policy(mut self, policy: ImagePolicy) -> Self {
+        self.image_policy = policy;
+        self
+    }
+
+    /// Shorthand for [`ImagePolicy::Retain`] / [`ImagePolicy::Discard`].
+    pub fn retain_images(self, retain: bool) -> Self {
+        self.image_policy(if retain {
+            ImagePolicy::Retain
+        } else {
+            ImagePolicy::Discard
+        })
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    /// Returns [`EngineError`] for a zero tile size or an invalid hardware
+    /// configuration.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        if self.tile_size == 0 {
+            return Err(EngineError("tile size must be positive".to_string()));
+        }
+        let mut hw_config = self.hw_config;
+        if let Some(precision) = self.precision {
+            hw_config.precision = precision;
+        }
+        hw_config
+            .validate()
+            .map_err(|e| EngineError(format!("invalid hardware configuration: {e}")))?;
+        Ok(Engine::from_parts(
+            self.scene,
+            self.tile_size,
+            self.image_policy,
+            hw_config,
+            self.host,
+            self.backend,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_scene::generator::SceneParams;
+
+    fn scene() -> GaussianScene {
+        SceneParams::new(100).seed(3).generate().unwrap()
+    }
+
+    #[test]
+    fn defaults_build() {
+        let e = EngineBuilder::new(scene()).build().unwrap();
+        assert_eq!(e.backend_kind(), BackendKind::Enhanced);
+        assert_eq!(e.tile_size(), 16);
+        assert_eq!(e.frames_rendered(), 0);
+    }
+
+    #[test]
+    fn zero_tile_size_rejected() {
+        let err = EngineBuilder::new(scene())
+            .tile_size(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("tile size"));
+    }
+
+    #[test]
+    fn invalid_hw_config_rejected() {
+        let bad = RasterizerConfig {
+            modules: 0,
+            ..RasterizerConfig::prototype()
+        };
+        let err = EngineBuilder::new(scene())
+            .hw_config(bad)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("hardware"));
+    }
+
+    #[test]
+    fn precision_overrides_hw_config() {
+        let e = EngineBuilder::new(scene())
+            .hw_config(RasterizerConfig::prototype())
+            .precision(Precision::Fp16)
+            .build()
+            .unwrap();
+        assert_eq!(e.hw_config.precision, Precision::Fp16);
+        assert!(e.backend_name().contains("Fp16"));
+    }
+}

@@ -1,0 +1,541 @@
+//! The session-based rendering engine — the workspace's unified entry
+//! point over every execution substrate.
+//!
+//! An [`Engine`] owns a scene, a selected [`Backend`], and reusable
+//! per-session scratch (framebuffer and binning buffers are recycled
+//! across frames instead of reallocated). Per frame it runs Stages 1–2 and
+//! one reference Stage-3 pass — in record-only mode unless images are
+//! retained — and hands the finalized workload to the backend:
+//!
+//! * [`Engine::render_frame`] — one camera, one [`FrameReport`];
+//! * [`Engine::render_sequence`] — a camera path replayed through the
+//!   CUDA-collaborative two-stage pipeline
+//!   ([`gaurast_sched::sequence::replay`]), reporting throughput and
+//!   frame pacing;
+//! * [`Engine::compare`] — the same frame executed on several substrates
+//!   for one-call cross-backend evaluation.
+//!
+//! Build one with [`EngineBuilder`]:
+//!
+//! ```
+//! use gaurast::engine::EngineBuilder;
+//! use gaurast::backend::BackendKind;
+//! use gaurast::scene::generator::SceneParams;
+//! use gaurast::scene::Camera;
+//! use gaurast_math::Vec3;
+//!
+//! let scene = SceneParams::new(300).seed(5).generate()?;
+//! let cam = Camera::look_at(Vec3::new(0.0, 5.0, -25.0), Vec3::zero(),
+//!                           Vec3::new(0.0, 1.0, 0.0), 64, 64, 1.0)?;
+//! let mut engine = EngineBuilder::new(scene)
+//!     .backend(BackendKind::Enhanced)
+//!     .build()?;
+//! let report = engine.render_frame(&cam);
+//! assert!(report.time_s > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod builder;
+
+pub use builder::EngineBuilder;
+
+use crate::backend::{
+    Backend, BackendKind, CudaGpuBackend, EnhancedRasterizerBackend, Frame, FrameReport,
+    GscoreBackend, ReferencePass, SoftwareBackend,
+};
+use crate::report::{fmt_f, fmt_ms, TextTable};
+use gaurast_gpu::CudaGpuModel;
+use gaurast_hw::RasterizerConfig;
+use gaurast_render::pipeline::PreprocessStats;
+use gaurast_render::preprocess::preprocess;
+use gaurast_render::rasterize::rasterize_into;
+use gaurast_render::tile::bin_splats_into;
+use gaurast_render::{Framebuffer, RasterWorkload};
+use gaurast_scene::{Camera, GaussianScene};
+use gaurast_sched::{replay, FrameCost, SequenceReport};
+use std::time::Instant;
+
+/// Error raised by engine construction or sequence rendering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineError(pub(crate) String);
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Whether rendered images are kept in frame reports or dropped after the
+/// statistics are recorded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ImagePolicy {
+    /// Record statistics only; the reference pass runs in no-image mode
+    /// and reports carry `image: None`. The default, and the fast path for
+    /// architecture studies.
+    #[default]
+    Discard,
+    /// Keep images: the reference pass renders into the session's scratch
+    /// framebuffer and every report carries an image.
+    Retain,
+}
+
+/// Floor applied to modeled stage times before pipeline replay, which
+/// rejects non-positive costs (an empty frame still occupies the units for
+/// a scheduling instant).
+const MIN_STAGE_S: f64 = 1e-12;
+
+/// Reusable per-session scratch: the allocations that would otherwise be
+/// made and dropped every frame.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Framebuffer for retained-image sessions.
+    framebuffer: Option<Framebuffer>,
+    /// Tile-list buffers recycled through
+    /// [`gaurast_render::tile::bin_splats_into`].
+    bins: Vec<Vec<u32>>,
+}
+
+/// The result of [`Engine::render_sequence`]: per-frame backend reports
+/// plus the pipelined schedule they produce.
+#[derive(Clone, Debug)]
+pub struct SequenceOutcome {
+    /// Per-frame backend reports, in camera order.
+    pub reports: Vec<FrameReport>,
+    /// Per-frame stage costs fed to the pipeline (Stages 1–2 on the host
+    /// device model, Stage 3 on the backend).
+    pub costs: Vec<FrameCost>,
+    /// The replayed CUDA-collaborative schedule (throughput, latency,
+    /// pacing percentiles).
+    pub schedule: SequenceReport,
+}
+
+impl SequenceOutcome {
+    /// Average pipelined throughput over the sequence, frames per second.
+    pub fn throughput_fps(&self) -> f64 {
+        self.schedule.throughput_fps()
+    }
+}
+
+/// The result of [`Engine::compare`]: the same finalized workload executed
+/// on several substrates.
+#[derive(Clone, Debug)]
+pub struct ComparisonReport {
+    /// One report per requested backend, in request order.
+    pub rows: Vec<FrameReport>,
+    /// The shared workload every row billed (kept for downstream
+    /// analysis, e.g. GSCore workload refinement).
+    pub workload: RasterWorkload,
+}
+
+impl ComparisonReport {
+    /// The report of a given backend kind, if it was requested.
+    pub fn get(&self, kind: BackendKind) -> Option<&FrameReport> {
+        self.rows.iter().find(|r| r.kind == kind)
+    }
+
+    /// Rasterization speedup of `target` over `baseline`
+    /// (`time(baseline) / time(target)`), when both were requested.
+    pub fn speedup(&self, baseline: BackendKind, target: BackendKind) -> Option<f64> {
+        let (b, t) = (self.get(baseline)?.time_s, self.get(target)?.time_s);
+        (b > 0.0 && t > 0.0).then(|| b / t)
+    }
+}
+
+impl std::fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cross-backend comparison (identical workload per row)")?;
+        let mut t = TextTable::new(vec!["backend", "time ms", "fps", "energy mJ", "ops"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.kind.label().to_string(),
+                fmt_ms(r.time_s),
+                fmt_f(r.raster_fps(), 1),
+                fmt_f(r.energy_j * 1e3, 3),
+                r.ops.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// A rendering session over one scene and one selected backend. See the
+/// [module docs](self) for the full picture and [`EngineBuilder`] for
+/// construction.
+#[derive(Debug)]
+pub struct Engine {
+    pub(crate) scene: GaussianScene,
+    pub(crate) tile_size: u32,
+    pub(crate) image_policy: ImagePolicy,
+    pub(crate) hw_config: RasterizerConfig,
+    pub(crate) host: CudaGpuModel,
+    pub(crate) kind: BackendKind,
+    backend: Box<dyn Backend>,
+    scratch: Scratch,
+    frames: u64,
+}
+
+impl Engine {
+    pub(crate) fn from_parts(
+        scene: GaussianScene,
+        tile_size: u32,
+        image_policy: ImagePolicy,
+        hw_config: RasterizerConfig,
+        host: CudaGpuModel,
+        kind: BackendKind,
+    ) -> Self {
+        let backend = make_backend(kind, hw_config);
+        Self {
+            scene,
+            tile_size,
+            image_policy,
+            hw_config,
+            host,
+            kind,
+            backend,
+            scratch: Scratch::default(),
+            frames: 0,
+        }
+    }
+
+    /// Starts building an engine for a scene (alias of
+    /// [`EngineBuilder::new`]).
+    pub fn builder(scene: GaussianScene) -> EngineBuilder {
+        EngineBuilder::new(scene)
+    }
+
+    /// The scene this session renders.
+    pub fn scene(&self) -> &GaussianScene {
+        &self.scene
+    }
+
+    /// The selected backend kind.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Human-readable name of the selected backend.
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// Tile edge in pixels.
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Frames rendered so far in this session.
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames
+    }
+
+    /// Switches the session to another backend, keeping the scene and
+    /// scratch. The frame counter continues.
+    pub fn switch_backend(&mut self, kind: BackendKind) {
+        self.kind = kind;
+        self.backend = make_backend(kind, self.hw_config);
+    }
+
+    /// Replaces the enhanced-rasterizer hardware configuration and
+    /// rebuilds the backend (for design-space sweeps over one session).
+    ///
+    /// # Errors
+    /// Returns [`EngineError`] when the configuration is invalid; the
+    /// session keeps its previous configuration in that case.
+    pub fn set_hw_config(&mut self, config: RasterizerConfig) -> Result<(), EngineError> {
+        config
+            .validate()
+            .map_err(|e| EngineError(format!("invalid hardware configuration: {e}")))?;
+        self.hw_config = config;
+        self.backend = make_backend(self.kind, config);
+        Ok(())
+    }
+
+    /// Runs Stages 1–2 into recycled session buffers plus the reference
+    /// Stage-3 pass (record-only unless images are retained), producing the
+    /// finalized workload every backend bills.
+    /// `need_image` requests a reference image in the pass: true only when
+    /// images are retained *and* some executing backend reports the
+    /// reference image (the enhanced rasterizer renders its own through
+    /// the PE datapath, so an enhanced-only frame skips the clone).
+    fn reference_pass(
+        &mut self,
+        camera: &Camera,
+        need_image: bool,
+    ) -> (RasterWorkload, ReferencePass) {
+        let pre = preprocess(&self.scene, camera);
+        let pre_stats = PreprocessStats::from(&pre);
+        let bins = std::mem::take(&mut self.scratch.bins);
+        let mut workload = bin_splats_into(
+            pre.splats,
+            camera.width(),
+            camera.height(),
+            self.tile_size,
+            bins,
+        );
+
+        let started = Instant::now();
+        let (raster, image) = if need_image {
+            let fb = match self.scratch.framebuffer.take() {
+                Some(fb) if (fb.width(), fb.height()) == (camera.width(), camera.height()) => fb,
+                _ => Framebuffer::new(camera.width(), camera.height()),
+            };
+            let mut fb = fb;
+            let raster = rasterize_into(&mut workload, Some(&mut fb));
+            let image = Some(fb.clone());
+            self.scratch.framebuffer = Some(fb);
+            (raster, image)
+        } else {
+            (rasterize_into(&mut workload, None), None)
+        };
+        let wall_s = started.elapsed().as_secs_f64().max(MIN_STAGE_S);
+
+        (
+            workload,
+            ReferencePass {
+                preprocess: pre_stats,
+                raster,
+                wall_s,
+                image,
+            },
+        )
+    }
+
+    /// Fills the workload-derived statistics every backend shares.
+    fn fill_common_stats(
+        report: &mut FrameReport,
+        workload: &RasterWorkload,
+        reference: &ReferencePass,
+    ) {
+        report.stats.blend_work = workload.blend_work();
+        report.stats.pairs = workload.total_pairs();
+        report.stats.mean_list = gaurast_gpu::mean_processed_len(workload);
+        report.stats.visible = reference.preprocess.visible;
+        report.stats.culled = reference.preprocess.culled;
+        report.stats.blends_committed = reference.raster.blends_committed;
+    }
+
+    /// Stages 1–2 time on the session's host device model for a finalized
+    /// frame — what stays on the CUDA cores under the collaborative
+    /// schedule.
+    fn stages12_s(&self, reference: &ReferencePass, workload: &RasterWorkload) -> f64 {
+        self.host
+            .preprocess_time(reference.preprocess.visible as u64)
+            + self.host.sort_time(workload.total_pairs())
+    }
+
+    /// Renders one frame on the selected backend.
+    pub fn render_frame(&mut self, camera: &Camera) -> FrameReport {
+        let (report, _) = self.render_frame_inner(camera);
+        report
+    }
+
+    fn render_frame_inner(&mut self, camera: &Camera) -> (FrameReport, f64) {
+        let need_image =
+            self.image_policy == ImagePolicy::Retain && self.kind != BackendKind::Enhanced;
+        let (workload, reference) = self.reference_pass(camera, need_image);
+        self.backend.prepare(&workload);
+        let mut report = self.backend.execute(Frame {
+            workload: &workload,
+            reference: &reference,
+            retain_image: self.image_policy == ImagePolicy::Retain,
+        });
+        Self::fill_common_stats(&mut report, &workload, &reference);
+        let stages12 = self.stages12_s(&reference, &workload);
+        // Recycle the binning buffers for the next frame.
+        self.scratch.bins = workload.into_buffers().1;
+        self.frames += 1;
+        (report, stages12)
+    }
+
+    /// Renders a camera sequence and replays it through the
+    /// CUDA-collaborative two-stage pipeline: frame `i+1`'s Stages 1–2 run
+    /// on the host device while frame `i`'s Stage 3 runs on the backend.
+    /// Steady-state throughput therefore approaches
+    /// `1 / max(t12, t3)` — exactly a
+    /// [`PipelineSchedule`](gaurast_sched::PipelineSchedule) built from the
+    /// same stage times.
+    pub fn render_sequence(&mut self, cameras: &[Camera]) -> SequenceOutcome {
+        let mut reports = Vec::with_capacity(cameras.len());
+        let mut costs = Vec::with_capacity(cameras.len());
+        for camera in cameras {
+            let (report, stages12) = self.render_frame_inner(camera);
+            costs.push(FrameCost {
+                stages12_s: stages12.max(MIN_STAGE_S),
+                stage3_s: report.time_s.max(MIN_STAGE_S),
+            });
+            reports.push(report);
+        }
+        let schedule = replay(&costs);
+        SequenceOutcome {
+            reports,
+            costs,
+            schedule,
+        }
+    }
+
+    /// Executes the same frame on several substrates — one reference pass,
+    /// one workload, one report per requested backend. The session's own
+    /// backend is untouched; requested kinds are instantiated from the
+    /// session configuration.
+    ///
+    /// The finalized workload moves into the returned report (for
+    /// downstream analysis), so the binning buffers leave the session and
+    /// the frame after a `compare` re-seeds them once.
+    pub fn compare(&mut self, camera: &Camera, kinds: &[BackendKind]) -> ComparisonReport {
+        let retain = self.image_policy == ImagePolicy::Retain;
+        let need_image = retain && kinds.iter().any(|&k| k != BackendKind::Enhanced);
+        let (workload, reference) = self.reference_pass(camera, need_image);
+        let rows = kinds
+            .iter()
+            .map(|&kind| {
+                let mut backend = make_backend(kind, self.hw_config);
+                backend.prepare(&workload);
+                let mut report = backend.execute(Frame {
+                    workload: &workload,
+                    reference: &reference,
+                    retain_image: retain,
+                });
+                Self::fill_common_stats(&mut report, &workload, &reference);
+                report
+            })
+            .collect();
+        self.frames += 1;
+        ComparisonReport { rows, workload }
+    }
+}
+
+/// Instantiates a backend of the given kind from the session's hardware
+/// configuration.
+fn make_backend(kind: BackendKind, hw_config: RasterizerConfig) -> Box<dyn Backend> {
+    match kind {
+        BackendKind::Software => Box::new(SoftwareBackend::new()),
+        BackendKind::Enhanced => Box::new(EnhancedRasterizerBackend::new(hw_config)),
+        BackendKind::Cuda(preset) => Box::new(CudaGpuBackend::new(preset)),
+        BackendKind::Gscore => Box::new(GscoreBackend::published()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::GpuPreset;
+    use gaurast_math::Vec3;
+    use gaurast_scene::generator::SceneParams;
+
+    fn camera(w: u32, h: u32) -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, 6.0, -28.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            w,
+            h,
+            1.05,
+        )
+        .unwrap()
+    }
+
+    fn engine(kind: BackendKind, policy: ImagePolicy) -> Engine {
+        let scene = SceneParams::new(800).seed(21).generate().unwrap();
+        EngineBuilder::new(scene)
+            .backend(kind)
+            .image_policy(policy)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn frame_reports_have_consistent_stats() {
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let r = e.render_frame(&camera(96, 64));
+        assert!(r.time_s > 0.0 && r.energy_j > 0.0);
+        assert!(r.stats.blend_work > 0 && r.stats.pairs > 0);
+        assert!(r.stats.visible > 0);
+        assert!(r.stats.utilization > 0.0 && r.stats.utilization <= 1.0);
+        assert!(r.image.is_none(), "discard policy must drop images");
+        assert_eq!(e.frames_rendered(), 1);
+    }
+
+    #[test]
+    fn retained_images_match_across_software_and_enhanced() {
+        let mut e = engine(BackendKind::Software, ImagePolicy::Retain);
+        let cam = camera(64, 64);
+        let sw = e.render_frame(&cam);
+        e.switch_backend(BackendKind::Enhanced);
+        let hw = e.render_frame(&cam);
+        let (sw_img, hw_img) = (sw.image.unwrap(), hw.image.unwrap());
+        assert_eq!(sw_img.mean_abs_diff(&hw_img), 0.0, "FP32 must be bit-exact");
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let cam = camera(64, 64);
+        let a = e.render_frame(&cam);
+        let b = e.render_frame(&cam);
+        assert_eq!(a.time_s, b.time_s);
+        assert_eq!(a.stats.blend_work, b.stats.blend_work);
+        assert_eq!(e.frames_rendered(), 2);
+    }
+
+    #[test]
+    fn compare_covers_all_kinds() {
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let report = e.compare(&camera(64, 64), &BackendKind::ALL);
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.time_s > 0.0, "{}: zero time", row.kind);
+            assert_eq!(row.stats.blend_work, report.rows[0].stats.blend_work);
+        }
+        let speedup = report
+            .speedup(BackendKind::Cuda(GpuPreset::OrinNx), BackendKind::Enhanced)
+            .unwrap();
+        assert!(speedup > 1.0, "gaurast must beat the edge GPU ({speedup})");
+        assert!(report.to_string().contains("gscore"));
+    }
+
+    #[test]
+    fn sequence_reaches_pipeline_steady_state() {
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let cams: Vec<Camera> = vec![camera(64, 64); 12];
+        let out = e.render_sequence(&cams);
+        assert_eq!(out.reports.len(), 12);
+        let last = out.costs.last().unwrap();
+        let schedule =
+            gaurast_sched::PipelineSchedule::new(last.stages12_s, last.stage3_s).unwrap();
+        let fps = out.throughput_fps();
+        // Uniform costs: replayed throughput converges to the analytic
+        // steady state (small deviation from the fill cycle).
+        let steady = schedule.steady_state_fps();
+        assert!(
+            (fps - steady).abs() / steady < 0.15,
+            "sequence {fps} vs steady-state {steady}"
+        );
+    }
+
+    #[test]
+    fn hw_config_sweep_over_one_session() {
+        use gaurast_hw::RasterizerConfig;
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let cam = camera(96, 64);
+        e.set_hw_config(RasterizerConfig::prototype()).unwrap();
+        let slow = e.render_frame(&cam).time_s;
+        e.set_hw_config(RasterizerConfig::scaled()).unwrap();
+        let fast = e.render_frame(&cam).time_s;
+        assert!(fast < slow, "15 modules must beat 1 ({fast} vs {slow})");
+        let bad = RasterizerConfig {
+            modules: 0,
+            ..RasterizerConfig::prototype()
+        };
+        assert!(e.set_hw_config(bad).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_is_harmless() {
+        let mut e = engine(BackendKind::Software, ImagePolicy::Discard);
+        let out = e.render_sequence(&[]);
+        assert!(out.reports.is_empty());
+        assert_eq!(out.schedule.throughput_fps(), 0.0);
+    }
+}

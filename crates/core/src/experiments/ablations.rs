@@ -7,7 +7,7 @@
 use crate::report::{fmt_f, fmt_pct, TextTable};
 use gaurast_hw::power::PowerModel;
 use gaurast_hw::{EnhancedRasterizer, Precision, RasterizerConfig};
-use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_render::pipeline::{build_workload, RenderConfig};
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 
 /// One sweep point of an ablation.
@@ -40,7 +40,11 @@ pub struct AblationReport {
     pub power_variants: Vec<AblationPoint>,
 }
 
-fn point(label: String, cfg: RasterizerConfig, workload: &gaurast_render::RasterWorkload) -> AblationPoint {
+fn point(
+    label: String,
+    cfg: RasterizerConfig,
+    workload: &gaurast_render::RasterWorkload,
+) -> AblationPoint {
     let report = EnhancedRasterizer::new(cfg).simulate_gaussian(workload);
     let energy = PowerModel::prototype(cfg).evaluate(&report).total_j();
     AblationPoint {
@@ -62,27 +66,37 @@ pub fn ablations(scene: Nerf360Scene, scale: SceneScale) -> AblationReport {
     let tile_size = [8u32, 16, 32]
         .into_iter()
         .map(|ts| {
-            let out = render(&gscene, &cam, &RenderConfig { tile_size: ts });
-            point(format!("{ts} px"), RasterizerConfig::scaled(), &out.workload)
+            let workload = build_workload(&gscene, &cam, &RenderConfig { tile_size: ts });
+            point(format!("{ts} px"), RasterizerConfig::scaled(), &workload)
         })
         .collect();
 
-    let out = render(&gscene, &cam, &RenderConfig::default());
+    let workload = build_workload(&gscene, &cam, &RenderConfig::default());
 
     let pe_count = [1u32, 4, 15, 30]
         .into_iter()
         .map(|modules| {
-            let cfg = RasterizerConfig { modules, ..RasterizerConfig::prototype() };
-            point(format!("{} PEs", cfg.total_pes()), cfg, &out.workload)
+            let cfg = RasterizerConfig {
+                modules,
+                ..RasterizerConfig::prototype()
+            };
+            point(format!("{} PEs", cfg.total_pes()), cfg, &workload)
         })
         .collect();
 
     let buffering = [true, false]
         .into_iter()
         .map(|ping_pong| {
-            let cfg = RasterizerConfig { ping_pong, ..RasterizerConfig::scaled() };
-            let label = if ping_pong { "ping-pong" } else { "single buffer" };
-            point(label.to_string(), cfg, &out.workload)
+            let cfg = RasterizerConfig {
+                ping_pong,
+                ..RasterizerConfig::scaled()
+            };
+            let label = if ping_pong {
+                "ping-pong"
+            } else {
+                "single buffer"
+            };
+            point(label.to_string(), cfg, &workload)
         })
         .collect();
 
@@ -93,17 +107,37 @@ pub fn ablations(scene: Nerf360Scene, scale: SceneScale) -> AblationReport {
     ]
     .into_iter()
     .map(|(label, precision, input_gating)| {
-        let cfg = RasterizerConfig { precision, input_gating, ..RasterizerConfig::scaled() };
-        point(label.to_string(), cfg, &out.workload)
+        let cfg = RasterizerConfig {
+            precision,
+            input_gating,
+            ..RasterizerConfig::scaled()
+        };
+        point(label.to_string(), cfg, &workload)
     })
     .collect();
 
-    AblationReport { scene, tile_size, pe_count, buffering, power_variants }
+    AblationReport {
+        scene,
+        tile_size,
+        pe_count,
+        buffering,
+        power_variants,
+    }
 }
 
-fn table(title: &str, points: &[AblationPoint], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+fn table(
+    title: &str,
+    points: &[AblationPoint],
+    f: &mut std::fmt::Formatter<'_>,
+) -> std::fmt::Result {
     writeln!(f, "{title}")?;
-    let mut t = TextTable::new(vec!["setting", "cycles", "utilization", "stalls", "energy mJ"]);
+    let mut t = TextTable::new(vec![
+        "setting",
+        "cycles",
+        "utilization",
+        "stalls",
+        "energy mJ",
+    ]);
     for p in points {
         t.row(vec![
             p.label.clone(),
@@ -118,7 +152,11 @@ fn table(title: &str, points: &[AblationPoint], f: &mut std::fmt::Formatter<'_>)
 
 impl std::fmt::Display for AblationReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Ablations ({} scene) — DESIGN.md §6 design decisions", self.scene)?;
+        writeln!(
+            f,
+            "Ablations ({} scene) — DESIGN.md §6 design decisions",
+            self.scene
+        )?;
         table("tile size:", &self.tile_size, f)?;
         table("PE count:", &self.pe_count, f)?;
         table("tile buffering:", &self.buffering, f)?;
@@ -140,7 +178,12 @@ mod tests {
     fn more_pes_fewer_cycles_lower_utilization_tail() {
         let pes = &report().pe_count;
         for w in pes.windows(2) {
-            assert!(w[1].cycles < w[0].cycles, "{} !< {}", w[1].cycles, w[0].cycles);
+            assert!(
+                w[1].cycles < w[0].cycles,
+                "{} !< {}",
+                w[1].cycles,
+                w[0].cycles
+            );
         }
         // Over-provisioning (30 modules) cannot beat perfect scaling.
         let first = &pes[0];
@@ -152,7 +195,10 @@ mod tests {
     #[test]
     fn ping_pong_strictly_better() {
         let b = &report().buffering;
-        assert!(b[0].cycles < b[1].cycles, "ping-pong must beat single buffer");
+        assert!(
+            b[0].cycles < b[1].cycles,
+            "ping-pong must beat single buffer"
+        );
     }
 
     #[test]
@@ -170,7 +216,12 @@ mod tests {
         let t = &report().tile_size;
         let best = t.iter().map(|p| p.cycles).min().unwrap();
         let chosen = t.iter().find(|p| p.label == "16 px").unwrap();
-        assert!(chosen.cycles < best * 2, "16px {} vs best {}", chosen.cycles, best);
+        assert!(
+            chosen.cycles < best * 2,
+            "16px {} vs best {}",
+            chosen.cycles,
+            best
+        );
     }
 
     #[test]

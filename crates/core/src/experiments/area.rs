@@ -29,7 +29,10 @@ pub fn figure9() -> AreaReport {
 
 impl std::fmt::Display for AreaReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 9 — area breakdown of the enhanced rasterizer (28 nm, FP32)")?;
+        writeln!(
+            f,
+            "Fig. 9 — area breakdown of the enhanced rasterizer (28 nm, FP32)"
+        )?;
         let b = &self.module;
         let mut t = TextTable::new(vec!["component", "area mm2", "share"]);
         t.row(vec![
@@ -52,7 +55,11 @@ impl std::fmt::Display for AreaReport {
             fmt_f(b.routing_um2 / 1e6, 3),
             fmt_pct(b.routing_um2 / b.total_um2()),
         ]);
-        t.row(vec!["module total".into(), fmt_f(b.total_mm2(), 3), fmt_pct(1.0)]);
+        t.row(vec![
+            "module total".into(),
+            fmt_f(b.total_mm2(), 3),
+            fmt_pct(1.0),
+        ]);
         write!(f, "{t}")?;
         writeln!(f)?;
         writeln!(

@@ -1,5 +1,8 @@
 //! Fig. 4 (baseline throughput) and Fig. 5 (runtime breakdown) — the
 //! profiling results that motivate GauRast.
+//!
+//! Consumes an [`EvaluationSet`], whose per-scene measurements come from
+//! the session-based engine (see [`crate::experiments::evaluate_scene`]).
 
 use crate::experiments::EvaluationSet;
 use crate::report::{fmt_f, fmt_ms, fmt_pct, TextTable};
@@ -121,7 +124,11 @@ mod tests {
     #[test]
     fn raster_dominates_every_scene() {
         let report = baseline_profile(quick_set());
-        assert!(report.min_raster_share() > 0.80, "min share {}", report.min_raster_share());
+        assert!(
+            report.min_raster_share() > 0.80,
+            "min share {}",
+            report.min_raster_share()
+        );
     }
 
     #[test]

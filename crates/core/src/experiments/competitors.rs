@@ -15,17 +15,34 @@ pub struct GscoreReport {
 
 /// Computes the §V-C comparison.
 pub fn section5c() -> GscoreReport {
-    GscoreReport { comparison: compare() }
+    GscoreReport {
+        comparison: compare(),
+    }
 }
 
 impl std::fmt::Display for GscoreReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let c = &self.comparison;
-        writeln!(f, "§V-C — comparison against GSCore (iso-performance, FP16)")?;
-        writeln!(f, "GSCore dedicated accelerator area : {:.2} mm2", c.gscore_mm2)?;
-        writeln!(f, "GauRast added (enhancement) area  : {:.2} mm2", c.gaurast_added_mm2)?;
-        writeln!(f, "area-efficiency improvement       : {:.1}x (paper: {:.1}x)",
-            c.ratio, paper::GSCORE_AREA_EFFICIENCY_RATIO)
+        writeln!(
+            f,
+            "§V-C — comparison against GSCore (iso-performance, FP16)"
+        )?;
+        writeln!(
+            f,
+            "GSCore dedicated accelerator area : {:.2} mm2",
+            c.gscore_mm2
+        )?;
+        writeln!(
+            f,
+            "GauRast added (enhancement) area  : {:.2} mm2",
+            c.gaurast_added_mm2
+        )?;
+        writeln!(
+            f,
+            "area-efficiency improvement       : {:.1}x (paper: {:.1}x)",
+            c.ratio,
+            paper::GSCORE_AREA_EFFICIENCY_RATIO
+        )
     }
 }
 
@@ -65,11 +82,26 @@ pub fn section5d(set: &EvaluationSet) -> M2ProReport {
 
 impl std::fmt::Display for M2ProReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "§V-D — compatibility with non-NVIDIA GPUs (bicycle scene)")?;
-        writeln!(f, "M2 Pro (OpenSplat) rasterization : {:.1} ms", self.m2_raster_s * 1e3)?;
-        writeln!(f, "GauRast rasterization            : {:.1} ms", self.gaurast_raster_s * 1e3)?;
-        writeln!(f, "speedup                          : {:.1}x (paper: {:.1}x)",
-            self.speedup, paper::M2_PRO_SPEEDUP_BICYCLE)
+        writeln!(
+            f,
+            "§V-D — compatibility with non-NVIDIA GPUs (bicycle scene)"
+        )?;
+        writeln!(
+            f,
+            "M2 Pro (OpenSplat) rasterization : {:.1} ms",
+            self.m2_raster_s * 1e3
+        )?;
+        writeln!(
+            f,
+            "GauRast rasterization            : {:.1} ms",
+            self.gaurast_raster_s * 1e3
+        )?;
+        writeln!(
+            f,
+            "speedup                          : {:.1}x (paper: {:.1}x)",
+            self.speedup,
+            paper::M2_PRO_SPEEDUP_BICYCLE
+        )
     }
 }
 
@@ -94,51 +126,77 @@ pub struct GscoreArchReport {
 
 /// Runs the architecture-level comparison on a representative scene at the
 /// given scale (the paper uses scene-average behaviour; one mid-weight
-/// scene suffices for the class comparison).
+/// scene suffices for the class comparison). Both simulators execute the
+/// same finalized workload through one [`Engine::compare`] call.
+///
+/// [`Engine::compare`]: crate::engine::Engine::compare
 pub fn gscore_architecture(scale: gaurast_scene::nerf360::SceneScale) -> GscoreArchReport {
-    use gaurast_gscore::GscoreAccelerator;
-    use gaurast_hw::{EnhancedRasterizer, Precision, RasterizerConfig};
-    use gaurast_render::pipeline::{render, RenderConfig};
+    use crate::backend::BackendKind;
+    use crate::engine::EngineBuilder;
+    use gaurast_gscore::subtile::refine;
+    use gaurast_hw::{Precision, RasterizerConfig};
 
     let desc = Nerf360Scene::Garden.descriptor();
     let scene = desc.synthesize(scale);
     let cam = desc.camera(scale, 0.4).expect("descriptor camera");
-    let workload = render(&scene, &cam, &RenderConfig::default()).workload;
 
-    let gaurast = EnhancedRasterizer::new(RasterizerConfig {
-        precision: Precision::Fp16,
-        ..RasterizerConfig::prototype()
-    });
-    let gaurast_fp16_s = gaurast.simulate_gaussian(&workload).time_s;
-
-    let gscore = GscoreAccelerator::default();
-    let report = gscore.simulate(&workload);
+    let mut engine = EngineBuilder::new(scene)
+        .hw_config(RasterizerConfig::prototype())
+        .precision(Precision::Fp16)
+        .build()
+        .expect("prototype configuration is valid");
+    let cmp = engine.compare(&cam, &[BackendKind::Enhanced, BackendKind::Gscore]);
+    let gaurast_fp16_s = cmp.get(BackendKind::Enhanced).expect("requested").time_s;
+    let gscore_s = cmp.get(BackendKind::Gscore).expect("requested").time_s;
+    let refined = refine(&cmp.workload);
 
     GscoreArchReport {
         gaurast_fp16_s,
-        gscore_s: report.time_s,
-        time_ratio: gaurast_fp16_s / report.time_s,
-        shape_cull_fraction: report.refined.shape_cull_fraction(),
-        subtile_reduction: report.refined.work_reduction(),
+        gscore_s,
+        time_ratio: gaurast_fp16_s / gscore_s,
+        shape_cull_fraction: refined.shape_cull_fraction(),
+        subtile_reduction: refined.work_reduction(),
         added_area: compare(),
     }
 }
 
 impl std::fmt::Display for GscoreArchReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "§V-C (extended) — GauRast-FP16 vs simulated GSCore, same workload")?;
-        writeln!(f, "GSCore shape-aware cull          : {:.1}% of binned pairs",
-            self.shape_cull_fraction * 100.0)?;
-        writeln!(f, "GSCore subtile work reduction    : {:.2}x", self.subtile_reduction)?;
-        writeln!(f, "frame time, GauRast 16-PE FP16   : {:.3} ms", self.gaurast_fp16_s * 1e3)?;
-        writeln!(f, "frame time, GSCore (published pt): {:.3} ms", self.gscore_s * 1e3)?;
-        writeln!(f, "time ratio (GauRast / GSCore)    : {:.2}x — same performance class",
-            self.time_ratio)?;
-        writeln!(f, "silicon: GauRast adds {:.2} mm2 to existing hardware; GSCore needs \
+        writeln!(
+            f,
+            "§V-C (extended) — GauRast-FP16 vs simulated GSCore, same workload"
+        )?;
+        writeln!(
+            f,
+            "GSCore shape-aware cull          : {:.1}% of binned pairs",
+            self.shape_cull_fraction * 100.0
+        )?;
+        writeln!(
+            f,
+            "GSCore subtile work reduction    : {:.2}x",
+            self.subtile_reduction
+        )?;
+        writeln!(
+            f,
+            "frame time, GauRast 16-PE FP16   : {:.3} ms",
+            self.gaurast_fp16_s * 1e3
+        )?;
+        writeln!(
+            f,
+            "frame time, GSCore (published pt): {:.3} ms",
+            self.gscore_s * 1e3
+        )?;
+        writeln!(
+            f,
+            "time ratio (GauRast / GSCore)    : {:.2}x — same performance class",
+            self.time_ratio
+        )?;
+        writeln!(
+            f,
+            "silicon: GauRast adds {:.2} mm2 to existing hardware; GSCore needs \
              {:.2} mm2 of dedicated logic ({:.1}x area efficiency)",
-            self.added_area.gaurast_added_mm2,
-            self.added_area.gscore_mm2,
-            self.added_area.ratio)
+            self.added_area.gaurast_added_mm2, self.added_area.gscore_mm2, self.added_area.ratio
+        )
     }
 }
 
@@ -162,7 +220,11 @@ mod tests {
         // a small factor of each other on identical work.
         assert!((0.3..3.0).contains(&r.time_ratio), "ratio {}", r.time_ratio);
         // GSCore's refinements must actually bite.
-        assert!(r.subtile_reduction > 1.2, "reduction {}", r.subtile_reduction);
+        assert!(
+            r.subtile_reduction > 1.2,
+            "reduction {}",
+            r.subtile_reduction
+        );
         assert!(r.added_area.ratio > 20.0);
         assert!(r.to_string().contains("performance class"));
     }

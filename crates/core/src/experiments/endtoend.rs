@@ -1,4 +1,7 @@
 //! Fig. 11 — end-to-end FPS with and without GauRast.
+//!
+//! Consumes an [`EvaluationSet`], whose per-scene measurements come from
+//! the session-based engine (see [`crate::experiments::evaluate_scene`]).
 
 use crate::experiments::{Algorithm, EvaluationSet};
 use crate::report::{fmt_f, fmt_x, TextTable};
@@ -40,14 +43,22 @@ pub fn figure11(set: &EvaluationSet, algorithm: Algorithm) -> EndToEndReport {
         .map(|e| {
             (
                 e.scene.name().to_string(),
-                EndToEndRow { baseline_fps: e.baseline_fps(), gaurast_fps: e.gaurast_fps() },
+                EndToEndRow {
+                    baseline_fps: e.baseline_fps(),
+                    gaurast_fps: e.gaurast_fps(),
+                },
             )
         })
         .collect();
     let n = rows.len() as f64;
     let mean_gaurast_fps = rows.iter().map(|r| r.1.gaurast_fps).sum::<f64>() / n;
     let mean_speedup = rows.iter().map(|r| r.1.speedup()).sum::<f64>() / n;
-    EndToEndReport { algorithm, rows, mean_gaurast_fps, mean_speedup }
+    EndToEndReport {
+        algorithm,
+        rows,
+        mean_gaurast_fps,
+        mean_speedup,
+    }
 }
 
 impl std::fmt::Display for EndToEndReport {
@@ -81,10 +92,16 @@ mod tests {
     fn original_reaches_realtime_ballpark() {
         let report = figure11(quick_set(), Algorithm::Original);
         // Paper: 24 FPS average, 6x speedup. Shape check with wide bands.
-        assert!((12.0..45.0).contains(&report.mean_gaurast_fps),
-            "mean fps {}", report.mean_gaurast_fps);
-        assert!((3.5..9.0).contains(&report.mean_speedup),
-            "mean speedup {}", report.mean_speedup);
+        assert!(
+            (12.0..45.0).contains(&report.mean_gaurast_fps),
+            "mean fps {}",
+            report.mean_gaurast_fps
+        );
+        assert!(
+            (3.5..9.0).contains(&report.mean_speedup),
+            "mean speedup {}",
+            report.mean_speedup
+        );
     }
 
     #[test]

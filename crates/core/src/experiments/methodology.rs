@@ -46,7 +46,10 @@ pub fn table1() -> MethodologyReport {
     let mesh = TriangleMesh::uv_sphere(Vec3::zero(), 6.0, 24, 32);
     let (_, tri_stats) = render_mesh(&mesh, &cam);
 
-    let scene = SceneParams::new(4000).seed(17).generate().expect("valid parameters");
+    let scene = SceneParams::new(4000)
+        .seed(17)
+        .generate()
+        .expect("valid parameters");
     let out = render(&scene, &cam, &RenderConfig::default());
 
     let pixels = f64::from(cam.width()) * f64::from(cam.height());
@@ -97,7 +100,11 @@ mod tests {
     #[test]
     fn gaussians_do_more_per_pixel_work_than_meshes() {
         let r = table1();
-        assert!(r.gaussian_overwork() > 2.0, "overwork {}", r.gaussian_overwork());
+        assert!(
+            r.gaussian_overwork() > 2.0,
+            "overwork {}",
+            r.gaussian_overwork()
+        );
         assert!(r.tri_pairs_per_pixel > 0.0);
     }
 

@@ -5,22 +5,27 @@
 //!
 //! 1. synthesize the statistically calibrated scene at a reduced
 //!    [`SceneScale`],
-//! 2. run the real software pipeline (Stages 1–3) to obtain the
+//! 2. open an [`Engine`](crate::engine::Engine) session over it: per
+//!    frame, the engine runs the real software pipeline (Stages 1–3,
+//!    record-only) to obtain the
 //!    [`RasterWorkload`](gaurast_render::RasterWorkload) with exact
 //!    per-tile processed counts,
-//! 3. feed the *same workload* to the baseline CUDA model and the GauRast
-//!    cycle simulator,
+//! 3. the *same workload* bills the baseline CUDA model and the GauRast
+//!    cycle simulator (the [`Backend`](crate::backend::Backend) contract
+//!    enforces this),
 //! 4. extrapolate absolute numbers to paper scale by normalizing the
 //!    measured blend work to the per-scene calibrated work constant —
 //!    the same factor scales both systems, so every ratio (speedup,
 //!    energy improvement, FPS gain) is scale-free.
 
+use crate::backend::{BackendKind, FrameReport};
+use crate::engine::EngineBuilder;
 use gaurast_gpu::{device, CudaGpuModel};
-use gaurast_hw::power::PowerModel;
-use gaurast_hw::{EnhancedRasterizer, RasterizerConfig};
-use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_hw::RasterizerConfig;
+use gaurast_render::pipeline::RenderConfig;
 use gaurast_scene::mini_splatting::{simplify, MiniSplatConfig};
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
+use gaurast_scene::GaussianScene;
 use gaurast_sched::EndToEnd;
 
 pub mod ablations;
@@ -189,6 +194,33 @@ impl SceneEvaluation {
     }
 }
 
+/// Runs one algorithm variant's scene through an engine session (enhanced
+/// backend, record-only) and accumulates the per-viewpoint measurements.
+fn run_session(
+    scene: GaussianScene,
+    ctx: &ExperimentContext,
+    desc: &gaurast_scene::nerf360::SceneDescriptor,
+) -> Accum {
+    let mut engine = EngineBuilder::new(scene)
+        .backend(BackendKind::Enhanced)
+        .tile_size(ctx.render.tile_size)
+        .hw_config(ctx.hw)
+        .host(ctx.baseline.clone())
+        .build()
+        .expect("experiment context configurations are valid");
+    let scene_len = engine.scene().len();
+    let mut acc = Accum::default();
+    for &theta in &ctx.angles {
+        let cam = desc
+            .camera(ctx.scale, theta)
+            .expect("descriptor camera is valid");
+        let report = engine.render_frame(&cam);
+        acc.add(&report, scene_len);
+    }
+    acc.finish(ctx.angles.len() as f64);
+    acc
+}
+
 /// Evaluates one scene for both algorithms under a context.
 pub fn evaluate_scene(
     scene: Nerf360Scene,
@@ -196,23 +228,12 @@ pub fn evaluate_scene(
 ) -> (SceneEvaluation, SceneEvaluation) {
     let desc = scene.descriptor();
     let full_scene = desc.synthesize(ctx.scale);
-    let mini_scene = simplify(&full_scene, MiniSplatConfig::PAPER)
-        .expect("paper config is valid");
-    let hw = EnhancedRasterizer::new(ctx.hw);
-    let power_model = PowerModel::integrated(ctx.hw);
+    let mini_scene = simplify(&full_scene, MiniSplatConfig::PAPER).expect("paper config is valid");
+    let full_len = full_scene.len();
+    let mini_len = mini_scene.len();
 
-    let mut acc_orig = Accum::default();
-    let mut acc_mini = Accum::default();
-    for &theta in &ctx.angles {
-        let cam = desc.camera(ctx.scale, theta).expect("descriptor camera is valid");
-        let o = render(&full_scene, &cam, &ctx.render);
-        let m = render(&mini_scene, &cam, &ctx.render);
-        acc_orig.add(&o, &hw, &power_model, full_scene.len());
-        acc_mini.add(&m, &hw, &power_model, mini_scene.len());
-    }
-    let n = ctx.angles.len() as f64;
-    acc_orig.finish(n);
-    acc_mini.finish(n);
+    let acc_orig = run_session(full_scene, ctx, &desc);
+    let acc_mini = run_session(mini_scene, ctx, &desc);
 
     // Paper-scale work: both algorithms use the calibrated per-scene
     // constants (DESIGN.md §8); the Mini-Splatting fractions come from its
@@ -222,17 +243,19 @@ pub fn evaluate_scene(
     let paper_pairs_orig = desc.sort_pairs_per_frame;
     let paper_pairs_mini = paper_pairs_orig * desc.mini_pairs_fraction;
 
-    let tiles_paper = f64::from(desc.width.div_ceil(ctx.render.tile_size)
-        * desc.height.div_ceil(ctx.render.tile_size));
+    let tiles_paper = f64::from(
+        desc.width.div_ceil(ctx.render.tile_size) * desc.height.div_ceil(ctx.render.tile_size),
+    );
     let mk = |acc: &Accum, algorithm, paper_work: f64, pairs_paper: f64, keep_fraction: f64| {
         // CUDA occupancy is driven by the per-tile sorted-queue depth.
         let mean_len_paper = pairs_paper / tiles_paper;
-        let raster_cuda = ctx.baseline.raster_time_for_work(paper_work, mean_len_paper);
+        let raster_cuda = ctx
+            .baseline
+            .raster_time_for_work(paper_work, mean_len_paper);
         // The cycle simulator's time scales linearly with work at fixed
         // statistics (utilization is scale-invariant).
         let raster_gaurast = acc.hw_time * (paper_work / acc.blend_work.max(1.0));
-        let visible_paper =
-            desc.full_gaussians as f64 * keep_fraction * acc.visible_frac;
+        let visible_paper = desc.full_gaussians as f64 * keep_fraction * acc.visible_frac;
         SceneEvaluation {
             scene,
             algorithm,
@@ -254,10 +277,22 @@ pub fn evaluate_scene(
         }
     };
 
-    let keep_mini = mini_scene.len() as f64 / full_scene.len().max(1) as f64;
+    let keep_mini = mini_len as f64 / full_len.max(1) as f64;
     (
-        mk(&acc_orig, Algorithm::Original, paper_work_orig, paper_pairs_orig, 1.0),
-        mk(&acc_mini, Algorithm::MiniSplatting, paper_work_mini, paper_pairs_mini, keep_mini),
+        mk(
+            &acc_orig,
+            Algorithm::Original,
+            paper_work_orig,
+            paper_pairs_orig,
+            1.0,
+        ),
+        mk(
+            &acc_mini,
+            Algorithm::MiniSplatting,
+            paper_work_mini,
+            paper_pairs_mini,
+            keep_mini,
+        ),
     )
 }
 
@@ -274,21 +309,14 @@ struct Accum {
 }
 
 impl Accum {
-    fn add(
-        &mut self,
-        out: &gaurast_render::pipeline::RenderOutput,
-        hw: &EnhancedRasterizer,
-        power: &PowerModel,
-        scene_len: usize,
-    ) {
-        let report = hw.simulate_gaussian(&out.workload);
-        self.blend_work += out.workload.blend_work() as f64;
-        self.pairs += out.workload.total_pairs() as f64;
-        self.visible_frac += out.preprocess.visible as f64 / scene_len.max(1) as f64;
-        self.mean_list += gaurast_gpu::mean_processed_len(&out.workload);
+    fn add(&mut self, report: &FrameReport, scene_len: usize) {
+        self.blend_work += report.stats.blend_work as f64;
+        self.pairs += report.stats.pairs as f64;
+        self.visible_frac += report.stats.visible as f64 / scene_len.max(1) as f64;
+        self.mean_list += report.stats.mean_list;
         self.hw_time += report.time_s;
-        self.utilization += report.utilization;
-        self.power_w += power.evaluate(&report).average_w();
+        self.utilization += report.stats.utilization;
+        self.power_w += report.average_power_w();
     }
 
     fn finish(&mut self, n: f64) {
@@ -324,7 +352,11 @@ impl EvaluationSet {
             original.push(o);
             mini.push(m);
         }
-        Self { ctx, original, mini }
+        Self {
+            ctx,
+            original,
+            mini,
+        }
     }
 
     /// Per-algorithm slice.
@@ -369,7 +401,11 @@ mod tests {
         let orig = find(set, Algorithm::Original, Nerf360Scene::Bonsai);
         let mini = find(set, Algorithm::MiniSplatting, Nerf360Scene::Bonsai);
         assert!(orig.sim_blend_work > 0.0);
-        assert!(orig.raster_speedup() > 10.0, "speedup {}", orig.raster_speedup());
+        assert!(
+            orig.raster_speedup() > 10.0,
+            "speedup {}",
+            orig.raster_speedup()
+        );
         assert!(orig.raster_share() > 0.7, "share {}", orig.raster_share());
         assert!(mini.paper_work < orig.paper_work);
         assert!(mini.keep_fraction < 0.25);
@@ -402,7 +438,12 @@ mod tests {
         // extrapolated ratio would be meaningless.
         let set = quick_set();
         for e in &set.original {
-            assert!(e.hw_utilization > 0.5, "{}: util {}", e.scene, e.hw_utilization);
+            assert!(
+                e.hw_utilization > 0.5,
+                "{}: util {}",
+                e.scene,
+                e.hw_utilization
+            );
         }
     }
 }

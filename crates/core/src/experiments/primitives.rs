@@ -20,12 +20,16 @@ pub struct PrimitivesReport {
 impl PrimitivesReport {
     /// Total measured ops per pair for the triangle path.
     pub fn triangle_total(&self) -> OpCounts {
-        self.rows.iter().fold(OpCounts::new(), |acc, (_, t, _)| acc + *t)
+        self.rows
+            .iter()
+            .fold(OpCounts::new(), |acc, (_, t, _)| acc + *t)
     }
 
     /// Total measured ops per pair for the Gaussian path.
     pub fn gaussian_total(&self) -> OpCounts {
-        self.rows.iter().fold(OpCounts::new(), |acc, (_, _, g)| acc + *g)
+        self.rows
+            .iter()
+            .fold(OpCounts::new(), |acc, (_, _, g)| acc + *g)
     }
 }
 
@@ -45,7 +49,10 @@ pub fn table2() -> PrimitivesReport {
     let mesh = TriangleMesh::cube(Vec3::zero(), 9.0);
     let (_, tri_stats) = render_mesh(&mesh, &cam);
 
-    let scene = SceneParams::new(1500).seed(13).generate().expect("valid parameters");
+    let scene = SceneParams::new(1500)
+        .seed(13)
+        .generate()
+        .expect("valid parameters");
     let out = render(&scene, &cam, &RenderConfig::default());
 
     let rows = Subtask::ALL
@@ -77,14 +84,20 @@ fn ops_kinds(c: &OpCounts) -> String {
 
 impl std::fmt::Display for PrimitivesReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table II — computational primitives for rasterization (measured)")?;
+        writeln!(
+            f,
+            "Table II — computational primitives for rasterization (measured)"
+        )?;
         writeln!(f, "input: 9 FP numbers per primitive in both modes")?;
         let mut t = TextTable::new(vec!["subtask", "triangle (ops)", "gaussian (ops)"]);
         for (s, tri, gauss) in &self.rows {
             t.row(vec![s.label().into(), ops_kinds(tri), ops_kinds(gauss)]);
         }
         write!(f, "{t}")?;
-        writeln!(f, "output: UV weight + depth (3 FP) / accumulated color (3 FP)")?;
+        writeln!(
+            f,
+            "output: UV weight + depth (3 FP) / accumulated color (3 FP)"
+        )?;
         writeln!(
             f,
             "measured per pair — triangle: {}; gaussian: {}",
@@ -114,7 +127,11 @@ mod tests {
         // The triangle reciprocal is per-primitive; at one division per
         // primitive over a full tile it rounds to 0 per pair, but the total
         // must show divisions happened.
-        assert_eq!(r.triangle_total().exp, 0, "triangle path must not exponentiate");
+        assert_eq!(
+            r.triangle_total().exp,
+            0,
+            "triangle path must not exponentiate"
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! experiment verifies it end-to-end on every scene and quantifies the
 //! PSNR of the FP16 re-implementation.
 
+use crate::backend::BackendKind;
+use crate::engine::{EngineBuilder, ImagePolicy};
 use crate::report::{fmt_f, TextTable};
-use gaurast_hw::{EnhancedRasterizer, Precision, RasterizerConfig};
-use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_hw::{Precision, RasterizerConfig};
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 
 /// Quality of one scene's hardware renders against the software reference.
@@ -40,31 +41,56 @@ impl QualityReport {
 
     /// Minimum FP16 PSNR across scenes.
     pub fn min_fp16_psnr(&self) -> f32 {
-        self.rows.iter().map(|r| r.fp16_psnr_db).fold(f32::INFINITY, f32::min)
+        self.rows
+            .iter()
+            .map(|r| r.fp16_psnr_db)
+            .fold(f32::INFINITY, f32::min)
     }
 }
 
-/// Runs the quality validation at the given scale.
+/// Runs the quality validation at the given scale. Each scene opens a
+/// retained-image engine session; the software reference and both hardware
+/// precisions execute the identical finalized workload.
 pub fn quality(scale: SceneScale) -> QualityReport {
-    let fp32 = EnhancedRasterizer::new(RasterizerConfig::prototype());
-    let fp16 = EnhancedRasterizer::new(RasterizerConfig {
-        precision: Precision::Fp16,
-        ..RasterizerConfig::prototype()
-    });
     let rows = Nerf360Scene::ALL
         .iter()
         .map(|&scene| {
             let desc = scene.descriptor();
             let gscene = desc.synthesize(scale);
             let cam = desc.camera(scale, 0.8).expect("descriptor camera");
-            let out = render(&gscene, &cam, &RenderConfig::default());
-            let (img32, _) = fp32.render_gaussian(&out.workload);
-            let (img16, _) = fp16.render_gaussian(&out.workload);
+
+            let mut engine = EngineBuilder::new(gscene)
+                .hw_config(RasterizerConfig::prototype())
+                .image_policy(ImagePolicy::Retain)
+                .build()
+                .expect("prototype configuration is valid");
+            let cmp = engine.compare(&cam, &[BackendKind::Software, BackendKind::Enhanced]);
+            let reference = cmp
+                .get(BackendKind::Software)
+                .and_then(|r| r.image.as_ref())
+                .expect("retained software image");
+            let img32 = cmp
+                .get(BackendKind::Enhanced)
+                .and_then(|r| r.image.as_ref())
+                .expect("retained fp32 image");
+
+            // Same session, re-targeted to the FP16 datapath.
+            engine
+                .set_hw_config(RasterizerConfig {
+                    precision: Precision::Fp16,
+                    ..RasterizerConfig::prototype()
+                })
+                .expect("prototype configuration is valid");
+            let img16 = engine
+                .render_frame(&cam)
+                .image
+                .expect("retained fp16 image");
+
             QualityRow {
                 scene,
-                fp32_bit_exact: img32.mean_abs_diff(&out.image) == 0.0,
-                fp16_psnr_db: img16.psnr(&out.image),
-                fp16_mean_abs_err: img16.mean_abs_diff(&out.image),
+                fp32_bit_exact: img32.mean_abs_diff(reference) == 0.0,
+                fp16_psnr_db: img16.psnr(reference),
+                fp16_mean_abs_err: img16.mean_abs_diff(reference),
             }
         })
         .collect();
@@ -73,12 +99,19 @@ pub fn quality(scale: SceneScale) -> QualityReport {
 
 impl std::fmt::Display for QualityReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Rendering quality vs software reference (§V-A validation)")?;
+        writeln!(
+            f,
+            "Rendering quality vs software reference (§V-A validation)"
+        )?;
         let mut t = TextTable::new(vec!["scene", "fp32", "fp16 PSNR dB", "fp16 mean err"]);
         for r in &self.rows {
             t.row(vec![
                 r.scene.name().into(),
-                if r.fp32_bit_exact { "bit-exact".into() } else { "MISMATCH".into() },
+                if r.fp32_bit_exact {
+                    "bit-exact".into()
+                } else {
+                    "MISMATCH".into()
+                },
                 fmt_f(f64::from(r.fp16_psnr_db), 1),
                 format!("{:.2e}", r.fp16_mean_abs_err),
             ]);
@@ -97,7 +130,10 @@ mod tests {
         // A smaller scale than UNIT_TEST: functional rendering is the
         // expensive path.
         R.get_or_init(|| {
-            quality(SceneScale { gaussian_divisor: 8192, resolution_divisor: 16 })
+            quality(SceneScale {
+                gaussian_divisor: 8192,
+                resolution_divisor: 16,
+            })
         })
     }
 

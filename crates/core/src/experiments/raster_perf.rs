@@ -1,5 +1,8 @@
 //! Fig. 10 (rasterization speedup & energy efficiency) and Table III
 //! (absolute rasterization runtimes).
+//!
+//! Consumes an [`EvaluationSet`], whose per-scene measurements come from
+//! the session-based engine (see [`crate::experiments::evaluate_scene`]).
 
 use crate::experiments::{Algorithm, EvaluationSet};
 use crate::report::{fmt_ms, fmt_x, TextTable};
@@ -51,7 +54,12 @@ pub fn figure10(set: &EvaluationSet, algorithm: Algorithm) -> RasterPerf {
     let n = rows.len() as f64;
     let mean_speedup = rows.iter().map(|r| r.1.speedup).sum::<f64>() / n;
     let mean_energy = rows.iter().map(|r| r.1.energy).sum::<f64>() / n;
-    RasterPerf { algorithm, rows, mean_speedup, mean_energy }
+    RasterPerf {
+        algorithm,
+        rows,
+        mean_speedup,
+        mean_energy,
+    }
 }
 
 impl std::fmt::Display for RasterPerf {
@@ -61,7 +69,13 @@ impl std::fmt::Display for RasterPerf {
             "Fig. 10 — rasterization speedup & energy efficiency ({})",
             self.algorithm.label()
         )?;
-        let mut t = TextTable::new(vec!["scene", "baseline ms", "gaurast ms", "speedup", "energy eff"]);
+        let mut t = TextTable::new(vec![
+            "scene",
+            "baseline ms",
+            "gaurast ms",
+            "speedup",
+            "energy eff",
+        ]);
         for (name, r) in &self.rows {
             t.row(vec![
                 name.clone(),
@@ -111,7 +125,10 @@ pub fn table3(set: &EvaluationSet) -> Table3 {
 
 impl std::fmt::Display for Table3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table III — absolute rasterization runtime (ms), original 3DGS")?;
+        writeln!(
+            f,
+            "Table III — absolute rasterization runtime (ms), original 3DGS"
+        )?;
         let mut t = TextTable::new(vec![
             "scene",
             "baseline (model)",
@@ -120,7 +137,13 @@ impl std::fmt::Display for Table3 {
             "gaurast (paper)",
         ]);
         for (name, mb, mg, pb, pg) in &self.rows {
-            t.row(vec![name.clone(), fmt_ms(*mb), fmt_ms(*mg), fmt_ms(*pb), fmt_ms(*pg)]);
+            t.row(vec![
+                name.clone(),
+                fmt_ms(*mb),
+                fmt_ms(*mg),
+                fmt_ms(*pb),
+                fmt_ms(*pg),
+            ]);
         }
         write!(f, "{t}")
     }
@@ -173,8 +196,12 @@ mod tests {
         // utilized while GauRast sees shorter tile lists).
         let orig = figure10(quick_set(), Algorithm::Original);
         let mini = figure10(quick_set(), Algorithm::MiniSplatting);
-        assert!(mini.mean_speedup < orig.mean_speedup + 4.0,
-            "mini {} vs orig {}", mini.mean_speedup, orig.mean_speedup);
+        assert!(
+            mini.mean_speedup < orig.mean_speedup + 4.0,
+            "mini {} vs orig {}",
+            mini.mean_speedup,
+            orig.mean_speedup
+        );
         assert!(mini.mean_speedup > 10.0);
     }
 

@@ -10,7 +10,7 @@
 use crate::report::{fmt_f, fmt_pct, TextTable};
 use gaurast_gpu::device;
 use gaurast_hw::{EnhancedRasterizer, RasterizerConfig};
-use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_render::pipeline::{build_workload, RenderConfig};
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 use gaurast_sched::PipelineSchedule;
 
@@ -54,8 +54,8 @@ pub fn pe_sweep(scene: Nerf360Scene, scale: SceneScale) -> PeSweep {
     let desc = scene.descriptor();
     let gscene = desc.synthesize(scale);
     let cam = desc.camera(scale, 0.4).expect("descriptor camera");
-    let out = render(&gscene, &cam, &RenderConfig::default());
-    let sim_work = out.workload.blend_work().max(1) as f64;
+    let workload = build_workload(&gscene, &cam, &RenderConfig::default());
+    let sim_work = workload.blend_work().max(1) as f64;
 
     let orin = device::orin_nx();
     let stages12_s = orin.preprocess_time((desc.full_gaussians as f64 * 0.85) as u64)
@@ -64,17 +64,29 @@ pub fn pe_sweep(scene: Nerf360Scene, scale: SceneScale) -> PeSweep {
     let points = [2u32, 4, 8, 15, 23, 30, 45]
         .into_iter()
         .map(|modules| {
-            let cfg = RasterizerConfig { modules, ..RasterizerConfig::prototype() };
-            let report = EnhancedRasterizer::new(cfg).simulate_gaussian(&out.workload);
+            let cfg = RasterizerConfig {
+                modules,
+                ..RasterizerConfig::prototype()
+            };
+            let report = EnhancedRasterizer::new(cfg).simulate_gaussian(&workload);
             let raster_s = report.time_s * desc.raster_work_per_frame / sim_work;
             let fps = PipelineSchedule::new(stages12_s, raster_s)
                 .expect("positive times")
                 .steady_state_fps();
-            SweepPoint { pes: cfg.total_pes(), raster_s, fps, utilization: report.utilization }
+            SweepPoint {
+                pes: cfg.total_pes(),
+                raster_s,
+                fps,
+                utilization: report.utilization,
+            }
         })
         .collect();
 
-    PeSweep { scene, stages12_s, points }
+    PeSweep {
+        scene,
+        stages12_s,
+        points,
+    }
 }
 
 impl std::fmt::Display for PeSweep {

@@ -7,31 +7,53 @@
 //! CUDA-collaborative scheduler, and an experiment harness regenerating
 //! every table and figure of the paper's evaluation.
 //!
-//! This crate is the facade: it re-exports the substrate crates and hosts
-//! the [`experiments`] harness. Typical entry points:
+//! This crate is the facade. The front door is the session-based
+//! [`engine::Engine`]: build one with [`engine::EngineBuilder`], pick an
+//! execution substrate ([`backend::BackendKind`]), and render frames,
+//! camera sequences, or one-call cross-backend comparisons — every
+//! substrate consumes the identical finalized workload, so speedup and
+//! energy ratios compare identical work by construction.
 //!
-//! * render a scene in software: [`render::pipeline::render`];
-//! * simulate the hardware: [`hw::EnhancedRasterizer`];
-//! * reproduce a paper artifact: [`experiments::raster_perf::figure10`] and
-//!   friends, or run `cargo run -p gaurast-bench --bin repro`.
+//! * unified entry point: [`engine::EngineBuilder`] →
+//!   [`engine::Engine::render_frame`] / `render_sequence` / `compare`;
+//! * execution substrates: [`backend`] (software reference, enhanced
+//!   rasterizer, CUDA baselines, GSCore);
+//! * paper artifacts: [`experiments::raster_perf::figure10`] and friends,
+//!   or `cargo run -p gaurast-bench --bin repro`;
+//! * the substrates themselves remain available directly
+//!   ([`render::pipeline::render`], [`hw::EnhancedRasterizer`], …) for
+//!   custom plumbing.
 //!
 //! # Example
 //!
 //! ```
-//! use gaurast::experiments::{evaluate_scene, ExperimentContext};
-//! use gaurast::scene::nerf360::Nerf360Scene;
+//! use gaurast::backend::BackendKind;
+//! use gaurast::engine::EngineBuilder;
+//! use gaurast::scene::nerf360::{Nerf360Scene, SceneScale};
 //!
-//! let ctx = ExperimentContext::quick();
-//! let (original, mini) = evaluate_scene(Nerf360Scene::Bonsai, &ctx);
-//! assert!(original.raster_speedup() > 1.0);
-//! assert!(mini.paper_work < original.paper_work);
+//! let desc = Nerf360Scene::Bonsai.descriptor();
+//! let scene = desc.synthesize(SceneScale::UNIT_TEST);
+//! let cam = desc.camera(SceneScale::UNIT_TEST, 0.3)?;
+//! let mut engine = EngineBuilder::new(scene).build()?;
+//! let comparison = engine.compare(&cam, &BackendKind::ALL);
+//! let speedup = comparison
+//!     .speedup(BackendKind::Cuda(gaurast::backend::GpuPreset::OrinNx),
+//!              BackendKind::Enhanced)
+//!     .expect("both backends requested");
+//! assert!(speedup > 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod backend;
+pub mod engine;
 pub mod experiments;
 pub mod report;
+
+pub use backend::{Backend, BackendKind, FrameReport, FrameStats, GpuPreset};
+pub use engine::{Engine, EngineBuilder, EngineError, ImagePolicy};
 
 /// Math substrate (vectors, matrices, quaternions, SH, FP16).
 pub use gaurast_math as math;

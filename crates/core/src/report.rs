@@ -21,7 +21,10 @@ pub struct TextTable {
 impl TextTable {
     /// Table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -201,7 +201,11 @@ mod tests {
             let t = m.raster_time_for_work(d.raster_work_per_frame, mean_len);
             let expected = paper::TABLE3_BASELINE_MS[i] / 1e3;
             let err = (t - expected).abs() / expected;
-            assert!(err < 0.10, "{}: model {t:.3} s vs paper {expected:.3} s", scene.name());
+            assert!(
+                err < 0.10,
+                "{}: model {t:.3} s vs paper {expected:.3} s",
+                scene.name()
+            );
         }
     }
 
@@ -220,7 +224,11 @@ mod tests {
             let pre = m.preprocess_time(visible as u64);
             let sort = m.sort_time(d.sort_pairs_per_frame as u64);
             let share = raster / (raster + pre + sort);
-            assert!(share > paper::FIG5_MIN_RASTER_SHARE, "{}: share {share:.2}", scene.name());
+            assert!(
+                share > paper::FIG5_MIN_RASTER_SHARE,
+                "{}: share {share:.2}",
+                scene.name()
+            );
         }
     }
 
@@ -240,10 +248,10 @@ mod tests {
 
     #[test]
     fn workload_raster_time_positive() {
+        use gaurast_math::Vec3;
         use gaurast_render::pipeline::{render, RenderConfig};
         use gaurast_scene::generator::SceneParams;
         use gaurast_scene::Camera;
-        use gaurast_math::Vec3;
         let scene = SceneParams::new(500).generate().unwrap();
         let cam = Camera::look_at(
             Vec3::new(0.0, 5.0, -25.0),

@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn m2_pro_is_2_6x_orin_fp32() {
         let ratio = m2_pro().peak_blend_rate() / orin_nx().peak_blend_rate();
-        assert!((ratio - paper::M2_PRO_FP32_RATIO).abs() < 0.01, "ratio {ratio}");
+        assert!(
+            (ratio - paper::M2_PRO_FP32_RATIO).abs() < 0.01,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -118,6 +121,9 @@ mod tests {
                 + edge.preprocess_time((d.full_gaussians as f64 * 0.85) as u64)
                 + edge.sort_time(d.sort_pairs_per_frame as u64));
         assert!(edge_fps < 5.0, "edge bicycle fps {edge_fps}");
-        assert!(fps / edge_fps > 10.0, "the intro's gap must be an order of magnitude");
+        assert!(
+            fps / edge_fps > 10.0,
+            "the intro's gap must be an order of magnitude"
+        );
     }
 }

@@ -22,8 +22,10 @@ pub struct GscoreEnvelope {
 
 impl GscoreEnvelope {
     /// The published envelope.
-    pub const PUBLISHED: GscoreEnvelope =
-        GscoreEnvelope { area_mm2: crate::paper::GSCORE_AREA_MM2, speedup_vs_host: crate::paper::GSCORE_SPEEDUP_XAVIER };
+    pub const PUBLISHED: GscoreEnvelope = GscoreEnvelope {
+        area_mm2: crate::paper::GSCORE_AREA_MM2,
+        speedup_vs_host: crate::paper::GSCORE_SPEEDUP_XAVIER,
+    };
 }
 
 /// Result of the §V-C comparison.
@@ -41,7 +43,10 @@ pub struct AreaEfficiencyComparison {
 /// published throughput envelope while adding only the Gaussian datapath
 /// (2 ADD + 1 MUL + 1 EXP per PE) to silicon that already exists.
 pub fn compare() -> AreaEfficiencyComparison {
-    let config = RasterizerConfig { precision: Precision::Fp16, ..RasterizerConfig::prototype() };
+    let config = RasterizerConfig {
+        precision: Precision::Fp16,
+        ..RasterizerConfig::prototype()
+    };
     let added = AreaModel::new(Precision::Fp16).enhancement_mm2(&config);
     AreaEfficiencyComparison {
         gaurast_added_mm2: added,
@@ -58,7 +63,11 @@ mod tests {
     #[test]
     fn ratio_matches_paper() {
         let c = compare();
-        assert!((c.gaurast_added_mm2 - 0.16).abs() < 0.01, "added {}", c.gaurast_added_mm2);
+        assert!(
+            (c.gaurast_added_mm2 - 0.16).abs() < 0.01,
+            "added {}",
+            c.gaurast_added_mm2
+        );
         assert!(
             (c.ratio - paper::GSCORE_AREA_EFFICIENCY_RATIO).abs() < 1.5,
             "ratio {}",

@@ -5,8 +5,9 @@
 
 /// Scene order used by every per-scene array below (the paper's order):
 /// bicycle, stump, garden, room, counter, kitchen, bonsai.
-pub const SCENE_NAMES: [&str; 7] =
-    ["bicycle", "stump", "garden", "room", "counter", "kitchen", "bonsai"];
+pub const SCENE_NAMES: [&str; 7] = [
+    "bicycle", "stump", "garden", "room", "counter", "kitchen", "bonsai",
+];
 
 /// Table III — absolute Gaussian-rasterization runtime of the CUDA baseline
 /// on the Jetson Orin NX (original 3DGS algorithm), milliseconds.
@@ -88,7 +89,10 @@ mod tests {
     #[test]
     fn mean_speedup_matches_headline() {
         let mean = table3_mean_speedup();
-        assert!((mean - FIG10_AVG_SPEEDUP_ORIGINAL).abs() < 1.0, "mean {mean}");
+        assert!(
+            (mean - FIG10_AVG_SPEEDUP_ORIGINAL).abs() < 1.0,
+            "mean {mean}"
+        );
     }
 
     #[test]

@@ -35,12 +35,20 @@ pub fn min_quadratic_on_rect(a: f32, b: f32, c: f32, x0: f32, x1: f32, y0: f32, 
     let mut best = f32::INFINITY;
     // Horizontal edges: y fixed, minimize over x: dq/dx = 2ax + 2by = 0.
     for y in [y0, y1] {
-        let x_star = if a > 0.0 { (-b * y / a).clamp(x0, x1) } else { x0 };
+        let x_star = if a > 0.0 {
+            (-b * y / a).clamp(x0, x1)
+        } else {
+            x0
+        };
         best = best.min(q(x_star, y)).min(q(x0, y)).min(q(x1, y));
     }
     // Vertical edges: x fixed, minimize over y: dq/dy = 2cy + 2bx = 0.
     for x in [x0, x1] {
-        let y_star = if c > 0.0 { (-b * x / c).clamp(y0, y1) } else { y0 };
+        let y_star = if c > 0.0 {
+            (-b * x / c).clamp(y0, y1)
+        } else {
+            y0
+        };
         best = best.min(q(x, y_star)).min(q(x, y0)).min(q(x, y1));
     }
     best
@@ -84,7 +92,10 @@ mod tests {
 
     #[test]
     fn origin_inside_box_gives_zero() {
-        assert_eq!(min_quadratic_on_rect(1.0, 0.0, 1.0, -1.0, 1.0, -1.0, 1.0), 0.0);
+        assert_eq!(
+            min_quadratic_on_rect(1.0, 0.0, 1.0, -1.0, 1.0, -1.0, 1.0),
+            0.0
+        );
     }
 
     #[test]
@@ -147,7 +158,10 @@ mod tests {
         // A very elongated splat along x at y=8: tiles far in y miss even
         // though the 3σ *square* would include them.
         let s = splat(Vec2::new(8.0, 8.0), [0.001, 0.0, 5.0], 0.9);
-        assert!(splat_touches_rect(&s, 32, 0, 48, 16), "along the major axis");
+        assert!(
+            splat_touches_rect(&s, 32, 0, 48, 16),
+            "along the major axis"
+        );
         assert!(!splat_touches_rect(&s, 0, 32, 16, 48), "off the minor axis");
     }
 

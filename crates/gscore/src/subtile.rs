@@ -118,13 +118,16 @@ mod tests {
     fn tight_splat_covers_few_subtiles() {
         let s = small_splat(8.0, 8.0);
         let (subtiles, pixels) = covered_subtiles(&s, 0, 0, 16, 16);
-        assert!(subtiles >= 1 && subtiles <= 4, "subtiles {subtiles}");
+        assert!((1..=4).contains(&subtiles), "subtiles {subtiles}");
         assert!(pixels < 256, "pixels {pixels}");
     }
 
     #[test]
     fn huge_splat_covers_all_subtiles() {
-        let s = Splat2D { conic: [1e-4, 0.0, 1e-4], ..small_splat(8.0, 8.0) };
+        let s = Splat2D {
+            conic: [1e-4, 0.0, 1e-4],
+            ..small_splat(8.0, 8.0)
+        };
         let (subtiles, pixels) = covered_subtiles(&s, 0, 0, 16, 16);
         assert_eq!(subtiles, 16);
         assert_eq!(pixels, 256);
@@ -158,7 +161,11 @@ mod tests {
         let mut w = bin_splats(splats, 64, 64, 16);
         let _ = rasterize(&mut w);
         let r = refine(&w);
-        assert!(r.shape_cull_fraction() > 0.1, "cull {}", r.shape_cull_fraction());
+        assert!(
+            r.shape_cull_fraction() > 0.1,
+            "cull {}",
+            r.shape_cull_fraction()
+        );
     }
 
     #[test]

@@ -126,7 +126,8 @@ impl AreaModel {
         let pe_tri = self.pe_triangle_um2();
         let pe_gauss = self.pe_gaussian_um2();
         let pe_block = f64::from(config.pes_per_module) * (pe_tri + pe_gauss);
-        let buffers = 2.0 * TILE_BUFFER_KIB * 1024.0 * 8.0 * SRAM_UM2_PER_BIT * sram_scale(self.precision);
+        let buffers =
+            2.0 * TILE_BUFFER_KIB * 1024.0 * 8.0 * SRAM_UM2_PER_BIT * sram_scale(self.precision);
         let controller = CONTROLLER_UM2;
         let pre_routing = pe_block + buffers + controller;
         let routing = pre_routing * ROUTING_FRACTION / (1.0 - ROUTING_FRACTION);
@@ -216,9 +217,21 @@ mod tests {
     #[test]
     fn breakdown_fractions_match_fig9() {
         let b = fp32_breakdown();
-        assert!((b.pe_block_fraction() - 0.892).abs() < 0.01, "PE {}", b.pe_block_fraction());
-        assert!((b.tile_buffer_fraction() - 0.101).abs() < 0.01, "buf {}", b.tile_buffer_fraction());
-        assert!((b.controller_fraction() - 0.001).abs() < 0.001, "ctl {}", b.controller_fraction());
+        assert!(
+            (b.pe_block_fraction() - 0.892).abs() < 0.01,
+            "PE {}",
+            b.pe_block_fraction()
+        );
+        assert!(
+            (b.tile_buffer_fraction() - 0.101).abs() < 0.01,
+            "buf {}",
+            b.tile_buffer_fraction()
+        );
+        assert!(
+            (b.controller_fraction() - 0.001).abs() < 0.001,
+            "ctl {}",
+            b.controller_fraction()
+        );
     }
 
     #[test]
@@ -238,8 +251,16 @@ mod tests {
     #[test]
     fn gscore_ratio_near_24_7() {
         let c = gscore_comparison();
-        assert!((c.gaurast_added_mm2 - 0.16).abs() < 0.01, "added {} mm²", c.gaurast_added_mm2);
-        assert!((c.area_efficiency_ratio - 24.7).abs() < 1.5, "ratio {}", c.area_efficiency_ratio);
+        assert!(
+            (c.gaurast_added_mm2 - 0.16).abs() < 0.01,
+            "added {} mm²",
+            c.gaurast_added_mm2
+        );
+        assert!(
+            (c.area_efficiency_ratio - 24.7).abs() < 1.5,
+            "ratio {}",
+            c.area_efficiency_ratio
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl fmt::Display for CommandError {
                 write!(f, "command {at}: staging over an unconsumed tile")
             }
             CommandError::TileTooLarge { at, primitives } => {
-                write!(f, "command {at}: {primitives} primitives exceed buffer capacity")
+                write!(
+                    f,
+                    "command {at}: {primitives} primitives exceed buffer capacity"
+                )
             }
             CommandError::UnterminatedStream => write!(f, "stream not terminated by a fence"),
         }
@@ -188,7 +191,10 @@ impl CommandBuffer {
                         return Err(CommandError::StageOverrun { at });
                     }
                     if job.primitives > cap {
-                        return Err(CommandError::TileTooLarge { at, primitives: job.primitives });
+                        return Err(CommandError::TileTooLarge {
+                            at,
+                            primitives: job.primitives,
+                        });
                     }
                     staged = true;
                 }
@@ -291,7 +297,12 @@ impl CommandProcessor {
         }
         flush(&mut batch, &mut cycles, &mut pairs);
 
-        Ok(ExecutionReport { cycles, mode_switches, pairs, tiles })
+        Ok(ExecutionReport {
+            cycles,
+            mode_switches,
+            pairs,
+            tiles,
+        })
     }
 }
 
@@ -344,7 +355,9 @@ mod tests {
         let w = gaussian_workload();
         let cb = CommandBuffer::encode_gaussian(&w, &config());
         let stream_cycles = CommandProcessor::new(config()).execute(&cb).unwrap().cycles;
-        let direct = EnhancedRasterizer::new(config()).simulate_gaussian(&w).cycles;
+        let direct = EnhancedRasterizer::new(config())
+            .simulate_gaussian(&w)
+            .cycles;
         let err = (stream_cycles as f64 - direct as f64).abs() / direct as f64;
         assert!(err < 0.05, "stream {stream_cycles} vs direct {direct}");
     }
@@ -353,7 +366,11 @@ mod tests {
     fn mixed_stream_pays_one_switch() {
         use gaurast_render::triangle::{ScreenTriangle, TriangleWorkload};
         let tri = ScreenTriangle {
-            v: [Vec2::new(1.0, 1.0), Vec2::new(60.0, 1.0), Vec2::new(1.0, 60.0)],
+            v: [
+                Vec2::new(1.0, 1.0),
+                Vec2::new(60.0, 1.0),
+                Vec2::new(1.0, 60.0),
+            ],
             depth: [1.0; 3],
             uv: [Vec2::zero(); 3],
             color: [Vec3::one(); 3],
@@ -385,24 +402,42 @@ mod tests {
     #[test]
     fn stage_before_mode_rejected() {
         let mut cb = CommandBuffer::new();
-        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
-        assert_eq!(cb.validate(&config()), Err(CommandError::ModeNotSet { at: 0 }));
+        cb.push(Command::StageTile(TileJob {
+            primitives: 1,
+            pixels: 256,
+        }));
+        assert_eq!(
+            cb.validate(&config()),
+            Err(CommandError::ModeNotSet { at: 0 })
+        );
     }
 
     #[test]
     fn double_stage_rejected() {
         let mut cb = CommandBuffer::new();
         cb.push(Command::SetMode(RasterMode::Gaussian));
-        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
-        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
-        assert_eq!(cb.validate(&config()), Err(CommandError::StageOverrun { at: 2 }));
+        cb.push(Command::StageTile(TileJob {
+            primitives: 1,
+            pixels: 256,
+        }));
+        cb.push(Command::StageTile(TileJob {
+            primitives: 1,
+            pixels: 256,
+        }));
+        assert_eq!(
+            cb.validate(&config()),
+            Err(CommandError::StageOverrun { at: 2 })
+        );
     }
 
     #[test]
     fn oversized_tile_rejected() {
         let mut cb = CommandBuffer::new();
         cb.push(Command::SetMode(RasterMode::Gaussian));
-        cb.push(Command::StageTile(TileJob { primitives: 100_000, pixels: 256 }));
+        cb.push(Command::StageTile(TileJob {
+            primitives: 100_000,
+            pixels: 256,
+        }));
         cb.push(Command::Rasterize);
         cb.push(Command::Fence);
         assert!(matches!(
@@ -415,9 +450,15 @@ mod tests {
     fn missing_fence_rejected() {
         let mut cb = CommandBuffer::new();
         cb.push(Command::SetMode(RasterMode::Gaussian));
-        cb.push(Command::StageTile(TileJob { primitives: 1, pixels: 256 }));
+        cb.push(Command::StageTile(TileJob {
+            primitives: 1,
+            pixels: 256,
+        }));
         cb.push(Command::Rasterize);
-        assert_eq!(cb.validate(&config()), Err(CommandError::UnterminatedStream));
+        assert_eq!(
+            cb.validate(&config()),
+            Err(CommandError::UnterminatedStream)
+        );
     }
 
     #[test]
@@ -431,8 +472,13 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = CommandError::TileTooLarge { at: 3, primitives: 9999 };
+        let e = CommandError::TileTooLarge {
+            at: 3,
+            primitives: 9999,
+        };
         assert!(e.to_string().contains("9999"));
-        assert!(CommandError::UnterminatedStream.to_string().contains("fence"));
+        assert!(CommandError::UnterminatedStream
+            .to_string()
+            .contains("fence"));
     }
 }

@@ -77,7 +77,10 @@ impl RasterizerConfig {
     /// module). All calibration constants in this workspace are derived for
     /// 240 PEs, which only rescales absolute times, not any speedup ratio.
     pub fn scaled() -> Self {
-        Self { modules: 15, ..Self::prototype() }
+        Self {
+            modules: 15,
+            ..Self::prototype()
+        }
     }
 
     /// Total PEs across all module instances.
@@ -141,10 +144,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(RasterizerConfig { pes_per_module: 0, ..RasterizerConfig::prototype() }.validate().is_err());
-        assert!(RasterizerConfig { modules: 0, ..RasterizerConfig::prototype() }.validate().is_err());
-        assert!(RasterizerConfig { clock_hz: 0.0, ..RasterizerConfig::prototype() }.validate().is_err());
-        assert!(RasterizerConfig { bus_words_per_cycle: 0, ..RasterizerConfig::prototype() }.validate().is_err());
+        assert!(RasterizerConfig {
+            pes_per_module: 0,
+            ..RasterizerConfig::prototype()
+        }
+        .validate()
+        .is_err());
+        assert!(RasterizerConfig {
+            modules: 0,
+            ..RasterizerConfig::prototype()
+        }
+        .validate()
+        .is_err());
+        assert!(RasterizerConfig {
+            clock_hz: 0.0,
+            ..RasterizerConfig::prototype()
+        }
+        .validate()
+        .is_err());
+        assert!(RasterizerConfig {
+            bus_words_per_cycle: 0,
+            ..RasterizerConfig::prototype()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -28,8 +28,13 @@ pub enum FpUnitKind {
 
 impl FpUnitKind {
     /// All unit kinds.
-    pub const ALL: [FpUnitKind; 5] =
-        [FpUnitKind::Add, FpUnitKind::Mul, FpUnitKind::Div, FpUnitKind::Exp, FpUnitKind::Cmp];
+    pub const ALL: [FpUnitKind; 5] = [
+        FpUnitKind::Add,
+        FpUnitKind::Mul,
+        FpUnitKind::Div,
+        FpUnitKind::Exp,
+        FpUnitKind::Cmp,
+    ];
 
     /// Pipeline latency in cycles at 1 GHz (throughput is 1/cycle for all
     /// units; latency only contributes to per-tile fill/drain).
@@ -204,7 +209,11 @@ mod tests {
     fn exp_unit_is_largest_gaussian_unit() {
         // The exponentiation unit dominates the Gaussian enhancement (the
         // paper adds exactly one per PE).
-        assert!(FpUnitKind::Exp.area_um2(Precision::Fp32) > FpUnitKind::Mul.area_um2(Precision::Fp32));
-        assert!(FpUnitKind::Exp.area_um2(Precision::Fp32) > FpUnitKind::Add.area_um2(Precision::Fp32));
+        assert!(
+            FpUnitKind::Exp.area_um2(Precision::Fp32) > FpUnitKind::Mul.area_um2(Precision::Fp32)
+        );
+        assert!(
+            FpUnitKind::Exp.area_um2(Precision::Fp32) > FpUnitKind::Add.area_um2(Precision::Fp32)
+        );
     }
 }

@@ -39,7 +39,11 @@ enum BufferState {
     /// Staged and ready for the PE block.
     Ready { job: TileJob },
     /// The PE block is consuming it; `issued` primitive-groups so far.
-    Processing { job: TileJob, issued_groups: u64, total_groups: u64 },
+    Processing {
+        job: TileJob,
+        issued_groups: u64,
+        total_groups: u64,
+    },
     /// Finished processing; results drain through the collector;
     /// `remaining` words to write back.
     Draining { remaining_words: u64 },
@@ -84,7 +88,10 @@ impl ModuleMicroArch {
     /// Panics for invalid configurations.
     pub fn new(config: RasterizerConfig) -> Self {
         config.validate().expect("invalid rasterizer configuration");
-        Self { config, buffer_model: TileBufferModel::new(config.bus_words_per_cycle) }
+        Self {
+            config,
+            buffer_model: TileBufferModel::new(config.bus_words_per_cycle),
+        }
     }
 
     /// Words the memory interface must stream to stage a job (primitive
@@ -118,7 +125,10 @@ impl ModuleMicroArch {
         let fill = u64::from(self.config.pipeline_latency);
         let cap = self.buffer_model.capacity_primitives;
         for (i, j) in jobs.iter().enumerate() {
-            assert!(j.primitives <= cap, "job {i} exceeds buffer capacity; chunk first");
+            assert!(
+                j.primitives <= cap,
+                "job {i} exceeds buffer capacity; chunk first"
+            );
         }
 
         let mut pairs = 0u64;
@@ -139,8 +149,7 @@ impl ModuleMicroArch {
         let usable_buffers: usize = if self.config.ping_pong { 2 } else { 1 };
 
         let done = |buffers: &[BufferState; 2], next_job: usize| {
-            next_job >= jobs.len()
-                && buffers.iter().all(|b| matches!(b, BufferState::Empty))
+            next_job >= jobs.len() && buffers.iter().all(|b| matches!(b, BufferState::Empty))
         };
 
         // Safety valve: the machine must terminate well within this bound.
@@ -182,7 +191,11 @@ impl ModuleMicroArch {
                     }
                 }
             } else if let Some(i) = load_target {
-                if let BufferState::Loading { job, remaining_words } = &mut buffers[i] {
+                if let BufferState::Loading {
+                    job,
+                    remaining_words,
+                } = &mut buffers[i]
+                {
                     *remaining_words = remaining_words.saturating_sub(bus);
                     if *remaining_words == 0 {
                         buffers[i] = BufferState::Ready { job: *job };
@@ -199,7 +212,9 @@ impl ModuleMicroArch {
                         .iter()
                         .position(|b| matches!(b, BufferState::Ready { .. }))
                     {
-                        let BufferState::Ready { job } = buffers[i] else { unreachable!() };
+                        let BufferState::Ready { job } = buffers[i] else {
+                            unreachable!()
+                        };
                         let groups =
                             u64::from(job.primitives) * u64::from(job.pixels.div_ceil(pes as u32));
                         buffers[i] = BufferState::Processing {
@@ -215,7 +230,10 @@ impl ModuleMicroArch {
                         || buffers.iter().any(|b| !matches!(b, BufferState::Empty))
                     {
                         // Idle with work outstanding: attribute the stall.
-                        if buffers.iter().any(|b| matches!(b, BufferState::Loading { .. })) {
+                        if buffers
+                            .iter()
+                            .any(|b| matches!(b, BufferState::Loading { .. }))
+                        {
                             stalls.load_stall += 1;
                         } else {
                             stalls.drain_stall += 1;
@@ -226,8 +244,11 @@ impl ModuleMicroArch {
                     if pe_fill_left > 0 {
                         pe_fill_left -= 1;
                         stalls.pipeline_fill += 1;
-                    } else if let BufferState::Processing { job, issued_groups, total_groups } =
-                        &mut buffers[i]
+                    } else if let BufferState::Processing {
+                        job,
+                        issued_groups,
+                        total_groups,
+                    } = &mut buffers[i]
                     {
                         if *issued_groups < *total_groups {
                             *issued_groups += 1;
@@ -244,7 +265,12 @@ impl ModuleMicroArch {
             }
         }
 
-        MicroArchReport { cycles, pairs, stalls, busy_cycles: busy }
+        MicroArchReport {
+            cycles,
+            pairs,
+            stalls,
+            busy_cycles: busy,
+        }
     }
 }
 
@@ -262,7 +288,10 @@ pub fn chunk_jobs(jobs: &[TileJob], capacity: u32) -> Vec<TileJob> {
         let mut remaining = j.primitives;
         while remaining > 0 {
             let chunk = remaining.min(capacity);
-            out.push(TileJob { primitives: chunk, pixels: j.pixels });
+            out.push(TileJob {
+                primitives: chunk,
+                pixels: j.pixels,
+            });
             remaining -= chunk;
         }
     }
@@ -307,10 +336,7 @@ mod tests {
         use gaurast_render::Splat2D;
         let splats: Vec<Splat2D> = (0..n)
             .map(|i| Splat2D {
-                mean: Vec2::new(
-                    (i * 37 % w) as f32 + 0.5,
-                    (i * 53 % h) as f32 + 0.5,
-                ),
+                mean: Vec2::new((i * 37 % w) as f32 + 0.5, (i * 53 % h) as f32 + 0.5),
                 conic: [0.08, 0.0, 0.08],
                 depth: 1.0 + i as f32 * 0.01,
                 color: Vec3::new(0.5, 0.3, 0.2),
@@ -356,7 +382,10 @@ mod tests {
         // One 256-pixel tile with 10 primitives on 16 PEs:
         // load = (10*9 + 256*4) / 16 = 70 cycles (ceil), fill = 24,
         // process = 10 * 16 = 160, writeback = 768/16 = 48.
-        let job = TileJob { primitives: 10, pixels: 256 };
+        let job = TileJob {
+            primitives: 10,
+            pixels: 256,
+        };
         let r = ModuleMicroArch::new(single_module()).run(&[job]);
         let expected = 70 + 24 + 160 + 48;
         assert_eq!(r.cycles, expected, "got {}", r.cycles);
@@ -366,14 +395,25 @@ mod tests {
 
     #[test]
     fn ping_pong_overlaps_next_load() {
-        let jobs = vec![TileJob { primitives: 64, pixels: 256 }; 6];
+        let jobs = vec![
+            TileJob {
+                primitives: 64,
+                pixels: 256
+            };
+            6
+        ];
         let pp = ModuleMicroArch::new(single_module()).run(&jobs);
         let single = ModuleMicroArch::new(RasterizerConfig {
             ping_pong: false,
             ..single_module()
         })
         .run(&jobs);
-        assert!(pp.cycles < single.cycles, "{} !< {}", pp.cycles, single.cycles);
+        assert!(
+            pp.cycles < single.cycles,
+            "{} !< {}",
+            pp.cycles,
+            single.cycles
+        );
         assert_eq!(pp.pairs, single.pairs);
         // With compute-bound tiles the overlapped machine barely stalls.
         assert!(pp.stalls.load_stall < single.cycles - pp.cycles);
@@ -381,10 +421,19 @@ mod tests {
 
     #[test]
     fn stall_attribution_accounts_for_idle() {
-        let jobs = vec![TileJob { primitives: 2, pixels: 256 }; 8];
+        let jobs = vec![
+            TileJob {
+                primitives: 2,
+                pixels: 256
+            };
+            8
+        ];
         // Tiny lists: memory-bound, the PE block must report load stalls.
         let r = ModuleMicroArch::new(single_module()).run(&jobs);
-        assert!(r.stalls.load_stall > 0, "memory-bound run must stall on loads");
+        assert!(
+            r.stalls.load_stall > 0,
+            "memory-bound run must stall on loads"
+        );
         // Busy + fill + stalls bound the runtime.
         let accounted =
             r.busy_cycles + r.stalls.pipeline_fill + r.stalls.load_stall + r.stalls.drain_stall;
@@ -395,15 +444,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds buffer capacity")]
     fn oversized_job_rejected() {
-        let job = TileJob { primitives: 5000, pixels: 256 };
+        let job = TileJob {
+            primitives: 5000,
+            pixels: 256,
+        };
         let _ = ModuleMicroArch::new(single_module()).run(&[job]);
     }
 
     #[test]
     fn chunking_preserves_primitive_totals() {
         let jobs = vec![
-            TileJob { primitives: 2500, pixels: 256 },
-            TileJob { primitives: 100, pixels: 128 },
+            TileJob {
+                primitives: 2500,
+                pixels: 256,
+            },
+            TileJob {
+                primitives: 100,
+                pixels: 128,
+            },
         ];
         let chunked = chunk_jobs(&jobs, 1024);
         assert_eq!(chunked.len(), 4);

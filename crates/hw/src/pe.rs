@@ -71,14 +71,26 @@ pub struct PeActivity {
 impl PeActivity {
     /// Fixed per-pair profile of the Gaussian datapath (adds, muls, exps,
     /// cmps); the pipeline performs these regardless of cutoffs.
-    pub const GAUSSIAN_PER_PAIR: PeActivity =
-        PeActivity { add: 9, mul: 13, div: 0, exp: 1, cmp: 5, pairs: 1 };
+    pub const GAUSSIAN_PER_PAIR: PeActivity = PeActivity {
+        add: 9,
+        mul: 13,
+        div: 0,
+        exp: 1,
+        cmp: 5,
+        pairs: 1,
+    };
 
     /// Fixed per-pair profile of the triangle datapath. The barycentric
     /// reciprocal is per-primitive, not per-pair, so `div` is accounted
     /// separately by the tile processor.
-    pub const TRIANGLE_PER_PAIR: PeActivity =
-        PeActivity { add: 15, mul: 16, div: 0, exp: 0, cmp: 4, pairs: 1 };
+    pub const TRIANGLE_PER_PAIR: PeActivity = PeActivity {
+        add: 15,
+        mul: 16,
+        div: 0,
+        exp: 0,
+        cmp: 4,
+        pairs: 1,
+    };
 
     /// Element-wise sum.
     pub fn merged(self, rhs: PeActivity) -> PeActivity {
@@ -117,7 +129,10 @@ pub struct GaussianPixel {
 
 impl Default for GaussianPixel {
     fn default() -> Self {
-        Self { color: Vec3::zero(), transmittance: 1.0 }
+        Self {
+            color: Vec3::zero(),
+            transmittance: 1.0,
+        }
     }
 }
 
@@ -135,7 +150,11 @@ pub struct TrianglePixel {
 
 impl Default for TrianglePixel {
     fn default() -> Self {
-        Self { depth: f32::INFINITY, uv: Vec2::zero(), color: Vec3::zero() }
+        Self {
+            depth: f32::INFINITY,
+            uv: Vec2::zero(),
+            color: Vec3::zero(),
+        }
     }
 }
 
@@ -149,7 +168,10 @@ pub struct Pe {
 impl Pe {
     /// PE with the given datapath precision.
     pub fn new(precision: Precision) -> Self {
-        Self { ops: FpOps::new(precision), activity: PeActivity::default() }
+        Self {
+            ops: FpOps::new(precision),
+            activity: PeActivity::default(),
+        }
     }
 
     /// Accumulated activity counts.
@@ -167,7 +189,12 @@ impl Pe {
     ///
     /// The arithmetic mirrors `gaurast_render::rasterize` exactly (same
     /// operations, same order), so FP32 results are bit-identical.
-    pub fn blend_gaussian(&mut self, splat: &Splat2D, pixel: Vec2, state: &mut GaussianPixel) -> bool {
+    pub fn blend_gaussian(
+        &mut self,
+        splat: &Splat2D,
+        pixel: Vec2,
+        state: &mut GaussianPixel,
+    ) -> bool {
         let o = &self.ops;
         let (a, b, c) = (splat.conic[0], splat.conic[1], splat.conic[2]);
 
@@ -203,9 +230,8 @@ impl Pe {
         self.activity = self.activity.merged(PeActivity::GAUSSIAN_PER_PAIR);
 
         // Write-back gating: the only data-dependent part of the pipeline.
-        let commit = state.transmittance >= TRANSMITTANCE_EPS
-            && power <= 0.0
-            && alpha >= ALPHA_CUTOFF;
+        let commit =
+            state.transmittance >= TRANSMITTANCE_EPS && power <= 0.0 && alpha >= ALPHA_CUTOFF;
         if commit {
             state.color = new_color;
             state.transmittance = new_t;
@@ -254,8 +280,14 @@ impl Pe {
 
         // Subtask 3: UV weight computation.
         let uv = Vec2::new(
-            o.add(o.add(o.mul(tri.uv[0].x, w0), o.mul(tri.uv[1].x, w1)), o.mul(tri.uv[2].x, w2)),
-            o.add(o.add(o.mul(tri.uv[0].y, w0), o.mul(tri.uv[1].y, w1)), o.mul(tri.uv[2].y, w2)),
+            o.add(
+                o.add(o.mul(tri.uv[0].x, w0), o.mul(tri.uv[1].x, w1)),
+                o.mul(tri.uv[2].x, w2),
+            ),
+            o.add(
+                o.add(o.mul(tri.uv[0].y, w0), o.mul(tri.uv[1].y, w1)),
+                o.mul(tri.uv[2].y, w2),
+            ),
         );
 
         // Subtask 4: depth interpolation and min-depth hold.
@@ -321,8 +353,8 @@ mod tests {
             return false;
         }
         let d = p - s.mean;
-        let power = -0.5 * (s.conic[0] * d.x * d.x + s.conic[2] * d.y * d.y)
-            - s.conic[1] * d.x * d.y;
+        let power =
+            -0.5 * (s.conic[0] * d.x * d.x + s.conic[2] * d.y * d.y) - s.conic[1] * d.x * d.y;
         if power > 0.0 {
             return false;
         }
@@ -377,7 +409,10 @@ mod tests {
     #[test]
     fn saturated_pixel_never_commits() {
         let mut pe = Pe::new(Precision::Fp32);
-        let mut state = GaussianPixel { color: Vec3::one(), transmittance: 1e-6 };
+        let mut state = GaussianPixel {
+            color: Vec3::one(),
+            transmittance: 1e-6,
+        };
         let before = state;
         assert!(!pe.blend_gaussian(&splat(), Vec2::new(8.5, 8.5), &mut state));
         assert_eq!(state, before);
@@ -413,7 +448,11 @@ mod tests {
     fn triangle_datapath_matches_reference_shading() {
         use gaurast_render::triangle::rasterize_mesh;
         let tri = ScreenTriangle {
-            v: [Vec2::new(1.0, 1.0), Vec2::new(14.0, 2.0), Vec2::new(3.0, 13.0)],
+            v: [
+                Vec2::new(1.0, 1.0),
+                Vec2::new(14.0, 2.0),
+                Vec2::new(3.0, 13.0),
+            ],
             depth: [2.0, 3.0, 4.0],
             uv: [Vec2::zero(), Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)],
             color: [
@@ -445,7 +484,11 @@ mod tests {
     #[test]
     fn triangle_depth_test_holds_minimum() {
         let mk = |z: f32| ScreenTriangle {
-            v: [Vec2::new(0.0, 0.0), Vec2::new(16.0, 0.0), Vec2::new(0.0, 16.0)],
+            v: [
+                Vec2::new(0.0, 0.0),
+                Vec2::new(16.0, 0.0),
+                Vec2::new(0.0, 16.0),
+            ],
             depth: [z; 3],
             uv: [Vec2::zero(); 3],
             color: [Vec3::one(); 3],
@@ -459,7 +502,10 @@ mod tests {
         let ia = pe.reciprocal(far.area2);
         assert!(pe.shade_triangle(&far, ia, p, &mut state));
         assert!(pe.shade_triangle(&near, ia, p, &mut state));
-        assert!(!pe.shade_triangle(&far, ia, p, &mut state), "farther fragment must lose");
+        assert!(
+            !pe.shade_triangle(&far, ia, p, &mut state),
+            "farther fragment must lose"
+        );
         assert!((state.depth - 2.0).abs() < 1e-5);
     }
 
@@ -469,6 +515,9 @@ mod tests {
         assert_eq!(r.shared_adders, 9);
         assert_eq!(r.shared_multipliers, 9);
         assert_eq!(r.triangle_dividers, 1);
-        assert_eq!(r.gaussian_adders + r.gaussian_multipliers + r.gaussian_exp_units, 4);
+        assert_eq!(
+            r.gaussian_adders + r.gaussian_multipliers + r.gaussian_exp_units,
+            4
+        );
     }
 }

@@ -77,13 +77,19 @@ pub struct PowerModel {
 impl PowerModel {
     /// Model at 28 nm (prototype conditions).
     pub fn prototype(config: RasterizerConfig) -> Self {
-        Self { config, tech_scale: 1.0 }
+        Self {
+            config,
+            tech_scale: 1.0,
+        }
     }
 
     /// Model technology-scaled into the baseline SoC (used for the
     /// energy-efficiency comparison against the Jetson's GPU).
     pub fn integrated(config: RasterizerConfig) -> Self {
-        Self { config, tech_scale: TECH_SCALE_POWER_28_TO_8 }
+        Self {
+            config,
+            tech_scale: TECH_SCALE_POWER_28_TO_8,
+        }
     }
 
     fn datapath_energy_pj(&self, a: &PeActivity) -> f64 {
@@ -105,9 +111,7 @@ impl PowerModel {
         let r = PeResources::PAPER;
         let per_pair = match report.mode {
             // Gaussian running: the triangle divider idles.
-            RasterMode::Gaussian => {
-                f64::from(r.triangle_dividers) * FpUnitKind::Div.energy_pj(p)
-            }
+            RasterMode::Gaussian => f64::from(r.triangle_dividers) * FpUnitKind::Div.energy_pj(p),
             // Triangle running: the Gaussian adders/mul/exp idle.
             RasterMode::Triangle => {
                 f64::from(r.gaussian_adders) * FpUnitKind::Add.energy_pj(p)
@@ -235,7 +239,10 @@ mod tests {
     fn gating_saves_energy() {
         let report = busy_report();
         let gated = PowerModel::prototype(RasterizerConfig::prototype()).evaluate(&report);
-        let ungated_cfg = RasterizerConfig { input_gating: false, ..RasterizerConfig::prototype() };
+        let ungated_cfg = RasterizerConfig {
+            input_gating: false,
+            ..RasterizerConfig::prototype()
+        };
         let ungated = PowerModel::prototype(ungated_cfg).evaluate(&report);
         assert!(ungated.total_j() > gated.total_j());
     }
@@ -244,7 +251,10 @@ mod tests {
     fn fp16_uses_less_energy() {
         let report = busy_report();
         let fp32 = PowerModel::prototype(RasterizerConfig::prototype()).evaluate(&report);
-        let fp16_cfg = RasterizerConfig { precision: Precision::Fp16, ..RasterizerConfig::prototype() };
+        let fp16_cfg = RasterizerConfig {
+            precision: Precision::Fp16,
+            ..RasterizerConfig::prototype()
+        };
         let fp16 = PowerModel::prototype(fp16_cfg).evaluate(&report);
         assert!(fp16.total_j() < 0.6 * fp32.total_j());
     }

@@ -81,7 +81,10 @@ impl EnhancedRasterizer {
     /// [`RasterizerConfig::validate`] to check first.
     pub fn new(config: RasterizerConfig) -> Self {
         config.validate().expect("invalid rasterizer configuration");
-        Self { config, buffer: TileBufferModel::new(config.bus_words_per_cycle) }
+        Self {
+            config,
+            buffer: TileBufferModel::new(config.bus_words_per_cycle),
+        }
     }
 
     /// The configuration.
@@ -241,10 +244,16 @@ impl EnhancedRasterizer {
             items.push(WorkItem {
                 // Pixel state streams in once (first chunk) and out once
                 // (last chunk).
-                load: self.buffer.load_cycles(chunk, words_each, if first { pixels } else { 0 }),
+                load: self
+                    .buffer
+                    .load_cycles(chunk, words_each, if first { pixels } else { 0 }),
                 process: processing_cycles(chunk, pixels, self.config.pes_per_module)
                     + u64::from(self.config.pipeline_latency),
-                writeback: if last { self.buffer.writeback_cycles(pixels) } else { 0 },
+                writeback: if last {
+                    self.buffer.writeback_cycles(pixels)
+                } else {
+                    0
+                },
             });
         }
         items
@@ -276,7 +285,11 @@ impl EnhancedRasterizer {
             if self.config.ping_pong {
                 t += items[0].load;
                 for k in 0..items.len() {
-                    let next_load = if k + 1 < items.len() { items[k + 1].load } else { 0 };
+                    let next_load = if k + 1 < items.len() {
+                        items[k + 1].load
+                    } else {
+                        0
+                    };
                     let prev_wb = if k > 0 { items[k - 1].writeback } else { 0 };
                     let iface = next_load + prev_wb;
                     let step = items[k].process.max(iface);
@@ -295,7 +308,11 @@ impl EnhancedRasterizer {
         let cycles = instance_cycles.iter().copied().max().unwrap_or(0);
         let time_s = cycles as f64 / self.config.clock_hz;
         let capacity = cycles.saturating_mul(u64::from(self.config.total_pes()));
-        let utilization = if capacity > 0 { pairs as f64 / capacity as f64 } else { 0.0 };
+        let utilization = if capacity > 0 {
+            pairs as f64 / capacity as f64
+        } else {
+            0.0
+        };
 
         FrameReport {
             mode,
@@ -319,6 +336,11 @@ impl Default for EnhancedRasterizer {
 
 /// Convenience: simulate a Gaussian workload on the paper's scaled
 /// configuration, as used for all scene-level results.
+#[deprecated(
+    since = "0.1.0",
+    note = "go through the session-based engine instead: \
+            `gaurast::engine::EngineBuilder` with `BackendKind::Enhanced`"
+)]
 pub fn simulate_scaled(workload: &RasterWorkload) -> FrameReport {
     EnhancedRasterizer::new(RasterizerConfig::scaled()).simulate_gaussian(workload)
 }
@@ -407,7 +429,11 @@ mod tests {
         let (workload, reference) = gaussian_workload(800, 96, 64);
         let hw = EnhancedRasterizer::new(RasterizerConfig::prototype());
         let (image, report) = hw.render_gaussian(&workload);
-        assert_eq!(image.mean_abs_diff(&reference), 0.0, "FP32 must match bit-for-bit");
+        assert_eq!(
+            image.mean_abs_diff(&reference),
+            0.0,
+            "FP32 must match bit-for-bit"
+        );
         assert_eq!(image.psnr(&reference), f32::INFINITY);
         assert!(report.cycles > 0);
     }
@@ -437,7 +463,10 @@ mod tests {
         assert_eq!(image.mean_abs_diff(&reference), 0.0);
         assert_eq!(report.mode, RasterMode::Triangle);
         assert!(report.activity.div > 0, "triangles must use the divider");
-        assert_eq!(report.activity.exp, 0, "triangles must not use the exp unit");
+        assert_eq!(
+            report.activity.exp, 0,
+            "triangles must not use the exp unit"
+        );
     }
 
     #[test]
@@ -465,7 +494,8 @@ mod tests {
     #[test]
     fn ping_pong_beats_single_buffer() {
         let (workload, _) = gaussian_workload(1500, 128, 96);
-        let pp = EnhancedRasterizer::new(RasterizerConfig::prototype()).simulate_gaussian(&workload);
+        let pp =
+            EnhancedRasterizer::new(RasterizerConfig::prototype()).simulate_gaussian(&workload);
         let single = EnhancedRasterizer::new(RasterizerConfig {
             ping_pong: false,
             ..RasterizerConfig::prototype()
@@ -478,7 +508,8 @@ mod tests {
     #[test]
     fn utilization_in_unit_range_and_reasonable() {
         let (workload, _) = gaurast_workload_big();
-        let report = EnhancedRasterizer::new(RasterizerConfig::scaled()).simulate_gaussian(&workload);
+        let report =
+            EnhancedRasterizer::new(RasterizerConfig::scaled()).simulate_gaussian(&workload);
         assert!(report.utilization > 0.0 && report.utilization <= 1.0);
         assert_eq!(report.instance_cycles.len(), 15);
     }

@@ -32,7 +32,10 @@ impl TileBufferModel {
     /// Buffer model with the given bus width and the default 1K-primitive
     /// capacity (16 KiB at 4 bytes × 4 banks, see `area`).
     pub fn new(bus_words_per_cycle: u32) -> Self {
-        Self { capacity_primitives: 1024, bus_words_per_cycle }
+        Self {
+            capacity_primitives: 1024,
+            bus_words_per_cycle,
+        }
     }
 
     /// Cycles to load `n` primitives of `words_each` words plus the pixel
@@ -42,7 +45,8 @@ impl TileBufferModel {
     /// Panics in debug builds for a zero-width bus.
     pub fn load_cycles(&self, n: u32, words_each: u32, pixels: u32) -> u64 {
         debug_assert!(self.bus_words_per_cycle > 0);
-        let words = u64::from(n) * u64::from(words_each) + u64::from(pixels) * u64::from(WORDS_PER_PIXEL);
+        let words =
+            u64::from(n) * u64::from(words_each) + u64::from(pixels) * u64::from(WORDS_PER_PIXEL);
         words.div_ceil(u64::from(self.bus_words_per_cycle))
     }
 

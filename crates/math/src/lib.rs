@@ -37,7 +37,7 @@ mod vec;
 pub use aabb::{Aabb2, Aabb3};
 pub use mat::{Mat2, Mat3, Mat4};
 pub use quat::Quat;
-pub use transform::{look_at, perspective, focal_from_fov, fov_from_focal};
+pub use transform::{focal_from_fov, fov_from_focal, look_at, perspective};
 pub use vec::{Vec2, Vec3, Vec4};
 
 /// Relative/absolute tolerance comparison for `f32` used across the test

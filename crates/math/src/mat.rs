@@ -113,9 +113,15 @@ impl Mat3 {
     #[allow(clippy::too_many_arguments)]
     #[inline]
     pub const fn from_rows(
-        m00: f32, m01: f32, m02: f32,
-        m10: f32, m11: f32, m12: f32,
-        m20: f32, m21: f32, m22: f32,
+        m00: f32,
+        m01: f32,
+        m02: f32,
+        m10: f32,
+        m11: f32,
+        m12: f32,
+        m20: f32,
+        m21: f32,
+        m22: f32,
     ) -> Self {
         Self::from_cols(
             Vec3::new(m00, m10, m20),
@@ -145,9 +151,15 @@ impl Mat3 {
     /// Transpose.
     pub fn transposed(&self) -> Self {
         Self::from_rows(
-            self.at(0, 0), self.at(1, 0), self.at(2, 0),
-            self.at(0, 1), self.at(1, 1), self.at(2, 1),
-            self.at(0, 2), self.at(1, 2), self.at(2, 2),
+            self.at(0, 0),
+            self.at(1, 0),
+            self.at(2, 0),
+            self.at(0, 1),
+            self.at(1, 1),
+            self.at(2, 1),
+            self.at(0, 2),
+            self.at(1, 2),
+            self.at(2, 2),
         )
     }
 
@@ -170,9 +182,15 @@ impl Mat3 {
         let inv_det = 1.0 / det;
         // Rows of the inverse are the scaled cross products.
         Some(Self::from_rows(
-            r0.x * inv_det, r0.y * inv_det, r0.z * inv_det,
-            r1.x * inv_det, r1.y * inv_det, r1.z * inv_det,
-            r2.x * inv_det, r2.y * inv_det, r2.z * inv_det,
+            r0.x * inv_det,
+            r0.y * inv_det,
+            r0.z * inv_det,
+            r1.x * inv_det,
+            r1.y * inv_det,
+            r1.z * inv_det,
+            r2.x * inv_det,
+            r2.y * inv_det,
+            r2.z * inv_det,
         ))
     }
 
@@ -188,7 +206,9 @@ impl Mat4 {
     /// Matrix from columns.
     #[inline]
     pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
-        Self { cols: [c0, c1, c2, c3] }
+        Self {
+            cols: [c0, c1, c2, c3],
+        }
     }
 
     /// Identity matrix.
@@ -459,7 +479,9 @@ mod tests {
         let m = Mat4::from_rotation_translation(r, t);
         let inv = m.rigid_inverse();
         let p = Vec3::new(0.7, 0.1, -0.9);
-        let roundtrip = inv.transform_point(m.transform_point(p).truncate()).truncate();
+        let roundtrip = inv
+            .transform_point(m.transform_point(p).truncate())
+            .truncate();
         assert!((roundtrip - p).length() < 1e-5);
     }
 

@@ -75,8 +75,8 @@ pub fn eval(degree: u8, coeffs: &[Vec3], dir: Vec3) -> Vec3 {
 
     if degree >= 1 {
         let (x, y, z) = (dir.x, dir.y, dir.z);
-        result = result - coeffs[1] * (SH_C1 * y) + coeffs[2] * (SH_C1 * z)
-            - coeffs[3] * (SH_C1 * x);
+        result =
+            result - coeffs[1] * (SH_C1 * y) + coeffs[2] * (SH_C1 * z) - coeffs[3] * (SH_C1 * x);
 
         if degree >= 2 {
             let (xx, yy, zz) = (x * x, y * y, z * z);

@@ -26,9 +26,7 @@ pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
 
     // Rows of the rotation are the camera basis vectors.
     let r = Mat3::from_rows(
-        right.x, right.y, right.z,
-        down.x, down.y, down.z,
-        forward.x, forward.y, forward.z,
+        right.x, right.y, right.z, down.x, down.y, down.z, forward.x, forward.y, forward.z,
     );
     let t = -(r * eye);
     Mat4::from_rotation_translation(r, t)
@@ -93,7 +91,11 @@ mod tests {
 
     #[test]
     fn look_at_depth_increases_away() {
-        let view = look_at(Vec3::zero(), Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0));
+        let view = look_at(
+            Vec3::zero(),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let near = view.transform_point(Vec3::new(0.0, 0.0, 1.0)).truncate();
         let far = view.transform_point(Vec3::new(0.0, 0.0, 10.0)).truncate();
         assert!(far.z > near.z && near.z > 0.0);
@@ -103,7 +105,11 @@ mod tests {
     fn look_at_right_is_positive_x() {
         // Camera at +Z looking back at the origin (the intuitive, mirror-free
         // configuration): world +X lands on camera +X.
-        let view = look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::zero(), Vec3::new(0.0, 1.0, 0.0));
+        let view = look_at(
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let p = view.transform_point(Vec3::new(1.0, 0.0, 0.0)).truncate();
         assert!(p.x > 0.0);
     }
@@ -111,7 +117,11 @@ mod tests {
     #[test]
     fn look_at_up_is_negative_y() {
         // +Y-down camera: a world point above the axis maps to negative y.
-        let view = look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::zero(), Vec3::new(0.0, 1.0, 0.0));
+        let view = look_at(
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let p = view.transform_point(Vec3::new(0.0, 1.0, 0.0)).truncate();
         assert!(p.y < 0.0);
     }
@@ -119,7 +129,11 @@ mod tests {
     #[test]
     fn look_at_is_proper_rotation() {
         // The linear part must be a det = +1 rotation for any eye/target.
-        let view = look_at(Vec3::new(2.0, 1.0, -4.0), Vec3::new(0.5, -0.5, 1.0), Vec3::new(0.0, 1.0, 0.0));
+        let view = look_at(
+            Vec3::new(2.0, 1.0, -4.0),
+            Vec3::new(0.5, -0.5, 1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let r = view.upper_left_3x3();
         assert!(approx_eq(r.determinant(), 1.0, 1e-5));
     }

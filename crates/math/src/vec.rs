@@ -1,7 +1,9 @@
 //! Fixed-size `f32` vectors.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 macro_rules! impl_vec_common {
     ($name:ident, $($field:ident),+) => {

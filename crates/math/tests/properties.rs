@@ -11,7 +11,11 @@ fn finite_f32(range: std::ops::RangeInclusive<f32>) -> impl Strategy<Value = f32
 }
 
 fn vec3_strategy() -> impl Strategy<Value = Vec3> {
-    (finite_f32(-100.0..=100.0), finite_f32(-100.0..=100.0), finite_f32(-100.0..=100.0))
+    (
+        finite_f32(-100.0..=100.0),
+        finite_f32(-100.0..=100.0),
+        finite_f32(-100.0..=100.0),
+    )
         .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 

@@ -20,7 +20,10 @@ impl Framebuffer {
     /// # Panics
     /// Panics when either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "framebuffer dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "framebuffer dimensions must be positive"
+        );
         let n = (width as usize) * (height as usize);
         Self {
             width,
@@ -29,6 +32,15 @@ impl Framebuffer {
             depth: vec![f32::INFINITY; n],
             transmittance: vec![1.0; n],
         }
+    }
+
+    /// Resets the framebuffer to its freshly constructed state (black,
+    /// depth `+inf`, transmittance 1) without reallocating — the scratch
+    /// path engine sessions use to reuse one buffer across frames.
+    pub fn clear(&mut self) {
+        self.color.fill(Vec3::zero());
+        self.depth.fill(f32::INFINITY);
+        self.transmittance.fill(1.0);
     }
 
     /// Width in pixels.

@@ -27,7 +27,13 @@ pub struct OpCounts {
 impl OpCounts {
     /// Zero counts.
     pub const fn new() -> Self {
-        Self { add: 0, mul: 0, div: 0, exp: 0, cmp: 0 }
+        Self {
+            add: 0,
+            mul: 0,
+            div: 0,
+            exp: 0,
+            cmp: 0,
+        }
     }
 
     /// Total operations of all kinds.
@@ -167,8 +173,20 @@ mod tests {
     #[test]
     fn totals_accumulate() {
         let mut c = OpCounts::new();
-        c += OpCounts { add: 2, mul: 3, div: 0, exp: 1, cmp: 4 };
-        c += OpCounts { add: 1, mul: 1, div: 1, exp: 0, cmp: 0 };
+        c += OpCounts {
+            add: 2,
+            mul: 3,
+            div: 0,
+            exp: 1,
+            cmp: 4,
+        };
+        c += OpCounts {
+            add: 1,
+            mul: 1,
+            div: 1,
+            exp: 0,
+            cmp: 0,
+        };
         assert_eq!(c.total(), 13);
         assert_eq!(c.add, 3);
         assert_eq!(c.div, 1);
@@ -187,14 +205,19 @@ mod tests {
 
     #[test]
     fn zero_pairs_divide_is_identity() {
-        let c = OpCounts { add: 5, mul: 0, div: 0, exp: 0, cmp: 0 };
+        let c = OpCounts {
+            add: 5,
+            mul: 0,
+            div: 0,
+            exp: 0,
+            cmp: 0,
+        };
         assert_eq!(c.saturating_div(0), c);
     }
 
     #[test]
     fn subtask_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Subtask::ALL.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = Subtask::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 

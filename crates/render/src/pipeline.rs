@@ -3,7 +3,7 @@
 use crate::framebuffer::Framebuffer;
 use crate::ops::OpCounts;
 use crate::preprocess::{preprocess, PreprocessOutput};
-use crate::rasterize::{rasterize, RasterStats};
+use crate::rasterize::{rasterize, rasterize_counts, RasterStats};
 use crate::tile::bin_splats;
 use crate::workload::RasterWorkload;
 use crate::DEFAULT_TILE_SIZE;
@@ -18,7 +18,9 @@ pub struct RenderConfig {
 
 impl Default for RenderConfig {
     fn default() -> Self {
-        Self { tile_size: DEFAULT_TILE_SIZE }
+        Self {
+            tile_size: DEFAULT_TILE_SIZE,
+        }
     }
 }
 
@@ -50,7 +52,11 @@ pub struct PreprocessStats {
 
 impl From<&PreprocessOutput> for PreprocessStats {
     fn from(p: &PreprocessOutput) -> Self {
-        Self { visible: p.splats.len(), culled: p.culled, ops: p.ops }
+        Self {
+            visible: p.splats.len(),
+            culled: p.culled,
+            ops: p.ops,
+        }
     }
 }
 
@@ -76,23 +82,73 @@ pub fn render(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> 
     let pre_stats = PreprocessStats::from(&pre);
 
     // Stage 2: sorting + tiling.
-    let mut workload = bin_splats(pre.splats, camera.width(), camera.height(), config.tile_size);
+    let mut workload = bin_splats(
+        pre.splats,
+        camera.width(),
+        camera.height(),
+        config.tile_size,
+    );
 
     // Stage 3: Gaussian rasterization (fills processed counts).
     let (image, raster) = rasterize(&mut workload);
 
-    RenderOutput { image, workload, preprocess: pre_stats, raster }
+    RenderOutput {
+        image,
+        workload,
+        preprocess: pre_stats,
+        raster,
+    }
 }
 
-/// Builds only the workload (Stages 1–2 plus a reference Stage-3 pass to
-/// record processed counts) without keeping the image — the common entry
-/// point for the architecture models.
+/// Everything one record-only frame produces: the workload with processed
+/// counts filled in, plus per-stage statistics — [`RenderOutput`] minus the
+/// image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadOutput {
+    /// The Stage-1/2 product consumed by the architecture models, with the
+    /// reference pass's processed counts recorded.
+    pub workload: RasterWorkload,
+    /// Stage-1 statistics (culling, FP ops).
+    pub preprocess: PreprocessStats,
+    /// Stage-3 statistics (pairs, blends, per-subtask ops).
+    pub raster: RasterStats,
+}
+
+/// Runs Stages 1–3 in record-only mode: the reference Stage-3 pass fills
+/// the per-tile processed counts and statistics, but no framebuffer is
+/// allocated or written. This is the entry point for workload construction
+/// when the image would be discarded (the architecture-model path).
+pub fn render_record_only(
+    scene: &GaussianScene,
+    camera: &Camera,
+    config: &RenderConfig,
+) -> WorkloadOutput {
+    let pre = preprocess(scene, camera);
+    let pre_stats = PreprocessStats::from(&pre);
+    let mut workload = bin_splats(
+        pre.splats,
+        camera.width(),
+        camera.height(),
+        config.tile_size,
+    );
+    let raster = rasterize_counts(&mut workload);
+    WorkloadOutput {
+        workload,
+        preprocess: pre_stats,
+        raster,
+    }
+}
+
+/// Builds only the workload (Stages 1–2 plus a record-only reference
+/// Stage-3 pass for the processed counts) — the common entry point for the
+/// architecture models. Unlike a full [`render`], no framebuffer is
+/// allocated or filled.
 pub fn build_workload(
     scene: &GaussianScene,
     camera: &Camera,
     config: &RenderConfig,
 ) -> RasterWorkload {
-    render(scene, camera, config).workload
+    render_record_only(scene, camera, config).workload
 }
 
 #[cfg(test)]
@@ -120,7 +176,11 @@ mod tests {
         let out = render(&scene, &camera(128, 96), &RenderConfig::default());
         assert!(out.preprocess.visible > 100);
         assert!(out.workload.blend_work() > 0);
-        assert!(out.image.coverage() > 0.05, "coverage {}", out.image.coverage());
+        assert!(
+            out.image.coverage() > 0.05,
+            "coverage {}",
+            out.image.coverage()
+        );
         assert!(out.raster.blends_committed > 0);
     }
 

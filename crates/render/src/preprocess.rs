@@ -124,9 +124,15 @@ pub fn preprocess(scene: &GaussianScene, camera: &Camera) -> PreprocessOutput {
         let tx = (p_cam.x * inv_z).clamp(-1.3 * tan_half_x, 1.3 * tan_half_x) * p_cam.z;
         let ty = (p_cam.y * inv_z).clamp(-1.3 * tan_half_y, 1.3 * tan_half_y) * p_cam.z;
         let j = Mat3::from_rows(
-            focal.x * inv_z, 0.0, -focal.x * tx * inv_z * inv_z,
-            0.0, focal.y * inv_z, -focal.y * ty * inv_z * inv_z,
-            0.0, 0.0, 0.0,
+            focal.x * inv_z,
+            0.0,
+            -focal.x * tx * inv_z * inv_z,
+            0.0,
+            focal.y * inv_z,
+            -focal.y * ty * inv_z * inv_z,
+            0.0,
+            0.0,
+            0.0,
         );
         out.ops.mul += 8;
         out.ops.cmp += 2;
@@ -173,7 +179,9 @@ pub fn preprocess(scene: &GaussianScene, camera: &Camera) -> PreprocessOutput {
         out.ops.cmp += 4;
 
         // View-dependent color.
-        let dir = (g.position - cam_pos).try_normalized().unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+        let dir = (g.position - cam_pos)
+            .try_normalized()
+            .unwrap_or(Vec3::new(0.0, 0.0, 1.0));
         let color = g.color.eval(dir);
         // SH evaluation cost grows with degree; tally the dominant terms.
         let n_coeff = g.color.coeffs().len() as u64;
@@ -226,7 +234,12 @@ mod tests {
 
     #[test]
     fn behind_camera_is_culled() {
-        let scene = single(Gaussian3::isotropic(Vec3::new(0.0, 0.0, -10.0), 0.2, 0.9, Vec3::one()));
+        let scene = single(Gaussian3::isotropic(
+            Vec3::new(0.0, 0.0, -10.0),
+            0.2,
+            0.9,
+            Vec3::one(),
+        ));
         let out = preprocess(&scene, &camera());
         assert!(out.splats.is_empty());
         assert_eq!(out.culled, 1);
@@ -234,7 +247,12 @@ mod tests {
 
     #[test]
     fn off_screen_is_culled() {
-        let scene = single(Gaussian3::isotropic(Vec3::new(100.0, 0.0, 0.0), 0.01, 0.9, Vec3::one()));
+        let scene = single(Gaussian3::isotropic(
+            Vec3::new(100.0, 0.0, 0.0),
+            0.01,
+            0.9,
+            Vec3::one(),
+        ));
         let out = preprocess(&scene, &camera());
         assert_eq!(out.culled, 1);
     }
@@ -250,7 +268,11 @@ mod tests {
         let s = &out.splats[0];
         let f = cam.focal().x;
         let expected = (f * sigma / 5.0).powi(2) + COV2D_LOW_PASS;
-        assert!((s.conic[0] - 1.0 / expected).abs() < 0.05 / expected, "conic {}", s.conic[0]);
+        assert!(
+            (s.conic[0] - 1.0 / expected).abs() < 0.05 / expected,
+            "conic {}",
+            s.conic[0]
+        );
         assert!(s.conic[1].abs() < 1e-3);
         assert!((s.conic[0] - s.conic[2]).abs() < 1e-2 * s.conic[0]);
     }
@@ -258,8 +280,14 @@ mod tests {
     #[test]
     fn radius_tracks_scale() {
         let cam = camera();
-        let small = preprocess(&single(Gaussian3::isotropic(Vec3::zero(), 0.05, 0.9, Vec3::one())), &cam);
-        let large = preprocess(&single(Gaussian3::isotropic(Vec3::zero(), 0.5, 0.9, Vec3::one())), &cam);
+        let small = preprocess(
+            &single(Gaussian3::isotropic(Vec3::zero(), 0.05, 0.9, Vec3::one())),
+            &cam,
+        );
+        let large = preprocess(
+            &single(Gaussian3::isotropic(Vec3::zero(), 0.5, 0.9, Vec3::one())),
+            &cam,
+        );
         assert!(large.splats[0].radius > 5.0 * small.splats[0].radius);
     }
 

@@ -47,17 +47,50 @@ pub struct RasterStats {
 /// ```
 pub fn rasterize(workload: &mut RasterWorkload) -> (Framebuffer, RasterStats) {
     let mut fb = Framebuffer::new(workload.width(), workload.height());
+    let stats = rasterize_into(workload, Some(&mut fb));
+    (fb, stats)
+}
+
+/// Rasterizes a workload without producing an image: per-tile processed
+/// counts and statistics are recorded exactly as in [`rasterize`] (the
+/// blending math runs identically, so every tally is bit-for-bit the same),
+/// but no framebuffer is allocated or written. This is the record-only mode
+/// workload construction uses when the image would be thrown away.
+pub fn rasterize_counts(workload: &mut RasterWorkload) -> RasterStats {
+    rasterize_into(workload, None)
+}
+
+/// Rasterizes a workload into an optional caller-owned framebuffer,
+/// enabling per-session scratch reuse: the buffer is cleared in place and
+/// refilled instead of reallocated. Passing `None` selects the no-image
+/// record-only mode of [`rasterize_counts`].
+///
+/// # Panics
+/// Panics when a provided framebuffer's dimensions do not match the
+/// workload.
+pub fn rasterize_into(
+    workload: &mut RasterWorkload,
+    mut fb: Option<&mut Framebuffer>,
+) -> RasterStats {
+    if let Some(fb) = fb.as_deref_mut() {
+        assert_eq!(
+            (fb.width(), fb.height()),
+            (workload.width(), workload.height()),
+            "framebuffer dimensions must match the workload"
+        );
+        fb.clear();
+    }
     let mut stats = RasterStats::default();
     let mut processed = Vec::with_capacity(workload.tile_count());
 
     for ty in 0..workload.tiles_y() {
         for tx in 0..workload.tiles_x() {
-            let n = rasterize_tile(workload, tx, ty, &mut fb, &mut stats);
+            let n = rasterize_tile(workload, tx, ty, fb.as_deref_mut(), &mut stats);
             processed.push(n);
         }
     }
     workload.set_processed(processed);
-    (fb, stats)
+    stats
 }
 
 /// Rasterizes one tile; returns how many splats of its list were processed
@@ -66,7 +99,7 @@ fn rasterize_tile(
     workload: &RasterWorkload,
     tx: u32,
     ty: u32,
-    fb: &mut Framebuffer,
+    fb: Option<&mut Framebuffer>,
     stats: &mut RasterStats,
 ) -> u32 {
     let list = workload.tile_list(tx, ty);
@@ -158,12 +191,15 @@ fn rasterize_tile(
 
     // Write the tile back to the framebuffer (background stays black, as in
     // the reference with a black background color). The remaining
-    // transmittance is kept for downstream compositing (see `compose`).
-    for py in 0..h {
-        for px in 0..w {
-            let i = py * w + px;
-            fb.set_color(x0 + px as u32, y0 + py as u32, color[i]);
-            fb.set_transmittance(x0 + px as u32, y0 + py as u32, transmittance[i]);
+    // transmittance is kept for downstream compositing (see `compose`). In
+    // record-only mode there is no framebuffer and the writeback is skipped.
+    if let Some(fb) = fb {
+        for py in 0..h {
+            for px in 0..w {
+                let i = py * w + px;
+                fb.set_color(x0 + px as u32, y0 + py as u32, color[i]);
+                fb.set_transmittance(x0 + px as u32, y0 + py as u32, transmittance[i]);
+            }
         }
     }
 
@@ -229,7 +265,10 @@ mod tests {
     #[test]
     fn front_to_back_occlusion() {
         // An opaque near-white splat in front of a red one: red barely shows.
-        let front = Splat2D { opacity: 0.99, ..splat(8.0, 8.0, 0.99, Vec3::one(), 1.0) };
+        let front = Splat2D {
+            opacity: 0.99,
+            ..splat(8.0, 8.0, 0.99, Vec3::one(), 1.0)
+        };
         let back = splat(8.0, 8.0, 0.99, Vec3::new(1.0, 0.0, 0.0), 2.0);
         let mut w = bin_splats(vec![back, front], 16, 16, 16);
         let (fb, _) = rasterize(&mut w);
@@ -298,7 +337,10 @@ mod tests {
         let (_, stats) = rasterize(&mut w);
         assert_eq!(stats.ops.pairs, stats.pairs_evaluated);
         // Every evaluated pair costs exactly 2 shift adds.
-        assert_eq!(stats.ops.of(Subtask::CoordinateShift).add, 2 * stats.pairs_evaluated);
+        assert_eq!(
+            stats.ops.of(Subtask::CoordinateShift).add,
+            2 * stats.pairs_evaluated
+        );
         // Detection uses the exponential; weight/reduction do not.
         assert!(stats.ops.of(Subtask::Detection).exp > 0);
         assert_eq!(stats.ops.of(Subtask::WeightComputation).exp, 0);
@@ -313,5 +355,53 @@ mod tests {
         assert_eq!(fb.coverage(), 0.0);
         assert_eq!(stats.pairs_evaluated, 0);
         assert_eq!(w.blend_work(), 0);
+    }
+
+    #[test]
+    fn record_only_matches_full_rasterization() {
+        let splats: Vec<Splat2D> = (0..40)
+            .map(|i| splat(4.0 + i as f32, 9.0, 0.7, Vec3::one(), 1.0 + i as f32))
+            .collect();
+        let mut full = bin_splats(splats.clone(), 48, 48, 16);
+        let mut counts_only = bin_splats(splats, 48, 48, 16);
+        let (_, full_stats) = rasterize(&mut full);
+        let counts_stats = super::rasterize_counts(&mut counts_only);
+        assert_eq!(full_stats, counts_stats);
+        assert_eq!(full.blend_work(), counts_only.blend_work());
+        for ty in 0..full.tiles_y() {
+            for tx in 0..full.tiles_x() {
+                assert_eq!(
+                    full.processed_count(tx, ty),
+                    counts_only.processed_count(tx, ty)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rasterize_into_reuses_and_clears_scratch() {
+        let s = splat(8.5, 8.5, 0.9, Vec3::new(0.0, 1.0, 0.0), 1.0);
+        let mut w = bin_splats(vec![s], 16, 16, 16);
+        let mut fb = Framebuffer::new(16, 16);
+        // Dirty the scratch buffer, then rasterize into it twice.
+        fb.set_color(0, 0, Vec3::one());
+        let _ = super::rasterize_into(&mut w, Some(&mut fb));
+        let first = fb.clone();
+        let _ = super::rasterize_into(&mut w, Some(&mut fb));
+        assert_eq!(fb.mean_abs_diff(&first), 0.0, "reuse must be idempotent");
+        let (fresh, _) = rasterize(&mut w.clone());
+        assert_eq!(
+            fb.mean_abs_diff(&fresh),
+            0.0,
+            "scratch must equal a fresh buffer"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn rasterize_into_rejects_mismatched_framebuffer() {
+        let mut w = bin_splats(vec![], 32, 32, 16);
+        let mut fb = Framebuffer::new(16, 16);
+        let _ = super::rasterize_into(&mut w, Some(&mut fb));
     }
 }

@@ -109,19 +109,17 @@ pub fn incremental_depth_order(prev_order: &[u32], splats: &[Splat2D]) -> (Vec<u
         if splats[order[i - 1] as usize].depth <= key_depth {
             continue;
         }
-        let pos = order[..i]
-            .partition_point(|&j| splats[j as usize].depth <= key_depth);
+        let pos = order[..i].partition_point(|&j| splats[j as usize].depth <= key_depth);
         order.copy_within(pos..i, pos + 1);
         order[pos] = key;
     }
 
-    let moved = before
-        .iter()
-        .zip(&order)
-        .filter(|(a, b)| a != b)
-        .count()
+    let moved = before.iter().zip(&order).filter(|(a, b)| a != b).count()
         + order.len().saturating_sub(before.len());
-    let stats = ResortStats { moved, total: order.len() };
+    let stats = ResortStats {
+        moved,
+        total: order.len(),
+    };
     (order, stats)
 }
 
@@ -218,7 +216,7 @@ mod tests {
     fn incremental_sort_absorbs_new_splats() {
         let splats: Vec<Splat2D> = (0..30).map(|i| splat((30 - i) as f32, i)).collect();
         // Previous order only knew the first 10.
-        let (prev, _) = incremental_depth_order(&[], &splats[..10].to_vec());
+        let (prev, _) = incremental_depth_order(&[], &splats[..10]);
         let (order, _) = incremental_depth_order(&prev, &splats);
         assert!(is_depth_sorted(&order, &splats));
         assert_eq!(order.len(), 30);

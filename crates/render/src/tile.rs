@@ -40,16 +40,32 @@ pub fn tile_range(
 ///
 /// # Panics
 /// Panics when `tile_size` is zero or the image is empty.
-pub fn bin_splats(
+pub fn bin_splats(splats: Vec<Splat2D>, width: u32, height: u32, tile_size: u32) -> RasterWorkload {
+    bin_splats_into(splats, width, height, tile_size, Vec::new())
+}
+
+/// [`bin_splats`] with caller-recycled tile-list buffers: `lists` is
+/// resized to the grid and each list cleared (keeping its allocation)
+/// before binning. Engine sessions thread the buffers returned by
+/// [`RasterWorkload::into_buffers`] back through here so steady-state
+/// frames allocate nothing for binning.
+///
+/// # Panics
+/// Panics when `tile_size` is zero or the image is empty.
+pub fn bin_splats_into(
     splats: Vec<Splat2D>,
     width: u32,
     height: u32,
     tile_size: u32,
+    mut lists: Vec<Vec<u32>>,
 ) -> RasterWorkload {
     assert!(tile_size > 0 && width > 0 && height > 0);
     let tiles_x = width.div_ceil(tile_size);
     let tiles_y = height.div_ceil(tile_size);
-    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+    lists.resize((tiles_x * tiles_y) as usize, Vec::new());
+    for list in &mut lists {
+        list.clear();
+    }
 
     for (i, s) in splats.iter().enumerate() {
         if let Some((x0, y0, x1, y1)) = tile_range(s, width, height, tile_size) {
@@ -137,5 +153,20 @@ mod tests {
         let w = bin_splats(vec![splat_at(18.0, 18.0, 1.5, 1.0)], 20, 20, 16);
         assert_eq!(w.tile_list(1, 1), &[0]);
         assert_eq!(w.total_pairs(), 1);
+    }
+
+    #[test]
+    fn recycled_buffers_produce_identical_workloads() {
+        let splats = vec![
+            splat_at(8.0, 8.0, 3.0, 2.0),
+            splat_at(40.0, 40.0, 5.0, 1.0),
+            splat_at(16.0, 16.0, 4.0, 3.0),
+        ];
+        let fresh = bin_splats(splats.clone(), 64, 64, 16);
+        // Recycle through a stale buffer set from a differently sized grid.
+        let (recycled_splats, stale_lists) = bin_splats(splats.clone(), 128, 96, 16).into_buffers();
+        drop(recycled_splats);
+        let reused = super::bin_splats_into(splats, 64, 64, 16, stale_lists);
+        assert_eq!(fresh, reused);
     }
 }

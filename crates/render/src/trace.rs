@@ -65,8 +65,8 @@ pub fn to_bytes(w: &RasterWorkload) -> Vec<u8> {
 
     for s in w.splats() {
         for v in [
-            s.mean.x, s.mean.y, s.conic[0], s.conic[1], s.conic[2], s.depth, s.color.x,
-            s.color.y, s.color.z, s.opacity, s.radius,
+            s.mean.x, s.mean.y, s.conic[0], s.conic[1], s.conic[2], s.depth, s.color.x, s.color.y,
+            s.color.z, s.opacity, s.radius,
         ] {
             push_f32(v, &mut out);
         }
@@ -97,7 +97,10 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, TraceError> {
         let end = self.pos + 4;
         if end > self.bytes.len() {
-            return Err(TraceError::BadLength { expected: end, got: self.bytes.len() });
+            return Err(TraceError::BadLength {
+                expected: end,
+                got: self.bytes.len(),
+            });
         }
         let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().expect("4 bytes"));
         self.pos = end;
@@ -121,7 +124,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RasterWorkload, TraceError> {
     let mut r = Reader { bytes, pos: 8 };
     let version = r.u32()?;
     if version != VERSION {
-        return Err(TraceError::BadHeader(format!("unsupported version {version}")));
+        return Err(TraceError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
     }
     let width = r.u32()?;
     let height = r.u32()?;
@@ -131,7 +136,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RasterWorkload, TraceError> {
     }
     let n_splats = r.u32()? as usize;
     if n_splats > bytes.len() / (SPLAT_WORDS * 4) + 1 {
-        return Err(TraceError::Corrupt(format!("splat count {n_splats} exceeds payload")));
+        return Err(TraceError::Corrupt(format!(
+            "splat count {n_splats} exceeds payload"
+        )));
     }
 
     let mut splats = Vec::with_capacity(n_splats);
@@ -142,7 +149,15 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RasterWorkload, TraceError> {
         let color = Vec3::new(r.f32()?, r.f32()?, r.f32()?);
         let opacity = r.f32()?;
         let radius = r.f32()?;
-        splats.push(Splat2D { mean, conic, depth, color, opacity, radius, source: i as u32 });
+        splats.push(Splat2D {
+            mean,
+            conic,
+            depth,
+            color,
+            opacity,
+            radius,
+            source: i as u32,
+        });
     }
 
     let tiles_x = width.div_ceil(tile_size);
@@ -166,12 +181,17 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RasterWorkload, TraceError> {
     for (t, list) in lists.iter().enumerate() {
         let p = r.u32()?;
         if p as usize > list.len() {
-            return Err(TraceError::Corrupt(format!("processed count {p} exceeds tile {t} list")));
+            return Err(TraceError::Corrupt(format!(
+                "processed count {p} exceeds tile {t} list"
+            )));
         }
         processed.push(p);
     }
     if r.pos != bytes.len() {
-        return Err(TraceError::BadLength { expected: r.pos, got: bytes.len() });
+        return Err(TraceError::BadLength {
+            expected: r.pos,
+            got: bytes.len(),
+        });
     }
 
     let mut w = RasterWorkload::new(width, height, tile_size, splats, lists);
@@ -233,7 +253,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(from_bytes(b"NOTATRACE"), Err(TraceError::BadHeader(_))));
+        assert!(matches!(
+            from_bytes(b"NOTATRACE"),
+            Err(TraceError::BadHeader(_))
+        ));
     }
 
     #[test]
@@ -248,7 +271,10 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut bytes = to_bytes(&workload());
         bytes.push(0);
-        assert!(matches!(from_bytes(&bytes), Err(TraceError::BadLength { .. })));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -82,7 +82,9 @@ pub fn project_mesh(mesh: &TriangleMesh, camera: &Camera) -> Vec<ScreenTriangle>
             if cam.z < camera.near() || cam.z > camera.far() {
                 continue 'tri;
             }
-            let Some(px) = camera.camera_to_pixel(cam) else { continue 'tri };
+            let Some(px) = camera.camera_to_pixel(cam) else {
+                continue 'tri;
+            };
             v[k] = px;
             depth[k] = cam.z;
             uv[k] = vert.uv;
@@ -93,7 +95,13 @@ pub fn project_mesh(mesh: &TriangleMesh, camera: &Camera) -> Vec<ScreenTriangle>
         if area2 <= 1e-6 {
             continue;
         }
-        out.push(ScreenTriangle { v, depth, uv, color, area2 });
+        out.push(ScreenTriangle {
+            v,
+            depth,
+            uv,
+            color,
+            area2,
+        });
     }
     out
 }
@@ -233,7 +241,15 @@ impl TriangleWorkload {
                 }
             }
         }
-        Self { width, height, tile_size, tiles_x, tiles_y, triangles, tile_lists }
+        Self {
+            width,
+            height,
+            tile_size,
+            tiles_x,
+            tiles_y,
+            triangles,
+            tile_lists,
+        }
     }
 
     /// Image width in pixels.
@@ -310,7 +326,7 @@ impl TriangleWorkload {
 mod tests {
     use super::*;
     use gaurast_math::Vec3;
-    use gaurast_scene::{Triangle, TriangleMesh, Vertex};
+    use gaurast_scene::TriangleMesh;
 
     fn camera() -> Camera {
         Camera::look_at(
@@ -327,7 +343,11 @@ mod tests {
     fn full_screen_triangle(z: f32, color: Vec3) -> ScreenTriangle {
         // Positive-area winding: (v1-v0) × (v2-v0) > 0 in pixel coordinates.
         ScreenTriangle {
-            v: [Vec2::new(-200.0, -200.0), Vec2::new(600.0, -200.0), Vec2::new(-200.0, 600.0)],
+            v: [
+                Vec2::new(-200.0, -200.0),
+                Vec2::new(600.0, -200.0),
+                Vec2::new(-200.0, 600.0),
+            ],
             depth: [z; 3],
             uv: [Vec2::zero(), Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)],
             color: [color; 3],
@@ -367,7 +387,11 @@ mod tests {
     #[test]
     fn pixels_outside_triangle_untouched() {
         let tri = ScreenTriangle {
-            v: [Vec2::new(2.0, 2.0), Vec2::new(10.0, 2.0), Vec2::new(2.0, 10.0)],
+            v: [
+                Vec2::new(2.0, 2.0),
+                Vec2::new(10.0, 2.0),
+                Vec2::new(2.0, 10.0),
+            ],
             depth: [1.0; 3],
             uv: [Vec2::zero(); 3],
             color: [Vec3::one(); 3],
@@ -401,7 +425,11 @@ mod tests {
         // Equilateral-ish triangle: at the centroid all weights are 1/3 so
         // the interpolated depth is the average.
         let tri = ScreenTriangle {
-            v: [Vec2::new(10.0, 10.0), Vec2::new(50.0, 10.0), Vec2::new(30.0, 50.0)],
+            v: [
+                Vec2::new(10.0, 10.0),
+                Vec2::new(50.0, 10.0),
+                Vec2::new(30.0, 50.0),
+            ],
             depth: [3.0, 6.0, 9.0],
             uv: [Vec2::zero(); 3],
             color: [Vec3::one(); 3],
@@ -422,7 +450,11 @@ mod tests {
     #[test]
     fn triangle_workload_binning() {
         let tri = ScreenTriangle {
-            v: [Vec2::new(2.0, 2.0), Vec2::new(14.0, 2.0), Vec2::new(2.0, 14.0)],
+            v: [
+                Vec2::new(2.0, 2.0),
+                Vec2::new(14.0, 2.0),
+                Vec2::new(2.0, 14.0),
+            ],
             depth: [1.0; 3],
             uv: [Vec2::zero(); 3],
             color: [Vec3::one(); 3],

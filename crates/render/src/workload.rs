@@ -180,6 +180,14 @@ impl RasterWorkload {
         total
     }
 
+    /// Disassembles the workload into its splat and tile-list buffers so a
+    /// session can recycle the allocations for the next frame (see
+    /// [`crate::tile::bin_splats_into`]). Any recorded processed counts are
+    /// dropped.
+    pub fn into_buffers(self) -> (Vec<Splat2D>, Vec<Vec<u32>>) {
+        (self.splats, self.tile_lists)
+    }
+
     /// Length of the longest tile list (load-imbalance metric).
     pub fn max_list_len(&self) -> usize {
         self.tile_lists.iter().map(Vec::len).max().unwrap_or(0)
@@ -245,7 +253,7 @@ mod tests {
     #[test]
     fn blend_work_without_processed_uses_full_lists() {
         let w = workload_2x2();
-        assert_eq!(w.blend_work(), (2 + 1 + 0 + 1) * 256);
+        assert_eq!(w.blend_work(), ((2 + 1) + 1) * 256);
     }
 
     #[test]

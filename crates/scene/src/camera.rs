@@ -53,7 +53,9 @@ impl Camera {
         }
         let dir = (target - eye).normalized();
         if dir.cross(up).length_squared() < 1e-12 {
-            return Err(SceneError::InvalidCamera("up parallel to view direction".into()));
+            return Err(SceneError::InvalidCamera(
+                "up parallel to view direction".into(),
+            ));
         }
         let f = focal_from_fov(fov_y, height as f32);
         Ok(Self {
@@ -193,7 +195,14 @@ impl OrbitTrajectory {
                 "orbit radius must be positive, got {radius}"
             )));
         }
-        Ok(Self { center, radius, height, width, img_height, fov_y })
+        Ok(Self {
+            center,
+            radius,
+            height,
+            width,
+            img_height,
+            fov_y,
+        })
     }
 
     /// Camera at orbit angle `theta` (radians, 0 = +X direction).
@@ -276,10 +285,42 @@ mod tests {
 
     #[test]
     fn degenerate_cameras_rejected() {
-        assert!(Camera::look_at(Vec3::zero(), Vec3::zero(), Vec3::new(0.0, 1.0, 0.0), 64, 64, 1.0).is_err());
-        assert!(Camera::look_at(Vec3::zero(), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 64, 64, 1.0).is_err());
-        assert!(Camera::look_at(Vec3::zero(), Vec3::one(), Vec3::new(0.0, 1.0, 0.0), 0, 64, 1.0).is_err());
-        assert!(Camera::look_at(Vec3::zero(), Vec3::one(), Vec3::new(0.0, 1.0, 0.0), 64, 64, 4.0).is_err());
+        assert!(Camera::look_at(
+            Vec3::zero(),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            64,
+            64,
+            1.0
+        )
+        .is_err());
+        assert!(Camera::look_at(
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            64,
+            64,
+            1.0
+        )
+        .is_err());
+        assert!(Camera::look_at(
+            Vec3::zero(),
+            Vec3::one(),
+            Vec3::new(0.0, 1.0, 0.0),
+            0,
+            64,
+            1.0
+        )
+        .is_err());
+        assert!(Camera::look_at(
+            Vec3::zero(),
+            Vec3::one(),
+            Vec3::new(0.0, 1.0, 0.0),
+            64,
+            64,
+            4.0
+        )
+        .is_err());
     }
 
     #[test]

@@ -32,8 +32,14 @@ impl fmt::Display for SceneError {
             SceneError::InvalidGaussian { index, reason } => {
                 write!(f, "invalid gaussian at index {index}: {reason}")
             }
-            SceneError::IndexOutOfBounds { index, vertex_count } => {
-                write!(f, "triangle index {index} out of bounds for {vertex_count} vertices")
+            SceneError::IndexOutOfBounds {
+                index,
+                vertex_count,
+            } => {
+                write!(
+                    f,
+                    "triangle index {index} out of bounds for {vertex_count} vertices"
+                )
             }
             SceneError::InvalidCamera(reason) => write!(f, "invalid camera: {reason}"),
             SceneError::InvalidParameter(reason) => write!(f, "invalid parameter: {reason}"),
@@ -49,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = SceneError::InvalidGaussian { index: 3, reason: "opacity 2 > 1".into() };
+        let e = SceneError::InvalidGaussian {
+            index: 3,
+            reason: "opacity 2 > 1".into(),
+        };
         let msg = e.to_string();
         assert!(msg.contains("index 3"));
         assert!(msg.starts_with(char::is_lowercase));

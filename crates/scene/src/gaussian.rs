@@ -22,7 +22,10 @@ pub struct ShColor {
 impl ShColor {
     /// Flat (view-independent) color from RGB in `[0, 1]`.
     pub fn flat(rgb: Vec3) -> Self {
-        Self { degree: 0, coeffs: vec![sh::dc_from_rgb(rgb)] }
+        Self {
+            degree: 0,
+            coeffs: vec![sh::dc_from_rgb(rgb)],
+        }
     }
 
     /// Color from raw SH coefficients.
@@ -122,14 +125,15 @@ impl Gaussian3 {
     /// Returns a [`SceneError::InvalidGaussian`] (with index 0; callers
     /// re-index) describing the first violated constraint.
     pub fn validate(&self) -> Result<(), SceneError> {
-        let fail = |reason: String| {
-            Err(SceneError::InvalidGaussian { index: 0, reason })
-        };
+        let fail = |reason: String| Err(SceneError::InvalidGaussian { index: 0, reason });
         if !self.position.is_finite() {
             return fail(format!("non-finite position {}", self.position));
         }
         if !self.scale.is_finite() || self.scale.min_component() <= 0.0 {
-            return fail(format!("scale must be positive and finite, got {}", self.scale));
+            return fail(format!(
+                "scale must be positive and finite, got {}",
+                self.scale
+            ));
         }
         if !(self.opacity > 0.0 && self.opacity <= 1.0) {
             return fail(format!("opacity must be in (0, 1], got {}", self.opacity));

@@ -129,10 +129,14 @@ impl SceneParams {
     /// non-positive extent, SH degree above 3).
     pub fn generate(&self) -> Result<GaussianScene, SceneError> {
         if self.count == 0 {
-            return Err(SceneError::InvalidParameter("gaussian count must be positive".into()));
+            return Err(SceneError::InvalidParameter(
+                "gaussian count must be positive".into(),
+            ));
         }
         if self.clusters == 0 {
-            return Err(SceneError::InvalidParameter("cluster count must be positive".into()));
+            return Err(SceneError::InvalidParameter(
+                "cluster count must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.background_fraction) {
             return Err(SceneError::InvalidParameter(format!(
@@ -164,7 +168,13 @@ impl SceneParams {
             .collect();
         // Per-cluster base colors so clusters are visually distinct.
         let cluster_colors: Vec<Vec3> = (0..self.clusters)
-            .map(|_| Vec3::new(rng.gen_range(0.1..0.95), rng.gen_range(0.1..0.95), rng.gen_range(0.1..0.95)))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.1..0.95),
+                    rng.gen_range(0.1..0.95),
+                    rng.gen_range(0.1..0.95),
+                )
+            })
             .collect();
 
         let n_background = (self.count as f32 * self.background_fraction).round() as usize;
@@ -214,10 +224,15 @@ impl SceneParams {
         base_color: Vec3,
     ) -> Gaussian3 {
         let rotation = sample_rotation(rng);
-        let opacity = sample_beta(rng, self.opacity_alpha, self.opacity_beta)
-            .clamp(0.02, 1.0);
+        let opacity = sample_beta(rng, self.opacity_alpha, self.opacity_beta).clamp(0.02, 1.0);
         let color = self.sample_color(rng, base_color);
-        Gaussian3 { position, scale, rotation, opacity, color }
+        Gaussian3 {
+            position,
+            scale,
+            rotation,
+            opacity,
+            color,
+        }
     }
 
     fn sample_color(&self, rng: &mut SmallRng, base: Vec3) -> ShColor {
@@ -328,7 +343,11 @@ mod tests {
 
     #[test]
     fn all_gaussians_valid() {
-        let s = SceneParams::new(2000).seed(9).sh_degree(3).generate().unwrap();
+        let s = SceneParams::new(2000)
+            .seed(9)
+            .sh_degree(3)
+            .generate()
+            .unwrap();
         for g in &s {
             assert!(g.validate().is_ok());
         }
@@ -337,10 +356,20 @@ mod tests {
     #[test]
     fn background_fraction_controls_far_gaussians() {
         let extent = 10.0;
-        let near_only = SceneParams::new(1000).extent(extent).background_fraction(0.0).generate().unwrap();
-        let with_bg = SceneParams::new(1000).extent(extent).background_fraction(0.5).generate().unwrap();
+        let near_only = SceneParams::new(1000)
+            .extent(extent)
+            .background_fraction(0.0)
+            .generate()
+            .unwrap();
+        let with_bg = SceneParams::new(1000)
+            .extent(extent)
+            .background_fraction(0.5)
+            .generate()
+            .unwrap();
         let count_far = |s: &GaussianScene| {
-            s.iter().filter(|g| g.position.length() > extent * 1.8).count()
+            s.iter()
+                .filter(|g| g.position.length() > extent * 1.8)
+                .count()
         };
         assert_eq!(count_far(&near_only), 0);
         let far = count_far(&with_bg);
@@ -351,7 +380,10 @@ mod tests {
     fn invalid_parameters_rejected() {
         assert!(SceneParams::new(0).generate().is_err());
         assert!(SceneParams::new(10).clusters(0).generate().is_err());
-        assert!(SceneParams::new(10).background_fraction(1.5).generate().is_err());
+        assert!(SceneParams::new(10)
+            .background_fraction(1.5)
+            .generate()
+            .is_err());
         assert!(SceneParams::new(10).extent(-1.0).generate().is_err());
         assert!(SceneParams::new(10).sh_degree(4).generate().is_err());
     }
@@ -368,7 +400,11 @@ mod tests {
 
     #[test]
     fn background_gaussians_are_larger() {
-        let s = SceneParams::new(4000).extent(10.0).background_fraction(0.5).generate().unwrap();
+        let s = SceneParams::new(4000)
+            .extent(10.0)
+            .background_fraction(0.5)
+            .generate()
+            .unwrap();
         let (mut near_sum, mut near_n, mut far_sum, mut far_n) = (0.0f32, 0, 0.0f32, 0);
         for g in &s {
             let sc = g.scale.max_component();

@@ -23,12 +23,20 @@ pub struct Vertex {
 impl Vertex {
     /// Vertex with a color and zero UV.
     pub fn new(position: Vec3, color: Vec3) -> Self {
-        Self { position, color, uv: Vec2::zero() }
+        Self {
+            position,
+            color,
+            uv: Vec2::zero(),
+        }
     }
 
     /// Vertex with explicit UV.
     pub fn with_uv(position: Vec3, color: Vec3, uv: Vec2) -> Self {
-        Self { position, color, uv }
+        Self {
+            position,
+            color,
+            uv,
+        }
     }
 }
 
@@ -58,11 +66,17 @@ impl TriangleMesh {
         for t in &triangles {
             for idx in [t.0, t.1, t.2] {
                 if idx as usize >= n {
-                    return Err(SceneError::IndexOutOfBounds { index: idx, vertex_count: n });
+                    return Err(SceneError::IndexOutOfBounds {
+                        index: idx,
+                        vertex_count: n,
+                    });
                 }
             }
         }
-        Ok(Self { vertices, triangles })
+        Ok(Self {
+            vertices,
+            triangles,
+        })
     }
 
     /// Vertices.
@@ -117,10 +131,14 @@ impl TriangleMesh {
     pub fn cube(center: Vec3, size: f32) -> Self {
         let h = size * 0.5;
         let corners = [
-            Vec3::new(-h, -h, -h), Vec3::new(h, -h, -h),
-            Vec3::new(h, h, -h),   Vec3::new(-h, h, -h),
-            Vec3::new(-h, -h, h),  Vec3::new(h, -h, h),
-            Vec3::new(h, h, h),    Vec3::new(-h, h, h),
+            Vec3::new(-h, -h, -h),
+            Vec3::new(h, -h, -h),
+            Vec3::new(h, h, -h),
+            Vec3::new(-h, h, -h),
+            Vec3::new(-h, -h, h),
+            Vec3::new(h, -h, h),
+            Vec3::new(h, h, h),
+            Vec3::new(-h, h, h),
         ];
         let colors = [
             Vec3::new(1.0, 0.2, 0.2),
@@ -146,7 +164,10 @@ impl TriangleMesh {
             triangles.push(Triangle(q[0], q[1], q[2]));
             triangles.push(Triangle(q[0], q[2], q[3]));
         }
-        Self { vertices, triangles }
+        Self {
+            vertices,
+            triangles,
+        }
     }
 
     /// UV-sphere with `stacks × slices` quads (each split into two
@@ -179,7 +200,10 @@ impl TriangleMesh {
                 triangles.push(Triangle(b, c, d));
             }
         }
-        Self { vertices, triangles }
+        Self {
+            vertices,
+            triangles,
+        }
     }
 
     /// Flat grid in the XZ plane (`nx × nz` quads) with a checkerboard
@@ -196,7 +220,11 @@ impl TriangleMesh {
                 let fz = i as f32 / nz as f32 - 0.5;
                 let p = center + Vec3::new(fx * extent, 0.0, fz * extent);
                 let checker = (i + j) % 2 == 0;
-                let color = if checker { Vec3::splat(0.85) } else { Vec3::splat(0.25) };
+                let color = if checker {
+                    Vec3::splat(0.85)
+                } else {
+                    Vec3::splat(0.25)
+                };
                 vertices.push(Vertex::with_uv(p, color, Vec2::new(fx + 0.5, fz + 0.5)));
             }
         }
@@ -212,7 +240,10 @@ impl TriangleMesh {
                 triangles.push(Triangle(b, d, c));
             }
         }
-        Self { vertices, triangles }
+        Self {
+            vertices,
+            triangles,
+        }
     }
 }
 
@@ -252,7 +283,10 @@ mod tests {
         let verts = vec![Vertex::new(Vec3::zero(), Vec3::one()); 3];
         let err = TriangleMesh::from_parts(verts, vec![Triangle(0, 1, 3)]).unwrap_err();
         match err {
-            SceneError::IndexOutOfBounds { index, vertex_count } => {
+            SceneError::IndexOutOfBounds {
+                index,
+                vertex_count,
+            } => {
                 assert_eq!(index, 3);
                 assert_eq!(vertex_count, 3);
             }

@@ -100,14 +100,17 @@ pub fn importance(g: &crate::Gaussian3) -> f32 {
 /// assert_eq!(small.len(), 180);
 /// # Ok::<(), gaurast_scene::SceneError>(())
 /// ```
-pub fn simplify(scene: &GaussianScene, config: MiniSplatConfig) -> Result<GaussianScene, SceneError> {
+pub fn simplify(
+    scene: &GaussianScene,
+    config: MiniSplatConfig,
+) -> Result<GaussianScene, SceneError> {
     config.validate()?;
     if scene.is_empty() {
         return Ok(GaussianScene::new());
     }
 
-    let budget = ((scene.len() as f32 * config.keep_fraction).round() as usize)
-        .clamp(1, scene.len());
+    let budget =
+        ((scene.len() as f32 * config.keep_fraction).round() as usize).clamp(1, scene.len());
 
     // Rank by importance, index as tie-break for determinism.
     let mut ranked: Vec<(usize, f32)> = scene
@@ -150,14 +153,25 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let s = scene(1000);
-        let out = simplify(&s, MiniSplatConfig { keep_fraction: 0.25, ..MiniSplatConfig::PAPER }).unwrap();
+        let out = simplify(
+            &s,
+            MiniSplatConfig {
+                keep_fraction: 0.25,
+                ..MiniSplatConfig::PAPER
+            },
+        )
+        .unwrap();
         assert_eq!(out.len(), 250);
     }
 
     #[test]
     fn keep_all_preserves_count() {
         let s = scene(128);
-        let cfg = MiniSplatConfig { keep_fraction: 1.0, opacity_boost: 1.0, scale_boost: 1.0 };
+        let cfg = MiniSplatConfig {
+            keep_fraction: 1.0,
+            opacity_boost: 1.0,
+            scale_boost: 1.0,
+        };
         let out = simplify(&s, cfg).unwrap();
         assert_eq!(out.len(), s.len());
         // With unit boosts the Gaussians are unchanged.
@@ -169,7 +183,11 @@ mod tests {
         let low = Gaussian3::isotropic(Vec3::zero(), 0.01, 0.05, Vec3::one());
         let high = Gaussian3::isotropic(Vec3::one(), 1.0, 0.9, Vec3::one());
         let s = GaussianScene::from_gaussians(vec![low.clone(), high.clone()]).unwrap();
-        let cfg = MiniSplatConfig { keep_fraction: 0.5, opacity_boost: 1.0, scale_boost: 1.0 };
+        let cfg = MiniSplatConfig {
+            keep_fraction: 0.5,
+            opacity_boost: 1.0,
+            scale_boost: 1.0,
+        };
         let out = simplify(&s, cfg).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.get(0).unwrap().position, high.position);
@@ -179,7 +197,11 @@ mod tests {
     fn opacity_boost_clamps_at_one() {
         let g = Gaussian3::isotropic(Vec3::zero(), 0.5, 0.9, Vec3::one());
         let s = GaussianScene::from_gaussians(vec![g]).unwrap();
-        let cfg = MiniSplatConfig { keep_fraction: 1.0, opacity_boost: 5.0, scale_boost: 1.0 };
+        let cfg = MiniSplatConfig {
+            keep_fraction: 1.0,
+            opacity_boost: 5.0,
+            scale_boost: 1.0,
+        };
         let out = simplify(&s, cfg).unwrap();
         assert_eq!(out.get(0).unwrap().opacity, 1.0);
     }
@@ -193,9 +215,30 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let s = scene(10);
-        assert!(simplify(&s, MiniSplatConfig { keep_fraction: 0.0, ..MiniSplatConfig::PAPER }).is_err());
-        assert!(simplify(&s, MiniSplatConfig { keep_fraction: 1.5, ..MiniSplatConfig::PAPER }).is_err());
-        assert!(simplify(&s, MiniSplatConfig { opacity_boost: 0.0, ..MiniSplatConfig::PAPER }).is_err());
+        assert!(simplify(
+            &s,
+            MiniSplatConfig {
+                keep_fraction: 0.0,
+                ..MiniSplatConfig::PAPER
+            }
+        )
+        .is_err());
+        assert!(simplify(
+            &s,
+            MiniSplatConfig {
+                keep_fraction: 1.5,
+                ..MiniSplatConfig::PAPER
+            }
+        )
+        .is_err());
+        assert!(simplify(
+            &s,
+            MiniSplatConfig {
+                opacity_boost: 0.0,
+                ..MiniSplatConfig::PAPER
+            }
+        )
+        .is_err());
     }
 
     #[test]

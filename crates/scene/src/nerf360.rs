@@ -60,7 +60,10 @@ impl Nerf360Scene {
 
     /// `true` for the three unbounded outdoor scenes.
     pub fn is_outdoor(self) -> bool {
-        matches!(self, Nerf360Scene::Bicycle | Nerf360Scene::Stump | Nerf360Scene::Garden)
+        matches!(
+            self,
+            Nerf360Scene::Bicycle | Nerf360Scene::Stump | Nerf360Scene::Garden
+        )
     }
 
     /// The calibrated descriptor for this scene.
@@ -129,16 +132,25 @@ pub struct SceneScale {
 
 impl SceneScale {
     /// Full paper scale (millions of Gaussians — slow; benches only).
-    pub const FULL: SceneScale = SceneScale { gaussian_divisor: 1, resolution_divisor: 1 };
+    pub const FULL: SceneScale = SceneScale {
+        gaussian_divisor: 1,
+        resolution_divisor: 1,
+    };
 
     /// Default scale for the reproduction harness (1/64 Gaussians, 1/8 per
     /// axis resolution).
-    pub const REPRO: SceneScale = SceneScale { gaussian_divisor: 64, resolution_divisor: 8 };
+    pub const REPRO: SceneScale = SceneScale {
+        gaussian_divisor: 64,
+        resolution_divisor: 8,
+    };
 
     /// Small scale for unit tests: enough tiles (~100) to keep all 15
     /// rasterizer instances busy so utilization — and hence every derived
     /// ratio — is representative of the full-scale behaviour.
-    pub const UNIT_TEST: SceneScale = SceneScale { gaussian_divisor: 1024, resolution_divisor: 8 };
+    pub const UNIT_TEST: SceneScale = SceneScale {
+        gaussian_divisor: 1024,
+        resolution_divisor: 8,
+    };
 
     /// Linear factor by which per-frame work shrinks at this scale:
     /// intersections scale with pixel count (`divisor²` per axis pair) times
@@ -269,7 +281,10 @@ mod tests {
     fn outdoor_classification() {
         assert!(Nerf360Scene::Bicycle.is_outdoor());
         assert!(!Nerf360Scene::Bonsai.is_outdoor());
-        assert_eq!(Nerf360Scene::ALL.iter().filter(|s| s.is_outdoor()).count(), 3);
+        assert_eq!(
+            Nerf360Scene::ALL.iter().filter(|s| s.is_outdoor()).count(),
+            3
+        );
     }
 
     #[test]
@@ -280,7 +295,10 @@ mod tests {
             .collect();
         let max = works.iter().cloned().fold(f64::MIN, f64::max);
         let min = works.iter().cloned().fold(f64::MAX, f64::min);
-        assert_eq!(Nerf360Scene::Bicycle.descriptor().raster_work_per_frame, max);
+        assert_eq!(
+            Nerf360Scene::Bicycle.descriptor().raster_work_per_frame,
+            max
+        );
         assert_eq!(Nerf360Scene::Bonsai.descriptor().raster_work_per_frame, min);
     }
 
@@ -303,7 +321,10 @@ mod tests {
     #[test]
     fn resolution_floors_at_16() {
         let d = Nerf360Scene::Bonsai.descriptor();
-        let huge = SceneScale { gaussian_divisor: 1, resolution_divisor: 10_000 };
+        let huge = SceneScale {
+            gaussian_divisor: 1,
+            resolution_divisor: 10_000,
+        };
         assert_eq!(d.resolution_at(huge), (16, 16));
     }
 
@@ -319,7 +340,10 @@ mod tests {
 
     #[test]
     fn work_divisor_composes() {
-        let s = SceneScale { gaussian_divisor: 4, resolution_divisor: 2 };
+        let s = SceneScale {
+            gaussian_divisor: 4,
+            resolution_divisor: 2,
+        };
         assert_eq!(s.work_divisor(), 16.0);
     }
 

@@ -159,7 +159,9 @@ pub fn from_ply(bytes: &[u8]) -> Result<GaussianScene, SceneError> {
         } else if let Some(rest) = l.strip_prefix("property float ") {
             props.push(rest.trim().to_string());
         } else if l.starts_with("property ") {
-            return Err(bad(format!("only float properties are supported, got: {l}")));
+            return Err(bad(format!(
+                "only float properties are supported, got: {l}"
+            )));
         } else if l.starts_with("comment") || l.starts_with("element") || l.starts_with("obj_info")
         {
             // Non-vertex elements would need their own parsing; 3DGS files
@@ -209,9 +211,8 @@ pub fn from_ply(bytes: &[u8]) -> Result<GaussianScene, SceneError> {
             .read_exact(&mut buf)
             .map_err(|_| bad(format!("truncated payload at vertex {v}")))?;
         for (k, value) in row.iter_mut().enumerate() {
-            *value = f32::from_le_bytes(
-                buf[k * 4..k * 4 + 4].try_into().expect("chunk is 4 bytes"),
-            );
+            *value =
+                f32::from_le_bytes(buf[k * 4..k * 4 + 4].try_into().expect("chunk is 4 bytes"));
         }
         let n_coeff = sh::coeff_count(degree);
         let mut coeffs = vec![Vec3::zero(); n_coeff];
@@ -260,7 +261,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_counts_and_positions() {
-        let scene = SceneParams::new(200).seed(3).sh_degree(1).generate().unwrap();
+        let scene = SceneParams::new(200)
+            .seed(3)
+            .sh_degree(1)
+            .generate()
+            .unwrap();
         let back = roundtrip(&scene);
         assert_eq!(back.len(), scene.len());
         for (a, b) in scene.iter().zip(back.iter()) {
@@ -270,10 +275,17 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_parameters_within_encoding_precision() {
-        let scene = SceneParams::new(100).seed(9).sh_degree(3).generate().unwrap();
+        let scene = SceneParams::new(100)
+            .seed(9)
+            .sh_degree(3)
+            .generate()
+            .unwrap();
         let back = roundtrip(&scene);
         for (a, b) in scene.iter().zip(back.iter()) {
-            assert!((a.opacity - b.opacity).abs() < 1e-5, "opacity logit roundtrip");
+            assert!(
+                (a.opacity - b.opacity).abs() < 1e-5,
+                "opacity logit roundtrip"
+            );
             assert!((a.scale - b.scale).length() < 1e-4 * a.scale.length());
             // Quaternions may flip sign only if unnormalized; ours are unit.
             let q_err = (a.rotation.w - b.rotation.w).abs()
@@ -290,7 +302,11 @@ mod tests {
 
     #[test]
     fn degree0_roundtrip() {
-        let scene = SceneParams::new(32).seed(1).sh_degree(0).generate().unwrap();
+        let scene = SceneParams::new(32)
+            .seed(1)
+            .sh_degree(0)
+            .generate()
+            .unwrap();
         let back = roundtrip(&scene);
         assert_eq!(back.get(0).unwrap().color.degree(), 0);
     }
@@ -299,7 +315,10 @@ mod tests {
     fn header_is_standard_3dgs_layout() {
         let scene = SceneParams::new(3).sh_degree(2).generate().unwrap();
         let bytes = to_ply(&scene).unwrap();
-        let header_end = bytes.windows(11).position(|w| w == b"end_header\n").unwrap();
+        let header_end = bytes
+            .windows(11)
+            .position(|w| w == b"end_header\n")
+            .unwrap();
         let header = std::str::from_utf8(&bytes[..header_end]).unwrap();
         assert!(header.contains("element vertex 3"));
         assert!(header.contains("property float f_dc_0"));
@@ -354,7 +373,11 @@ mod tests {
         // The real acceptance test: a scene and its PLY roundtrip must
         // produce pixel-identical renders (parameters differ only at the
         // encoding's precision floor, below fp32 render sensitivity here).
-        let scene = SceneParams::new(150).seed(77).sh_degree(1).generate().unwrap();
+        let scene = SceneParams::new(150)
+            .seed(77)
+            .sh_degree(1)
+            .generate()
+            .unwrap();
         let back = roundtrip(&scene);
         for (a, b) in scene.iter().zip(back.iter()) {
             assert!((a.opacity - b.opacity).abs() < 1e-5);

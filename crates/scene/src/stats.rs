@@ -62,7 +62,11 @@ impl std::fmt::Display for SceneStats {
         write!(
             f,
             "{} gaussians, mean opacity {:.3}, mean max scale {:.4}, p95 {:.4}, diagonal {:.2}",
-            self.count, self.mean_opacity, self.mean_max_scale, self.p95_max_scale, self.extent_diagonal
+            self.count,
+            self.mean_opacity,
+            self.mean_max_scale,
+            self.p95_max_scale,
+            self.extent_diagonal
         )
     }
 }

@@ -19,11 +19,19 @@ impl EndToEnd {
     ///
     /// # Errors
     /// Returns [`ScheduleError`] for non-positive or non-finite times.
-    pub fn new(stages12_s: f64, raster_cuda_s: f64, raster_gaurast_s: f64) -> Result<Self, ScheduleError> {
+    pub fn new(
+        stages12_s: f64,
+        raster_cuda_s: f64,
+        raster_gaurast_s: f64,
+    ) -> Result<Self, ScheduleError> {
         // Reuse the schedule validation for each pair.
         PipelineSchedule::new(stages12_s, raster_cuda_s)?;
         PipelineSchedule::new(stages12_s, raster_gaurast_s)?;
-        Ok(Self { stages12_s, raster_cuda_s, raster_gaurast_s })
+        Ok(Self {
+            stages12_s,
+            raster_cuda_s,
+            raster_gaurast_s,
+        })
     }
 
     /// Baseline frame time: everything on the CUDA cores, serial.

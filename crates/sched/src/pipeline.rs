@@ -31,10 +31,15 @@ impl PipelineSchedule {
     pub fn new(stages12_s: f64, stage3_s: f64) -> Result<Self, ScheduleError> {
         for (name, v) in [("stages 1-2", stages12_s), ("stage 3", stage3_s)] {
             if !v.is_finite() || v <= 0.0 {
-                return Err(ScheduleError(format!("{name} time must be positive, got {v}")));
+                return Err(ScheduleError(format!(
+                    "{name} time must be positive, got {v}"
+                )));
             }
         }
-        Ok(Self { stages12_s, stage3_s })
+        Ok(Self {
+            stages12_s,
+            stage3_s,
+        })
     }
 
     /// Stages 1–2 time, s.
@@ -147,7 +152,10 @@ mod tests {
         for frame in 0..4 {
             let s12 = tl.span(frame, Unit::CudaCores).unwrap();
             let s3 = tl.span(frame, Unit::Rasterizer).unwrap();
-            assert!(s3.start_s >= s12.end_s - 1e-12, "frame {frame} raster before prep");
+            assert!(
+                s3.start_s >= s12.end_s - 1e-12,
+                "frame {frame} raster before prep"
+            );
         }
         // Rasterizer spans must not overlap each other.
         for frame in 1..4 {

@@ -62,11 +62,7 @@ impl SequenceReport {
         if self.completion_s.len() < 2 {
             return 0.0;
         }
-        let mut intervals: Vec<f64> = self
-            .completion_s
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect();
+        let mut intervals: Vec<f64> = self.completion_s.windows(2).map(|w| w[1] - w[0]).collect();
         intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite intervals"));
         let idx = ((intervals.len() - 1) as f64 * p).round() as usize;
         intervals[idx]
@@ -110,19 +106,33 @@ pub fn replay(frames: &[FrameCost]) -> SequenceReport {
         let s12_start = cuda_free.max(slot_free);
         let s12_end = s12_start + f.stages12_s;
         cuda_free = s12_end;
-        spans.push(StageSpan { frame: i, unit: Unit::CudaCores, start_s: s12_start, end_s: s12_end });
+        spans.push(StageSpan {
+            frame: i,
+            unit: Unit::CudaCores,
+            start_s: s12_start,
+            end_s: s12_end,
+        });
 
         let s3_start = s12_end.max(raster_free);
         let s3_end = s3_start + f.stage3_s;
         raster_free = s3_end;
         slot_free = s3_start;
-        spans.push(StageSpan { frame: i, unit: Unit::Rasterizer, start_s: s3_start, end_s: s3_end });
+        spans.push(StageSpan {
+            frame: i,
+            unit: Unit::Rasterizer,
+            start_s: s3_start,
+            end_s: s3_end,
+        });
 
         completion.push(s3_end);
         latency.push(s3_end - s12_start);
     }
 
-    SequenceReport { completion_s: completion, latency_s: latency, timeline: Timeline::new(spans) }
+    SequenceReport {
+        completion_s: completion,
+        latency_s: latency,
+        timeline: Timeline::new(spans),
+    }
 }
 
 #[cfg(test)]
@@ -130,7 +140,13 @@ mod tests {
     use super::*;
 
     fn uniform(n: usize, s12: f64, s3: f64) -> Vec<FrameCost> {
-        vec![FrameCost { stages12_s: s12, stage3_s: s3 }; n]
+        vec![
+            FrameCost {
+                stages12_s: s12,
+                stage3_s: s3
+            };
+            n
+        ]
     }
 
     #[test]
@@ -179,7 +195,10 @@ mod tests {
         let report = replay(&frames);
         let mut prev_end = 0.0;
         for i in 0..frames.len() {
-            let s3 = report.timeline.span(i, Unit::Rasterizer).expect("span exists");
+            let s3 = report
+                .timeline
+                .span(i, Unit::Rasterizer)
+                .expect("span exists");
             assert!(s3.start_s >= prev_end - 1e-12);
             prev_end = s3.end_s;
         }
@@ -204,7 +223,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be positive")]
     fn zero_cost_rejected() {
-        let _ = replay(&[FrameCost { stages12_s: 0.0, stage3_s: 0.01 }]);
+        let _ = replay(&[FrameCost {
+            stages12_s: 0.0,
+            stage3_s: 0.01,
+        }]);
     }
 
     #[test]

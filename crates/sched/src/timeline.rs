@@ -58,7 +58,9 @@ impl Timeline {
 
     /// Span of `frame` on `unit`, if present.
     pub fn span(&self, frame: usize, unit: Unit) -> Option<&StageSpan> {
-        self.spans.iter().find(|s| s.frame == frame && s.unit == unit)
+        self.spans
+            .iter()
+            .find(|s| s.frame == frame && s.unit == unit)
     }
 
     /// Completion time of the whole schedule, s.
@@ -112,10 +114,30 @@ mod tests {
 
     fn timeline() -> Timeline {
         Timeline::new(vec![
-            StageSpan { frame: 0, unit: Unit::CudaCores, start_s: 0.0, end_s: 1.0 },
-            StageSpan { frame: 0, unit: Unit::Rasterizer, start_s: 1.0, end_s: 3.0 },
-            StageSpan { frame: 1, unit: Unit::CudaCores, start_s: 1.0, end_s: 2.0 },
-            StageSpan { frame: 1, unit: Unit::Rasterizer, start_s: 3.0, end_s: 5.0 },
+            StageSpan {
+                frame: 0,
+                unit: Unit::CudaCores,
+                start_s: 0.0,
+                end_s: 1.0,
+            },
+            StageSpan {
+                frame: 0,
+                unit: Unit::Rasterizer,
+                start_s: 1.0,
+                end_s: 3.0,
+            },
+            StageSpan {
+                frame: 1,
+                unit: Unit::CudaCores,
+                start_s: 1.0,
+                end_s: 2.0,
+            },
+            StageSpan {
+                frame: 1,
+                unit: Unit::Rasterizer,
+                start_s: 3.0,
+                end_s: 5.0,
+            },
         ])
     }
 

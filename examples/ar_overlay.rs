@@ -36,9 +36,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let base = verts.len() as u32;
     verts.extend_from_slice(ground.vertices());
     let mut tris = cube.triangles().to_vec();
-    tris.extend(ground.triangles().iter().map(|t| {
-        gaurast::scene::Triangle(t.0 + base, t.1 + base, t.2 + base)
-    }));
+    tris.extend(
+        ground
+            .triangles()
+            .iter()
+            .map(|t| gaurast::scene::Triangle(t.0 + base, t.1 + base, t.2 + base)),
+    );
     let mesh = TriangleMesh::from_parts(verts, tris)?;
     let tri_workload = TriangleWorkload::bin(
         project_mesh(&mesh, &camera),

@@ -26,11 +26,22 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     type ModelCtor = fn(RasterizerConfig) -> PowerModel;
     let design_points: [(&str, RasterizerConfig, ModelCtor); 3] = [
-        ("16-PE prototype, 28 nm", RasterizerConfig::prototype(), PowerModel::prototype),
-        ("scaled 15x16 PE, SoC node", RasterizerConfig::scaled(), PowerModel::integrated),
+        (
+            "16-PE prototype, 28 nm",
+            RasterizerConfig::prototype(),
+            PowerModel::prototype,
+        ),
+        (
+            "scaled 15x16 PE, SoC node",
+            RasterizerConfig::scaled(),
+            PowerModel::integrated,
+        ),
         (
             "16-PE FP16 variant, 28 nm",
-            RasterizerConfig { precision: Precision::Fp16, ..RasterizerConfig::prototype() },
+            RasterizerConfig {
+                precision: Precision::Fp16,
+                ..RasterizerConfig::prototype()
+            },
             PowerModel::prototype,
         ),
     ];

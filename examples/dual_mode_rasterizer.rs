@@ -7,8 +7,9 @@
 //! cargo run --release --example dual_mode_rasterizer
 //! ```
 
+use gaurast::backend::BackendKind;
+use gaurast::engine::{EngineBuilder, ImagePolicy};
 use gaurast::hw::{EnhancedRasterizer, RasterizerConfig};
-use gaurast::render::pipeline::{render, RenderConfig};
 use gaurast::render::triangle::{project_mesh, render_mesh, TriangleWorkload};
 use gaurast::scene::generator::SceneParams;
 use gaurast::scene::{Camera, TriangleMesh};
@@ -33,9 +34,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let base = verts.len() as u32;
     verts.extend_from_slice(ground.vertices());
     let mut tris = mesh.triangles().to_vec();
-    tris.extend(ground.triangles().iter().map(|t| {
-        gaurast::scene::Triangle(t.0 + base, t.1 + base, t.2 + base)
-    }));
+    tris.extend(
+        ground
+            .triangles()
+            .iter()
+            .map(|t| gaurast::scene::Triangle(t.0 + base, t.1 + base, t.2 + base)),
+    );
     mesh = TriangleMesh::from_parts(verts, tris)?;
 
     let (sw_tri, tri_stats) = render_mesh(&mesh, &camera);
@@ -45,21 +49,35 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert_eq!(hw_tri.mean_abs_diff(&sw_tri), 0.0);
     println!(
         "triangle mode: {} fragments, {} cycles, divider ops {}, exp ops {} (bit-exact)",
-        tri_stats.fragments_written, tri_report.cycles, tri_report.activity.div, tri_report.activity.exp
+        tri_stats.fragments_written,
+        tri_report.cycles,
+        tri_report.activity.div,
+        tri_report.activity.exp
     );
     std::fs::write("dual_mode_triangles.ppm", hw_tri.to_ppm())?;
 
-    // --- Gaussian mode: a splat cloud, same hardware instance. ---
+    // --- Gaussian mode: a splat cloud through an engine session on the
+    //     same prototype configuration. The comparison executes the
+    //     software reference and the hardware model on one workload; FP32
+    //     must be bit-exact.
     let scene = SceneParams::new(6_000).seed(11).generate()?;
-    let out = render(&scene, &camera, &RenderConfig::default());
-    let (hw_gauss, gauss_report) = hw.render_gaussian(&out.workload);
-    assert_eq!(hw_gauss.mean_abs_diff(&out.image), 0.0);
+    let mut engine = EngineBuilder::new(scene)
+        .hw_config(RasterizerConfig::prototype())
+        .image_policy(ImagePolicy::Retain)
+        .build()?;
+    let cmp = engine.compare(&camera, &[BackendKind::Software, BackendKind::Enhanced]);
+    let sw_gauss = cmp
+        .get(BackendKind::Software)
+        .and_then(|r| r.image.clone())
+        .expect("retained software image");
+    let hw_row = cmp.get(BackendKind::Enhanced).expect("requested");
+    let hw_gauss = hw_row.image.clone().expect("retained hardware image");
+    assert_eq!(hw_gauss.mean_abs_diff(&sw_gauss), 0.0);
     println!(
-        "gaussian mode: {} blends, {} cycles, divider ops {}, exp ops {} (bit-exact)",
-        out.raster.blends_committed,
-        gauss_report.cycles,
-        gauss_report.activity.div,
-        gauss_report.activity.exp
+        "gaussian mode: {} blends, {:.3} ms simulated, {} issued pairs (bit-exact)",
+        hw_row.stats.blends_committed,
+        hw_row.time_s * 1e3,
+        hw_row.ops
     );
     std::fs::write("dual_mode_gaussians.ppm", hw_gauss.to_ppm())?;
 

@@ -1,12 +1,17 @@
 //! Edge-device frame rates: the paper's motivating scenario. Evaluates all
 //! seven NeRF-360 scenes and reports end-to-end FPS on the Jetson Orin NX
-//! model with and without GauRast, for both 3DGS pipelines.
+//! model with and without GauRast, for both 3DGS pipelines — then replays
+//! a camera orbit through one engine session to show the pipelined
+//! steady state frame pacing.
 //!
 //! ```text
 //! cargo run --release --example edge_device_fps
 //! ```
 
+use gaurast::backend::BackendKind;
+use gaurast::engine::EngineBuilder;
 use gaurast::experiments::{endtoend, Algorithm, EvaluationSet, ExperimentContext};
+use gaurast::scene::nerf360::{Nerf360Scene, SceneScale};
 
 fn main() {
     eprintln!("evaluating scenes (repro scale) ...");
@@ -15,11 +20,38 @@ fn main() {
     for algorithm in [Algorithm::Original, Algorithm::MiniSplatting] {
         let report = endtoend::figure11(&set, algorithm);
         println!("{report}");
-        let realtime = report.rows.iter().filter(|(_, r)| r.gaurast_fps >= 24.0).count();
+        let realtime = report
+            .rows
+            .iter()
+            .filter(|(_, r)| r.gaurast_fps >= 24.0)
+            .count();
         println!(
             "{} of 7 scenes reach >= 24 FPS with GauRast ({})\n",
             realtime,
             algorithm.label()
         );
     }
+
+    // A 24-frame orbit through one engine session: per-frame costs from
+    // the real models, replayed through the CUDA-collaborative pipeline.
+    let desc = Nerf360Scene::Counter.descriptor();
+    let scale = SceneScale::REPRO;
+    let mut engine = EngineBuilder::new(desc.synthesize(scale))
+        .backend(BackendKind::Enhanced)
+        .build()
+        .expect("default configuration is valid");
+    let cameras: Vec<_> = (0..24)
+        .map(|i| {
+            let theta = i as f32 / 24.0 * std::f32::consts::TAU;
+            desc.camera(scale, theta).expect("descriptor camera")
+        })
+        .collect();
+    let orbit = engine.render_sequence(&cameras);
+    println!(
+        "counter orbit (sim scale): {:.1} FPS pipelined, p50 interval {:.3} ms, \
+         p99 interval {:.3} ms",
+        orbit.throughput_fps(),
+        orbit.schedule.interval_percentile_s(0.5) * 1e3,
+        orbit.schedule.interval_percentile_s(0.99) * 1e3,
+    );
 }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         let stage3 = hw.simulate_gaussian(&out.workload).time_s * scale_up;
         let stages12 = orin.preprocess_time((desc.full_gaussians as f64 * 0.85) as u64)
             + orin.sort_time(desc.sort_pairs_per_frame as u64);
-        frames.push(FrameCost { stages12_s: stages12, stage3_s: stage3 });
+        frames.push(FrameCost {
+            stages12_s: stages12,
+            stage3_s: stage3,
+        });
     }
 
     let report = replay(&frames);

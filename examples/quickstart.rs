@@ -1,13 +1,14 @@
-//! Quickstart: synthesize a scene, render it with the software 3DGS
-//! pipeline, simulate the same frame on the GauRast hardware, and compare.
+//! Quickstart: open an engine session over a synthetic scene, render one
+//! frame, and compare every execution substrate — the software reference,
+//! the GauRast hardware model, the edge-GPU baseline, and GSCore — on the
+//! identical workload with one call.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use gaurast::gpu::device;
-use gaurast::hw::{EnhancedRasterizer, RasterizerConfig};
-use gaurast::render::pipeline::{render, RenderConfig};
+use gaurast::backend::{BackendKind, GpuPreset};
+use gaurast::engine::{EngineBuilder, ImagePolicy};
 use gaurast::scene::generator::SceneParams;
 use gaurast::scene::Camera;
 use gaurast_math::Vec3;
@@ -33,43 +34,39 @@ fn main() -> Result<(), Box<dyn Error>> {
         1.05,
     )?;
 
-    // 3. Software reference render (Stages 1-3). The returned workload is
-    //    the Stage-1/2 product that hardware consumes.
-    let out = render(&scene, &camera, &RenderConfig::default());
+    // 3. An engine session: scene + backend + image policy. The session
+    //    reuses its framebuffer and binning buffers across frames.
+    let mut engine = EngineBuilder::new(scene)
+        .backend(BackendKind::Enhanced)
+        .image_policy(ImagePolicy::Retain)
+        .build()?;
+
+    // 4. One frame on the GauRast hardware model (scaled 15-module
+    //    configuration). FP32 output is bit-exact with the reference.
+    let frame = engine.render_frame(&camera);
     println!(
-        "software render: {} visible splats, {} blend ops, {:.1}% coverage",
-        out.preprocess.visible,
-        out.workload.blend_work(),
-        out.image.coverage() * 100.0
+        "gaurast: {} visible splats, {} blend ops, {:.3} ms, {:.0}% PE utilization",
+        frame.stats.visible,
+        frame.stats.blend_work,
+        frame.time_s * 1e3,
+        frame.stats.utilization * 100.0
     );
 
-    // 4. Same frame through the cycle-accurate GauRast model (scaled
-    //    15-module configuration). FP32 output is bit-exact.
-    let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
-    let (hw_image, report) = hw.render_gaussian(&out.workload);
-    assert_eq!(hw_image.mean_abs_diff(&out.image), 0.0, "hardware must match software");
+    // 5. The same frame on every substrate — one call, identical workload.
+    let comparison = engine.compare(&camera, &BackendKind::ALL);
+    println!("{comparison}");
+    let speedup = comparison
+        .speedup(BackendKind::Cuda(GpuPreset::OrinNx), BackendKind::Enhanced)
+        .expect("both requested");
     println!(
-        "gaurast: {} cycles = {:.3} ms at 1 GHz, {:.0}% PE utilization",
-        report.cycles,
-        report.time_s * 1e3,
-        report.utilization * 100.0
-    );
-
-    // 5. The baseline CUDA model on the same workload.
-    let orin = device::orin_nx();
-    let cuda_time = orin.raster_time(&out.workload);
-    println!(
-        "orin-nx CUDA model: {:.3} ms -> {:.1}x rasterization speedup",
-        cuda_time * 1e3,
-        cuda_time / report.time_s
-    );
-    println!(
-        "(tiny demo scenes exaggerate the gap; run the `repro` binary for \
+        "rasterization speedup over the Orin NX model: {speedup:.1}x \
+         (tiny demo scenes exaggerate the gap; run the `repro` binary for \
          the paper-scale comparison)"
     );
 
     // 6. Save the image for inspection.
-    std::fs::write("quickstart.ppm", out.image.to_ppm())?;
+    let image = frame.image.expect("retain policy keeps images");
+    std::fs::write("quickstart.ppm", image.to_ppm())?;
     println!("wrote quickstart.ppm");
     Ok(())
 }

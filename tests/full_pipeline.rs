@@ -6,7 +6,10 @@ use gaurast::render::pipeline::{render, RenderConfig};
 use gaurast::scene::mini_splatting::{simplify, MiniSplatConfig};
 use gaurast::scene::nerf360::{Nerf360Scene, SceneScale};
 
-const TEST_SCALE: SceneScale = SceneScale { gaussian_divisor: 4096, resolution_divisor: 16 };
+const TEST_SCALE: SceneScale = SceneScale {
+    gaussian_divisor: 4096,
+    resolution_divisor: 16,
+};
 
 #[test]
 fn every_scene_renders_and_simulates() {
@@ -20,7 +23,10 @@ fn every_scene_renders_and_simulates() {
         assert!(out.workload.blend_work() > 0, "{scene}: no blend work");
         let report = hw.simulate_gaussian(&out.workload);
         assert!(report.cycles > 0, "{scene}");
-        assert!(report.utilization > 0.0 && report.utilization <= 1.0, "{scene}");
+        assert!(
+            report.utilization > 0.0 && report.utilization <= 1.0,
+            "{scene}"
+        );
     }
 }
 
@@ -88,6 +94,13 @@ fn camera_angle_changes_but_does_not_break_determinism() {
     let a1 = render(&gscene, &cam1, &cfg);
     let a2 = render(&gscene, &cam1, &cfg);
     let b = render(&gscene, &cam2, &cfg);
-    assert_eq!(a1.image.mean_abs_diff(&a2.image), 0.0, "same view must be deterministic");
-    assert!(a1.image.mean_abs_diff(&b.image) > 0.0, "different views must differ");
+    assert_eq!(
+        a1.image.mean_abs_diff(&a2.image),
+        0.0,
+        "same view must be deterministic"
+    );
+    assert!(
+        a1.image.mean_abs_diff(&b.image) > 0.0,
+        "different views must differ"
+    );
 }

@@ -2,8 +2,7 @@
 //! shape when the full evaluation harness runs (quick scale).
 
 use gaurast::experiments::{
-    area, baseline, competitors, endtoend, raster_perf, Algorithm, EvaluationSet,
-    ExperimentContext,
+    area, baseline, competitors, endtoend, raster_perf, Algorithm, EvaluationSet, ExperimentContext,
 };
 use gaurast::gpu::paper;
 use std::sync::OnceLock;
@@ -40,7 +39,10 @@ fn table3_within_10_percent_on_baseline() {
     let t3 = raster_perf::table3(set());
     for (name, model_base, model_gau, paper_base, paper_gau) in &t3.rows {
         let base_err = (model_base - paper_base).abs() / paper_base;
-        assert!(base_err < 0.10, "{name}: baseline {model_base} vs {paper_base}");
+        assert!(
+            base_err < 0.10,
+            "{name}: baseline {model_base} vs {paper_base}"
+        );
         let gau_err = (model_gau - paper_gau).abs() / paper_gau;
         assert!(gau_err < 0.20, "{name}: gaurast {model_gau} vs {paper_gau}");
     }
@@ -70,21 +72,31 @@ fn optimized_pipeline_over_40_fps() {
         "mean fps {}",
         fig.mean_gaurast_fps
     );
-    assert!(fig.mean_speedup > 2.5 && fig.mean_speedup < 5.0, "e2e {}", fig.mean_speedup);
+    assert!(
+        fig.mean_speedup > 2.5 && fig.mean_speedup < 5.0,
+        "e2e {}",
+        fig.mean_speedup
+    );
 }
 
 #[test]
 fn baseline_profile_matches_fig4_fig5() {
     let profile = baseline::baseline_profile(set());
     let (lo, hi) = profile.fps_range();
-    assert!(lo >= 2.0 && hi <= 6.5, "fps range [{lo}, {hi}] vs paper [2, 5]");
+    assert!(
+        lo >= 2.0 && hi <= 6.5,
+        "fps range [{lo}, {hi}] vs paper [2, 5]"
+    );
     assert!(profile.min_raster_share() > paper::FIG5_MIN_RASTER_SHARE);
 }
 
 #[test]
 fn area_claims_hold() {
     let r = area::figure9();
-    assert!((r.module.enhancement_fraction() - 0.21).abs() < 0.01, "21% enhancement");
+    assert!(
+        (r.module.enhancement_fraction() - 0.21).abs() < 0.01,
+        "21% enhancement"
+    );
     assert!((r.soc_fraction - 0.002).abs() < 0.0005, "0.2% of SoC");
     let g = competitors::section5c();
     assert!((g.comparison.ratio - paper::GSCORE_AREA_EFFICIENCY_RATIO).abs() < 1.0);

@@ -1,0 +1,481 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! micro-implementation provides the subset of the proptest API the
+//! workspace's property tests use: the [`proptest!`] macro, [`Strategy`]
+//! with `prop_map` / `prop_filter` / `prop_filter_map`, range and tuple
+//! strategies, [`collection::vec`], [`any`], `num::f32::NORMAL`,
+//! [`ProptestConfig`], and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! assertion message directly) and no persisted failure seeds. Case
+//! generation is deterministic per test (seeded from the test's name), so
+//! failures reproduce across runs.
+
+#![deny(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::ops::{Range, RangeInclusive};
+
+/// Rejected test case (raised by `prop_assume!` or an exhausted filter).
+#[derive(Clone, Copy, Debug)]
+pub struct TestCaseReject;
+
+/// Deterministic random source driving case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG seeded from a test identifier, so every test draws its own
+    /// reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(SmallRng::seed_from_u64(h))
+    }
+
+    fn u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn u32(&mut self) -> u32 {
+        self.0.next_u64() as u32
+    }
+}
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`).
+///
+/// `generate` returns `None` when the drawn candidate was rejected by a
+/// filter; the runner retries with fresh randomness.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one candidate value.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`, rejecting the rest.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        _reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f`, rejecting the rest.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+fn unit_f64(rng: &mut TestRng) -> f64 {
+    (rng.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + (self.end - self.start) * unit_f64(rng) as $t;
+                Some(if v >= self.end { self.start } else { v })
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let v = lo + (hi - lo) * unit_f64(rng) as $t;
+                Some(v.clamp(lo, hi))
+            }
+        }
+    )*};
+}
+
+impl_float_ranges!(f32, f64);
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let r = ((rng.u64() as u128 * span as u128) >> 64) as u64;
+                Some((self.start as u64).wrapping_add(r) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return Some(rng.u64() as $t);
+                }
+                let r = ((rng.u64() as u128 * span as u128) >> 64) as u64;
+                Some((lo as u64).wrapping_add(r) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / v0);
+impl_tuple_strategy!(S0 / v0, S1 / v1);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(
+    S0 / v0,
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6
+);
+impl_tuple_strategy!(
+    S0 / v0,
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7
+);
+
+/// Types with a canonical "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.clone().generate(rng)?;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Give each slot a bounded number of local retries before
+                // rejecting the whole case.
+                let mut attempts = 0;
+                loop {
+                    match self.element.generate(rng) {
+                        Some(v) => break out.push(v),
+                        None if attempts < 64 => attempts += 1,
+                        None => return None,
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Numeric strategies (subset of `proptest::num`).
+pub mod num {
+    /// `f32` strategies.
+    pub mod f32 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy over normal (non-zero, non-subnormal, finite) `f32`
+        /// values of either sign.
+        #[derive(Clone, Copy, Debug)]
+        pub struct NormalF32;
+
+        /// Any normal `f32`.
+        pub const NORMAL: NormalF32 = NormalF32;
+
+        impl Strategy for NormalF32 {
+            type Value = f32;
+            fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+                let v = f32::from_bits(rng.u32());
+                v.is_normal().then_some(v)
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    panic!(
+                        "property assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        left,
+                        right
+                    );
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    panic!($($fmt)+);
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// Defines property tests (subset of the upstream `proptest!` macro).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($cfg) $($(#[$meta])* fn $name($($pat in $strat),*) $body)*);
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl (<$crate::ProptestConfig as ::std::default::Default>::default())
+            $($(#[$meta])* fn $name($($pat in $strat),*) $body)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let strategies = ($($strat,)*);
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(200).max(10_000);
+                while accepted < config.cases {
+                    assert!(
+                        attempts < max_attempts,
+                        "too many rejected cases ({} accepted of {} wanted)",
+                        accepted,
+                        config.cases
+                    );
+                    attempts += 1;
+                    let generated = $crate::Strategy::generate(&strategies, &mut rng);
+                    let ($($pat,)*) = match generated {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => continue,
+                    };
+                    let outcome: ::std::result::Result<(), $crate::TestCaseReject> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseReject) => continue,
+                    }
+                }
+            }
+        )*
+    };
+}
