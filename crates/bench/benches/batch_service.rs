@@ -1,0 +1,72 @@
+//! Criterion benchmark of the shared-scene render service: a multi-camera
+//! batch through `RenderService::render_batch` versus the same frames
+//! through one sequential engine session, plus the cost of spawning a
+//! session over an already-prepared scene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaurast::backend::BackendKind;
+use gaurast::engine::EngineBuilder;
+use gaurast::scene::generator::SceneParams;
+use gaurast::scene::{Camera, PreparedScene};
+use gaurast::service::{RenderRequest, RenderService};
+use gaurast_math::Vec3;
+use std::sync::Arc;
+
+fn orbit_camera(theta: f32) -> Camera {
+    Camera::look_at(
+        Vec3::new(26.0 * theta.sin(), 7.0, -26.0 * theta.cos()),
+        Vec3::zero(),
+        Vec3::new(0.0, 1.0, 0.0),
+        320,
+        208,
+        1.05,
+    )
+    .expect("valid camera")
+}
+
+fn bench_batch_service(c: &mut Criterion) {
+    let scene = SceneParams::new(20_000)
+        .seed(42)
+        .generate()
+        .expect("valid params");
+    let prepared = Arc::new(PreparedScene::prepare(scene));
+    let service = RenderService::builder()
+        .prepared("demo", Arc::clone(&prepared))
+        .workers(4)
+        .build()
+        .expect("valid service configuration");
+    let requests: Vec<RenderRequest> = (0..8)
+        .map(|i| RenderRequest::new("demo", orbit_camera(i as f32 * 0.7)))
+        .collect();
+
+    let mut group = c.benchmark_group("batch_service");
+    group.sample_size(10);
+
+    group.bench_function("sequential_single_session", |b| {
+        b.iter(|| {
+            let mut session = service
+                .session("demo", BackendKind::Enhanced)
+                .expect("scene registered");
+            for req in &requests {
+                session.render_frame(&req.camera);
+            }
+        });
+    });
+
+    group.bench_function("render_batch_4_workers", |b| {
+        b.iter(|| service.render_batch(&requests).expect("valid batch"));
+    });
+
+    group.bench_function("spawn_session_over_prepared_scene", |b| {
+        b.iter(|| {
+            EngineBuilder::shared(Arc::clone(&prepared))
+                .build()
+                .expect("valid configuration")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_service);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Artifact ids: `tab1 tab2 fig4 fig5 fig8 fig9 fig10 tab3 fig11 sec5c
-//! sec5d ablations quality sweep compare`.
+//! sec5d ablations quality sweep compare batch`.
 
 use gaurast::backend::BackendKind;
 use gaurast::engine::EngineBuilder;
@@ -15,10 +15,11 @@ use gaurast::experiments::{
     ablations, area, baseline, competitors, endtoend, methodology, pipelining, primitives, quality,
     raster_perf, sweep, Algorithm, EvaluationSet, ExperimentContext,
 };
+use gaurast::service::{RenderRequest, RenderService};
 use gaurast_gpu::paper;
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 
-const ALL_IDS: [&str; 15] = [
+const ALL_IDS: [&str; 16] = [
     "tab1",
     "tab2",
     "fig4",
@@ -34,6 +35,7 @@ const ALL_IDS: [&str; 15] = [
     "quality",
     "sweep",
     "compare",
+    "batch",
 ];
 
 fn main() {
@@ -171,9 +173,79 @@ fn main() {
                 let cam = desc.camera(scale, 0.4).expect("descriptor camera");
                 section(&engine.compare(&cam, &BackendKind::ALL).to_string());
             }
+            "batch" => {
+                // Shared-scene serving: two NeRF-360 scenes prepared once,
+                // a 16-request batch fanned across the worker pool, versus
+                // the same frames through one sequential session per scene.
+                let scale = if quick {
+                    SceneScale::UNIT_TEST
+                } else {
+                    SceneScale::REPRO
+                };
+                section(&batch_demo(scale));
+            }
             _ => unreachable!("ids validated above"),
         }
     }
+}
+
+/// Runs the shared-scene batch demonstration and formats its report.
+fn batch_demo(scale: SceneScale) -> String {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let scenes = [Nerf360Scene::Garden, Nerf360Scene::Counter];
+    let mut builder = RenderService::builder();
+    for scene in scenes {
+        builder = builder.scene(scene.to_string(), scene.descriptor().synthesize(scale));
+    }
+    let service = builder.build().expect("default configuration is valid");
+
+    let requests: Vec<RenderRequest> = (0..16)
+        .map(|i| {
+            let scene = scenes[i % scenes.len()];
+            let theta = i as f32 / 16.0 * std::f32::consts::TAU;
+            let cam = scene
+                .descriptor()
+                .camera(scale, theta)
+                .expect("descriptor camera");
+            RenderRequest::new(scene.to_string(), cam)
+        })
+        .collect();
+
+    // Sequential baseline: the same frames through one session per scene.
+    let started = Instant::now();
+    for scene in scenes {
+        let mut session = service
+            .session(&scene.to_string(), BackendKind::Enhanced)
+            .expect("scene registered");
+        for req in requests.iter().filter(|r| r.scene == scene.to_string()) {
+            session.render_frame(&req.camera);
+        }
+    }
+    let sequential_s = started.elapsed().as_secs_f64();
+
+    let batch = service
+        .render_batch(&requests)
+        .expect("all scenes registered");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "shared-scene batch service — {} scenes, {} workers",
+        scenes.len(),
+        service.workers()
+    )
+    .unwrap();
+    writeln!(out, "{batch}").unwrap();
+    writeln!(
+        out,
+        "sequential single-session: {:.1} ms; batch wall: {:.1} ms ({:.2}x)",
+        sequential_s * 1e3,
+        batch.wall_s * 1e3,
+        sequential_s / batch.wall_s.max(1e-12),
+    )
+    .unwrap();
+    out
 }
 
 fn section(text: &str) {

@@ -42,12 +42,9 @@ impl Backend for CudaGpuBackend {
         let time_s = self.model.raster_time(frame.workload);
         FrameReport {
             kind: self.kind(),
-            // The modeled CUDA kernel computes exactly the reference image.
-            image: if frame.retain_image {
-                frame.reference.image.clone()
-            } else {
-                None
-            },
+            // The modeled CUDA kernel computes exactly the reference image,
+            // which the engine attaches after `execute` (moved, not cloned).
+            image: None,
             time_s,
             energy_j: self.model.raster_energy_j(time_s),
             ops: frame.workload.blend_work(),

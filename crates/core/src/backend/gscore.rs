@@ -57,13 +57,10 @@ impl Backend for GscoreBackend {
         self.last_refined = Some(report.refined);
         FrameReport {
             kind: self.kind(),
-            // GSCore's VRU computes the same blend as the reference; the
-            // subtile skip only removes below-cutoff contributions.
-            image: if frame.retain_image {
-                frame.reference.image.clone()
-            } else {
-                None
-            },
+            // GSCore's VRU computes the same blend as the reference (the
+            // subtile skip only removes below-cutoff contributions); the
+            // engine attaches the reference image after `execute`.
+            image: None,
             time_s: report.time_s,
             energy_j: 0.0,
             ops: report.refined.subtile_pixel_work,

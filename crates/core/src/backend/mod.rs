@@ -9,7 +9,7 @@
 //!
 //! All backends bill exactly the same work: the engine runs Stages 1–2 and
 //! one reference Stage-3 pass per frame, producing a
-//! [`RasterWorkload`](gaurast_render::RasterWorkload) whose per-tile
+//! [`RasterWorkload`] whose per-tile
 //! processed counts every backend consumes (the methodology of DESIGN.md
 //! §6, decision 1, now enforced by the type system instead of by
 //! convention).
@@ -111,6 +111,8 @@ pub struct ReferencePass {
     /// The reference image, present when the session retains images and a
     /// requested backend reports the reference image (the enhanced
     /// rasterizer renders its own, so enhanced-only frames skip this).
+    /// Backends leave it in place; the engine moves it into the report
+    /// after `execute` (no per-frame framebuffer clone).
     pub image: Option<Framebuffer>,
 }
 

@@ -30,11 +30,9 @@ impl Backend for SoftwareBackend {
         let r = frame.reference;
         FrameReport {
             kind: self.kind(),
-            image: if frame.retain_image {
-                r.image.clone()
-            } else {
-                None
-            },
+            // This backend's output *is* the reference image; the engine
+            // attaches it after `execute` (moved, not cloned).
+            image: None,
             time_s: r.wall_s,
             // Host CPU energy is not modeled.
             energy_j: 0.0,

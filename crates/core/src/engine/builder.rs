@@ -5,7 +5,8 @@ use crate::backend::BackendKind;
 use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::{Precision, RasterizerConfig};
 use gaurast_render::DEFAULT_TILE_SIZE;
-use gaurast_scene::GaussianScene;
+use gaurast_scene::{GaussianScene, PreparedScene};
+use std::sync::Arc;
 
 /// Builder for an [`Engine`] session.
 ///
@@ -13,9 +14,28 @@ use gaurast_scene::GaussianScene;
 /// FP32, the Jetson Orin NX as the host device for Stages 1–2, the
 /// [`BackendKind::Enhanced`] backend, and images discarded after
 /// statistics are recorded.
+///
+/// Sessions share scenes: [`EngineBuilder::new`] prepares a raw scene on
+/// the spot, while [`EngineBuilder::shared`] opens a session over an
+/// existing `Arc<`[`PreparedScene`]`>` without copying anything —
+/// the pattern the multi-session [`RenderService`](crate::service)
+/// builds on:
+///
+/// ```
+/// use gaurast::engine::EngineBuilder;
+/// use gaurast::scene::{generator::SceneParams, PreparedScene};
+/// use std::sync::Arc;
+///
+/// let scene = SceneParams::new(200).seed(11).generate()?;
+/// let shared = Arc::new(PreparedScene::prepare(scene));
+/// let a = EngineBuilder::shared(Arc::clone(&shared)).build()?;
+/// let b = EngineBuilder::shared(Arc::clone(&shared)).build()?;
+/// assert!(Arc::ptr_eq(a.prepared(), b.prepared()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct EngineBuilder {
-    scene: GaussianScene,
+    scene: Arc<PreparedScene>,
     tile_size: u32,
     backend: BackendKind,
     precision: Option<Precision>,
@@ -25,8 +45,16 @@ pub struct EngineBuilder {
 }
 
 impl EngineBuilder {
-    /// Starts a builder over a scene with the defaults above.
+    /// Starts a builder over a raw scene with the defaults above. The
+    /// scene is prepared ([`PreparedScene::prepare`]) here, once; use
+    /// [`EngineBuilder::shared`] to reuse an already-prepared asset.
     pub fn new(scene: GaussianScene) -> Self {
+        Self::shared(Arc::new(PreparedScene::prepare(scene)))
+    }
+
+    /// Starts a builder over a shared prepared-scene asset (no copy, no
+    /// re-preparation).
+    pub fn shared(scene: Arc<PreparedScene>) -> Self {
         Self {
             scene,
             tile_size: DEFAULT_TILE_SIZE,

@@ -47,12 +47,13 @@ use crate::report::{fmt_f, fmt_ms, TextTable};
 use gaurast_gpu::CudaGpuModel;
 use gaurast_hw::RasterizerConfig;
 use gaurast_render::pipeline::PreprocessStats;
-use gaurast_render::preprocess::preprocess;
+use gaurast_render::preprocess::preprocess_prepared;
 use gaurast_render::rasterize::rasterize_into;
 use gaurast_render::tile::bin_splats_into;
 use gaurast_render::{Framebuffer, RasterWorkload};
-use gaurast_scene::{Camera, GaussianScene};
+use gaurast_scene::{Camera, GaussianScene, PreparedScene};
 use gaurast_sched::{replay, FrameCost, SequenceReport};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Error raised by engine construction or sequence rendering.
@@ -88,10 +89,12 @@ const MIN_STAGE_S: f64 = 1e-12;
 
 /// Reusable per-session scratch: the allocations that would otherwise be
 /// made and dropped every frame.
+///
+/// Retained-image frames no longer keep a session framebuffer here: the
+/// reference pass renders into a fresh buffer that *moves* into the report
+/// (no full-framebuffer clone per frame; the caller owns the image).
 #[derive(Debug, Default)]
 struct Scratch {
-    /// Framebuffer for retained-image sessions.
-    framebuffer: Option<Framebuffer>,
     /// Tile-list buffers recycled through
     /// [`gaurast_render::tile::bin_splats_into`].
     bins: Vec<Vec<u32>>,
@@ -160,12 +163,18 @@ impl std::fmt::Display for ComparisonReport {
     }
 }
 
-/// A rendering session over one scene and one selected backend. See the
-/// [module docs](self) for the full picture and [`EngineBuilder`] for
-/// construction.
+/// A rendering session over one shared scene asset and one selected
+/// backend. See the [module docs](self) for the full picture and
+/// [`EngineBuilder`] for construction.
+///
+/// The scene is held as an `Arc<`[`PreparedScene`]`>`: sessions never copy
+/// the scene or redo its precomputation, so spawning one per worker thread
+/// is cheap. `Clone` gives a fresh session (zero frames, fresh scratch,
+/// freshly instantiated backend) over the same shared asset and
+/// configuration.
 #[derive(Debug)]
 pub struct Engine {
-    pub(crate) scene: GaussianScene,
+    pub(crate) scene: Arc<PreparedScene>,
     pub(crate) tile_size: u32,
     pub(crate) image_policy: ImagePolicy,
     pub(crate) hw_config: RasterizerConfig,
@@ -176,9 +185,26 @@ pub struct Engine {
     frames: u64,
 }
 
+impl Clone for Engine {
+    /// A fresh session over the same shared scene and configuration: the
+    /// `Arc<PreparedScene>` is shared (no scene copy), the backend is
+    /// re-instantiated from the session configuration, and the frame
+    /// counter and scratch start empty.
+    fn clone(&self) -> Self {
+        Self::from_parts(
+            Arc::clone(&self.scene),
+            self.tile_size,
+            self.image_policy,
+            self.hw_config,
+            self.host.clone(),
+            self.kind,
+        )
+    }
+}
+
 impl Engine {
     pub(crate) fn from_parts(
-        scene: GaussianScene,
+        scene: Arc<PreparedScene>,
         tile_size: u32,
         image_policy: ImagePolicy,
         hw_config: RasterizerConfig,
@@ -207,6 +233,13 @@ impl Engine {
 
     /// The scene this session renders.
     pub fn scene(&self) -> &GaussianScene {
+        self.scene.scene()
+    }
+
+    /// The shared prepared-scene asset this session renders from. Clone
+    /// the `Arc` to open further sessions over the identical asset
+    /// (e.g. via [`EngineBuilder::shared`]).
+    pub fn prepared(&self) -> &Arc<PreparedScene> {
         &self.scene
     }
 
@@ -264,7 +297,7 @@ impl Engine {
         camera: &Camera,
         need_image: bool,
     ) -> (RasterWorkload, ReferencePass) {
-        let pre = preprocess(&self.scene, camera);
+        let pre = preprocess_prepared(&self.scene, camera);
         let pre_stats = PreprocessStats::from(&pre);
         let bins = std::mem::take(&mut self.scratch.bins);
         let mut workload = bin_splats_into(
@@ -277,15 +310,11 @@ impl Engine {
 
         let started = Instant::now();
         let (raster, image) = if need_image {
-            let fb = match self.scratch.framebuffer.take() {
-                Some(fb) if (fb.width(), fb.height()) == (camera.width(), camera.height()) => fb,
-                _ => Framebuffer::new(camera.width(), camera.height()),
-            };
-            let mut fb = fb;
+            // The buffer moves into the reference pass (and from there into
+            // the report) instead of being cloned every frame.
+            let mut fb = Framebuffer::new(camera.width(), camera.height());
             let raster = rasterize_into(&mut workload, Some(&mut fb));
-            let image = Some(fb.clone());
-            self.scratch.framebuffer = Some(fb);
-            (raster, image)
+            (raster, Some(fb))
         } else {
             (rasterize_into(&mut workload, None), None)
         };
@@ -332,15 +361,21 @@ impl Engine {
     }
 
     fn render_frame_inner(&mut self, camera: &Camera) -> (FrameReport, f64) {
-        let need_image =
-            self.image_policy == ImagePolicy::Retain && self.kind != BackendKind::Enhanced;
-        let (workload, reference) = self.reference_pass(camera, need_image);
+        let retain = self.image_policy == ImagePolicy::Retain;
+        let need_image = retain && self.kind != BackendKind::Enhanced;
+        let (workload, mut reference) = self.reference_pass(camera, need_image);
         self.backend.prepare(&workload);
         let mut report = self.backend.execute(Frame {
             workload: &workload,
             reference: &reference,
-            retain_image: self.image_policy == ImagePolicy::Retain,
+            retain_image: retain,
         });
+        // Backends whose modeled kernels compute the reference image report
+        // it; the buffer moves from the reference pass (the enhanced
+        // rasterizer renders its own through the PE datapath).
+        if retain && report.image.is_none() {
+            report.image = reference.image.take();
+        }
         Self::fill_common_stats(&mut report, &workload, &reference);
         let stages12 = self.stages12_s(&reference, &workload);
         // Recycle the binning buffers for the next frame.
@@ -386,8 +421,8 @@ impl Engine {
     pub fn compare(&mut self, camera: &Camera, kinds: &[BackendKind]) -> ComparisonReport {
         let retain = self.image_policy == ImagePolicy::Retain;
         let need_image = retain && kinds.iter().any(|&k| k != BackendKind::Enhanced);
-        let (workload, reference) = self.reference_pass(camera, need_image);
-        let rows = kinds
+        let (workload, mut reference) = self.reference_pass(camera, need_image);
+        let mut rows: Vec<FrameReport> = kinds
             .iter()
             .map(|&kind| {
                 let mut backend = make_backend(kind, self.hw_config);
@@ -401,6 +436,21 @@ impl Engine {
                 report
             })
             .collect();
+        // Attach the reference image to every row whose modeled kernel
+        // computes it: clones for all but the last such row, which takes
+        // the buffer (copy-on-demand instead of one clone per backend).
+        if retain {
+            let last = rows.iter().rposition(|r| r.image.is_none());
+            for (i, row) in rows.iter_mut().enumerate() {
+                if row.image.is_none() {
+                    row.image = if Some(i) == last {
+                        reference.image.take()
+                    } else {
+                        reference.image.clone()
+                    };
+                }
+            }
+        }
         self.frames += 1;
         ComparisonReport { rows, workload }
     }
@@ -529,6 +579,57 @@ mod tests {
             ..RasterizerConfig::prototype()
         };
         assert!(e.set_hw_config(bad).is_err());
+    }
+
+    #[test]
+    fn invalid_hw_config_preserves_backend_and_config() {
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let cam = camera(64, 64);
+        let before = e.render_frame(&cam);
+        let name_before = e.backend_name();
+        let config_before = e.hw_config;
+        let bad = RasterizerConfig {
+            modules: 0,
+            ..RasterizerConfig::scaled()
+        };
+        assert!(e.set_hw_config(bad).is_err());
+        // The rejected configuration must leave the session untouched:
+        // same config, same backend, same results.
+        assert_eq!(e.hw_config, config_before);
+        assert_eq!(e.backend_name(), name_before);
+        assert_eq!(e.backend_kind(), BackendKind::Enhanced);
+        let after = e.render_frame(&cam);
+        assert_eq!(after.time_s, before.time_s);
+        assert_eq!(after.stats.blend_work, before.stats.blend_work);
+    }
+
+    #[test]
+    fn switch_backend_keeps_scene_config_and_frame_counter() {
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let cam = camera(64, 64);
+        let hw = e.render_frame(&cam);
+        let config = e.hw_config;
+        e.switch_backend(BackendKind::Software);
+        assert_eq!(e.backend_kind(), BackendKind::Software);
+        assert_eq!(e.hw_config, config, "hw config survives the switch");
+        let sw = e.render_frame(&cam);
+        assert_eq!(sw.stats.blend_work, hw.stats.blend_work);
+        assert_eq!(e.frames_rendered(), 2, "counter continues across switch");
+        e.switch_backend(BackendKind::Enhanced);
+        let back = e.render_frame(&cam);
+        assert_eq!(back.time_s, hw.time_s, "round trip is lossless");
+    }
+
+    #[test]
+    fn cloned_session_is_fresh_but_shares_the_scene() {
+        let e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let mut clone = e.clone();
+        assert!(Arc::ptr_eq(e.prepared(), clone.prepared()));
+        assert_eq!(clone.frames_rendered(), 0);
+        assert_eq!(clone.backend_kind(), e.backend_kind());
+        let r = clone.render_frame(&camera(64, 64));
+        assert!(r.stats.blend_work > 0);
+        assert_eq!(e.frames_rendered(), 0, "original session untouched");
     }
 
     #[test]

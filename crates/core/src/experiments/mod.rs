@@ -25,8 +25,9 @@ use gaurast_hw::RasterizerConfig;
 use gaurast_render::pipeline::RenderConfig;
 use gaurast_scene::mini_splatting::{simplify, MiniSplatConfig};
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
-use gaurast_scene::GaussianScene;
+use gaurast_scene::PreparedScene;
 use gaurast_sched::EndToEnd;
+use std::sync::Arc;
 
 pub mod ablations;
 pub mod area;
@@ -194,21 +195,23 @@ impl SceneEvaluation {
     }
 }
 
-/// Runs one algorithm variant's scene through an engine session (enhanced
-/// backend, record-only) and accumulates the per-viewpoint measurements.
+/// Runs one algorithm variant's prepared scene through an engine session
+/// (enhanced backend, record-only) and accumulates the per-viewpoint
+/// measurements. Taking the shared asset keeps the scene preparation a
+/// one-time cost even when several experiments revisit the same scene.
 fn run_session(
-    scene: GaussianScene,
+    scene: Arc<PreparedScene>,
     ctx: &ExperimentContext,
     desc: &gaurast_scene::nerf360::SceneDescriptor,
 ) -> Accum {
-    let mut engine = EngineBuilder::new(scene)
+    let scene_len = scene.len();
+    let mut engine = EngineBuilder::shared(scene)
         .backend(BackendKind::Enhanced)
         .tile_size(ctx.render.tile_size)
         .hw_config(ctx.hw)
         .host(ctx.baseline.clone())
         .build()
         .expect("experiment context configurations are valid");
-    let scene_len = engine.scene().len();
     let mut acc = Accum::default();
     for &theta in &ctx.angles {
         let cam = desc
@@ -232,8 +235,8 @@ pub fn evaluate_scene(
     let full_len = full_scene.len();
     let mini_len = mini_scene.len();
 
-    let acc_orig = run_session(full_scene, ctx, &desc);
-    let acc_mini = run_session(mini_scene, ctx, &desc);
+    let acc_orig = run_session(Arc::new(PreparedScene::prepare(full_scene)), ctx, &desc);
+    let acc_mini = run_session(Arc::new(PreparedScene::prepare(mini_scene)), ctx, &desc);
 
     // Paper-scale work: both algorithms use the calibrated per-scene
     // constants (DESIGN.md §8); the Mini-Splatting fractions come from its

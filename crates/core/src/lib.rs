@@ -16,6 +16,10 @@
 //!
 //! * unified entry point: [`engine::EngineBuilder`] →
 //!   [`engine::Engine::render_frame`] / `render_sequence` / `compare`;
+//! * shared-scene serving: [`scene::PreparedScene`] (one immutable
+//!   precomputed asset behind an `Arc`, any number of sessions) and
+//!   [`service::RenderService`] (named scenes, a `std::thread` worker
+//!   pool, in-order batch rendering with aggregate accounting);
 //! * execution substrates: [`backend`] (software reference, enhanced
 //!   rasterizer, CUDA baselines, GSCore);
 //! * paper artifacts: [`experiments::raster_perf::figure10`] and friends,
@@ -51,9 +55,11 @@ pub mod backend;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod service;
 
 pub use backend::{Backend, BackendKind, FrameReport, FrameStats, GpuPreset};
 pub use engine::{Engine, EngineBuilder, EngineError, ImagePolicy};
+pub use service::{BatchReport, RenderRequest, RenderResponse, RenderService, ServiceError};
 
 /// Math substrate (vectors, matrices, quaternions, SH, FP16).
 pub use gaurast_math as math;

@@ -1,0 +1,654 @@
+//! The shared-scene render service: many sessions, one prepared asset per
+//! scene.
+//!
+//! The [`Engine`] is a single session. A
+//! [`RenderService`] is the serving layer above it: it owns one
+//! `Arc<`[`PreparedScene`]`>` per named scene (prepared exactly once) and
+//! spawns per-thread engine sessions on demand, so N concurrent render
+//! jobs share one immutable scene asset instead of carrying N copies —
+//! the same fan-one-configuration-out-to-many-channels pattern
+//! high-channel-count DAQ systems use for their readout front-ends.
+//!
+//! Two entry points:
+//!
+//! * [`RenderService::submit`] — one [`RenderRequest`] (scene name,
+//!   camera, backend), one [`RenderResponse`] on the calling thread;
+//! * [`RenderService::render_batch`] — a slice of requests fanned across a
+//!   `std::thread` worker pool. Responses come back **in request order**
+//!   (bit-identical images to single-session rendering), wrapped in a
+//!   [`BatchReport`] with wall-clock throughput and aggregate modeled
+//!   time/energy accounting.
+//!
+//! ```
+//! use gaurast::backend::BackendKind;
+//! use gaurast::service::{RenderRequest, RenderService};
+//! use gaurast::scene::generator::SceneParams;
+//! use gaurast::scene::Camera;
+//! use gaurast_math::Vec3;
+//!
+//! let scene = SceneParams::new(300).seed(5).generate()?;
+//! let service = RenderService::builder()
+//!     .scene("demo", scene)
+//!     .workers(2)
+//!     .build()?;
+//! let cam = Camera::look_at(Vec3::new(0.0, 5.0, -25.0), Vec3::zero(),
+//!                           Vec3::new(0.0, 1.0, 0.0), 64, 64, 1.0)?;
+//! let requests: Vec<_> = (0..4)
+//!     .map(|_| RenderRequest::new("demo", cam.clone()).backend(BackendKind::Enhanced))
+//!     .collect();
+//! let batch = service.render_batch(&requests)?;
+//! assert_eq!(batch.len(), 4);
+//! assert!(batch.throughput_fps() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::backend::{BackendKind, FrameReport};
+use crate::engine::{Engine, EngineBuilder, ImagePolicy};
+use crate::report::{fmt_f, fmt_ms, TextTable};
+use gaurast_gpu::{device, CudaGpuModel};
+use gaurast_hw::RasterizerConfig;
+use gaurast_render::DEFAULT_TILE_SIZE;
+use gaurast_scene::{Camera, GaussianScene, PreparedScene};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Error raised by service construction or request handling.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// A request named a scene the service does not hold.
+    UnknownScene(String),
+    /// Two scenes were registered under the same name.
+    DuplicateScene(String),
+    /// The service-wide session configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownScene(name) => write!(f, "unknown scene {name:?}"),
+            ServiceError::DuplicateScene(name) => {
+                write!(f, "scene {name:?} registered twice")
+            }
+            ServiceError::InvalidConfig(reason) => {
+                write!(f, "invalid service configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One render job: which scene, from where, on what substrate.
+#[derive(Clone, Debug)]
+pub struct RenderRequest {
+    /// Name of a scene registered with the service.
+    pub scene: String,
+    /// Viewpoint to render.
+    pub camera: Camera,
+    /// Execution substrate for Stage 3.
+    pub backend: BackendKind,
+}
+
+impl RenderRequest {
+    /// A request for a scene and camera on the default
+    /// ([`BackendKind::Enhanced`]) backend.
+    pub fn new(scene: impl Into<String>, camera: Camera) -> Self {
+        Self {
+            scene: scene.into(),
+            camera,
+            backend: BackendKind::Enhanced,
+        }
+    }
+
+    /// Selects the execution backend for this request.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// The service's answer to one [`RenderRequest`].
+#[derive(Clone, Debug)]
+pub struct RenderResponse {
+    /// The scene the request named.
+    pub scene: String,
+    /// Index of the worker thread that rendered the frame (0 for
+    /// [`RenderService::submit`]).
+    pub worker: usize,
+    /// The frame report, exactly as a dedicated single-thread session
+    /// would have produced it (images are bit-identical).
+    pub report: FrameReport,
+}
+
+/// The result of [`RenderService::render_batch`]: per-request responses in
+/// request order plus aggregate accounting for the whole batch.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One response per request, in request order.
+    pub responses: Vec<RenderResponse>,
+    /// Wall-clock seconds the batch took end to end, including worker
+    /// spawning.
+    pub wall_s: f64,
+    /// Worker threads the batch actually used.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Number of frames rendered.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// `true` when the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// Wall-clock batch throughput, frames per second (0 for an empty
+    /// batch).
+    pub fn throughput_fps(&self) -> f64 {
+        if self.wall_s > 0.0 && !self.is_empty() {
+            self.len() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Sum of the per-frame modeled Stage-3 times, seconds — what a
+    /// sequential single-session run would have billed.
+    pub fn modeled_time_s(&self) -> f64 {
+        self.responses.iter().map(|r| r.report.time_s).sum()
+    }
+
+    /// Sum of the per-frame modeled Stage-3 energies, joules.
+    pub fn modeled_energy_j(&self) -> f64 {
+        self.responses.iter().map(|r| r.report.energy_j).sum()
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} frames on {} workers in {} ms ({} fps wall, {} ms modeled stage-3, {} mJ modeled)",
+            self.len(),
+            self.workers,
+            fmt_ms(self.wall_s),
+            fmt_f(self.throughput_fps(), 1),
+            fmt_ms(self.modeled_time_s()),
+            fmt_f(self.modeled_energy_j() * 1e3, 3),
+        )?;
+        let mut t = TextTable::new(vec!["#", "scene", "backend", "time ms", "worker"]);
+        for (i, r) in self.responses.iter().enumerate() {
+            t.row(vec![
+                i.to_string(),
+                r.scene.clone(),
+                r.report.kind.label().to_string(),
+                fmt_ms(r.report.time_s),
+                r.worker.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Builder for a [`RenderService`].
+///
+/// Session defaults mirror [`EngineBuilder`]: 16-pixel tiles, the scaled
+/// FP32 hardware configuration, the Orin NX host model, images discarded.
+/// The worker count defaults to the machine's available parallelism.
+#[derive(Clone, Debug)]
+pub struct RenderServiceBuilder {
+    scenes: Vec<(String, Arc<PreparedScene>)>,
+    workers: Option<usize>,
+    tile_size: u32,
+    hw_config: RasterizerConfig,
+    host: CudaGpuModel,
+    image_policy: ImagePolicy,
+}
+
+impl Default for RenderServiceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RenderServiceBuilder {
+    /// An empty builder with the defaults above.
+    pub fn new() -> Self {
+        Self {
+            scenes: Vec::new(),
+            workers: None,
+            tile_size: DEFAULT_TILE_SIZE,
+            hw_config: RasterizerConfig::scaled(),
+            host: device::orin_nx(),
+            image_policy: ImagePolicy::Discard,
+        }
+    }
+
+    /// Registers a raw scene under a name, preparing it once here.
+    pub fn scene(self, name: impl Into<String>, scene: GaussianScene) -> Self {
+        self.prepared(name, Arc::new(PreparedScene::prepare(scene)))
+    }
+
+    /// Registers an already-prepared shared scene asset under a name.
+    pub fn prepared(mut self, name: impl Into<String>, scene: Arc<PreparedScene>) -> Self {
+        self.scenes.push((name.into(), scene));
+        self
+    }
+
+    /// Worker-pool size for [`RenderService::render_batch`] (defaults to
+    /// the machine's available parallelism; a batch never uses more
+    /// workers than it has requests).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Tile edge in pixels for every session.
+    pub fn tile_size(mut self, tile_size: u32) -> Self {
+        self.tile_size = tile_size;
+        self
+    }
+
+    /// Hardware configuration of the enhanced-rasterizer backend in every
+    /// session.
+    pub fn hw_config(mut self, config: RasterizerConfig) -> Self {
+        self.hw_config = config;
+        self
+    }
+
+    /// Host device model billing Stages 1–2 in every session.
+    pub fn host(mut self, host: CudaGpuModel) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Image retention policy for every session.
+    pub fn image_policy(mut self, policy: ImagePolicy) -> Self {
+        self.image_policy = policy;
+        self
+    }
+
+    /// Validates the configuration and builds the service.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateScene`] when a name was registered twice;
+    /// [`ServiceError::InvalidConfig`] for a zero tile size, zero worker
+    /// count, or invalid hardware configuration.
+    pub fn build(self) -> Result<RenderService, ServiceError> {
+        if self.tile_size == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "tile size must be positive".to_string(),
+            ));
+        }
+        if self.workers == Some(0) {
+            return Err(ServiceError::InvalidConfig(
+                "worker count must be positive".to_string(),
+            ));
+        }
+        self.hw_config
+            .validate()
+            .map_err(|e| ServiceError::InvalidConfig(format!("hardware configuration: {e}")))?;
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let mut scenes = HashMap::with_capacity(self.scenes.len());
+        for (name, prepared) in self.scenes {
+            if scenes.insert(name.clone(), prepared).is_some() {
+                return Err(ServiceError::DuplicateScene(name));
+            }
+        }
+        Ok(RenderService {
+            scenes,
+            workers,
+            tile_size: self.tile_size,
+            hw_config: self.hw_config,
+            host: self.host,
+            image_policy: self.image_policy,
+        })
+    }
+}
+
+/// A concurrent multi-session render service over shared prepared scenes.
+/// See the [module docs](self) for the serving model and
+/// [`RenderServiceBuilder`] for construction.
+#[derive(Debug)]
+pub struct RenderService {
+    scenes: HashMap<String, Arc<PreparedScene>>,
+    workers: usize,
+    tile_size: u32,
+    hw_config: RasterizerConfig,
+    host: CudaGpuModel,
+    image_policy: ImagePolicy,
+}
+
+impl RenderService {
+    /// Starts building a service.
+    pub fn builder() -> RenderServiceBuilder {
+        RenderServiceBuilder::new()
+    }
+
+    /// Registers a raw scene under a name on a running service, preparing
+    /// it once.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateScene`] when the name is taken.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        scene: GaussianScene,
+    ) -> Result<(), ServiceError> {
+        self.register_prepared(name, Arc::new(PreparedScene::prepare(scene)))
+    }
+
+    /// Registers an already-prepared shared scene asset under a name on a
+    /// running service.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateScene`] when the name is taken.
+    pub fn register_prepared(
+        &mut self,
+        name: impl Into<String>,
+        scene: Arc<PreparedScene>,
+    ) -> Result<(), ServiceError> {
+        let name = name.into();
+        if self.scenes.contains_key(&name) {
+            return Err(ServiceError::DuplicateScene(name));
+        }
+        self.scenes.insert(name, scene);
+        Ok(())
+    }
+
+    /// Names of every registered scene, sorted.
+    pub fn scene_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.scenes.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The shared prepared asset of a registered scene.
+    pub fn prepared(&self, name: &str) -> Option<&Arc<PreparedScene>> {
+        self.scenes.get(name)
+    }
+
+    /// Worker-pool size [`RenderService::render_batch`] fans across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Opens a dedicated session over a registered scene — the same
+    /// sessions the batch workers use, for callers that want to drive one
+    /// directly (e.g. [`Engine::render_sequence`]).
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownScene`] when the name is not registered.
+    pub fn session(&self, scene: &str, backend: BackendKind) -> Result<Engine, ServiceError> {
+        let prepared = self.lookup(scene)?;
+        Ok(self.open_session(Arc::clone(prepared), backend))
+    }
+
+    /// Renders one request on the calling thread.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownScene`] when the request names an
+    /// unregistered scene.
+    pub fn submit(&self, request: RenderRequest) -> Result<RenderResponse, ServiceError> {
+        let prepared = self.lookup(&request.scene)?;
+        let mut engine = self.open_session(Arc::clone(prepared), request.backend);
+        let report = engine.render_frame(&request.camera);
+        Ok(RenderResponse {
+            scene: request.scene,
+            worker: 0,
+            report,
+        })
+    }
+
+    /// Fans a batch of requests across the worker pool and returns the
+    /// responses **in request order**.
+    ///
+    /// Every worker holds its own engine sessions (one per distinct
+    /// (scene, backend) pair it encounters), all sharing the service's
+    /// prepared assets; work is claimed from an atomic cursor, so an
+    /// expensive frame on one worker never stalls the others. Per-request
+    /// reports — images included — are bit-identical with what a dedicated
+    /// single-thread session would produce.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownScene`] if *any* request names an
+    /// unregistered scene (checked up front; nothing is rendered).
+    pub fn render_batch(&self, requests: &[RenderRequest]) -> Result<BatchReport, ServiceError> {
+        for request in requests {
+            self.lookup(&request.scene)?;
+        }
+        let started = Instant::now();
+        if requests.is_empty() {
+            return Ok(BatchReport {
+                responses: Vec::new(),
+                wall_s: started.elapsed().as_secs_f64(),
+                workers: 0,
+            });
+        }
+        let workers = self.workers.min(requests.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<RenderResponse>> = Vec::new();
+        slots.resize_with(requests.len(), || None);
+
+        let per_worker: Vec<Vec<(usize, RenderResponse)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let cursor = &cursor;
+                    scope.spawn(move || self.worker_loop(worker, requests, cursor))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("render worker panicked"))
+                .collect()
+        });
+
+        for (index, response) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[index].is_none(), "request {index} rendered twice");
+            slots[index] = Some(response);
+        }
+        let responses = slots
+            .into_iter()
+            .map(|slot| slot.expect("every request rendered exactly once"))
+            .collect();
+        Ok(BatchReport {
+            responses,
+            wall_s: started.elapsed().as_secs_f64(),
+            workers,
+        })
+    }
+
+    /// One worker's batch loop: claim the next request index, render it on
+    /// a per-worker cached session, repeat until the cursor runs out.
+    fn worker_loop(
+        &self,
+        worker: usize,
+        requests: &[RenderRequest],
+        cursor: &AtomicUsize,
+    ) -> Vec<(usize, RenderResponse)> {
+        let mut sessions: HashMap<(&str, BackendKind), Engine> = HashMap::new();
+        let mut rendered = Vec::new();
+        loop {
+            let index = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(request) = requests.get(index) else {
+                break;
+            };
+            let engine = sessions
+                .entry((request.scene.as_str(), request.backend))
+                .or_insert_with(|| {
+                    let prepared = self
+                        .scenes
+                        .get(&request.scene)
+                        .expect("scene names validated before the batch started");
+                    self.open_session(Arc::clone(prepared), request.backend)
+                });
+            let report = engine.render_frame(&request.camera);
+            rendered.push((
+                index,
+                RenderResponse {
+                    scene: request.scene.clone(),
+                    worker,
+                    report,
+                },
+            ));
+        }
+        rendered
+    }
+
+    fn lookup(&self, name: &str) -> Result<&Arc<PreparedScene>, ServiceError> {
+        self.scenes
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownScene(name.to_string()))
+    }
+
+    fn open_session(&self, prepared: Arc<PreparedScene>, backend: BackendKind) -> Engine {
+        EngineBuilder::shared(prepared)
+            .backend(backend)
+            .tile_size(self.tile_size)
+            .hw_config(self.hw_config)
+            .host(self.host.clone())
+            .image_policy(self.image_policy)
+            .build()
+            .expect("service configuration validated at build time")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaurast_math::Vec3;
+    use gaurast_scene::generator::SceneParams;
+
+    fn camera(theta: f32) -> Camera {
+        Camera::look_at(
+            Vec3::new(25.0 * theta.sin(), 6.0, -25.0 * theta.cos()),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            64,
+            64,
+            1.05,
+        )
+        .unwrap()
+    }
+
+    fn service() -> RenderService {
+        let scene = SceneParams::new(600).seed(17).generate().unwrap();
+        RenderService::builder()
+            .scene("demo", scene)
+            .workers(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn submit_matches_dedicated_session() {
+        let svc = service();
+        let cam = camera(0.3);
+        let resp = svc.submit(RenderRequest::new("demo", cam.clone())).unwrap();
+        let mut session = svc.session("demo", BackendKind::Enhanced).unwrap();
+        let direct = session.render_frame(&cam);
+        assert_eq!(resp.report.time_s, direct.time_s);
+        assert_eq!(resp.report.stats.blend_work, direct.stats.blend_work);
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let svc = service();
+        let requests: Vec<_> = (0..7)
+            .map(|i| RenderRequest::new("demo", camera(i as f32 * 0.5)))
+            .collect();
+        let batch = svc.render_batch(&requests).unwrap();
+        assert_eq!(batch.len(), 7);
+        assert!(batch.workers >= 1 && batch.workers <= 2);
+        // Order check: re-render each request sequentially and compare the
+        // deterministic modeled statistics position by position.
+        let mut session = svc.session("demo", BackendKind::Enhanced).unwrap();
+        for (resp, req) in batch.responses.iter().zip(&requests) {
+            let direct = session.render_frame(&req.camera);
+            assert_eq!(resp.report.stats.blend_work, direct.stats.blend_work);
+            assert_eq!(resp.report.stats.pairs, direct.stats.pairs);
+            assert_eq!(resp.report.time_s, direct.time_s);
+        }
+        assert!(batch.to_string().contains("gaurast"));
+    }
+
+    #[test]
+    fn batch_shares_one_prepared_asset() {
+        let svc = service();
+        let shared = Arc::clone(svc.prepared("demo").unwrap());
+        let a = svc.session("demo", BackendKind::Enhanced).unwrap();
+        let b = svc.session("demo", BackendKind::Software).unwrap();
+        assert!(Arc::ptr_eq(a.prepared(), &shared));
+        assert!(Arc::ptr_eq(b.prepared(), &shared));
+    }
+
+    #[test]
+    fn unknown_scene_is_rejected_before_rendering() {
+        let svc = service();
+        let err = svc
+            .render_batch(&[
+                RenderRequest::new("demo", camera(0.0)),
+                RenderRequest::new("missing", camera(0.0)),
+            ])
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownScene("missing".to_string()));
+        assert!(svc.submit(RenderRequest::new("nope", camera(0.0))).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let svc = service();
+        let batch = svc.render_batch(&[]).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.throughput_fps(), 0.0);
+        assert_eq!(batch.workers, 0);
+    }
+
+    #[test]
+    fn duplicate_and_runtime_registration() {
+        let scene = SceneParams::new(100).seed(1).generate().unwrap();
+        let err = RenderService::builder()
+            .scene("a", scene.clone())
+            .scene("a", scene.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::DuplicateScene(_)));
+
+        let mut svc = service();
+        svc.register("late", scene).unwrap();
+        assert_eq!(svc.scene_names(), vec!["demo", "late"]);
+        assert!(matches!(
+            svc.register("late", SceneParams::new(50).seed(2).generate().unwrap()),
+            Err(ServiceError::DuplicateScene(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(matches!(
+            RenderService::builder().workers(0).build(),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            RenderService::builder().tile_size(0).build(),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        let bad = RasterizerConfig {
+            modules: 0,
+            ..RasterizerConfig::prototype()
+        };
+        assert!(matches!(
+            RenderService::builder().hw_config(bad).build(),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+    }
+}

@@ -438,6 +438,20 @@ mod tests {
         assert!(report.cycles > 0);
     }
 
+    /// The deprecated `simulate_scaled` shim has no callers left outside
+    /// this test; the `#[allow(deprecated)]` gate lives here and nowhere
+    /// else, and the shim must keep matching the session-equivalent direct
+    /// path until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_simulate_scaled_shim_matches_direct_path() {
+        let (workload, _) = gaussian_workload(400, 64, 64);
+        let via_shim = simulate_scaled(&workload);
+        let direct =
+            EnhancedRasterizer::new(RasterizerConfig::scaled()).simulate_gaussian(&workload);
+        assert_eq!(via_shim, direct);
+    }
+
     #[test]
     fn fp16_image_close_to_reference() {
         let (workload, reference) = gaussian_workload(400, 64, 64);

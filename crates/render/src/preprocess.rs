@@ -13,7 +13,7 @@
 
 use crate::ops::OpCounts;
 use gaurast_math::{Mat2, Mat3, Vec2, Vec3};
-use gaurast_scene::{Camera, GaussianScene};
+use gaurast_scene::{Camera, GaussianScene, PreparedScene};
 
 /// Low-pass filter added to the diagonal of every projected covariance,
 /// guaranteeing each splat spans at least ~one pixel (reference value).
@@ -88,6 +88,43 @@ pub struct PreprocessOutput {
 /// # Ok::<(), gaurast_scene::SceneError>(())
 /// ```
 pub fn preprocess(scene: &GaussianScene, camera: &Camera) -> PreprocessOutput {
+    preprocess_with(scene, camera, |_, g| g.covariance())
+}
+
+/// Runs Stage 1 over a [`PreparedScene`], reusing its precomputed
+/// world-space covariances instead of rebuilding `R diag(s²) Rᵀ` from the
+/// quaternion for every Gaussian on every frame. Output is bit-identical
+/// with [`preprocess`] over the same scene.
+///
+/// # Example
+/// ```
+/// use gaurast_render::preprocess::{preprocess, preprocess_prepared};
+/// use gaurast_scene::{Camera, GaussianScene, Gaussian3, PreparedScene};
+/// use gaurast_math::Vec3;
+///
+/// let scene = GaussianScene::from_gaussians(vec![
+///     Gaussian3::isotropic(Vec3::zero(), 0.2, 0.9, Vec3::new(1.0, 0.0, 0.0)),
+/// ])?;
+/// let cam = Camera::look_at(Vec3::new(0.0, 0.0, -4.0), Vec3::zero(),
+///                           Vec3::new(0.0, 1.0, 0.0), 128, 128, 1.0)?;
+/// let raw = preprocess(&scene, &cam);
+/// let prepared = PreparedScene::prepare(scene);
+/// assert_eq!(preprocess_prepared(&prepared, &cam), raw);
+/// # Ok::<(), gaurast_scene::SceneError>(())
+/// ```
+pub fn preprocess_prepared(prepared: &PreparedScene, camera: &Camera) -> PreprocessOutput {
+    let covariances = prepared.covariances();
+    preprocess_with(prepared.scene(), camera, |i, _| covariances[i])
+}
+
+/// The shared Stage-1 loop, parameterised over where each Gaussian's
+/// world-space covariance comes from (computed on the fly for a raw scene,
+/// read back for a prepared one).
+fn preprocess_with(
+    scene: &GaussianScene,
+    camera: &Camera,
+    covariance_of: impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3,
+) -> PreprocessOutput {
     let mut out = PreprocessOutput::default();
     out.splats.reserve(scene.len());
     let cam_pos = camera.position();
@@ -138,7 +175,7 @@ pub fn preprocess(scene: &GaussianScene, camera: &Camera) -> PreprocessOutput {
         out.ops.cmp += 2;
 
         // Σ' = J W Σ Wᵀ Jᵀ (take the 2×2 block), plus the low-pass filter.
-        let cov3 = g.covariance();
+        let cov3 = covariance_of(i, g);
         let t = j * view_rot;
         let cov2_full = t * cov3 * t.transposed();
         // Two 3×3 matrix products ≈ 2 × 27 mul + 2 × 18 add, plus covariance
@@ -324,6 +361,21 @@ mod tests {
         let out = preprocess(&scene, &camera());
         assert!(out.ops.mul > 50);
         assert!(out.ops.div >= 2);
+    }
+
+    #[test]
+    fn prepared_path_is_bit_identical() {
+        use gaurast_math::Quat;
+        use gaurast_scene::PreparedScene;
+        let mut a = Gaussian3::isotropic(Vec3::zero(), 0.3, 0.9, Vec3::one());
+        a.scale = Vec3::new(0.8, 0.1, 0.3);
+        a.rotation = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.7);
+        let b = Gaussian3::isotropic(Vec3::new(1.0, 0.5, 1.0), 0.2, 0.5, Vec3::one());
+        let scene = GaussianScene::from_gaussians(vec![a, b]).unwrap();
+        let cam = camera();
+        let raw = preprocess(&scene, &cam);
+        let prepared = PreparedScene::prepare(scene);
+        assert_eq!(preprocess_prepared(&prepared, &cam), raw);
     }
 
     #[test]

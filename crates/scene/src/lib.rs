@@ -8,6 +8,10 @@
 //! * [`GaussianScene`] / [`Gaussian3`] — the 3D Gaussian representation with
 //!   exactly the parameters of the 3DGS paper (position, anisotropic scale,
 //!   rotation quaternion, opacity, spherical-harmonics color);
+//! * [`PreparedScene`] — the immutable share-ready asset: a validated scene
+//!   plus every camera-independent precomputation (bounds, world
+//!   covariances, 3σ radii, summary statistics), built once and served to
+//!   any number of sessions behind an `Arc`;
 //! * [`TriangleMesh`] — the classic representation handled by the original
 //!   triangle rasterizer that GauRast extends;
 //! * [`Camera`] and orbit trajectories;
@@ -39,9 +43,11 @@ mod mesh;
 pub mod mini_splatting;
 pub mod nerf360;
 pub mod ply;
+pub mod prepared;
 pub mod stats;
 
 pub use camera::{Camera, OrbitTrajectory};
 pub use error::SceneError;
 pub use gaussian::{Gaussian3, GaussianScene, ShColor};
 pub use mesh::{Triangle, TriangleMesh, Vertex};
+pub use prepared::PreparedScene;

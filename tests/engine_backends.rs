@@ -132,6 +132,39 @@ fn render_sequence_matches_hand_built_pipeline_schedule() {
 }
 
 #[test]
+fn two_sessions_over_one_prepared_scene_are_bit_identical() {
+    use gaurast::scene::PreparedScene;
+    use std::sync::Arc;
+
+    let desc = Nerf360Scene::Garden.descriptor();
+    let scene = desc.synthesize(SceneScale::UNIT_TEST);
+    let cam = desc.camera(SceneScale::UNIT_TEST, 0.5).unwrap();
+    let shared = Arc::new(PreparedScene::prepare(scene));
+
+    let mut a = EngineBuilder::shared(Arc::clone(&shared))
+        .image_policy(ImagePolicy::Retain)
+        .build()
+        .unwrap();
+    let mut b = EngineBuilder::shared(Arc::clone(&shared))
+        .image_policy(ImagePolicy::Retain)
+        .build()
+        .unwrap();
+    assert!(
+        Arc::ptr_eq(a.prepared(), b.prepared()),
+        "one asset, no copies"
+    );
+
+    let img_a = a.render_frame(&cam).image.unwrap();
+    let img_b = b.render_frame(&cam).image.unwrap();
+    assert_eq!(
+        img_a.mean_abs_diff(&img_b),
+        0.0,
+        "sessions sharing one Arc<PreparedScene> must render identically"
+    );
+    assert!(img_a.coverage() > 0.0, "frame must not be empty");
+}
+
+#[test]
 fn sequence_outlasts_per_frame_reallocation() {
     // The session reuses scratch across frames; rendering the same camera
     // repeatedly must be deterministic and cheap in allocations (observable
