@@ -18,7 +18,14 @@ fn bench_ablations(c: &mut Criterion) {
 
     println!("ablation: tile size (simulated GauRast frame time)");
     for tile in [8u32, 16, 32] {
-        let out = render(&scene, &cam, &RenderConfig { tile_size: tile });
+        let out = render(
+            &scene,
+            &cam,
+            &RenderConfig {
+                tile_size: tile,
+                ..RenderConfig::default()
+            },
+        );
         let hw = EnhancedRasterizer::new(RasterizerConfig::scaled());
         let r = hw.simulate_gaussian(&out.workload);
         println!(

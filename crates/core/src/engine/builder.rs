@@ -37,6 +37,7 @@ use std::sync::Arc;
 pub struct EngineBuilder {
     scene: Arc<PreparedScene>,
     tile_size: u32,
+    workers: usize,
     backend: BackendKind,
     precision: Option<Precision>,
     hw_config: RasterizerConfig,
@@ -58,6 +59,7 @@ impl EngineBuilder {
         Self {
             scene,
             tile_size: DEFAULT_TILE_SIZE,
+            workers: 0,
             backend: BackendKind::Enhanced,
             precision: None,
             hw_config: RasterizerConfig::scaled(),
@@ -69,6 +71,18 @@ impl EngineBuilder {
     /// Tile edge in pixels (16 in the reference and in GauRast).
     pub fn tile_size(mut self, tile_size: u32) -> Self {
         self.tile_size = tile_size;
+        self
+    }
+
+    /// Intra-frame worker threads for the session's reference pass:
+    /// Stage 1 runs in parallel Gaussian chunks and Stages 2–3 as
+    /// independent per-tile jobs over a pool this wide. `0` (the default)
+    /// resolves to the `GAURAST_WORKERS` environment variable or the
+    /// machine's available parallelism; `1` is exactly the serial
+    /// pipeline. Every width renders bit-identical frames — the knob only
+    /// trades wall-clock time.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -132,6 +146,7 @@ impl EngineBuilder {
         Ok(Engine::from_parts(
             self.scene,
             self.tile_size,
+            self.workers,
             self.image_policy,
             hw_config,
             self.host,

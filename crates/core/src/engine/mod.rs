@@ -47,9 +47,10 @@ use crate::report::{fmt_f, fmt_ms, TextTable};
 use gaurast_gpu::CudaGpuModel;
 use gaurast_hw::RasterizerConfig;
 use gaurast_render::pipeline::PreprocessStats;
-use gaurast_render::preprocess::preprocess_prepared;
-use gaurast_render::rasterize::rasterize_into;
-use gaurast_render::tile::bin_splats_into;
+use gaurast_render::pool::WorkerPool;
+use gaurast_render::preprocess::preprocess_prepared_pooled;
+use gaurast_render::rasterize::rasterize_with;
+use gaurast_render::tile::bin_splats_deferred_into;
 use gaurast_render::{Framebuffer, RasterWorkload};
 use gaurast_scene::{Camera, GaussianScene, PreparedScene};
 use gaurast_sched::{replay, FrameCost, SequenceReport};
@@ -96,7 +97,10 @@ const MIN_STAGE_S: f64 = 1e-12;
 #[derive(Debug, Default)]
 struct Scratch {
     /// Tile-list buffers recycled through
-    /// [`gaurast_render::tile::bin_splats_into`].
+    /// [`gaurast_render::tile::bin_splats_deferred_into`] (the engine's
+    /// deferred-sort binning: the per-tile depth sort runs inside the
+    /// reference pass's parallel tile jobs; recycled lists are cleared on
+    /// reuse).
     bins: Vec<Vec<u32>>,
 }
 
@@ -176,10 +180,14 @@ impl std::fmt::Display for ComparisonReport {
 pub struct Engine {
     pub(crate) scene: Arc<PreparedScene>,
     pub(crate) tile_size: u32,
+    /// Requested intra-frame worker count (0 = auto); `pool` is the
+    /// resolved policy actually used.
+    pub(crate) workers: usize,
     pub(crate) image_policy: ImagePolicy,
     pub(crate) hw_config: RasterizerConfig,
     pub(crate) host: CudaGpuModel,
     pub(crate) kind: BackendKind,
+    pool: WorkerPool,
     backend: Box<dyn Backend>,
     scratch: Scratch,
     frames: u64,
@@ -194,6 +202,7 @@ impl Clone for Engine {
         Self::from_parts(
             Arc::clone(&self.scene),
             self.tile_size,
+            self.workers,
             self.image_policy,
             self.hw_config,
             self.host.clone(),
@@ -206,6 +215,7 @@ impl Engine {
     pub(crate) fn from_parts(
         scene: Arc<PreparedScene>,
         tile_size: u32,
+        workers: usize,
         image_policy: ImagePolicy,
         hw_config: RasterizerConfig,
         host: CudaGpuModel,
@@ -215,10 +225,12 @@ impl Engine {
         Self {
             scene,
             tile_size,
+            workers,
             image_policy,
             hw_config,
             host,
             kind,
+            pool: WorkerPool::new(workers),
             backend,
             scratch: Scratch::default(),
             frames: 0,
@@ -256,6 +268,14 @@ impl Engine {
     /// Tile edge in pixels.
     pub fn tile_size(&self) -> u32 {
         self.tile_size
+    }
+
+    /// Intra-frame worker threads the reference pass fans Stage-1 chunks
+    /// and per-tile Stage-2+3 jobs across (the resolved count; see
+    /// [`EngineBuilder::workers`]). Results are bit-identical for every
+    /// width.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Frames rendered so far in this session.
@@ -297,10 +317,12 @@ impl Engine {
         camera: &Camera,
         need_image: bool,
     ) -> (RasterWorkload, ReferencePass) {
-        let pre = preprocess_prepared(&self.scene, camera);
+        let pre = preprocess_prepared_pooled(&self.scene, camera, &self.pool);
         let pre_stats = PreprocessStats::from(&pre);
         let bins = std::mem::take(&mut self.scratch.bins);
-        let mut workload = bin_splats_into(
+        // Binning defers the per-tile depth sort into the parallel tile
+        // jobs of the rasterization pass below.
+        let mut workload = bin_splats_deferred_into(
             pre.splats,
             camera.width(),
             camera.height(),
@@ -313,10 +335,10 @@ impl Engine {
             // The buffer moves into the reference pass (and from there into
             // the report) instead of being cloned every frame.
             let mut fb = Framebuffer::new(camera.width(), camera.height());
-            let raster = rasterize_into(&mut workload, Some(&mut fb));
+            let raster = rasterize_with(&mut workload, Some(&mut fb), &self.pool);
             (raster, Some(fb))
         } else {
-            (rasterize_into(&mut workload, None), None)
+            (rasterize_with(&mut workload, None, &self.pool), None)
         };
         let wall_s = started.elapsed().as_secs_f64().max(MIN_STAGE_S);
 
@@ -630,6 +652,46 @@ mod tests {
         let r = clone.render_frame(&camera(64, 64));
         assert!(r.stats.blend_work > 0);
         assert_eq!(e.frames_rendered(), 0, "original session untouched");
+    }
+
+    #[test]
+    fn parallel_session_is_bit_identical_to_serial() {
+        let scene = SceneParams::new(900).seed(4).generate().unwrap();
+        let mut serial = EngineBuilder::new(scene)
+            .backend(BackendKind::Software)
+            .image_policy(ImagePolicy::Retain)
+            .workers(1)
+            .build()
+            .unwrap();
+        let mut parallel = EngineBuilder::shared(Arc::clone(serial.prepared()))
+            .backend(BackendKind::Software)
+            .image_policy(ImagePolicy::Retain)
+            .workers(4)
+            .build()
+            .unwrap();
+        let cam = camera(96, 64);
+        let a = serial.render_frame(&cam);
+        let b = parallel.render_frame(&cam);
+        assert_eq!(serial.workers(), 1);
+        assert_eq!(parallel.workers(), 4);
+        assert_eq!(
+            a.image.unwrap().mean_abs_diff(&b.image.unwrap()),
+            0.0,
+            "parallel reference pass must be bit-identical"
+        );
+        assert_eq!(a.stats.blend_work, b.stats.blend_work);
+        assert_eq!(a.stats.blends_committed, b.stats.blends_committed);
+        assert_eq!(a.stats.visible, b.stats.visible);
+        assert_eq!(a.stats.culled, b.stats.culled);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn workers_knob_is_resolved_and_cloned() {
+        let scene = SceneParams::new(100).seed(9).generate().unwrap();
+        let e = EngineBuilder::new(scene).workers(3).build().unwrap();
+        assert_eq!(e.workers(), 3);
+        assert_eq!(e.clone().workers(), 3, "clone keeps the worker policy");
     }
 
     #[test]

@@ -66,7 +66,14 @@ pub fn ablations(scene: Nerf360Scene, scale: SceneScale) -> AblationReport {
     let tile_size = [8u32, 16, 32]
         .into_iter()
         .map(|ts| {
-            let workload = build_workload(&gscene, &cam, &RenderConfig { tile_size: ts });
+            let workload = build_workload(
+                &gscene,
+                &cam,
+                &RenderConfig {
+                    tile_size: ts,
+                    ..RenderConfig::default()
+                },
+            );
             point(format!("{ts} px"), RasterizerConfig::scaled(), &workload)
         })
         .collect();

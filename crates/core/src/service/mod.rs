@@ -19,6 +19,16 @@
 //!   [`BatchReport`] with wall-clock throughput and aggregate modeled
 //!   time/energy accounting.
 //!
+//! Parallelism nests at two levels — request-level (the batch worker
+//! pool) × frame-level (each session's intra-frame
+//! [`WorkerPool`](gaurast_render::pool::WorkerPool)) — under one
+//! oversubscription policy: batch sessions render with a bounded
+//! per-frame worker budget
+//! ([`RenderService::frame_worker_budget`]), so the product of the two
+//! levels never exceeds the machine, while [`RenderService::submit`] and
+//! dedicated sessions get the full width. Frames are bit-identical at
+//! every setting.
+//!
 //! ```
 //! use gaurast::backend::BackendKind;
 //! use gaurast::service::{RenderRequest, RenderService};
@@ -47,6 +57,7 @@ use crate::engine::{Engine, EngineBuilder, ImagePolicy};
 use crate::report::{fmt_f, fmt_ms, TextTable};
 use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::RasterizerConfig;
+use gaurast_render::pool::resolve_workers;
 use gaurast_render::DEFAULT_TILE_SIZE;
 use gaurast_scene::{Camera, GaussianScene, PreparedScene};
 use std::collections::HashMap;
@@ -204,6 +215,7 @@ impl std::fmt::Display for BatchReport {
 pub struct RenderServiceBuilder {
     scenes: Vec<(String, Arc<PreparedScene>)>,
     workers: Option<usize>,
+    frame_workers: Option<usize>,
     tile_size: u32,
     hw_config: RasterizerConfig,
     host: CudaGpuModel,
@@ -222,6 +234,7 @@ impl RenderServiceBuilder {
         Self {
             scenes: Vec::new(),
             workers: None,
+            frame_workers: None,
             tile_size: DEFAULT_TILE_SIZE,
             hw_config: RasterizerConfig::scaled(),
             host: device::orin_nx(),
@@ -245,6 +258,21 @@ impl RenderServiceBuilder {
     /// workers than it has requests).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Intra-frame worker threads *per session* (each frame's Stage-1
+    /// chunks and per-tile Stage-2+3 jobs). The default is the service's
+    /// oversubscription budget: batch sessions get
+    /// `available_parallelism / batch_workers` threads (at least 1), so
+    /// nested request-level × frame-level parallelism never oversubscribes
+    /// the machine, while [`RenderService::submit`] and
+    /// [`RenderService::session`] sessions — which have the host to
+    /// themselves — get the full automatic width. Setting an explicit
+    /// value pins every session to that width instead. Rendering output is
+    /// bit-identical for every width.
+    pub fn frame_workers(mut self, frame_workers: usize) -> Self {
+        self.frame_workers = Some(frame_workers);
         self
     }
 
@@ -290,6 +318,11 @@ impl RenderServiceBuilder {
                 "worker count must be positive".to_string(),
             ));
         }
+        if self.frame_workers == Some(0) {
+            return Err(ServiceError::InvalidConfig(
+                "frame worker count must be positive".to_string(),
+            ));
+        }
         self.hw_config
             .validate()
             .map_err(|e| ServiceError::InvalidConfig(format!("hardware configuration: {e}")))?;
@@ -307,6 +340,7 @@ impl RenderServiceBuilder {
         Ok(RenderService {
             scenes,
             workers,
+            frame_workers: self.frame_workers,
             tile_size: self.tile_size,
             hw_config: self.hw_config,
             host: self.host,
@@ -322,6 +356,7 @@ impl RenderServiceBuilder {
 pub struct RenderService {
     scenes: HashMap<String, Arc<PreparedScene>>,
     workers: usize,
+    frame_workers: Option<usize>,
     tile_size: u32,
     hw_config: RasterizerConfig,
     host: CudaGpuModel,
@@ -382,25 +417,45 @@ impl RenderService {
         self.workers
     }
 
+    /// Intra-frame worker threads each *batch* session renders with — the
+    /// service's oversubscription policy. With an explicit
+    /// [`RenderServiceBuilder::frame_workers`] that value is used
+    /// verbatim; otherwise each of the `batch_workers` request-level
+    /// workers gets an equal share of the machine
+    /// (`available_parallelism / batch_workers`, at least 1), so
+    /// request-level × frame-level parallelism stays within the hardware.
+    pub fn frame_worker_budget(&self, batch_workers: usize) -> usize {
+        self.frame_workers
+            .unwrap_or_else(|| (resolve_workers(0) / batch_workers.max(1)).max(1))
+    }
+
     /// Opens a dedicated session over a registered scene — the same
     /// sessions the batch workers use, for callers that want to drive one
-    /// directly (e.g. [`Engine::render_sequence`]).
+    /// directly (e.g. [`Engine::render_sequence`]). A dedicated session
+    /// has the host to itself, so it renders with the full frame-level
+    /// worker budget ([`RenderService::frame_worker_budget`] of 1).
     ///
     /// # Errors
     /// [`ServiceError::UnknownScene`] when the name is not registered.
     pub fn session(&self, scene: &str, backend: BackendKind) -> Result<Engine, ServiceError> {
         let prepared = self.lookup(scene)?;
-        Ok(self.open_session(Arc::clone(prepared), backend))
+        Ok(self.open_session(Arc::clone(prepared), backend, self.frame_worker_budget(1)))
     }
 
-    /// Renders one request on the calling thread.
+    /// Renders one request on the calling thread (with the full
+    /// frame-level worker budget — there is no request-level fan-out to
+    /// share the machine with).
     ///
     /// # Errors
     /// [`ServiceError::UnknownScene`] when the request names an
     /// unregistered scene.
     pub fn submit(&self, request: RenderRequest) -> Result<RenderResponse, ServiceError> {
         let prepared = self.lookup(&request.scene)?;
-        let mut engine = self.open_session(Arc::clone(prepared), request.backend);
+        let mut engine = self.open_session(
+            Arc::clone(prepared),
+            request.backend,
+            self.frame_worker_budget(1),
+        );
         let report = engine.render_frame(&request.camera);
         Ok(RenderResponse {
             scene: request.scene,
@@ -435,6 +490,10 @@ impl RenderService {
             });
         }
         let workers = self.workers.min(requests.len()).max(1);
+        // Oversubscription policy: request-level workers render frames
+        // with a bounded per-frame worker budget so the nested
+        // parallelism stays within the machine.
+        let frame_budget = self.frame_worker_budget(workers);
         let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Option<RenderResponse>> = Vec::new();
         slots.resize_with(requests.len(), || None);
@@ -443,7 +502,7 @@ impl RenderService {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
                     let cursor = &cursor;
-                    scope.spawn(move || self.worker_loop(worker, requests, cursor))
+                    scope.spawn(move || self.worker_loop(worker, requests, cursor, frame_budget))
                 })
                 .collect();
             handles
@@ -474,6 +533,7 @@ impl RenderService {
         worker: usize,
         requests: &[RenderRequest],
         cursor: &AtomicUsize,
+        frame_budget: usize,
     ) -> Vec<(usize, RenderResponse)> {
         let mut sessions: HashMap<(&str, BackendKind), Engine> = HashMap::new();
         let mut rendered = Vec::new();
@@ -489,7 +549,7 @@ impl RenderService {
                         .scenes
                         .get(&request.scene)
                         .expect("scene names validated before the batch started");
-                    self.open_session(Arc::clone(prepared), request.backend)
+                    self.open_session(Arc::clone(prepared), request.backend, frame_budget)
                 });
             let report = engine.render_frame(&request.camera);
             rendered.push((
@@ -510,10 +570,16 @@ impl RenderService {
             .ok_or_else(|| ServiceError::UnknownScene(name.to_string()))
     }
 
-    fn open_session(&self, prepared: Arc<PreparedScene>, backend: BackendKind) -> Engine {
+    fn open_session(
+        &self,
+        prepared: Arc<PreparedScene>,
+        backend: BackendKind,
+        frame_workers: usize,
+    ) -> Engine {
         EngineBuilder::shared(prepared)
             .backend(backend)
             .tile_size(self.tile_size)
+            .workers(frame_workers)
             .hw_config(self.hw_config)
             .host(self.host.clone())
             .image_policy(self.image_policy)

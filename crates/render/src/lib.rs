@@ -22,6 +22,14 @@
 //! consumed by both architecture models (`gaurast-hw` cycle simulator and
 //! `gaurast-gpu` CUDA model), guaranteeing both see identical work.
 //!
+//! The pipeline is data-parallel *within* a frame: Stage 1 runs in fixed
+//! Gaussian chunks and Stages 2–3 as independent per-tile jobs (each tile
+//! sorts its own list and writes its own disjoint framebuffer view) over a
+//! shared [`pool::WorkerPool`]. Output is bit-identical for every worker
+//! count — `workers = 1` is exactly the serial reference path; see
+//! [`pool`] for the determinism recipe and
+//! [`pipeline::RenderConfig::workers`] for the knob.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +51,7 @@ pub mod compose;
 mod framebuffer;
 pub mod ops;
 pub mod pipeline;
+pub mod pool;
 pub mod preprocess;
 pub mod rasterize;
 pub mod sort;
@@ -51,7 +60,8 @@ pub mod trace;
 pub mod triangle;
 mod workload;
 
-pub use framebuffer::Framebuffer;
+pub use framebuffer::{Framebuffer, TileViewMut};
+pub use pool::WorkerPool;
 pub use preprocess::Splat2D;
 pub use workload::RasterWorkload;
 

@@ -2,9 +2,10 @@
 
 use crate::framebuffer::Framebuffer;
 use crate::ops::OpCounts;
-use crate::preprocess::{preprocess, PreprocessOutput};
-use crate::rasterize::{rasterize, rasterize_counts, RasterStats};
-use crate::tile::bin_splats;
+use crate::pool::WorkerPool;
+use crate::preprocess::{preprocess_pooled, PreprocessOutput};
+use crate::rasterize::{rasterize_with, RasterStats};
+use crate::tile::bin_splats_deferred_into;
 use crate::workload::RasterWorkload;
 use crate::DEFAULT_TILE_SIZE;
 use gaurast_scene::{Camera, GaussianScene};
@@ -14,13 +15,35 @@ use gaurast_scene::{Camera, GaussianScene};
 pub struct RenderConfig {
     /// Tile edge in pixels (16 in the reference and in GauRast).
     pub tile_size: u32,
+    /// Intra-frame worker threads: Stage 1 runs in Gaussian chunks and
+    /// Stages 2–3 as per-tile jobs over a pool this wide. `0` (the
+    /// default) resolves to the `GAURAST_WORKERS` environment variable or
+    /// the machine's available parallelism
+    /// ([`crate::pool::resolve_workers`]); `1` is exactly the historical
+    /// serial path. Output is bit-identical for every value.
+    pub workers: usize,
 }
 
 impl Default for RenderConfig {
     fn default() -> Self {
         Self {
             tile_size: DEFAULT_TILE_SIZE,
+            workers: 0,
         }
+    }
+}
+
+impl RenderConfig {
+    /// The worker pool this configuration selects (see
+    /// [`RenderConfig::workers`]).
+    pub fn worker_pool(&self) -> WorkerPool {
+        WorkerPool::new(self.workers)
+    }
+
+    /// A configuration identical to this one but with an explicit worker
+    /// count.
+    pub fn with_workers(self, workers: usize) -> Self {
+        Self { workers, ..self }
     }
 }
 
@@ -77,20 +100,25 @@ impl From<&PreprocessOutput> for PreprocessStats {
 /// # Ok::<(), gaurast_scene::SceneError>(())
 /// ```
 pub fn render(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> RenderOutput {
-    // Stage 1: preprocessing.
-    let pre = preprocess(scene, camera);
+    let pool = config.worker_pool();
+
+    // Stage 1: preprocessing, in parallel Gaussian chunks.
+    let pre = preprocess_pooled(scene, camera, &pool);
     let pre_stats = PreprocessStats::from(&pre);
 
-    // Stage 2: sorting + tiling.
-    let mut workload = bin_splats(
+    // Stage 2: tiling (the per-tile depth sort runs inside each tile job).
+    let mut workload = bin_splats_deferred_into(
         pre.splats,
         camera.width(),
         camera.height(),
         config.tile_size,
+        Vec::new(),
     );
 
-    // Stage 3: Gaussian rasterization (fills processed counts).
-    let (image, raster) = rasterize(&mut workload);
+    // Stages 2–3: per-tile sort + Gaussian rasterization as independent
+    // tile jobs (fills processed counts).
+    let mut image = Framebuffer::new(camera.width(), camera.height());
+    let raster = rasterize_with(&mut workload, Some(&mut image), &pool);
 
     RenderOutput {
         image,
@@ -118,20 +146,27 @@ pub struct WorkloadOutput {
 /// the per-tile processed counts and statistics, but no framebuffer is
 /// allocated or written. This is the entry point for workload construction
 /// when the image would be discarded (the architecture-model path).
+///
+/// Record-only frames run the *same* chunked-preprocess and tile-job
+/// decomposition as [`render`] — the only difference is that the tile
+/// jobs get no framebuffer views — so all counts stay bit-identical with
+/// the imaging path at every worker count.
 pub fn render_record_only(
     scene: &GaussianScene,
     camera: &Camera,
     config: &RenderConfig,
 ) -> WorkloadOutput {
-    let pre = preprocess(scene, camera);
+    let pool = config.worker_pool();
+    let pre = preprocess_pooled(scene, camera, &pool);
     let pre_stats = PreprocessStats::from(&pre);
-    let mut workload = bin_splats(
+    let mut workload = bin_splats_deferred_into(
         pre.splats,
         camera.width(),
         camera.height(),
         config.tile_size,
+        Vec::new(),
     );
-    let raster = rasterize_counts(&mut workload);
+    let raster = rasterize_with(&mut workload, None, &pool);
     WorkloadOutput {
         workload,
         preprocess: pre_stats,
@@ -198,8 +233,22 @@ mod tests {
     fn tile_size_changes_grid_not_image() {
         let scene = SceneParams::new(500).generate().unwrap();
         let cam = camera(64, 64);
-        let a = render(&scene, &cam, &RenderConfig { tile_size: 16 });
-        let b = render(&scene, &cam, &RenderConfig { tile_size: 8 });
+        let a = render(
+            &scene,
+            &cam,
+            &RenderConfig {
+                tile_size: 16,
+                ..RenderConfig::default()
+            },
+        );
+        let b = render(
+            &scene,
+            &cam,
+            &RenderConfig {
+                tile_size: 8,
+                ..RenderConfig::default()
+            },
+        );
         assert_eq!(a.workload.tile_count(), 16);
         assert_eq!(b.workload.tile_count(), 64);
         // Rendered images agree except for tile-level early-termination

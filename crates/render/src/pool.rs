@@ -1,0 +1,259 @@
+//! A reusable scoped worker pool for deterministic intra-frame data
+//! parallelism.
+//!
+//! The three-stage pipeline decomposes into jobs that are *independent by
+//! construction* — Stage 1 processes disjoint Gaussian chunks, Stage 3
+//! processes disjoint tiles — so the pool's only contract is to run `n`
+//! jobs, each exactly once, on up to `workers` threads. Work is claimed
+//! from an atomic cursor (dynamic load balancing: an expensive tile on one
+//! worker never stalls the others), and results are written into
+//! per-job slots, so the *assignment* of jobs to threads is free to vary
+//! while the *output* is bit-identical run to run and identical to the
+//! serial schedule.
+//!
+//! With `workers == 1` no thread is spawned and the jobs run in index
+//! order on the calling thread — exactly the historical serial path.
+//!
+//! # Determinism
+//!
+//! Every parallel entry point in this crate follows the same recipe:
+//!
+//! 1. split the frame into jobs along boundaries the serial code already
+//!    had (Gaussian index ranges, tiles);
+//! 2. give each job its own output slot (a chunk result, a disjoint
+//!    framebuffer tile view);
+//! 3. merge the slots **in job-index order** on the calling thread.
+//!
+//! Because no job reads another job's output and the merge order is fixed,
+//! images, op counts, and statistics are bit-identical for every worker
+//! count.
+//!
+//! # Example
+//! ```
+//! use gaurast_render::pool::WorkerPool;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let pool = WorkerPool::new(4);
+//! let sum = AtomicU64::new(0);
+//! pool.run(100, |i| {
+//!     sum.fetch_add(i as u64, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.into_inner(), 99 * 100 / 2);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the automatic worker count (used by CI
+/// to force the serial path: `GAURAST_WORKERS=1 cargo test`).
+pub const WORKERS_ENV: &str = "GAURAST_WORKERS";
+
+/// Resolves a requested worker count: a positive request wins, otherwise
+/// the [`WORKERS_ENV`] environment variable, otherwise the machine's
+/// available parallelism. The result is always at least 1.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scoped worker pool of a fixed width.
+///
+/// The pool is a *policy*, not a set of live threads: each [`WorkerPool::run`] call
+/// spawns scoped workers for its own job set and joins them before
+/// returning, so a pool can be held in a session and reused across frames
+/// without keeping idle threads alive. See the [module docs](self) for the
+/// determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl Default for WorkerPool {
+    /// The automatic pool: [`resolve_workers`]`(0)` threads.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads; `0` selects the automatic width
+    /// ([`resolve_workers`]).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: resolve_workers(workers),
+        }
+    }
+
+    /// The single-threaded pool — every job runs on the calling thread in
+    /// index order (the historical serial pipeline).
+    pub const fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Number of worker threads `run` may use.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `true` when this pool never spawns a thread.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Runs `n_jobs` jobs, each exactly once. Jobs are claimed from an
+    /// atomic cursor by up to `workers` scoped threads (never more threads
+    /// than jobs); with one worker they run in index order on the calling
+    /// thread without spawning. A panicking job propagates to the caller.
+    pub fn run<F>(&self, n_jobs: usize, job: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let threads = self.workers.min(n_jobs);
+        if threads <= 1 {
+            for i in 0..n_jobs {
+                job(i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    job(i);
+                });
+            }
+        });
+    }
+
+    /// Runs one job per element of `items`, handing each job exclusive
+    /// mutable access to its element — the slot pattern Stage 1 chunks and
+    /// Stage 3 tile jobs use for their outputs.
+    ///
+    /// Soundness: the atomic cursor in [`WorkerPool::run`] yields every index in
+    /// `0..items.len()` exactly once, so each element is mutably borrowed
+    /// by exactly one job and the raw-pointer access below never aliases.
+    pub fn run_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        struct Slots<T>(*mut T);
+        // SAFETY: shared across workers only to hand out disjoint
+        // `&mut` elements (one per job index); `T: Send` lets the
+        // references cross threads.
+        unsafe impl<T: Send> Sync for Slots<T> {}
+
+        impl<T> Slots<T> {
+            /// SAFETY: caller must ensure `i` is in bounds of the slice
+            /// this pointer was taken from.
+            unsafe fn slot(&self, i: usize) -> *mut T {
+                self.0.add(i)
+            }
+        }
+
+        let slots = Slots(items.as_mut_ptr());
+        let n = items.len();
+        self.run(n, |i| {
+            debug_assert!(i < n);
+            // SAFETY: `i < n` is in bounds and the cursor in `run` claims
+            // each index exactly once, so this is the only live reference
+            // to element `i`.
+            let item = unsafe { &mut *slots.slot(i) };
+            f(i, item);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn serial_pool_runs_in_order_without_threads() {
+        let pool = WorkerPool::serial();
+        assert!(pool.is_serial());
+        let main = std::thread::current().id();
+        let mut order = Vec::new();
+        // A serial pool may capture &mut state: prove it runs inline.
+        let seen = std::sync::Mutex::new(&mut order);
+        pool.run(5, |i| {
+            assert_eq!(std::thread::current().id(), main);
+            seen.lock().unwrap().push(i);
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        for workers in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(workers);
+            let n = 123;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::Relaxed),
+                    1,
+                    "job {i} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_mut_gives_each_job_its_slot() {
+        for workers in [1, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut slots = vec![0usize; 50];
+            pool.run_mut(&mut slots, |i, slot| *slot = i * i);
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(*s, i * i, "{workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_harmless() {
+        WorkerPool::new(4).run(0, |_| panic!("no job to run"));
+        WorkerPool::new(4).run_mut(&mut [] as &mut [u8], |_, _| panic!("no slot"));
+    }
+
+    #[test]
+    fn requested_width_wins_over_auto() {
+        assert_eq!(WorkerPool::new(3).workers(), 3);
+        assert_eq!(resolve_workers(5), 5);
+        assert!(resolve_workers(0) >= 1);
+        assert!(WorkerPool::default().workers() >= 1);
+    }
+
+    #[test]
+    fn never_more_threads_than_jobs() {
+        // 2 jobs on an 8-wide pool: both must still run exactly once.
+        let pool = WorkerPool::new(8);
+        let counts = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        pool.run(2, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counts[0].load(Ordering::Relaxed), 1);
+        assert_eq!(counts[1].load(Ordering::Relaxed), 1);
+    }
+}

@@ -12,8 +12,16 @@
 //! * the RGB color from spherical harmonics for the current view direction.
 
 use crate::ops::OpCounts;
+use crate::pool::WorkerPool;
 use gaurast_math::{Mat2, Mat3, Vec2, Vec3};
 use gaurast_scene::{Camera, GaussianScene, PreparedScene};
+use std::ops::Range;
+
+/// Gaussians per parallel Stage-1 job. The chunking is *fixed-size*, not
+/// per-worker, so the decomposition — and therefore every chunk's locally
+/// accumulated output — is independent of the worker count; stitching the
+/// chunks back in index order reproduces the serial pass bit for bit.
+pub const PREPROCESS_CHUNK: usize = 1024;
 
 /// Low-pass filter added to the diagonal of every projected covariance,
 /// guaranteeing each splat spans at least ~one pixel (reference value).
@@ -88,7 +96,20 @@ pub struct PreprocessOutput {
 /// # Ok::<(), gaurast_scene::SceneError>(())
 /// ```
 pub fn preprocess(scene: &GaussianScene, camera: &Camera) -> PreprocessOutput {
-    preprocess_with(scene, camera, |_, g| g.covariance())
+    preprocess_pooled(scene, camera, &WorkerPool::serial())
+}
+
+/// [`preprocess`] with the per-Gaussian loop split into
+/// [`PREPROCESS_CHUNK`]-sized chunks fanned over `pool`. Chunk outputs are
+/// stitched back in index order, so splat order, `source` ids, cull
+/// counts, and FP-op tallies are bit-identical to the serial pass for
+/// every worker count.
+pub fn preprocess_pooled(
+    scene: &GaussianScene,
+    camera: &Camera,
+    pool: &WorkerPool,
+) -> PreprocessOutput {
+    preprocess_chunked(scene, camera, |_, g| g.covariance(), pool)
 }
 
 /// Runs Stage 1 over a [`PreparedScene`], reusing its precomputed
@@ -113,20 +134,66 @@ pub fn preprocess(scene: &GaussianScene, camera: &Camera) -> PreprocessOutput {
 /// # Ok::<(), gaurast_scene::SceneError>(())
 /// ```
 pub fn preprocess_prepared(prepared: &PreparedScene, camera: &Camera) -> PreprocessOutput {
-    let covariances = prepared.covariances();
-    preprocess_with(prepared.scene(), camera, |i, _| covariances[i])
+    preprocess_prepared_pooled(prepared, camera, &WorkerPool::serial())
 }
 
-/// The shared Stage-1 loop, parameterised over where each Gaussian's
-/// world-space covariance comes from (computed on the fly for a raw scene,
-/// read back for a prepared one).
-fn preprocess_with(
+/// [`preprocess_prepared`] with the chunked parallel decomposition of
+/// [`preprocess_pooled`]. Bit-identical to both serial paths.
+pub fn preprocess_prepared_pooled(
+    prepared: &PreparedScene,
+    camera: &Camera,
+    pool: &WorkerPool,
+) -> PreprocessOutput {
+    let covariances = prepared.covariances();
+    preprocess_chunked(prepared.scene(), camera, |i, _| covariances[i], pool)
+}
+
+/// The shared chunked Stage-1 driver: splits the Gaussian index space into
+/// [`PREPROCESS_CHUNK`]-sized jobs, runs them over `pool`, and stitches
+/// the chunk outputs back in index order. A serial pool (or a scene that
+/// fits one chunk) runs the historical single loop on the calling thread.
+fn preprocess_chunked(
     scene: &GaussianScene,
     camera: &Camera,
-    covariance_of: impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3,
+    covariance_of: impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync,
+    pool: &WorkerPool,
+) -> PreprocessOutput {
+    if pool.is_serial() || scene.len() <= PREPROCESS_CHUNK {
+        return preprocess_range(scene, camera, &covariance_of, 0..scene.len());
+    }
+    let n_chunks = scene.len().div_ceil(PREPROCESS_CHUNK);
+    let mut chunks: Vec<PreprocessOutput> = vec![PreprocessOutput::default(); n_chunks];
+    pool.run_mut(&mut chunks, |i, chunk| {
+        let start = i * PREPROCESS_CHUNK;
+        let end = (start + PREPROCESS_CHUNK).min(scene.len());
+        *chunk = preprocess_range(scene, camera, &covariance_of, start..end);
+    });
+    // Stitch in index order: splat order and `source` ids match the serial
+    // pass exactly; cull counts and op tallies are integer sums.
+    let mut out = PreprocessOutput::default();
+    out.splats
+        .reserve(chunks.iter().map(|c| c.splats.len()).sum());
+    for chunk in chunks {
+        out.splats.extend(chunk.splats);
+        out.culled += chunk.culled;
+        out.ops += chunk.ops;
+    }
+    out
+}
+
+/// The Stage-1 loop over one contiguous Gaussian index range,
+/// parameterised over where each Gaussian's world-space covariance comes
+/// from (computed on the fly for a raw scene, read back for a prepared
+/// one). Emitted `source` ids are global scene indices regardless of the
+/// range.
+fn preprocess_range(
+    scene: &GaussianScene,
+    camera: &Camera,
+    covariance_of: &(impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync),
+    range: Range<usize>,
 ) -> PreprocessOutput {
     let mut out = PreprocessOutput::default();
-    out.splats.reserve(scene.len());
+    out.splats.reserve(range.len());
     let cam_pos = camera.position();
     let view_rot = camera.view().upper_left_3x3();
     let focal = camera.focal();
@@ -136,7 +203,8 @@ fn preprocess_with(
     let tan_half_x = 0.5 * w / focal.x;
     let tan_half_y = 0.5 * h / focal.y;
 
-    for (i, g) in scene.iter().enumerate() {
+    for i in range {
+        let g = scene.get(i).expect("range within scene");
         let p_cam = camera.world_to_camera(g.position);
         // Near-plane cull (reference: z <= 0.2 in scene units scaled; we use
         // the camera's configured near plane).

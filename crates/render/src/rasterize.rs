@@ -9,8 +9,11 @@
 //! * per-tile *processed counts* written back into the workload so the
 //!   architecture models bill exactly the work this reference performed.
 
-use crate::framebuffer::Framebuffer;
+use crate::framebuffer::{Framebuffer, TileViewMut};
 use crate::ops::{Subtask, SubtaskCounts};
+use crate::pool::WorkerPool;
+use crate::preprocess::Splat2D;
+use crate::sort::sort_indices_by_depth;
 use crate::workload::RasterWorkload;
 use crate::{ALPHA_CUTOFF, TRANSMITTANCE_EPS};
 use gaurast_math::{Vec2, Vec3};
@@ -26,6 +29,18 @@ pub struct RasterStats {
     pub tiles_early_terminated: u64,
     /// Per-subtask FP operation tallies.
     pub ops: SubtaskCounts,
+}
+
+impl std::ops::AddAssign for RasterStats {
+    /// Merges another pass's tallies (used to fold per-tile statistics in
+    /// tile order; every field is an integer counter, so the merged totals
+    /// equal the serial pass's).
+    fn add_assign(&mut self, rhs: RasterStats) {
+        self.pairs_evaluated += rhs.pairs_evaluated;
+        self.blends_committed += rhs.blends_committed;
+        self.tiles_early_terminated += rhs.tiles_early_terminated;
+        self.ops += rhs.ops;
+    }
 }
 
 /// Rasterizes a workload, returning the image and statistics, and recording
@@ -68,9 +83,44 @@ pub fn rasterize_counts(workload: &mut RasterWorkload) -> RasterStats {
 /// # Panics
 /// Panics when a provided framebuffer's dimensions do not match the
 /// workload.
-pub fn rasterize_into(
+pub fn rasterize_into(workload: &mut RasterWorkload, fb: Option<&mut Framebuffer>) -> RasterStats {
+    rasterize_with(workload, fb, &WorkerPool::serial())
+}
+
+/// One tile's rasterization job: its (to-be-)sorted splat index list, its
+/// exclusive framebuffer view (absent in record-only mode), and its output
+/// slot.
+struct TileJob<'l, 'fb> {
+    list: &'l mut Vec<u32>,
+    view: Option<TileViewMut<'fb>>,
+    processed: u32,
+    stats: RasterStats,
+}
+
+/// The tile-major rasterization pass — the single Stage-2+3 code path
+/// behind [`rasterize`], [`rasterize_counts`], and [`rasterize_into`].
+///
+/// Each tile is an independent job: it depth-sorts its own splat list
+/// (idempotent on already-sorted workloads — the sort is stable, so the
+/// resulting order is bit-identical wherever it runs) and rasterizes into
+/// its own disjoint framebuffer view
+/// ([`Framebuffer::tile_views_mut`]) with no locking. Jobs are fanned over
+/// `pool`; per-tile statistics and processed counts are merged in tile
+/// order on the calling thread, so every output — image bytes, op tallies,
+/// processed counts — is bit-identical for every worker count, including
+/// the serial pool.
+///
+/// The framebuffer is cleared once up front (only the depth plane actually
+/// needs it for the Gaussian path: tile views cover and overwrite every
+/// color/transmittance pixel), never inside the per-tile hot loop.
+///
+/// # Panics
+/// Panics when a provided framebuffer's dimensions do not match the
+/// workload.
+pub fn rasterize_with(
     workload: &mut RasterWorkload,
     mut fb: Option<&mut Framebuffer>,
+    pool: &WorkerPool,
 ) -> RasterStats {
     if let Some(fb) = fb.as_deref_mut() {
         assert_eq!(
@@ -80,33 +130,73 @@ pub fn rasterize_into(
         );
         fb.clear();
     }
-    let mut stats = RasterStats::default();
-    let mut processed = Vec::with_capacity(workload.tile_count());
+    let (tiles_x, tile_size) = (workload.tiles_x(), workload.tile_size());
+    let n_tiles = workload.tile_count();
+    // One grid authority: the same tile_rect the workload exposes to the
+    // architecture models also shapes the jobs (and matches the views
+    // `tile_views_mut` builds on the identical grid).
+    let rects: Vec<(u32, u32, u32, u32)> = (0..n_tiles as u32)
+        .map(|i| workload.tile_rect(i % tiles_x, i / tiles_x))
+        .collect();
+    // Workloads from the sorted binning entry points are already
+    // front-to-back; their tile jobs skip the (idempotent) in-job sort.
+    let presorted = workload.is_sorted();
 
-    for ty in 0..workload.tiles_y() {
-        for tx in 0..workload.tiles_x() {
-            let n = rasterize_tile(workload, tx, ty, fb.as_deref_mut(), &mut stats);
-            processed.push(n);
+    let mut views: Vec<Option<TileViewMut<'_>>> = match fb {
+        Some(fb) => fb.tile_views_mut(tile_size).into_iter().map(Some).collect(),
+        None => (0..n_tiles).map(|_| None).collect(),
+    };
+    let (splats, lists) = workload.splats_and_lists_mut();
+    let mut jobs: Vec<TileJob<'_, '_>> = lists
+        .iter_mut()
+        .zip(views.drain(..))
+        .map(|(list, view)| TileJob {
+            list,
+            view,
+            processed: 0,
+            stats: RasterStats::default(),
+        })
+        .collect();
+
+    pool.run_mut(&mut jobs, |i, job| {
+        if !presorted {
+            sort_indices_by_depth(job.list, splats);
         }
+        let rect = rects[i];
+        if let Some(view) = &job.view {
+            debug_assert_eq!(
+                (rect.0, rect.1, rect.2 - rect.0, rect.3 - rect.1),
+                (view.x0(), view.y0(), view.width(), view.height()),
+                "tile view must cover exactly the workload's tile rect"
+            );
+        }
+        (job.processed, job.stats) = rasterize_tile(splats, job.list, rect, job.view.as_mut());
+    });
+
+    let mut stats = RasterStats::default();
+    let mut processed = Vec::with_capacity(n_tiles);
+    for job in jobs {
+        stats += job.stats;
+        processed.push(job.processed);
     }
     workload.set_processed(processed);
+    workload.mark_sorted();
     stats
 }
 
 /// Rasterizes one tile; returns how many splats of its list were processed
-/// before every pixel saturated.
+/// before every pixel saturated, plus the tile-local statistics.
 fn rasterize_tile(
-    workload: &RasterWorkload,
-    tx: u32,
-    ty: u32,
-    fb: Option<&mut Framebuffer>,
-    stats: &mut RasterStats,
-) -> u32 {
-    let list = workload.tile_list(tx, ty);
+    splats: &[Splat2D],
+    list: &[u32],
+    rect: (u32, u32, u32, u32),
+    view: Option<&mut TileViewMut<'_>>,
+) -> (u32, RasterStats) {
+    let mut stats = RasterStats::default();
     if list.is_empty() {
-        return 0;
+        return (0, stats);
     }
-    let (x0, y0, x1, y1) = workload.tile_rect(tx, ty);
+    let (x0, y0, x1, y1) = rect;
     let w = (x1 - x0) as usize;
     let h = (y1 - y0) as usize;
     let n_px = w * h;
@@ -117,7 +207,6 @@ fn rasterize_tile(
     let mut transmittance = vec![1.0f32; n_px];
     let mut alive = n_px as u32;
 
-    let splats = workload.splats();
     let mut processed = 0u32;
 
     // Local op tallies; folded into stats once per tile to keep the inner
@@ -189,16 +278,16 @@ fn rasterize_tile(
         }
     }
 
-    // Write the tile back to the framebuffer (background stays black, as in
-    // the reference with a black background color). The remaining
-    // transmittance is kept for downstream compositing (see `compose`). In
-    // record-only mode there is no framebuffer and the writeback is skipped.
-    if let Some(fb) = fb {
+    // Write the tile back through its exclusive framebuffer view
+    // (background stays black, as in the reference with a black background
+    // color). The remaining transmittance is kept for downstream
+    // compositing (see `compose`). In record-only mode there is no view
+    // and the writeback is skipped.
+    if let Some(view) = view {
         for py in 0..h {
             for px in 0..w {
                 let i = py * w + px;
-                fb.set_color(x0 + px as u32, y0 + py as u32, color[i]);
-                fb.set_transmittance(x0 + px as u32, y0 + py as u32, transmittance[i]);
+                view.write(px as u32, py as u32, color[i], transmittance[i]);
             }
         }
     }
@@ -217,7 +306,7 @@ fn rasterize_tile(
     red.mul += red_mul;
     red.cmp += red_cmp;
 
-    processed
+    (processed, stats)
 }
 
 #[cfg(test)]

@@ -3,6 +3,12 @@
 //! The reference pipeline sorts (tile, depth) keys with a GPU radix sort so
 //! that every tile sees its splats front-to-back. This module provides the
 //! depth ordering; [`crate::tile`] combines it with tile binning.
+//!
+//! In the tile-major parallel pipeline
+//! ([`crate::rasterize::rasterize_with`]) each per-tile list is sorted by
+//! [`sort_indices_by_depth`] *inside its own tile job* rather than in a
+//! serial Stage-2 loop; the sort is stable, so the order — and therefore
+//! the blended image — is identical wherever it runs.
 
 use crate::preprocess::Splat2D;
 

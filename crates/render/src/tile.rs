@@ -57,6 +57,31 @@ pub fn bin_splats_into(
     width: u32,
     height: u32,
     tile_size: u32,
+    lists: Vec<Vec<u32>>,
+) -> RasterWorkload {
+    let mut workload = bin_splats_deferred_into(splats, width, height, tile_size, lists);
+    let (splats, lists) = workload.splats_and_lists_mut();
+    for list in lists {
+        sort_indices_by_depth(list, splats);
+    }
+    workload.mark_sorted();
+    workload
+}
+
+/// [`bin_splats_into`] with the per-tile depth sort *deferred*: each tile's
+/// list holds its splat indices in submission order, to be sorted by the
+/// consumer — the tile-major rasterization path
+/// ([`crate::rasterize::rasterize_with`]) sorts every tile inside its own
+/// parallel tile job, so there is no serial sort stage at all. The stable
+/// per-tile sort produces bit-identical lists wherever it runs.
+///
+/// # Panics
+/// Panics when `tile_size` is zero or the image is empty.
+pub fn bin_splats_deferred_into(
+    splats: Vec<Splat2D>,
+    width: u32,
+    height: u32,
+    tile_size: u32,
     mut lists: Vec<Vec<u32>>,
 ) -> RasterWorkload {
     assert!(tile_size > 0 && width > 0 && height > 0);
@@ -75,9 +100,6 @@ pub fn bin_splats_into(
                 }
             }
         }
-    }
-    for list in &mut lists {
-        sort_indices_by_depth(list, &splats);
     }
     RasterWorkload::new(width, height, tile_size, splats, lists)
 }

@@ -9,7 +9,7 @@
 use crate::preprocess::Splat2D;
 
 /// Per-tile, depth-ordered rasterization work for one frame.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct RasterWorkload {
     width: u32,
     height: u32,
@@ -19,6 +19,35 @@ pub struct RasterWorkload {
     splats: Vec<Splat2D>,
     tile_lists: Vec<Vec<u32>>,
     processed: Option<Vec<u32>>,
+    /// Whether every tile list is already depth-sorted — a cache flag
+    /// (excluded from equality) letting the tile-major rasterization pass
+    /// skip its in-job sort for workloads from the sorted binning entry
+    /// points.
+    sorted: bool,
+}
+
+impl PartialEq for RasterWorkload {
+    /// Equality over the semantic content (grid, splats, lists, processed
+    /// counts); the `sorted` cache flag is deliberately excluded — a
+    /// sorted-binned workload and a deferred-binned one whose tile jobs
+    /// sorted it describe identical work.
+    fn eq(&self, other: &Self) -> bool {
+        (
+            self.width,
+            self.height,
+            self.tile_size,
+            &self.splats,
+            &self.tile_lists,
+            &self.processed,
+        ) == (
+            other.width,
+            other.height,
+            other.tile_size,
+            &other.splats,
+            &other.tile_lists,
+            &other.processed,
+        )
+    }
 }
 
 impl RasterWorkload {
@@ -58,6 +87,7 @@ impl RasterWorkload {
             splats,
             tile_lists,
             processed: None,
+            sorted: false,
         }
     }
 
@@ -178,6 +208,28 @@ impl RasterWorkload {
             }
         }
         total
+    }
+
+    /// Splits the workload into its shared splat slice and exclusive
+    /// per-tile lists — what a tile-major rasterization pass needs: every
+    /// tile job reads the splats and sorts/consumes its own list. Crate
+    /// internal so list contents can only be permuted, never given
+    /// out-of-bounds indices.
+    pub(crate) fn splats_and_lists_mut(&mut self) -> (&[Splat2D], &mut [Vec<u32>]) {
+        (&self.splats, &mut self.tile_lists)
+    }
+
+    /// `true` when every tile list is known depth-sorted (see the
+    /// `sorted` field).
+    pub(crate) fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Records that every tile list is depth-sorted (set by the sorted
+    /// binning entry points and by the tile-major pass after its in-job
+    /// sorts).
+    pub(crate) fn mark_sorted(&mut self) {
+        self.sorted = true;
     }
 
     /// Disassembles the workload into its splat and tile-list buffers so a

@@ -35,10 +35,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     )?;
 
     // 3. An engine session: scene + backend + image policy. The session
-    //    reuses its framebuffer and binning buffers across frames.
+    //    reuses its framebuffer and binning buffers across frames, and its
+    //    reference pass runs intra-frame parallel (Stage-1 chunks +
+    //    per-tile jobs) over all available cores — `.workers(n)` pins the
+    //    width; every width renders bit-identical frames.
     let mut engine = EngineBuilder::new(scene)
         .backend(BackendKind::Enhanced)
         .image_policy(ImagePolicy::Retain)
+        .workers(0) // 0 = auto: GAURAST_WORKERS or available parallelism
         .build()?;
 
     // 4. One frame on the GauRast hardware model (scaled 15-module

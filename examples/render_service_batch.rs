@@ -52,16 +52,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         museum.bounds().diagonal()
     );
 
-    // 2. A service over both scenes. The worker count defaults to the
-    //    machine's available parallelism.
+    // 2. A service over both scenes. The request-level worker count
+    //    defaults to the machine's available parallelism, and each worker
+    //    session renders its frames with a bounded intra-frame worker
+    //    budget (request-level x frame-level parallelism never
+    //    oversubscribes the machine — see `frame_worker_budget`).
     let service = RenderService::builder()
         .prepared("town", Arc::clone(&town))
         .prepared("museum", Arc::clone(&museum))
         .build()?;
     println!(
-        "service: scenes {:?}, {} workers",
+        "service: scenes {:?}, {} request workers x {} frame workers",
         service.scene_names(),
-        service.workers()
+        service.workers(),
+        service.frame_worker_budget(service.workers()),
     );
 
     // 3. A mixed batch: 12 viewpoints alternating between the scenes, on

@@ -142,3 +142,79 @@ fn mixed_backend_batch_stays_in_request_order() {
         );
     }
 }
+
+#[test]
+fn frame_level_parallelism_is_bit_identical_and_budgeted() {
+    // Explicit frame-level workers: every batch session renders each frame
+    // with a 2-wide intra-frame pool on top of 2 request-level workers.
+    let scene = SceneParams::new(4000).seed(33).generate().unwrap();
+    let svc = RenderService::builder()
+        .scene("orbit", scene)
+        .workers(2)
+        .frame_workers(2)
+        .image_policy(ImagePolicy::Retain)
+        .build()
+        .unwrap();
+    assert_eq!(svc.frame_worker_budget(2), 2);
+    assert_eq!(svc.frame_worker_budget(1), 2, "explicit budget is pinned");
+
+    let requests = orbit_requests(6);
+    let batch = svc.render_batch(&requests).unwrap();
+
+    // Reference: the serial service (1 request worker, 1 frame worker).
+    let serial_scene = SceneParams::new(4000).seed(33).generate().unwrap();
+    let serial_svc = RenderService::builder()
+        .scene("orbit", serial_scene)
+        .workers(1)
+        .frame_workers(1)
+        .image_policy(ImagePolicy::Retain)
+        .build()
+        .unwrap();
+    let serial_batch = serial_svc.render_batch(&requests).unwrap();
+
+    for (i, (par, ser)) in batch
+        .responses
+        .iter()
+        .zip(&serial_batch.responses)
+        .enumerate()
+    {
+        assert_eq!(
+            par.report.stats.blend_work, ser.report.stats.blend_work,
+            "request {i}"
+        );
+        assert_eq!(par.report.ops, ser.report.ops, "request {i}");
+        let (a, b) = (
+            par.report.image.as_ref().expect("retained"),
+            ser.report.image.as_ref().expect("retained"),
+        );
+        assert_eq!(
+            a.mean_abs_diff(b),
+            0.0,
+            "request {i}: nested request x frame parallelism must stay bit-identical"
+        );
+    }
+}
+
+#[test]
+fn default_frame_budget_prevents_oversubscription() {
+    let scene = SceneParams::new(200).seed(5).generate().unwrap();
+    let svc = RenderService::builder()
+        .scene("s", scene)
+        .workers(2)
+        .build()
+        .unwrap();
+    let machine = gaurast::render::pool::resolve_workers(0);
+    // Auto policy: request workers x frame budget never exceeds the
+    // machine (frame budget floors at 1).
+    let budget = svc.frame_worker_budget(svc.workers());
+    assert!(budget >= 1);
+    assert!(
+        svc.workers() * budget <= machine.max(svc.workers()),
+        "workers {} x budget {budget} oversubscribes {machine} cores",
+        svc.workers()
+    );
+    // A dedicated session gets the full automatic width.
+    assert_eq!(svc.frame_worker_budget(1), machine);
+    // Zero frame workers is rejected at build time.
+    assert!(RenderService::builder().frame_workers(0).build().is_err());
+}
