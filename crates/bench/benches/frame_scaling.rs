@@ -12,9 +12,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gaurast_math::Vec3;
 use gaurast_render::pipeline::{render, RenderConfig};
+use gaurast_render::pool::WorkerPool;
+use gaurast_render::preprocess::{preprocess_prepared_pooled, preprocess_prepared_visible_pooled};
 use gaurast_render::Framebuffer;
 use gaurast_scene::generator::SceneParams;
-use gaurast_scene::Camera;
+use gaurast_scene::{Camera, PreparedScene};
 
 fn camera() -> Camera {
     Camera::look_at(
@@ -54,5 +56,50 @@ fn bench_frame_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frame_scaling);
+/// Stage-1 cost with and without the frustum-culled visible set, for a
+/// centered view (little to cull) and an off-center view (most of the
+/// scene behind or beside the frustum). The outputs are bit-identical —
+/// this measures exactly what the prefilter saves.
+fn bench_visibility_culling(c: &mut Criterion) {
+    let scene = SceneParams::new(50_000)
+        .seed(17)
+        .generate()
+        .expect("valid params");
+    let prepared = PreparedScene::prepare(scene);
+    let pool = WorkerPool::serial();
+    let centered = camera();
+    let off_center = Camera::look_at(
+        Vec3::new(0.0, 2.0, 2.0),
+        Vec3::new(0.0, 2.0, 60.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        320,
+        208,
+        1.05,
+    )
+    .expect("valid camera");
+
+    let mut group = c.benchmark_group("visibility_culling");
+    group.sample_size(10);
+    for (label, cam) in [("centered", &centered), ("off_center", &off_center)] {
+        group.bench_function(format!("stage1_full_{label}"), |b| {
+            b.iter(|| preprocess_prepared_pooled(&prepared, cam, &pool));
+        });
+        let set = prepared.visible_set(cam);
+        group.bench_function(
+            format!(
+                "stage1_culled_{label}_keep{}pct",
+                (set.coverage() * 100.0).round() as u32
+            ),
+            |b| {
+                b.iter(|| preprocess_prepared_visible_pooled(&prepared, cam, &set, &pool));
+            },
+        );
+        group.bench_function(format!("visible_set_build_{label}"), |b| {
+            b.iter(|| prepared.visible_set(cam));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_scaling, bench_visibility_culling);
 criterion_main!(benches);

@@ -104,6 +104,11 @@ impl std::fmt::Display for BackendKind {
 pub struct ReferencePass {
     /// Stage-1 statistics of the frame.
     pub preprocess: PreprocessStats,
+    /// Visible-set statistics when frustum culling ran for this frame
+    /// (the culled Gaussians are *also* counted in
+    /// `preprocess.culled` — the visible-set path reproduces the full
+    /// pass's accounting bit for bit, this just attributes them).
+    pub cull: CullStats,
     /// Reference Stage-3 statistics (pairs, blends, FP-op tallies).
     pub raster: RasterStats,
     /// Host wall-clock seconds the reference Stage-3 pass took.
@@ -128,6 +133,33 @@ pub struct Frame<'a> {
     pub retain_image: bool,
 }
 
+/// Visible-set (frustum-culling) statistics for one frame. All zeros when
+/// culling is disabled. The counts attribute a subset of the frame's
+/// Stage-1 culls to the prefilter; they never change the totals — the
+/// visible-set path is bit-identical to the full pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CullStats {
+    /// `true` when the frame ran Stage 1 over a frustum-culled visible
+    /// set.
+    pub enabled: bool,
+    /// Gaussians the visible set dropped by the depth (near/far) test.
+    pub frustum_depth: usize,
+    /// Gaussians the visible set dropped laterally (footprint certainly
+    /// off-image).
+    pub frustum_lateral: usize,
+    /// `true` when the visible set came from the session's
+    /// [`VisibilityCache`](gaurast_scene::VisibilityCache) instead of
+    /// being rebuilt.
+    pub cache_hit: bool,
+}
+
+impl CullStats {
+    /// Total Gaussians the visible set dropped before Stage 1.
+    pub fn frustum_total(&self) -> usize {
+        self.frustum_depth + self.frustum_lateral
+    }
+}
+
 /// Frame statistics common to every backend. The workload-derived fields
 /// (`blend_work`, `pairs`, `mean_list`, `visible`, `culled`,
 /// `blends_committed`) are filled by the engine after `execute`, since all
@@ -146,6 +178,11 @@ pub struct FrameStats {
     pub culled: usize,
     /// Blends the reference pass committed (identical across backends).
     pub blends_committed: u64,
+    /// Of `culled`, Gaussians dropped for a non-finite projection
+    /// (overflowed covariance).
+    pub culled_non_finite: usize,
+    /// Visible-set (frustum-culling) statistics for the frame.
+    pub cull: CullStats,
     /// Execution-unit utilization, when the backend models one (0 for
     /// analytical backends).
     pub utilization: f64,

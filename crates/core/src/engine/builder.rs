@@ -5,7 +5,7 @@ use crate::backend::BackendKind;
 use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::{Precision, RasterizerConfig};
 use gaurast_render::DEFAULT_TILE_SIZE;
-use gaurast_scene::{GaussianScene, PreparedScene};
+use gaurast_scene::{GaussianScene, PreparedScene, VisibilityCache};
 use std::sync::Arc;
 
 /// Builder for an [`Engine`] session.
@@ -43,6 +43,8 @@ pub struct EngineBuilder {
     hw_config: RasterizerConfig,
     host: CudaGpuModel,
     image_policy: ImagePolicy,
+    culling: bool,
+    vis_cache: Option<Arc<VisibilityCache>>,
 }
 
 impl EngineBuilder {
@@ -65,6 +67,8 @@ impl EngineBuilder {
             hw_config: RasterizerConfig::scaled(),
             host: device::orin_nx(),
             image_policy: ImagePolicy::Discard,
+            culling: true,
+            vis_cache: None,
         }
     }
 
@@ -118,6 +122,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables or disables the frustum-culled visible-set path for
+    /// Stage 1 (on by default). Culling only drops Gaussians Stage 1
+    /// would have culled anyway, so rendered frames — images, splat
+    /// order, cull counts, FP-op tallies — are **bit-identical** either
+    /// way; the knob only trades Stage-1 wall-clock time and exists for
+    /// A/B measurement.
+    pub fn frustum_culling(mut self, enabled: bool) -> Self {
+        self.culling = enabled;
+        self
+    }
+
+    /// Shares an existing visible-set cache with this session (sessions
+    /// over the same scene and camera poses then build each set once).
+    /// By default every session gets its own cache.
+    pub fn visibility_cache(mut self, cache: Arc<VisibilityCache>) -> Self {
+        self.vis_cache = Some(cache);
+        self
+    }
+
     /// Shorthand for [`ImagePolicy::Retain`] / [`ImagePolicy::Discard`].
     pub fn retain_images(self, retain: bool) -> Self {
         self.image_policy(if retain {
@@ -151,6 +174,9 @@ impl EngineBuilder {
             hw_config,
             self.host,
             self.backend,
+            self.culling,
+            self.vis_cache
+                .unwrap_or_else(|| Arc::new(VisibilityCache::new())),
         ))
     }
 }

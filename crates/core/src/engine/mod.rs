@@ -40,7 +40,7 @@ mod builder;
 pub use builder::EngineBuilder;
 
 use crate::backend::{
-    Backend, BackendKind, CudaGpuBackend, EnhancedRasterizerBackend, Frame, FrameReport,
+    Backend, BackendKind, CudaGpuBackend, CullStats, EnhancedRasterizerBackend, Frame, FrameReport,
     GscoreBackend, ReferencePass, SoftwareBackend,
 };
 use crate::report::{fmt_f, fmt_ms, TextTable};
@@ -48,11 +48,11 @@ use gaurast_gpu::CudaGpuModel;
 use gaurast_hw::RasterizerConfig;
 use gaurast_render::pipeline::PreprocessStats;
 use gaurast_render::pool::WorkerPool;
-use gaurast_render::preprocess::preprocess_prepared_pooled;
+use gaurast_render::preprocess::{preprocess_prepared_pooled, preprocess_prepared_visible_pooled};
 use gaurast_render::rasterize::rasterize_with;
 use gaurast_render::tile::bin_splats_deferred_into;
 use gaurast_render::{Framebuffer, RasterWorkload};
-use gaurast_scene::{Camera, GaussianScene, PreparedScene};
+use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibilityCache};
 use gaurast_sched::{replay, FrameCost, SequenceReport};
 use std::sync::Arc;
 use std::time::Instant;
@@ -187,6 +187,12 @@ pub struct Engine {
     pub(crate) hw_config: RasterizerConfig,
     pub(crate) host: CudaGpuModel,
     pub(crate) kind: BackendKind,
+    /// Whether Stage 1 runs over a frustum-culled visible set (output is
+    /// bit-identical either way; culling only trades wall-clock time).
+    pub(crate) culling: bool,
+    /// Pose-keyed visible-set store, possibly shared with other sessions
+    /// (the `RenderService` hands every session one cache).
+    vis_cache: Arc<VisibilityCache>,
     pool: WorkerPool,
     backend: Box<dyn Backend>,
     scratch: Scratch,
@@ -197,7 +203,8 @@ impl Clone for Engine {
     /// A fresh session over the same shared scene and configuration: the
     /// `Arc<PreparedScene>` is shared (no scene copy), the backend is
     /// re-instantiated from the session configuration, and the frame
-    /// counter and scratch start empty.
+    /// counter and scratch start empty. The visibility cache is shared —
+    /// cached visible sets are semantically transparent.
     fn clone(&self) -> Self {
         Self::from_parts(
             Arc::clone(&self.scene),
@@ -207,11 +214,14 @@ impl Clone for Engine {
             self.hw_config,
             self.host.clone(),
             self.kind,
+            self.culling,
+            Arc::clone(&self.vis_cache),
         )
     }
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         scene: Arc<PreparedScene>,
         tile_size: u32,
@@ -220,6 +230,8 @@ impl Engine {
         hw_config: RasterizerConfig,
         host: CudaGpuModel,
         kind: BackendKind,
+        culling: bool,
+        vis_cache: Arc<VisibilityCache>,
     ) -> Self {
         let backend = make_backend(kind, hw_config);
         Self {
@@ -230,6 +242,8 @@ impl Engine {
             hw_config,
             host,
             kind,
+            culling,
+            vis_cache,
             pool: WorkerPool::new(workers),
             backend,
             scratch: Scratch::default(),
@@ -283,6 +297,20 @@ impl Engine {
         self.frames
     }
 
+    /// Whether Stage 1 runs over a frustum-culled visible set (see
+    /// [`EngineBuilder::frustum_culling`]).
+    pub fn frustum_culling(&self) -> bool {
+        self.culling
+    }
+
+    /// The session's visible-set cache. Sessions built through a
+    /// `RenderService` (and `Engine::clone`) share one cache, so batch
+    /// requests over the same scene and quantized camera pose build each
+    /// visible set exactly once.
+    pub fn visibility_cache(&self) -> &Arc<VisibilityCache> {
+        &self.vis_cache
+    }
+
     /// Switches the session to another backend, keeping the scene and
     /// scratch. The frame counter continues.
     pub fn switch_backend(&mut self, kind: BackendKind) {
@@ -317,7 +345,22 @@ impl Engine {
         camera: &Camera,
         need_image: bool,
     ) -> (RasterWorkload, ReferencePass) {
-        let pre = preprocess_prepared_pooled(&self.scene, camera, &self.pool);
+        let (pre, cull) = if self.culling {
+            let (visible, cache_hit) = self.vis_cache.get_or_build(&self.scene, camera);
+            let pre = preprocess_prepared_visible_pooled(&self.scene, camera, &visible, &self.pool);
+            let cull = CullStats {
+                enabled: true,
+                frustum_depth: visible.culled_depth(),
+                frustum_lateral: visible.culled_lateral(),
+                cache_hit,
+            };
+            (pre, cull)
+        } else {
+            (
+                preprocess_prepared_pooled(&self.scene, camera, &self.pool),
+                CullStats::default(),
+            )
+        };
         let pre_stats = PreprocessStats::from(&pre);
         let bins = std::mem::take(&mut self.scratch.bins);
         // Binning defers the per-tile depth sort into the parallel tile
@@ -346,6 +389,7 @@ impl Engine {
             workload,
             ReferencePass {
                 preprocess: pre_stats,
+                cull,
                 raster,
                 wall_s,
                 image,
@@ -364,6 +408,8 @@ impl Engine {
         report.stats.mean_list = gaurast_gpu::mean_processed_len(workload);
         report.stats.visible = reference.preprocess.visible;
         report.stats.culled = reference.preprocess.culled;
+        report.stats.culled_non_finite = reference.preprocess.non_finite;
+        report.stats.cull = reference.cull;
         report.stats.blends_committed = reference.raster.blends_committed;
     }
 
@@ -692,6 +738,72 @@ mod tests {
         let e = EngineBuilder::new(scene).workers(3).build().unwrap();
         assert_eq!(e.workers(), 3);
         assert_eq!(e.clone().workers(), 3, "clone keeps the worker policy");
+    }
+
+    #[test]
+    fn culling_is_on_by_default_and_bit_identical() {
+        let scene = SceneParams::new(1500).seed(31).generate().unwrap();
+        let mut culled = EngineBuilder::new(scene)
+            .backend(BackendKind::Software)
+            .image_policy(ImagePolicy::Retain)
+            .build()
+            .unwrap();
+        assert!(culled.frustum_culling());
+        let mut full = EngineBuilder::shared(Arc::clone(culled.prepared()))
+            .backend(BackendKind::Software)
+            .image_policy(ImagePolicy::Retain)
+            .frustum_culling(false)
+            .build()
+            .unwrap();
+        assert!(!full.frustum_culling());
+        // Off-center view at the scene's edge: the frustum must drop a
+        // real fraction while the frame stays bit-identical.
+        let cam = Camera::look_at(
+            Vec3::new(22.0, 5.0, -20.0),
+            Vec3::new(12.0, 0.0, -2.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            96,
+            64,
+            1.05,
+        )
+        .unwrap();
+        let a = culled.render_frame(&cam);
+        let b = full.render_frame(&cam);
+        assert!(a.stats.cull.enabled);
+        assert!(
+            a.stats.cull.frustum_total() > 0,
+            "off-center camera should let the frustum drop something"
+        );
+        assert!(!b.stats.cull.enabled);
+        assert_eq!(
+            a.image.unwrap().mean_abs_diff(&b.image.unwrap()),
+            0.0,
+            "culled frame must be bit-identical"
+        );
+        // (time_s is wall-clock on the software backend — not compared.)
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.stats.visible, b.stats.visible);
+        assert_eq!(a.stats.culled, b.stats.culled);
+        assert_eq!(a.stats.blend_work, b.stats.blend_work);
+        assert_eq!(a.stats.pairs, b.stats.pairs);
+        assert_eq!(a.stats.blends_committed, b.stats.blends_committed);
+    }
+
+    #[test]
+    fn repeated_frames_hit_the_visibility_cache() {
+        let mut e = engine(BackendKind::Enhanced, ImagePolicy::Discard);
+        let cam = camera(64, 64);
+        let first = e.render_frame(&cam);
+        assert!(first.stats.cull.enabled);
+        assert!(!first.stats.cull.cache_hit, "first frame must build");
+        let second = e.render_frame(&cam);
+        assert!(second.stats.cull.cache_hit, "repeat pose must hit");
+        assert_eq!(first.time_s, second.time_s);
+        assert_eq!(e.visibility_cache().len(), 1);
+        assert_eq!(e.visibility_cache().hits(), 1);
+        // A sequence over one camera keeps hitting the same set.
+        let out = e.render_sequence(&vec![cam; 4]);
+        assert!(out.reports.iter().all(|r| r.stats.cull.cache_hit));
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod experiments;
 pub mod report;
 pub mod service;
 
-pub use backend::{Backend, BackendKind, FrameReport, FrameStats, GpuPreset};
+pub use backend::{Backend, BackendKind, CullStats, FrameReport, FrameStats, GpuPreset};
 pub use engine::{Engine, EngineBuilder, EngineError, ImagePolicy};
 pub use service::{BatchReport, RenderRequest, RenderResponse, RenderService, ServiceError};
 

@@ -59,7 +59,7 @@ use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::RasterizerConfig;
 use gaurast_render::pool::resolve_workers;
 use gaurast_render::DEFAULT_TILE_SIZE;
-use gaurast_scene::{Camera, GaussianScene, PreparedScene};
+use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibilityCache};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -220,6 +220,7 @@ pub struct RenderServiceBuilder {
     hw_config: RasterizerConfig,
     host: CudaGpuModel,
     image_policy: ImagePolicy,
+    culling: bool,
 }
 
 impl Default for RenderServiceBuilder {
@@ -239,6 +240,7 @@ impl RenderServiceBuilder {
             hw_config: RasterizerConfig::scaled(),
             host: device::orin_nx(),
             image_policy: ImagePolicy::Discard,
+            culling: true,
         }
     }
 
@@ -301,6 +303,14 @@ impl RenderServiceBuilder {
         self
     }
 
+    /// Enables or disables frustum culling in every session (on by
+    /// default; frames are bit-identical either way — see
+    /// [`EngineBuilder::frustum_culling`]).
+    pub fn frustum_culling(mut self, enabled: bool) -> Self {
+        self.culling = enabled;
+        self
+    }
+
     /// Validates the configuration and builds the service.
     ///
     /// # Errors
@@ -345,6 +355,8 @@ impl RenderServiceBuilder {
             hw_config: self.hw_config,
             host: self.host,
             image_policy: self.image_policy,
+            culling: self.culling,
+            vis_cache: Arc::new(VisibilityCache::new()),
         })
     }
 }
@@ -361,6 +373,11 @@ pub struct RenderService {
     hw_config: RasterizerConfig,
     host: CudaGpuModel,
     image_policy: ImagePolicy,
+    culling: bool,
+    /// One visible-set cache shared by *every* session the service opens:
+    /// batch requests sharing a scene and (quantized) camera pose build
+    /// each set once, across workers.
+    vis_cache: Arc<VisibilityCache>,
 }
 
 impl RenderService {
@@ -570,6 +587,12 @@ impl RenderService {
             .ok_or_else(|| ServiceError::UnknownScene(name.to_string()))
     }
 
+    /// The service-wide visible-set cache (for introspection: hit/miss
+    /// counters, current size).
+    pub fn visibility_cache(&self) -> &Arc<VisibilityCache> {
+        &self.vis_cache
+    }
+
     fn open_session(
         &self,
         prepared: Arc<PreparedScene>,
@@ -583,6 +606,8 @@ impl RenderService {
             .hw_config(self.hw_config)
             .host(self.host.clone())
             .image_policy(self.image_policy)
+            .frustum_culling(self.culling)
+            .visibility_cache(Arc::clone(&self.vis_cache))
             .build()
             .expect("service configuration validated at build time")
     }
@@ -696,6 +721,83 @@ mod tests {
             svc.register("late", SceneParams::new(50).seed(2).generate().unwrap()),
             Err(ServiceError::DuplicateScene(_))
         ));
+    }
+
+    #[test]
+    fn batch_workers_share_one_visibility_cache() {
+        let svc = service();
+        let cam = camera(0.4);
+        // Six requests of one pose over two workers: the visible set must
+        // be built at most once per worker race, then hit everywhere.
+        let requests: Vec<_> = (0..6)
+            .map(|_| RenderRequest::new("demo", cam.clone()))
+            .collect();
+        svc.render_batch(&requests).unwrap();
+        let cache = svc.visibility_cache();
+        assert_eq!(cache.len(), 1, "one pose, one cached set");
+        assert_eq!(cache.hits() + cache.misses(), 6);
+        assert!(cache.hits() >= 4, "hits {}", cache.hits());
+        // submit() reuses the same service-wide cache.
+        svc.submit(RenderRequest::new("demo", cam)).unwrap();
+        assert_eq!(cache.hits() + cache.misses(), 7);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn culling_off_service_renders_identically() {
+        let scene = SceneParams::new(400).seed(23).generate().unwrap();
+        let on = RenderService::builder()
+            .scene("s", scene.clone())
+            .workers(2)
+            .build()
+            .unwrap();
+        let off = RenderService::builder()
+            .scene("s", scene)
+            .workers(2)
+            .frustum_culling(false)
+            .build()
+            .unwrap();
+        let req = RenderRequest::new("s", camera(1.1));
+        let a = on.submit(req.clone()).unwrap();
+        let b = off.submit(req).unwrap();
+        assert!(a.report.stats.cull.enabled);
+        assert!(!b.report.stats.cull.enabled);
+        assert_eq!(a.report.time_s, b.report.time_s);
+        assert_eq!(a.report.stats.blend_work, b.report.stats.blend_work);
+        assert_eq!(a.report.stats.visible, b.report.stats.visible);
+        assert_eq!(a.report.stats.culled, b.report.stats.culled);
+    }
+
+    #[test]
+    fn oversubscribed_frame_budget_clamps_to_one() {
+        // Regression guard: with more batch workers than cores the auto
+        // budget `available_parallelism / batch_workers` truncates to 0,
+        // which `WorkerPool` would reinterpret as "auto = full width" —
+        // nested request x frame parallelism would then oversubscribe
+        // exactly when the host is already saturated. The budget must
+        // clamp to >= 1 (one frame worker per batch worker).
+        let cores = gaurast_render::pool::resolve_workers(0);
+        let scene = SceneParams::new(200).seed(8).generate().unwrap();
+        let svc = RenderService::builder()
+            .scene("demo", scene)
+            .workers(cores * 4)
+            .build()
+            .unwrap();
+        assert_eq!(svc.frame_worker_budget(cores * 4), 1);
+        assert!(svc.frame_worker_budget(usize::MAX) >= 1);
+        // A batch at that width must complete and stay bit-identical to
+        // the single-session path.
+        let requests: Vec<_> = (0..cores * 4)
+            .map(|i| RenderRequest::new("demo", camera(i as f32 * 0.3)))
+            .collect();
+        let batch = svc.render_batch(&requests).unwrap();
+        assert_eq!(batch.len(), requests.len());
+        let mut session = svc.session("demo", BackendKind::Enhanced).unwrap();
+        for (resp, req) in batch.responses.iter().zip(&requests) {
+            let direct = session.render_frame(&req.camera);
+            assert_eq!(resp.report.stats.blend_work, direct.stats.blend_work);
+            assert_eq!(resp.report.time_s, direct.time_s);
+        }
     }
 
     #[test]

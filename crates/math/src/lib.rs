@@ -10,6 +10,8 @@
 //! * [`sh`] — spherical-harmonics color evaluation (degrees 0–3) exactly as
 //!   used by the 3DGS preprocessing stage,
 //! * [`Aabb2`] / [`Aabb3`] — bounding boxes for tile binning,
+//! * [`Frustum`] — conservative view-frustum culling tests for the
+//!   visible-set subsystem,
 //! * [`fp`] — FP16 bit-level conversion used by the hardware precision model.
 //!
 //! # Example
@@ -28,6 +30,7 @@
 
 mod aabb;
 pub mod fp;
+mod frustum;
 mod mat;
 mod quat;
 pub mod sh;
@@ -35,6 +38,7 @@ mod transform;
 mod vec;
 
 pub use aabb::{Aabb2, Aabb3};
+pub use frustum::{Frustum, Visibility, MARGIN_PX};
 pub use mat::{Mat2, Mat3, Mat4};
 pub use quat::Quat;
 pub use transform::{focal_from_fov, fov_from_focal, look_at, perspective};

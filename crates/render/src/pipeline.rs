@@ -69,6 +69,10 @@ pub struct PreprocessStats {
     pub visible: usize,
     /// Gaussians culled.
     pub culled: usize,
+    /// Of `culled`, Gaussians dropped for a non-finite projection
+    /// (overflowed covariance) — see
+    /// [`PreprocessOutput::culled_non_finite`].
+    pub non_finite: usize,
     /// FP operations spent in Stage 1.
     pub ops: OpCounts,
 }
@@ -78,6 +82,7 @@ impl From<&PreprocessOutput> for PreprocessStats {
         Self {
             visible: p.splats.len(),
             culled: p.culled,
+            non_finite: p.culled_non_finite,
             ops: p.ops,
         }
     }

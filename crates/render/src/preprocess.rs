@@ -14,7 +14,7 @@
 use crate::ops::OpCounts;
 use crate::pool::WorkerPool;
 use gaurast_math::{Mat2, Mat3, Vec2, Vec3};
-use gaurast_scene::{Camera, GaussianScene, PreparedScene};
+use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibleSet};
 use std::ops::Range;
 
 /// Gaussians per parallel Stage-1 job. The chunking is *fixed-size*, not
@@ -71,12 +71,38 @@ impl Splat2D {
 pub struct PreprocessOutput {
     /// Visible splats (culled Gaussians are absent).
     pub splats: Vec<Splat2D>,
-    /// Number of Gaussians culled (behind the near plane, degenerate
-    /// covariance, or vanishing footprint).
+    /// Number of Gaussians culled for any reason (depth clip, degenerate
+    /// covariance, vanishing or off-screen footprint, non-finite
+    /// projection).
     pub culled: usize,
+    /// Of [`PreprocessOutput::culled`], the Gaussians dropped because
+    /// their projected mean or radius came out non-finite (covariance
+    /// overflow). Without this cull a NaN mean would slip every
+    /// sign-based Stage-1 guard and reach tile binning.
+    pub culled_non_finite: usize,
     /// FP operations spent (Stage 1 contributes to the end-to-end model).
     pub ops: OpCounts,
 }
+
+/// The exact Stage-1 op tally charged for a Gaussian that survives the
+/// depth clip but is culled at the sub-pixel-radius or off-screen branch:
+/// projection of the mean, the EWA Jacobian, both 3×3 covariance
+/// products, the low-pass filter, the conic inversion, and the
+/// eigenvalue/radius computation — everything before the cull that ends
+/// it. Both late branches charge identically (the `radius < 1` and
+/// screen-bounds tests tally nothing before `continue`).
+///
+/// A [`VisibleSet`] bills this bundle for every Gaussian it culled
+/// laterally, which is what keeps visible-set Stage 1 bit-identical in
+/// `ops` to the full pass (`tests::offscreen_cull_bundle_matches_kernel`
+/// pins it to the kernel).
+pub const OFFSCREEN_CULL_OPS: OpCounts = OpCounts {
+    add: 67,
+    mul: 108,
+    div: 2,
+    exp: 0,
+    cmp: 5,
+};
 
 /// Runs Stage 1 over a scene.
 ///
@@ -148,6 +174,66 @@ pub fn preprocess_prepared_pooled(
     preprocess_chunked(prepared.scene(), camera, |i, _| covariances[i], pool)
 }
 
+/// [`preprocess_prepared`] restricted to a [`VisibleSet`]: Stage 1 only
+/// iterates the set's surviving indices, then accounts for the
+/// frustum-dropped remainder exactly as the full pass would have —
+/// depth-culled Gaussians add to the cull count with zero ops,
+/// laterally-culled ones add the fixed [`OFFSCREEN_CULL_OPS`] bundle each.
+/// The output is therefore **bit-identical** (splats, order, `source`
+/// ids, cull counts, op tallies) to [`preprocess_prepared`] over the whole
+/// scene; only the wall-clock time shrinks.
+///
+/// # Panics
+/// Panics when the set's generation tag does not match `prepared` (the
+/// set was built from a different scene).
+pub fn preprocess_prepared_visible(
+    prepared: &PreparedScene,
+    camera: &Camera,
+    visible: &VisibleSet,
+) -> PreprocessOutput {
+    preprocess_prepared_visible_pooled(prepared, camera, visible, &WorkerPool::serial())
+}
+
+/// [`preprocess_prepared_visible`] with the chunked parallel decomposition
+/// (fixed [`PREPROCESS_CHUNK`]-sized chunks of the *visible index list*,
+/// stitched in order). Bit-identical at every worker count.
+///
+/// # Panics
+/// Panics when the set's generation tag does not match `prepared`.
+pub fn preprocess_prepared_visible_pooled(
+    prepared: &PreparedScene,
+    camera: &Camera,
+    visible: &VisibleSet,
+    pool: &WorkerPool,
+) -> PreprocessOutput {
+    assert_eq!(
+        visible.scene_generation(),
+        prepared.generation(),
+        "visible set belongs to a different prepared scene"
+    );
+    let covariances = prepared.covariances();
+    let covariance_of = |i: usize, _: &gaurast_scene::Gaussian3| covariances[i];
+    let scene = prepared.scene();
+    let idx = visible.indices();
+    let mut out = if pool.is_serial() || idx.len() <= PREPROCESS_CHUNK {
+        preprocess_indices(scene, camera, &covariance_of, idx)
+    } else {
+        let n_chunks = idx.len().div_ceil(PREPROCESS_CHUNK);
+        let mut chunks: Vec<PreprocessOutput> = vec![PreprocessOutput::default(); n_chunks];
+        pool.run_mut(&mut chunks, |c, chunk| {
+            let start = c * PREPROCESS_CHUNK;
+            let end = (start + PREPROCESS_CHUNK).min(idx.len());
+            *chunk = preprocess_indices(scene, camera, &covariance_of, &idx[start..end]);
+        });
+        stitch(chunks)
+    };
+    // The frustum only drops Gaussians Stage 1 would have culled; bill
+    // them exactly as the skipped branches would have.
+    out.culled += visible.culled_total();
+    out.ops += OFFSCREEN_CULL_OPS.scaled(visible.culled_lateral() as u64);
+    out
+}
+
 /// The shared chunked Stage-1 driver: splits the Gaussian index space into
 /// [`PREPROCESS_CHUNK`]-sized jobs, runs them over `pool`, and stitches
 /// the chunk outputs back in index order. A serial pool (or a scene that
@@ -168,32 +254,69 @@ fn preprocess_chunked(
         let end = (start + PREPROCESS_CHUNK).min(scene.len());
         *chunk = preprocess_range(scene, camera, &covariance_of, start..end);
     });
-    // Stitch in index order: splat order and `source` ids match the serial
-    // pass exactly; cull counts and op tallies are integer sums.
+    stitch(chunks)
+}
+
+/// Merges chunk outputs in index order: splat order and `source` ids match
+/// the serial pass exactly; cull counts and op tallies are integer sums.
+fn stitch(chunks: Vec<PreprocessOutput>) -> PreprocessOutput {
     let mut out = PreprocessOutput::default();
     out.splats
         .reserve(chunks.iter().map(|c| c.splats.len()).sum());
     for chunk in chunks {
         out.splats.extend(chunk.splats);
         out.culled += chunk.culled;
+        out.culled_non_finite += chunk.culled_non_finite;
         out.ops += chunk.ops;
     }
     out
 }
 
-/// The Stage-1 loop over one contiguous Gaussian index range,
-/// parameterised over where each Gaussian's world-space covariance comes
-/// from (computed on the fly for a raw scene, read back for a prepared
-/// one). Emitted `source` ids are global scene indices regardless of the
-/// range.
+/// The Stage-1 loop over one contiguous Gaussian index range (see
+/// [`preprocess_over`]).
 fn preprocess_range(
     scene: &GaussianScene,
     camera: &Camera,
     covariance_of: &(impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync),
     range: Range<usize>,
 ) -> PreprocessOutput {
+    let len = range.len();
+    preprocess_over(scene, camera, covariance_of, len, range)
+}
+
+/// The Stage-1 loop over an explicit ascending index list (the visible-set
+/// path; see [`preprocess_over`]).
+fn preprocess_indices(
+    scene: &GaussianScene,
+    camera: &Camera,
+    covariance_of: &(impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync),
+    indices: &[u32],
+) -> PreprocessOutput {
+    preprocess_over(
+        scene,
+        camera,
+        covariance_of,
+        indices.len(),
+        indices.iter().map(|&i| i as usize),
+    )
+}
+
+/// The Stage-1 loop over an arbitrary ascending Gaussian index sequence,
+/// parameterised over where each Gaussian's world-space covariance comes
+/// from (computed on the fly for a raw scene, read back for a prepared
+/// one). One code path serves the full-range and visible-set entry points,
+/// so their per-Gaussian arithmetic — and therefore their outputs — are
+/// identical by construction. Emitted `source` ids are global scene
+/// indices regardless of the sequence.
+fn preprocess_over(
+    scene: &GaussianScene,
+    camera: &Camera,
+    covariance_of: &(impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync),
+    count: usize,
+    indices: impl Iterator<Item = usize>,
+) -> PreprocessOutput {
     let mut out = PreprocessOutput::default();
-    out.splats.reserve(range.len());
+    out.splats.reserve(count);
     let cam_pos = camera.position();
     let view_rot = camera.view().upper_left_3x3();
     let focal = camera.focal();
@@ -203,8 +326,8 @@ fn preprocess_range(
     let tan_half_x = 0.5 * w / focal.x;
     let tan_half_y = 0.5 * h / focal.y;
 
-    for i in range {
-        let g = scene.get(i).expect("range within scene");
+    for i in indices {
+        let g = scene.get(i).expect("index within scene");
         let p_cam = camera.world_to_camera(g.position);
         // Near-plane cull (reference: z <= 0.2 in scene units scaled; we use
         // the camera's configured near plane).
@@ -268,6 +391,16 @@ fn preprocess_range(
         out.ops.mul += 3;
         out.ops.add += 2;
         out.ops.cmp += 1;
+        // Covariance overflow can make the mean or radius non-finite while
+        // slipping every sign-based guard below (`NaN < 1.0` is false), so
+        // the splat would be silently binned into tile (0, 0). Cull it
+        // with its own counted reason. The guard is diagnostic, not part
+        // of the reference kernel's modeled FP work — nothing is tallied.
+        if !(mean.is_finite() && radius.is_finite()) {
+            out.culled += 1;
+            out.culled_non_finite += 1;
+            continue;
+        }
         if radius < 1.0 {
             out.culled += 1;
             continue;
@@ -444,6 +577,102 @@ mod tests {
         let raw = preprocess(&scene, &cam);
         let prepared = PreparedScene::prepare(scene);
         assert_eq!(preprocess_prepared(&prepared, &cam), raw);
+    }
+
+    #[test]
+    fn offscreen_cull_bundle_matches_kernel() {
+        // A Gaussian that passes the depth clip but is culled at the
+        // screen-bounds branch must charge exactly OFFSCREEN_CULL_OPS —
+        // the constant a VisibleSet bills per laterally-dropped Gaussian.
+        let scene = single(Gaussian3::isotropic(
+            Vec3::new(100.0, 0.0, 0.0),
+            0.01,
+            0.9,
+            Vec3::one(),
+        ));
+        let out = preprocess(&scene, &camera());
+        assert!(out.splats.is_empty());
+        assert_eq!(out.culled, 1);
+        assert_eq!(out.culled_non_finite, 0);
+        assert_eq!(out.ops, OFFSCREEN_CULL_OPS, "bundle drifted from kernel");
+    }
+
+    #[test]
+    fn non_finite_projection_is_culled_with_reason() {
+        // Extreme anisotropy: the projected x-variance stays finite but
+        // its square overflows inside the eigenvalue computation, so the
+        // 3σ radius comes out infinite. Without the dedicated cull this
+        // splat would slip every sign-based guard and reach binning as a
+        // full-screen primitive.
+        let mut g = Gaussian3::isotropic(Vec3::zero(), 1.0, 0.9, Vec3::one());
+        g.scale = Vec3::new(5.0e16, 1.0e-3, 1.0e-3);
+        let out = preprocess(&single(g), &camera());
+        assert!(out.splats.is_empty(), "non-finite splat reached output");
+        assert_eq!(out.culled, 1);
+        assert_eq!(out.culled_non_finite, 1);
+    }
+
+    #[test]
+    fn visible_set_path_is_bit_identical() {
+        use gaurast_scene::generator::SceneParams;
+        use gaurast_scene::PreparedScene;
+        let scene = SceneParams::new(3000).seed(13).generate().unwrap();
+        let cam = Camera::look_at(
+            Vec3::new(20.0, 4.0, -18.0),
+            Vec3::new(8.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            96,
+            64,
+            1.05,
+        )
+        .unwrap();
+        let prepared = PreparedScene::prepare(scene);
+        let full = preprocess_prepared(&prepared, &cam);
+        let visible = prepared.visible_set(&cam);
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            let culled = preprocess_prepared_visible_pooled(&prepared, &cam, &visible, &pool);
+            assert_eq!(
+                culled, full,
+                "visible-set Stage 1 diverged ({workers} workers)"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_visible_set_reproduces_full_cull_accounting() {
+        use gaurast_scene::generator::SceneParams;
+        use gaurast_scene::PreparedScene;
+        let scene = SceneParams::new(400).seed(2).generate().unwrap();
+        // Looking straight away from the scene: every Gaussian is behind.
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -80.0),
+            Vec3::new(0.0, 0.0, -160.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            64,
+            64,
+            1.0,
+        )
+        .unwrap();
+        let prepared = PreparedScene::prepare(scene);
+        let visible = prepared.visible_set(&cam);
+        assert!(visible.is_empty());
+        let culled = preprocess_prepared_visible(&prepared, &cam, &visible);
+        let full = preprocess_prepared(&prepared, &cam);
+        assert_eq!(culled, full);
+        assert_eq!(culled.culled, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "different prepared scene")]
+    fn visible_set_generation_mismatch_panics() {
+        use gaurast_scene::generator::SceneParams;
+        use gaurast_scene::PreparedScene;
+        let a = PreparedScene::prepare(SceneParams::new(10).seed(1).generate().unwrap());
+        let b = PreparedScene::prepare(SceneParams::new(10).seed(1).generate().unwrap());
+        let cam = camera();
+        let set = a.visible_set(&cam);
+        let _ = preprocess_prepared_visible(&b, &cam, &set);
     }
 
     #[test]

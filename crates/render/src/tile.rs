@@ -11,12 +11,23 @@ use gaurast_math::{Aabb2, Vec2};
 
 /// Tile index range `(x0, y0, x1, y1)` (inclusive bounds) overlapped by a
 /// splat's 3σ square, or `None` when it misses the image entirely.
+///
+/// The upper bound follows the reference rasterizer's *exclusive-max*
+/// convention (`rect_max = ceil(max / tile)`, tiles `[x0, x1e)`): a box
+/// ending exactly on a tile boundary does **not** enter the next tile.
+/// Splats with a non-finite mean or radius are never binned (upstream
+/// Stage 1 culls them; this is defense in depth for direct callers —
+/// without it, `floor() as u32` would saturate a NaN to 0 and silently
+/// bin the splat into tile (0, 0)).
 pub fn tile_range(
     splat: &Splat2D,
     width: u32,
     height: u32,
     tile_size: u32,
 ) -> Option<(u32, u32, u32, u32)> {
+    if !(splat.mean.is_finite() && splat.radius.is_finite()) {
+        return None;
+    }
     let bbox = Aabb2::from_center_radius(splat.mean, splat.radius);
     let img = Aabb2::new(Vec2::zero(), Vec2::new(width as f32, height as f32));
     if !bbox.intersects(&img) {
@@ -28,9 +39,15 @@ pub fn tile_range(
     let y0 = (clipped.min.y / ts).floor().max(0.0) as u32;
     let tiles_x = width.div_ceil(tile_size);
     let tiles_y = height.div_ceil(tile_size);
-    let x1 = ((clipped.max.x / ts).floor() as u32).min(tiles_x - 1);
-    let y1 = ((clipped.max.y / ts).floor() as u32).min(tiles_y - 1);
-    Some((x0, y0, x1, y1))
+    // Exclusive upper tile bound, then back to the inclusive API. A box
+    // whose clipped extent is empty (touching an image edge from outside)
+    // covers no tile.
+    let x1e = ((clipped.max.x / ts).ceil() as u32).min(tiles_x);
+    let y1e = ((clipped.max.y / ts).ceil() as u32).min(tiles_y);
+    if x1e <= x0 || y1e <= y0 {
+        return None;
+    }
+    Some((x0, y0, x1e - 1, y1e - 1))
 }
 
 /// Bins depth-sortable splats into per-tile lists and returns the workload.
@@ -175,6 +192,48 @@ mod tests {
         let w = bin_splats(vec![splat_at(18.0, 18.0, 1.5, 1.0)], 20, 20, 16);
         assert_eq!(w.tile_list(1, 1), &[0]);
         assert_eq!(w.total_pairs(), 1);
+    }
+
+    #[test]
+    fn boundary_exact_box_stays_out_of_next_tile() {
+        // 3σ box [8-8, 8+8] = [0, 16]: ends exactly on the x=16 tile
+        // boundary, so under the exclusive-max convention it must cover
+        // only tile column 0 (the bug binned it into column 1 too).
+        let (x0, y0, x1, y1) = tile_range(&splat_at(8.0, 8.0, 8.0, 1.0), 64, 64, 16).unwrap();
+        assert_eq!((x0, y0, x1, y1), (0, 0, 0, 0));
+        let w = bin_splats(vec![splat_at(8.0, 8.0, 8.0, 1.0)], 64, 64, 16);
+        assert_eq!(w.total_pairs(), 1);
+        assert!(w.tile_list(1, 0).is_empty());
+        assert!(w.tile_list(0, 1).is_empty());
+    }
+
+    #[test]
+    fn box_starting_on_boundary_skips_previous_tile() {
+        // Box [16, 22] starts exactly on the boundary: tile column 1 only.
+        let (x0, _, x1, _) = tile_range(&splat_at(19.0, 8.0, 3.0, 1.0), 64, 64, 16).unwrap();
+        assert_eq!((x0, x1), (1, 1));
+    }
+
+    #[test]
+    fn degenerate_box_touching_image_edge_is_not_binned() {
+        // Box [-6, 0]: touches the image's left edge with an empty clipped
+        // extent — the reference's empty rect [0, 0) — so no tile.
+        assert!(tile_range(&splat_at(-3.0, 8.0, 3.0, 1.0), 64, 64, 16).is_none());
+    }
+
+    #[test]
+    fn non_finite_splats_are_never_binned() {
+        // A NaN mean used to saturate `floor() as u32` to 0 and silently
+        // land the splat in tile (0, 0); now it is not binned at all.
+        let mut nan_mean = splat_at(8.0, 8.0, 3.0, 1.0);
+        nan_mean.mean = Vec2::new(f32::NAN, 8.0);
+        assert!(tile_range(&nan_mean, 64, 64, 16).is_none());
+        let mut inf_radius = splat_at(8.0, 8.0, 3.0, 1.0);
+        inf_radius.radius = f32::INFINITY;
+        assert!(tile_range(&inf_radius, 64, 64, 16).is_none());
+        let mut nan_radius = splat_at(8.0, 8.0, 3.0, 1.0);
+        nan_radius.radius = f32::NAN;
+        assert!(tile_range(&nan_radius, 64, 64, 16).is_none());
     }
 
     #[test]

@@ -78,6 +78,16 @@ impl RasterWorkload {
                 assert!((i as usize) < splats.len(), "splat index {i} out of bounds");
             }
         }
+        // Debug-only finiteness gate: Stage 1 culls non-finite splats and
+        // `tile_range` refuses to bin them, so a non-finite mean, radius,
+        // or depth here means an upstream guard was bypassed (NaN depths
+        // would also poison the per-tile sort).
+        debug_assert!(
+            splats
+                .iter()
+                .all(|s| s.mean.is_finite() && s.radius.is_finite() && s.depth.is_finite()),
+            "non-finite splat reached RasterWorkload::new"
+        );
         Self {
             width,
             height,

@@ -5,7 +5,7 @@
 //! synthetic scenes.
 
 use crate::SceneError;
-use gaurast_math::{focal_from_fov, look_at, Mat4, Vec2, Vec3};
+use gaurast_math::{focal_from_fov, look_at, Frustum, Mat4, Vec2, Vec3};
 
 /// A pinhole camera: world-to-camera rigid transform plus intrinsics.
 ///
@@ -163,6 +163,22 @@ impl Camera {
     #[inline]
     pub fn world_to_pixel(&self, p: Vec3) -> Option<Vec2> {
         self.camera_to_pixel(self.world_to_camera(p))
+    }
+
+    /// Extracts this camera's conservative view frustum (exact pose, zero
+    /// slack). For visible sets meant to be cached across nearby poses,
+    /// use [`crate::visibility::quantized_frustum`] instead, which adds
+    /// the pose-quantization slack.
+    pub fn frustum(&self) -> Frustum {
+        Frustum::new(
+            self.view,
+            self.width,
+            self.height,
+            self.focal,
+            self.principal,
+            self.near,
+            self.far,
+        )
     }
 }
 

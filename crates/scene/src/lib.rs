@@ -10,8 +10,11 @@
 //!   rotation quaternion, opacity, spherical-harmonics color);
 //! * [`PreparedScene`] — the immutable share-ready asset: a validated scene
 //!   plus every camera-independent precomputation (bounds, world
-//!   covariances, 3σ radii, summary statistics), built once and served to
-//!   any number of sessions behind an `Arc`;
+//!   covariances, 3σ radii, a coarse spatial index, summary statistics),
+//!   built once and served to any number of sessions behind an `Arc`;
+//! * [`visibility`] — the frustum-culled visible-set subsystem:
+//!   [`VisibleSet`]s over the spatial index, pose-quantized and cacheable
+//!   across sessions via [`VisibilityCache`];
 //! * [`TriangleMesh`] — the classic representation handled by the original
 //!   triangle rasterizer that GauRast extends;
 //! * [`Camera`] and orbit trajectories;
@@ -45,9 +48,11 @@ pub mod nerf360;
 pub mod ply;
 pub mod prepared;
 pub mod stats;
+pub mod visibility;
 
 pub use camera::{Camera, OrbitTrajectory};
 pub use error::SceneError;
 pub use gaussian::{Gaussian3, GaussianScene, ShColor};
 pub use mesh::{Triangle, TriangleMesh, Vertex};
 pub use prepared::PreparedScene;
+pub use visibility::{VisibilityCache, VisibleSet};

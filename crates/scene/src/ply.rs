@@ -129,6 +129,12 @@ pub fn from_ply(bytes: &[u8]) -> Result<GaussianScene, SceneError> {
         cursor
             .read_line(&mut line)
             .map_err(|e| bad(format!("header read failed: {e}")))?;
+        // `trim_end` strips the line terminator *and* any trailing
+        // whitespace, so `\r\n`-terminated (Windows-exported) and padded
+        // header lines parse identically to clean `\n` ones — pinned by
+        // the CRLF regression tests below. Only the header is
+        // line-oriented; the binary payload after `end_header` is read by
+        // exact byte count, so this can never eat payload bytes.
         Ok(line.trim_end().to_string())
     };
 
@@ -326,6 +332,73 @@ mod tests {
         assert!(header.contains("property float f_rest_23"));
         assert!(!header.contains("f_rest_24"));
         assert!(header.contains("property float rot_3"));
+    }
+
+    /// Rewrites a PLY's header with the given line terminator (and
+    /// optional per-line trailing padding), leaving the binary payload
+    /// untouched — what a Windows exporter or a sloppy writer produces.
+    fn reterminate_header(bytes: &[u8], ending: &str, pad: &str) -> Vec<u8> {
+        let header_end = bytes
+            .windows(11)
+            .position(|w| w == b"end_header\n")
+            .expect("header terminator")
+            + 11;
+        let header = std::str::from_utf8(&bytes[..header_end]).expect("ascii header");
+        let mut out = Vec::new();
+        for line in header.lines() {
+            out.extend_from_slice(line.as_bytes());
+            out.extend_from_slice(pad.as_bytes());
+            out.extend_from_slice(ending.as_bytes());
+        }
+        out.extend_from_slice(&bytes[header_end..]);
+        out
+    }
+
+    #[test]
+    fn crlf_header_roundtrips_windows_checkpoints() {
+        // Regression: `\r\n`-terminated headers (Windows exports) must
+        // parse to the identical scene, payload offsets included.
+        let scene = SceneParams::new(64)
+            .seed(5)
+            .sh_degree(1)
+            .generate()
+            .unwrap();
+        let bytes = to_ply(&scene).unwrap();
+        let crlf = reterminate_header(&bytes, "\r\n", "");
+        let back = from_ply(&crlf).expect("CRLF header must parse");
+        assert_eq!(back.len(), scene.len());
+        for (a, b) in scene.iter().zip(back.iter()) {
+            assert_eq!(a.position, b.position);
+        }
+    }
+
+    #[test]
+    fn trailing_whitespace_on_header_lines_tolerated() {
+        let scene = SceneParams::new(16).seed(2).generate().unwrap();
+        let bytes = to_ply(&scene).unwrap();
+        let padded = reterminate_header(&bytes, "\r\n", "  \t");
+        let back = from_ply(&padded).expect("padded header must parse");
+        assert_eq!(back.len(), scene.len());
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        // Unterminated header.
+        assert!(from_ply(b"ply\nformat binary_little_endian 1.0\nelement vertex 1\n").is_err());
+        // Garbage line inside the header.
+        assert!(from_ply(
+            b"ply\nformat binary_little_endian 1.0\nwhat is this\nelement vertex 0\nend_header\n"
+        )
+        .is_err());
+        // Bad vertex count.
+        assert!(from_ply(
+            b"ply\nformat binary_little_endian 1.0\nelement vertex many\nend_header\n"
+        )
+        .is_err());
+        // A bare carriage return is not a blank check bypass.
+        assert!(
+            from_ply(b"ply\r\nformat ascii 1.0\r\nelement vertex 0\r\nend_header\r\n").is_err()
+        );
     }
 
     #[test]

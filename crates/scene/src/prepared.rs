@@ -30,8 +30,9 @@
 //! path pays.
 
 use crate::stats::SceneStats;
-use crate::GaussianScene;
-use gaurast_math::{Aabb3, Mat3};
+use crate::visibility::{self, SpatialIndex, VisibleSet};
+use crate::{Camera, GaussianScene};
+use gaurast_math::{Aabb3, Frustum, Mat3};
 
 /// An immutable scene asset: a validated [`GaussianScene`] plus
 /// camera-independent precomputation. The per-Gaussian world covariances
@@ -44,7 +45,7 @@ use gaurast_math::{Aabb3, Mat3};
 /// hands out references, so an `Arc<PreparedScene>` is safe to share
 /// across threads (`PreparedScene` is `Send + Sync`) and cheap to hand to
 /// each new session.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct PreparedScene {
     scene: GaussianScene,
     bounds: Aabb3,
@@ -52,6 +53,35 @@ pub struct PreparedScene {
     radii: Vec<f32>,
     max_sh_degree: u8,
     stats: SceneStats,
+    index: SpatialIndex,
+    /// Largest L1 norm of any point inside `bounds` (conservative slack
+    /// input for quantized frustums).
+    coord_l1: f32,
+    generation: u64,
+}
+
+impl PartialEq for PreparedScene {
+    /// Equality over the semantic content. The `generation` tag (unique
+    /// per `prepare` call) and the spatial index (a deterministic function
+    /// of the scene) are excluded, so two preparations of equal scenes
+    /// compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        (
+            &self.scene,
+            &self.bounds,
+            &self.covariances,
+            &self.radii,
+            self.max_sh_degree,
+            &self.stats,
+        ) == (
+            &other.scene,
+            &other.bounds,
+            &other.covariances,
+            &other.radii,
+            other.max_sh_degree,
+            &other.stats,
+        )
+    }
 }
 
 impl PreparedScene {
@@ -72,6 +102,14 @@ impl PreparedScene {
         }
         let bounds = scene.bounds();
         let stats = SceneStats::compute(&scene);
+        let index = SpatialIndex::build(&scene, &radii);
+        let coord_l1 = if bounds.is_empty() {
+            0.0
+        } else {
+            let lo = bounds.min;
+            let hi = bounds.max;
+            lo.x.abs().max(hi.x.abs()) + lo.y.abs().max(hi.y.abs()) + lo.z.abs().max(hi.z.abs())
+        };
         Self {
             scene,
             bounds,
@@ -79,6 +117,9 @@ impl PreparedScene {
             radii,
             max_sh_degree,
             stats,
+            index,
+            coord_l1,
+            generation: visibility::next_generation(),
         }
     }
 
@@ -132,6 +173,45 @@ impl PreparedScene {
     #[inline]
     pub fn stats(&self) -> &SceneStats {
         &self.stats
+    }
+
+    /// The coarse spatial index built over the Gaussian positions at
+    /// preparation time (cell AABBs + max member 3σ radii), powering
+    /// [`PreparedScene::visible_set`].
+    #[inline]
+    pub fn spatial_index(&self) -> &SpatialIndex {
+        &self.index
+    }
+
+    /// Generation tag unique to this preparation, carried by every
+    /// [`VisibleSet`] built from it so a set can never be applied to a
+    /// different scene. Clones share the tag (they are the same asset).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Largest L1 coordinate norm inside the scene bounds — the input for
+    /// [`visibility::quantized_frustum`]'s conservative slack.
+    #[inline]
+    pub fn coord_l1_bound(&self) -> f32 {
+        self.coord_l1
+    }
+
+    /// The visible set for a camera, using the pose-quantized conservative
+    /// frustum (so the result is reusable for every camera with the same
+    /// [`visibility::pose_key`]). Running Stage 1 over the set is
+    /// bit-identical to running it over the whole scene — the frustum only
+    /// drops Gaussians Stage 1 would cull anyway (see
+    /// [`crate::visibility`]).
+    pub fn visible_set(&self, camera: &Camera) -> VisibleSet {
+        self.visible_set_with(&visibility::quantized_frustum(camera, self.coord_l1))
+    }
+
+    /// The visible set for an explicit conservative [`Frustum`] (callers
+    /// supplying their own slack policy).
+    pub fn visible_set_with(&self, frustum: &Frustum) -> VisibleSet {
+        visibility::visible_set(self, frustum)
     }
 
     /// Consumes the asset, returning the raw scene (the precomputation is

@@ -1,0 +1,570 @@
+//! The visible-set subsystem: frustum-culled Gaussian index sets over a
+//! coarse spatial index, cacheable across nearby camera poses.
+//!
+//! The rasterizer's Stage 1 culls per primitive *inside* its projection
+//! loop; this module moves the certain culls in front of it. A
+//! [`PreparedScene`] carries a [`SpatialIndex`] (fixed grid over the
+//! Gaussian positions, built once at preparation time) and can intersect
+//! it with a conservative [`Frustum`] to produce a [`VisibleSet`]: the
+//! ascending indices of every Gaussian that *might* survive Stage 1, plus
+//! counts of the certainly-culled remainder split by Stage-1 cull branch.
+//!
+//! The contract, verified by proptest in `gaurast_render`: running Stage 1
+//! over a visible set yields **bit-identical** output (splats, order,
+//! `source` ids, cull counts, FP-op tallies) to running it over the whole
+//! scene, because the frustum only drops Gaussians Stage 1 would have
+//! culled anyway, and the two dropped classes reproduce exactly the op
+//! accounting of the Stage-1 branches that would have culled them:
+//!
+//! * **depth** culls (`z` outside `[near, far]`) — zero tallied ops;
+//! * **lateral** culls (projected footprint certainly off-image) — the
+//!   fixed off-screen bundle
+//!   (`gaurast_render::preprocess::OFFSCREEN_CULL_OPS`).
+//!
+//! # Pose-quantized caching
+//!
+//! Visible sets are keyed by a [`PoseKey`]: the camera's intrinsics
+//! (exact) plus its view matrix quantized to [`POSE_QUANT`]. The frustum
+//! is built from the *dequantized representative* pose with a
+//! conservative slack covering the whole quantization cell, so one cached
+//! set is valid — and still bit-identity-safe — for **every** camera that
+//! maps to the same key. A [`VisibilityCache`] shared across rendering
+//! sessions lets batch requests over the same scene and camera, and
+//! sequences with sub-quantum camera deltas, reuse one set.
+
+use crate::{Camera, GaussianScene, PreparedScene};
+use gaurast_math::{Aabb3, Frustum, Vec3, Visibility};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// View-matrix quantization step for [`PoseKey`] (2⁻¹⁰: fine enough that
+/// real camera paths rarely alias, coarse enough that re-renders of the
+/// same nominal pose hit the cache).
+pub const POSE_QUANT: f32 = 1.0 / 1024.0;
+
+/// Relative floating-point slack folded into conservative frustum tests
+/// (covers evaluation-order differences between the frustum's affine
+/// forms and Stage 1's `world_to_camera`).
+const FLOAT_SLACK: f32 = 1e-4;
+
+/// Target Gaussians per spatial-index cell (the grid resolution heuristic).
+const TARGET_PER_CELL: f64 = 64.0;
+
+/// Maximum grid resolution per axis.
+const MAX_DIMS: usize = 32;
+
+/// Cache key identifying a camera pose for visible-set reuse: exact
+/// intrinsics plus the view matrix quantized to [`POSE_QUANT`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PoseKey {
+    /// Quantized affine view-matrix entries (rows 0–2 × cols 0–3).
+    view_q: [i64; 12],
+    /// Image dimensions (exact).
+    dims: [u32; 2],
+    /// Bit patterns of `fx, fy, cx, cy, near, far` (exact).
+    intrinsics: [u32; 6],
+}
+
+/// The pose key of a camera (see [`PoseKey`]).
+pub fn pose_key(camera: &Camera) -> PoseKey {
+    let mut view_q = [0i64; 12];
+    for row in 0..3 {
+        for col in 0..4 {
+            view_q[row * 4 + col] = quantize(camera.view().at(row, col));
+        }
+    }
+    PoseKey {
+        view_q,
+        dims: [camera.width(), camera.height()],
+        intrinsics: [
+            camera.focal().x.to_bits(),
+            camera.focal().y.to_bits(),
+            camera.principal().x.to_bits(),
+            camera.principal().y.to_bits(),
+            camera.near().to_bits(),
+            camera.far().to_bits(),
+        ],
+    }
+}
+
+#[inline]
+fn quantize(v: f32) -> i64 {
+    (v / POSE_QUANT).round() as i64
+}
+
+/// Builds the conservative frustum every camera with this camera's
+/// [`PoseKey`] shares: the dequantized representative pose, slackened to
+/// cover the quantization cell and float evaluation for scenes whose
+/// coordinates have L1 norm at most `coord_l1`.
+pub fn quantized_frustum(camera: &Camera, coord_l1: f32) -> Frustum {
+    let key = pose_key(camera);
+    // Dequantize into column-major entries; the bottom row of a rigid
+    // view is (0, 0, 0, 1) exactly.
+    let mut cols = [[0.0f32; 4]; 4];
+    for (i, &q) in key.view_q.iter().enumerate() {
+        let (row, col) = (i / 4, i % 4);
+        cols[col][row] = q as f32 * POSE_QUANT;
+    }
+    cols[3][3] = 1.0;
+    let view = gaurast_math::Mat4::from_cols(
+        gaurast_math::Vec4::new(cols[0][0], cols[0][1], cols[0][2], cols[0][3]),
+        gaurast_math::Vec4::new(cols[1][0], cols[1][1], cols[1][2], cols[1][3]),
+        gaurast_math::Vec4::new(cols[2][0], cols[2][1], cols[2][2], cols[2][3]),
+        gaurast_math::Vec4::new(cols[3][0], cols[3][1], cols[3][2], cols[3][3]),
+    );
+    let t = camera.view().translation();
+    let t_l1 = t.x.abs() + t.y.abs() + t.z.abs();
+    // Quantization moves any camera-space coordinate by at most
+    // (Q/2)·(|p|₁ + 1); the relative term covers float evaluation.
+    let slack = 0.5 * POSE_QUANT * (coord_l1 + 1.0) + FLOAT_SLACK * (coord_l1 + t_l1 + 1.0);
+    Frustum::new(
+        view,
+        camera.width(),
+        camera.height(),
+        camera.focal(),
+        camera.principal(),
+        camera.near(),
+        camera.far(),
+    )
+    .with_slack(slack)
+}
+
+/// One cell of the [`SpatialIndex`]: the tight AABB of its member
+/// positions plus the largest member 3σ radius.
+#[derive(Clone, Debug, PartialEq)]
+struct Cell {
+    bounds: Aabb3,
+    max_radius: f32,
+    members: u32,
+}
+
+impl Cell {
+    fn empty() -> Self {
+        Self {
+            bounds: Aabb3::empty(),
+            max_radius: 0.0,
+            members: 0,
+        }
+    }
+}
+
+/// A coarse fixed-grid index over Gaussian positions, built once in
+/// [`PreparedScene::prepare`]. Cells summarize their members (position
+/// AABB, max 3σ radius) so whole-cell frustum decisions skip the
+/// per-Gaussian tests for most of the scene.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpatialIndex {
+    dims: [usize; 3],
+    /// Cell id of each Gaussian, in scene order.
+    cell_of: Vec<u32>,
+    cells: Vec<Cell>,
+}
+
+impl SpatialIndex {
+    /// Builds the grid for a scene with precomputed per-Gaussian 3σ
+    /// radii (`radii[i]` for Gaussian `i`).
+    pub(crate) fn build(scene: &GaussianScene, radii: &[f32]) -> Self {
+        let n = scene.len();
+        let mut hull = Aabb3::empty();
+        for g in scene {
+            hull.expand(g.position);
+        }
+        let per_axis = ((n as f64 / TARGET_PER_CELL).cbrt().ceil() as usize).clamp(1, MAX_DIMS);
+        let dims = [per_axis, per_axis, per_axis];
+        let mut cells = vec![Cell::empty(); dims[0] * dims[1] * dims[2]];
+        let mut cell_of = Vec::with_capacity(n);
+        for (i, g) in scene.iter().enumerate() {
+            let id = cell_id(&hull, dims, g.position);
+            let cell = &mut cells[id];
+            cell.bounds.expand(g.position);
+            cell.max_radius = cell.max_radius.max(radii[i]);
+            cell.members += 1;
+            cell_of.push(id as u32);
+        }
+        Self {
+            dims,
+            cell_of,
+            cells,
+        }
+    }
+
+    /// Grid resolution per axis.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total cell count (including empty cells).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of cells holding at least one Gaussian.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.members > 0).count()
+    }
+}
+
+/// Grid cell id of a position (clamped into the grid, so out-of-hull and
+/// degenerate-axis positions land in a boundary cell).
+fn cell_id(hull: &Aabb3, dims: [usize; 3], p: Vec3) -> usize {
+    let size = hull.size();
+    let mut coord = [0usize; 3];
+    for axis in 0..3 {
+        let extent = size[axis];
+        if extent > 0.0 {
+            let t = (p[axis] - hull.min[axis]) / extent * dims[axis] as f32;
+            coord[axis] = (t.floor().max(0.0) as usize).min(dims[axis] - 1);
+        }
+    }
+    (coord[2] * dims[1] + coord[1]) * dims[0] + coord[0]
+}
+
+/// The Gaussians of one scene that might survive Stage 1 for one camera
+/// pose: ascending indices plus certainly-culled counts by Stage-1 cull
+/// branch. Tagged with the generation of the [`PreparedScene`] it was
+/// built from so it cannot be applied to the wrong scene.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VisibleSet {
+    indices: Vec<u32>,
+    culled_depth: usize,
+    culled_lateral: usize,
+    scene_generation: u64,
+}
+
+impl VisibleSet {
+    /// The trivial set keeping every Gaussian (what culling-off renders).
+    pub fn all(prepared: &PreparedScene) -> Self {
+        Self {
+            indices: (0..prepared.len() as u32).collect(),
+            culled_depth: 0,
+            culled_lateral: 0,
+            scene_generation: prepared.generation(),
+        }
+    }
+
+    /// Ascending scene indices of the possibly-visible Gaussians.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Number of possibly-visible Gaussians.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when nothing might be visible.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Gaussians certainly culled by the depth (near/far) test — the
+    /// zero-op Stage-1 cull branch.
+    pub fn culled_depth(&self) -> usize {
+        self.culled_depth
+    }
+
+    /// Gaussians certainly culled laterally (projected footprint off the
+    /// image) — the Stage-1 branch billed the off-screen op bundle.
+    pub fn culled_lateral(&self) -> usize {
+        self.culled_lateral
+    }
+
+    /// Total Gaussians the frustum dropped before Stage 1.
+    pub fn culled_total(&self) -> usize {
+        self.culled_depth + self.culled_lateral
+    }
+
+    /// Generation tag of the [`PreparedScene`] this set belongs to.
+    pub fn scene_generation(&self) -> u64 {
+        self.scene_generation
+    }
+
+    /// Fraction of the scene kept (1.0 for an empty scene).
+    pub fn coverage(&self) -> f64 {
+        let total = self.len() + self.culled_total();
+        if total == 0 {
+            1.0
+        } else {
+            self.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the visible set of a prepared scene for a conservative
+/// frustum: whole cells are classified first, only straddling cells fall
+/// back to per-Gaussian sphere tests. Called through
+/// [`PreparedScene::visible_set`] /
+/// [`PreparedScene::visible_set_with`].
+pub(crate) fn visible_set(prepared: &PreparedScene, frustum: &Frustum) -> VisibleSet {
+    let index = prepared.spatial_index();
+    let scene = prepared.scene();
+    let radii = prepared.radii();
+    let classes: Vec<Visibility> = index
+        .cells
+        .iter()
+        .map(|cell| {
+            if cell.members == 0 {
+                Visibility::Mixed
+            } else {
+                frustum.classify_aabb(&cell.bounds, cell.max_radius)
+            }
+        })
+        .collect();
+    let mut set = VisibleSet {
+        indices: Vec::with_capacity(scene.len()),
+        culled_depth: 0,
+        culled_lateral: 0,
+        scene_generation: prepared.generation(),
+    };
+    for (i, g) in scene.iter().enumerate() {
+        let class = match classes[index.cell_of[i] as usize] {
+            Visibility::Mixed => frustum.classify(g.position, radii[i]),
+            certain => certain,
+        };
+        match class {
+            Visibility::Visible | Visibility::Mixed => set.indices.push(i as u32),
+            Visibility::CulledDepth => set.culled_depth += 1,
+            Visibility::CulledLateral => set.culled_lateral += 1,
+        }
+    }
+    // Sets live in caches for a long time; do not pin a whole-scene-sized
+    // allocation for a sparse survivor list.
+    set.indices.shrink_to_fit();
+    set
+}
+
+/// Monotonic generation source for [`PreparedScene`] tags.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates the next scene generation tag.
+pub(crate) fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Upper bound for cached visible sets; when full the cache is emptied
+/// (the sets are cheap to rebuild and keys rarely churn in practice).
+const CACHE_CAPACITY: usize = 256;
+
+/// A shared store of [`VisibleSet`]s keyed by `(scene generation,`
+/// [`PoseKey`]`)`. One cache can serve any number of rendering sessions
+/// concurrently; batch requests that share a scene and (quantized) camera
+/// pose build the set once and reuse it everywhere.
+#[derive(Debug, Default)]
+pub struct VisibilityCache {
+    sets: Mutex<HashMap<(u64, PoseKey), Arc<VisibleSet>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VisibilityCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached visible set for `(prepared, camera)` or builds,
+    /// stores, and returns it. The second component reports whether this
+    /// was a cache hit.
+    pub fn get_or_build(
+        &self,
+        prepared: &PreparedScene,
+        camera: &Camera,
+    ) -> (Arc<VisibleSet>, bool) {
+        let key = (prepared.generation(), pose_key(camera));
+        if let Some(set) = self
+            .sets
+            .lock()
+            .expect("visibility cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(set), true);
+        }
+        // Build outside the lock: concurrent misses on different poses
+        // proceed in parallel; a racing duplicate of the same pose is
+        // discarded in favor of the first inserted set.
+        let built = Arc::new(prepared.visible_set(camera));
+        let mut sets = self.sets.lock().expect("visibility cache poisoned");
+        if sets.len() >= CACHE_CAPACITY {
+            sets.clear();
+        }
+        let set = Arc::clone(sets.entry(key).or_insert(built));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (set, false)
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that built a new set.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of sets currently stored.
+    pub fn len(&self) -> usize {
+        self.sets.lock().expect("visibility cache poisoned").len()
+    }
+
+    /// `true` when no set is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every stored set (hit/miss counters are kept).
+    pub fn clear(&self) {
+        self.sets.lock().expect("visibility cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SceneParams;
+    use gaurast_math::Vec3;
+
+    fn prepared(n: usize, seed: u64) -> PreparedScene {
+        PreparedScene::prepare(SceneParams::new(n).seed(seed).generate().unwrap())
+    }
+
+    fn camera(eye: Vec3, target: Vec3) -> Camera {
+        Camera::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0), 128, 96, 1.05).unwrap()
+    }
+
+    #[test]
+    fn centered_camera_keeps_most_of_the_scene() {
+        let p = prepared(500, 7);
+        let set = p.visible_set(&camera(Vec3::new(0.0, 5.0, -30.0), Vec3::zero()));
+        assert!(set.len() + set.culled_total() == p.len());
+        assert!(set.coverage() > 0.5, "coverage {}", set.coverage());
+        assert_eq!(set.scene_generation(), p.generation());
+    }
+
+    #[test]
+    fn camera_facing_away_culls_by_depth() {
+        let p = prepared(500, 7);
+        // Looking straight away from the scene: everything is behind.
+        let set = p.visible_set(&camera(
+            Vec3::new(0.0, 0.0, -100.0),
+            Vec3::new(0.0, 0.0, -200.0),
+        ));
+        assert!(set.is_empty(), "kept {}", set.len());
+        assert_eq!(set.culled_depth(), p.len());
+        assert_eq!(set.culled_lateral(), 0);
+    }
+
+    #[test]
+    fn off_center_camera_culls_laterally() {
+        let p = prepared(800, 3);
+        // Looking at the scene's far edge from close by: a large fraction
+        // of the scene is beside the frustum at valid depth.
+        let set = p.visible_set(&camera(
+            Vec3::new(-30.0, 0.0, 0.0),
+            Vec3::new(-40.0, 0.0, 40.0),
+        ));
+        assert!(set.culled_total() > 0);
+    }
+
+    #[test]
+    fn indices_are_ascending_and_unique() {
+        let p = prepared(600, 11);
+        let set = p.visible_set(&camera(Vec3::new(10.0, 4.0, -25.0), Vec3::zero()));
+        assert!(set.indices().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn all_set_covers_everything() {
+        let p = prepared(50, 1);
+        let set = VisibleSet::all(&p);
+        assert_eq!(set.len(), 50);
+        assert_eq!(set.culled_total(), 0);
+        assert_eq!(set.coverage(), 1.0);
+    }
+
+    #[test]
+    fn empty_scene_has_empty_set() {
+        let p = PreparedScene::prepare(GaussianScene::new());
+        let set = p.visible_set(&camera(Vec3::new(0.0, 0.0, -5.0), Vec3::zero()));
+        assert!(set.is_empty());
+        assert_eq!(set.coverage(), 1.0);
+    }
+
+    #[test]
+    fn pose_key_is_stable_under_sub_quantum_jitter() {
+        let a = camera(Vec3::new(0.0, 5.0, -30.0), Vec3::zero());
+        let b = camera(Vec3::new(1e-5, 5.0, -30.0), Vec3::zero());
+        assert_eq!(pose_key(&a), pose_key(&b));
+        let c = camera(Vec3::new(0.5, 5.0, -30.0), Vec3::zero());
+        assert_ne!(pose_key(&a), pose_key(&c));
+    }
+
+    #[test]
+    fn pose_key_distinguishes_intrinsics() {
+        let a = camera(Vec3::new(0.0, 5.0, -30.0), Vec3::zero());
+        let b = Camera::look_at(
+            Vec3::new(0.0, 5.0, -30.0),
+            Vec3::zero(),
+            Vec3::new(0.0, 1.0, 0.0),
+            256,
+            96,
+            1.05,
+        )
+        .unwrap();
+        assert_ne!(pose_key(&a), pose_key(&b));
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_nearby_poses() {
+        let p = prepared(300, 5);
+        let cache = VisibilityCache::new();
+        let cam = camera(Vec3::new(0.0, 5.0, -30.0), Vec3::zero());
+        let (first, hit0) = cache.get_or_build(&p, &cam);
+        assert!(!hit0);
+        let (second, hit1) = cache.get_or_build(&p, &cam);
+        assert!(hit1);
+        assert!(Arc::ptr_eq(&first, &second));
+        // A sub-quantum camera delta reuses the same set.
+        let nearby = camera(Vec3::new(1e-5, 5.0, -30.0), Vec3::zero());
+        let (third, hit2) = cache.get_or_build(&p, &nearby);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &third));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_scenes() {
+        let a = prepared(100, 1);
+        let b = prepared(100, 1);
+        assert_ne!(a.generation(), b.generation());
+        let cache = VisibilityCache::new();
+        let cam = camera(Vec3::new(0.0, 5.0, -30.0), Vec3::zero());
+        cache.get_or_build(&a, &cam);
+        let (_, hit) = cache.get_or_build(&b, &cam);
+        assert!(!hit, "sets must not leak across scenes");
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn spatial_index_covers_all_gaussians() {
+        let p = prepared(1000, 9);
+        let index = p.spatial_index();
+        assert_eq!(index.cell_of.len(), 1000);
+        let members: u32 = index.cells.iter().map(|c| c.members).sum();
+        assert_eq!(members, 1000);
+        assert!(index.occupied_cells() > 1);
+        assert!(index.cell_count() >= index.occupied_cells());
+        // Every member position lies inside its cell's recorded bounds.
+        for (i, g) in p.scene().iter().enumerate() {
+            let cell = &index.cells[index.cell_of[i] as usize];
+            assert!(cell.bounds.contains(g.position));
+            assert!(cell.max_radius >= p.radii()[i]);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Engine-level acceptance of the visibility subsystem: frustum-culled
+//! sessions must produce bit-identical frames — images, modeled times,
+//! energies, op counts, statistics — on **all four backends**, the
+//! visible-set cache must be reused across frames and sessions, and the
+//! culling knob must be observable in the frame reports.
+
+use gaurast::backend::{BackendKind, GpuPreset};
+use gaurast::engine::{EngineBuilder, ImagePolicy};
+use gaurast::scene::generator::SceneParams;
+use gaurast::scene::Camera;
+use gaurast_math::Vec3;
+use std::sync::Arc;
+
+fn off_center_camera() -> Camera {
+    Camera::look_at(
+        Vec3::new(24.0, 5.0, -18.0),
+        Vec3::new(12.0, 0.0, -2.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        96,
+        64,
+        1.05,
+    )
+    .unwrap()
+}
+
+#[test]
+fn all_backends_are_bit_identical_with_culling() {
+    let scene = SceneParams::new(2000).seed(41).generate().unwrap();
+    let mut culled = EngineBuilder::new(scene)
+        .backend(BackendKind::Software)
+        .image_policy(ImagePolicy::Retain)
+        .build()
+        .unwrap();
+    let mut full = EngineBuilder::shared(Arc::clone(culled.prepared()))
+        .backend(BackendKind::Software)
+        .image_policy(ImagePolicy::Retain)
+        .frustum_culling(false)
+        .build()
+        .unwrap();
+    let cam = off_center_camera();
+    for kind in BackendKind::ALL {
+        culled.switch_backend(kind);
+        full.switch_backend(kind);
+        let a = culled.render_frame(&cam);
+        let b = full.render_frame(&cam);
+        assert!(a.stats.cull.enabled, "{kind}: culling must be on");
+        assert!(!b.stats.cull.enabled, "{kind}: culling must be off");
+        let (img_a, img_b) = (a.image.unwrap(), b.image.unwrap());
+        assert_eq!(img_a.mean_abs_diff(&img_b), 0.0, "{kind}: image diverged");
+        assert_eq!(a.ops, b.ops, "{kind}: op counts diverged");
+        assert_eq!(a.energy_j, b.energy_j, "{kind}: energy diverged");
+        assert_eq!(a.stats.visible, b.stats.visible, "{kind}");
+        assert_eq!(a.stats.culled, b.stats.culled, "{kind}");
+        assert_eq!(a.stats.blend_work, b.stats.blend_work, "{kind}");
+        assert_eq!(a.stats.pairs, b.stats.pairs, "{kind}");
+        assert_eq!(a.stats.blends_committed, b.stats.blends_committed, "{kind}");
+        // Modeled backends must also bill identical time; the software
+        // backend reports wall-clock, which legitimately differs.
+        if kind != BackendKind::Software {
+            assert_eq!(a.time_s, b.time_s, "{kind}: modeled time diverged");
+        }
+    }
+    // The frustum genuinely dropped work in this view.
+    let set_frames = culled.frames_rendered();
+    assert_eq!(set_frames, 4);
+}
+
+#[test]
+fn sequence_with_small_deltas_reuses_cached_sets() {
+    let scene = SceneParams::new(1500).seed(9).generate().unwrap();
+    let mut engine = EngineBuilder::new(scene)
+        .backend(BackendKind::Cuda(GpuPreset::OrinNx))
+        .build()
+        .unwrap();
+    // Sub-quantum eye jitter: every pose maps to one key, so a sequence
+    // of "nearby" frames builds the visible set exactly once.
+    let cams: Vec<Camera> = (0..6)
+        .map(|i| {
+            Camera::look_at(
+                Vec3::new(0.0 + i as f32 * 1.0e-5, 5.0, -26.0),
+                Vec3::zero(),
+                Vec3::new(0.0, 1.0, 0.0),
+                64,
+                64,
+                1.05,
+            )
+            .unwrap()
+        })
+        .collect();
+    let out = engine.render_sequence(&cams);
+    assert!(!out.reports[0].stats.cull.cache_hit, "first frame builds");
+    assert!(
+        out.reports[1..].iter().all(|r| r.stats.cull.cache_hit),
+        "subsequent sub-quantum frames must reuse the cached set"
+    );
+    assert_eq!(engine.visibility_cache().misses(), 1);
+    assert_eq!(engine.visibility_cache().hits(), 5);
+}
+
+#[test]
+fn shared_cache_across_sessions_builds_each_set_once() {
+    let scene = SceneParams::new(800).seed(3).generate().unwrap();
+    let cache = Arc::new(gaurast::scene::VisibilityCache::new());
+    let mut a = EngineBuilder::new(scene)
+        .visibility_cache(Arc::clone(&cache))
+        .build()
+        .unwrap();
+    let mut b = EngineBuilder::shared(Arc::clone(a.prepared()))
+        .visibility_cache(Arc::clone(&cache))
+        .build()
+        .unwrap();
+    let cam = off_center_camera();
+    let first = a.render_frame(&cam);
+    let second = b.render_frame(&cam);
+    assert!(!first.stats.cull.cache_hit);
+    assert!(
+        second.stats.cull.cache_hit,
+        "session B reuses session A's set"
+    );
+    assert_eq!(cache.len(), 1);
+    // Cloned sessions share the cache automatically.
+    let mut c = b.clone();
+    assert!(c.render_frame(&cam).stats.cull.cache_hit);
+}
