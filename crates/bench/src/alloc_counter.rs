@@ -1,0 +1,49 @@
+//! A counting global allocator: wraps the system allocator and tallies
+//! every allocation, so the Stage-2 zero-allocation contract can be
+//! *measured* instead of asserted by inspection.
+//!
+//! Install it in a binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gaurast_bench::alloc_counter::CountingAllocator =
+//!     gaurast_bench::alloc_counter::CountingAllocator;
+//! ```
+//!
+//! and read deltas with [`allocation_count`]. Counts are process-global;
+//! measure on one thread with no concurrent work for exact attribution.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of heap allocations (`alloc` + `realloc` calls) since
+/// process start, when [`CountingAllocator`] is installed as the global
+/// allocator; 0 forever otherwise.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// System-allocator wrapper counting every allocation (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter side effect does not affect any
+// returned pointer or layout.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Artifact ids: `tab1 tab2 fig4 fig5 fig8 fig9 fig10 tab3 fig11 sec5c
-//! sec5d ablations quality sweep compare batch scaling culling`.
+//! sec5d ablations quality sweep compare batch scaling culling sort`.
 
 use gaurast::backend::BackendKind;
 use gaurast::engine::EngineBuilder;
@@ -19,7 +19,13 @@ use gaurast::service::{RenderRequest, RenderService};
 use gaurast_gpu::paper;
 use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 
-const ALL_IDS: [&str; 18] = [
+/// Counting allocator so the `sort` artifact's steady-state Stage-2
+/// allocation counts are measured, not asserted.
+#[global_allocator]
+static ALLOC: gaurast_bench::alloc_counter::CountingAllocator =
+    gaurast_bench::alloc_counter::CountingAllocator;
+
+const ALL_IDS: [&str; 19] = [
     "tab1",
     "tab2",
     "fig4",
@@ -38,6 +44,7 @@ const ALL_IDS: [&str; 18] = [
     "batch",
     "scaling",
     "culling",
+    "sort",
 ];
 
 fn main() {
@@ -195,6 +202,14 @@ fn main() {
                     SceneScale::REPRO
                 };
                 section(&scaling_demo(scale));
+            }
+            "sort" => {
+                // Stage-2 A/B: key-sorted radix/CSR vs the legacy per-tile
+                // comparison path, bit-identity asserted, plus the
+                // machine-readable BENCH_sort.json artifact.
+                let text = gaurast_bench::sort_report::write_artifact(quick)
+                    .expect("BENCH_sort.json must be writable and well-formed");
+                section(&text);
             }
             "culling" => {
                 // Frustum-culled visible sets: Stage-1 reduction for

@@ -1,5 +1,10 @@
 //! Benchmark crate of the GauRast workspace: the targets live in
 //! `benches/` and the paper-artifact reproduction binary in
-//! `src/bin/repro.rs`. This library is an intentionally empty anchor.
+//! `src/bin/repro.rs`. The library hosts the shared Stage-2 measurement
+//! harness ([`sort_report`]) and the counting allocator it uses to prove
+//! the steady-state zero-allocation contract.
 
 #![deny(missing_docs)]
+
+pub mod alloc_counter;
+pub mod sort_report;

@@ -4,6 +4,7 @@ use super::{Engine, EngineError, ImagePolicy};
 use crate::backend::BackendKind;
 use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::{Precision, RasterizerConfig};
+use gaurast_render::pipeline::Stage2Mode;
 use gaurast_render::DEFAULT_TILE_SIZE;
 use gaurast_scene::{GaussianScene, PreparedScene, VisibilityCache};
 use std::sync::Arc;
@@ -44,6 +45,7 @@ pub struct EngineBuilder {
     host: CudaGpuModel,
     image_policy: ImagePolicy,
     culling: bool,
+    stage2: Stage2Mode,
     vis_cache: Option<Arc<VisibilityCache>>,
 }
 
@@ -68,6 +70,7 @@ impl EngineBuilder {
             host: device::orin_nx(),
             image_policy: ImagePolicy::Discard,
             culling: true,
+            stage2: Stage2Mode::default(),
             vis_cache: None,
         }
     }
@@ -133,6 +136,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the Stage-2 implementation of the reference pass. The
+    /// default, [`Stage2Mode::KeySorted`], packs `(tile, depth)` keys and
+    /// radix-sorts them into the flat CSR workload;
+    /// [`Stage2Mode::LegacyPerTile`] is the historical per-tile
+    /// comparison-sort path, kept for one release as an escape hatch.
+    /// Frames are **bit-identical** in both modes — the knob only trades
+    /// Stage-2 wall-clock time and allocation behavior.
+    pub fn stage2_mode(mut self, mode: Stage2Mode) -> Self {
+        self.stage2 = mode;
+        self
+    }
+
     /// Shares an existing visible-set cache with this session (sessions
     /// over the same scene and camera poses then build each set once).
     /// By default every session gets its own cache.
@@ -175,6 +190,7 @@ impl EngineBuilder {
             self.host,
             self.backend,
             self.culling,
+            self.stage2,
             self.vis_cache
                 .unwrap_or_else(|| Arc::new(VisibilityCache::new())),
         ))

@@ -46,12 +46,11 @@ use crate::backend::{
 use crate::report::{fmt_f, fmt_ms, TextTable};
 use gaurast_gpu::CudaGpuModel;
 use gaurast_hw::RasterizerConfig;
-use gaurast_render::pipeline::PreprocessStats;
+use gaurast_render::pipeline::{PreprocessStats, Stage2Mode};
 use gaurast_render::pool::WorkerPool;
 use gaurast_render::preprocess::{preprocess_prepared_pooled, preprocess_prepared_visible_pooled};
 use gaurast_render::rasterize::rasterize_with;
-use gaurast_render::tile::bin_splats_deferred_into;
-use gaurast_render::{Framebuffer, RasterWorkload};
+use gaurast_render::{FrameArena, Framebuffer, RasterWorkload};
 use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibilityCache};
 use gaurast_sched::{replay, FrameCost, SequenceReport};
 use std::sync::Arc;
@@ -96,12 +95,12 @@ const MIN_STAGE_S: f64 = 1e-12;
 /// (no full-framebuffer clone per frame; the caller owns the image).
 #[derive(Debug, Default)]
 struct Scratch {
-    /// Tile-list buffers recycled through
-    /// [`gaurast_render::tile::bin_splats_deferred_into`] (the engine's
-    /// deferred-sort binning: the per-tile depth sort runs inside the
-    /// reference pass's parallel tile jobs; recycled lists are cleared on
-    /// reuse).
-    bins: Vec<Vec<u32>>,
+    /// The Stage-2 frame arena: packed-key, CSR, radix-sorter and
+    /// processed-count buffers recycled through
+    /// [`gaurast_render::tile::bin_splats_pooled`] /
+    /// [`RasterWorkload::recycle_into`], so steady-state frames run
+    /// Stage 2 without allocating.
+    arena: FrameArena,
 }
 
 /// The result of [`Engine::render_sequence`]: per-frame backend reports
@@ -190,6 +189,10 @@ pub struct Engine {
     /// Whether Stage 1 runs over a frustum-culled visible set (output is
     /// bit-identical either way; culling only trades wall-clock time).
     pub(crate) culling: bool,
+    /// Stage-2 implementation of the reference pass (key-sorted radix/CSR
+    /// by default; output is bit-identical either way — see
+    /// [`Stage2Mode`]).
+    pub(crate) stage2: Stage2Mode,
     /// Pose-keyed visible-set store, possibly shared with other sessions
     /// (the `RenderService` hands every session one cache).
     vis_cache: Arc<VisibilityCache>,
@@ -215,6 +218,7 @@ impl Clone for Engine {
             self.host.clone(),
             self.kind,
             self.culling,
+            self.stage2,
             Arc::clone(&self.vis_cache),
         )
     }
@@ -231,6 +235,7 @@ impl Engine {
         host: CudaGpuModel,
         kind: BackendKind,
         culling: bool,
+        stage2: Stage2Mode,
         vis_cache: Arc<VisibilityCache>,
     ) -> Self {
         let backend = make_backend(kind, hw_config);
@@ -243,6 +248,7 @@ impl Engine {
             host,
             kind,
             culling,
+            stage2,
             vis_cache,
             pool: WorkerPool::new(workers),
             backend,
@@ -301,6 +307,14 @@ impl Engine {
     /// [`EngineBuilder::frustum_culling`]).
     pub fn frustum_culling(&self) -> bool {
         self.culling
+    }
+
+    /// The Stage-2 implementation the reference pass runs (see
+    /// [`EngineBuilder::stage2_mode`]). Frames are bit-identical in both
+    /// modes; the knob exists as a one-release escape hatch and A/B
+    /// baseline for the key-sorted path.
+    pub fn stage2_mode(&self) -> Stage2Mode {
+        self.stage2
     }
 
     /// The session's visible-set cache. Sessions built through a
@@ -362,16 +376,20 @@ impl Engine {
             )
         };
         let pre_stats = PreprocessStats::from(&pre);
-        let bins = std::mem::take(&mut self.scratch.bins);
-        // Binning defers the per-tile depth sort into the parallel tile
-        // jobs of the rasterization pass below.
-        let mut workload = bin_splats_deferred_into(
+        // Stage 2 out of the session arena: packed (tile, depth) keys +
+        // one parallel radix sort into the flat CSR workload (or the
+        // legacy per-tile path behind the escape hatch). Timed separately
+        // — the `sort` split every report carries.
+        let sort_started = Instant::now();
+        let mut workload = self.stage2.bin(
             pre.splats,
             camera.width(),
             camera.height(),
             self.tile_size,
-            bins,
+            &mut self.scratch.arena,
+            &self.pool,
         );
+        let sort_wall_s = sort_started.elapsed().as_secs_f64().max(MIN_STAGE_S);
 
         let started = Instant::now();
         let (raster, image) = if need_image {
@@ -392,6 +410,7 @@ impl Engine {
                 cull,
                 raster,
                 wall_s,
+                sort_wall_s,
                 image,
             },
         )
@@ -411,6 +430,7 @@ impl Engine {
         report.stats.culled_non_finite = reference.preprocess.non_finite;
         report.stats.cull = reference.cull;
         report.stats.blends_committed = reference.raster.blends_committed;
+        report.stats.sort_s = reference.sort_wall_s;
     }
 
     /// Stages 1–2 time on the session's host device model for a finalized
@@ -446,8 +466,9 @@ impl Engine {
         }
         Self::fill_common_stats(&mut report, &workload, &reference);
         let stages12 = self.stages12_s(&reference, &workload);
-        // Recycle the binning buffers for the next frame.
-        self.scratch.bins = workload.into_buffers().1;
+        // Recycle the Stage-2 buffers (CSR, processed counts) for the next
+        // frame.
+        workload.recycle_into(&mut self.scratch.arena);
         self.frames += 1;
         (report, stages12)
     }
@@ -804,6 +825,39 @@ mod tests {
         // A sequence over one camera keeps hitting the same set.
         let out = e.render_sequence(&vec![cam; 4]);
         assert!(out.reports.iter().all(|r| r.stats.cull.cache_hit));
+    }
+
+    #[test]
+    fn stage2_modes_render_bit_identical_frames() {
+        let scene = SceneParams::new(1200).seed(13).generate().unwrap();
+        let mut keyed = EngineBuilder::new(scene)
+            .backend(BackendKind::Software)
+            .image_policy(ImagePolicy::Retain)
+            .build()
+            .unwrap();
+        assert_eq!(keyed.stage2_mode(), Stage2Mode::KeySorted, "default");
+        let mut legacy = EngineBuilder::shared(Arc::clone(keyed.prepared()))
+            .backend(BackendKind::Software)
+            .image_policy(ImagePolicy::Retain)
+            .stage2_mode(Stage2Mode::LegacyPerTile)
+            .build()
+            .unwrap();
+        assert_eq!(legacy.stage2_mode(), Stage2Mode::LegacyPerTile);
+        let cam = camera(96, 64);
+        let a = keyed.render_frame(&cam);
+        let b = legacy.render_frame(&cam);
+        assert_eq!(
+            a.image.unwrap().mean_abs_diff(&b.image.unwrap()),
+            0.0,
+            "stage-2 modes must render bit-identical frames"
+        );
+        assert_eq!(a.stats.blend_work, b.stats.blend_work);
+        assert_eq!(a.stats.pairs, b.stats.pairs);
+        assert_eq!(a.ops, b.ops);
+        // Both frames carry the measured Stage-2 wall split.
+        assert!(a.stats.sort_s > 0.0 && b.stats.sort_s > 0.0);
+        // The mode survives cloning (fresh session, same policy).
+        assert_eq!(legacy.clone().stage2_mode(), Stage2Mode::LegacyPerTile);
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::engine::{Engine, EngineBuilder, ImagePolicy};
 use crate::report::{fmt_f, fmt_ms, TextTable};
 use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::RasterizerConfig;
+use gaurast_render::pipeline::Stage2Mode;
 use gaurast_render::pool::resolve_workers;
 use gaurast_render::DEFAULT_TILE_SIZE;
 use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibilityCache};
@@ -221,6 +222,7 @@ pub struct RenderServiceBuilder {
     host: CudaGpuModel,
     image_policy: ImagePolicy,
     culling: bool,
+    stage2: Stage2Mode,
 }
 
 impl Default for RenderServiceBuilder {
@@ -241,6 +243,7 @@ impl RenderServiceBuilder {
             host: device::orin_nx(),
             image_policy: ImagePolicy::Discard,
             culling: true,
+            stage2: Stage2Mode::default(),
         }
     }
 
@@ -311,6 +314,14 @@ impl RenderServiceBuilder {
         self
     }
 
+    /// Selects the Stage-2 implementation for every session (key-sorted
+    /// radix/CSR by default; see [`EngineBuilder::stage2_mode`]). Frames
+    /// are bit-identical in both modes.
+    pub fn stage2_mode(mut self, mode: Stage2Mode) -> Self {
+        self.stage2 = mode;
+        self
+    }
+
     /// Validates the configuration and builds the service.
     ///
     /// # Errors
@@ -356,6 +367,7 @@ impl RenderServiceBuilder {
             host: self.host,
             image_policy: self.image_policy,
             culling: self.culling,
+            stage2: self.stage2,
             vis_cache: Arc::new(VisibilityCache::new()),
         })
     }
@@ -374,6 +386,7 @@ pub struct RenderService {
     host: CudaGpuModel,
     image_policy: ImagePolicy,
     culling: bool,
+    stage2: Stage2Mode,
     /// One visible-set cache shared by *every* session the service opens:
     /// batch requests sharing a scene and (quantized) camera pose build
     /// each set once, across workers.
@@ -607,6 +620,7 @@ impl RenderService {
             .host(self.host.clone())
             .image_policy(self.image_policy)
             .frustum_culling(self.culling)
+            .stage2_mode(self.stage2)
             .visibility_cache(Arc::clone(&self.vis_cache))
             .build()
             .expect("service configuration validated at build time")

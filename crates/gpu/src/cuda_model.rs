@@ -20,9 +20,20 @@ pub const LANE_OPS_PER_BLEND: f64 = 40.0;
 /// written splat record).
 pub const BYTES_PER_GAUSSIAN_PREPROCESS: f64 = 250.0;
 
-/// Bytes moved per (splat, tile) pair by the Stage-2 radix sort (8-byte
-/// key/value, four passes, read+write).
-pub const BYTES_PER_PAIR_SORT: f64 = 64.0;
+/// Scatter passes of the Stage-2 LSD radix sort: 8-bit digits over the 32
+/// significant bits of the packed `tile << 32 | depth_bits` key (the tile
+/// half fits a handful of active digits; uniform digits are skipped). This
+/// is the sort the software reference now runs verbatim
+/// (`gaurast_render::sort::RadixSorter`), so the billed model and the
+/// measured pass agree on the algorithm — not a comparison sort.
+pub const SORT_RADIX_PASSES: f64 = 4.0;
+
+/// Bytes moved per (splat, tile) pair per radix pass (8-byte key/value
+/// record, read + write).
+pub const BYTES_PER_PAIR_SORT_PASS: f64 = 16.0;
+
+/// Bytes moved per (splat, tile) pair by the whole Stage-2 radix sort.
+pub const BYTES_PER_PAIR_SORT: f64 = SORT_RADIX_PASSES * BYTES_PER_PAIR_SORT_PASS;
 
 /// Analytical model of one CUDA device running the 3DGS pipeline.
 #[derive(Clone, Debug, PartialEq)]
@@ -129,9 +140,17 @@ impl CudaGpuModel {
         visible as f64 * BYTES_PER_GAUSSIAN_PREPROCESS / self.mem_bw_bytes_per_s
     }
 
-    /// Stage-2 time for `pairs` (splat, tile) sort keys.
+    /// Stage-2 time for `pairs` (splat, tile) sort keys, billed against
+    /// the bandwidth-bound radix model ([`SORT_RADIX_PASSES`] scatter
+    /// passes at [`BYTES_PER_PAIR_SORT_PASS`] bytes per pair each).
     pub fn sort_time(&self, pairs: u64) -> f64 {
         pairs as f64 * BYTES_PER_PAIR_SORT / self.mem_bw_bytes_per_s
+    }
+
+    /// Key-scatter operations the Stage-2 radix sort issues for `pairs`
+    /// keys: one per pair per pass (the histogram reads ride along).
+    pub fn sort_ops(&self, pairs: u64) -> u64 {
+        pairs * SORT_RADIX_PASSES as u64
     }
 
     /// All three stage times for a workload at its own scale.
@@ -154,13 +173,10 @@ impl CudaGpuModel {
 pub fn mean_processed_len(w: &RasterWorkload) -> f64 {
     let mut sum = 0u64;
     let mut tiles = 0u64;
-    for ty in 0..w.tiles_y() {
-        for tx in 0..w.tiles_x() {
-            let n = w.processed_count(tx, ty);
-            if n > 0 {
-                sum += u64::from(n);
-                tiles += 1;
-            }
+    for tile in w.tiles() {
+        if tile.processed > 0 {
+            sum += u64::from(tile.processed);
+            tiles += 1;
         }
     }
     if tiles == 0 {
@@ -230,6 +246,18 @@ mod tests {
                 scene.name()
             );
         }
+    }
+
+    #[test]
+    fn sort_model_is_radix_passes_times_pairs() {
+        let m = device::orin_nx();
+        assert_eq!(m.sort_ops(1000), 1000 * SORT_RADIX_PASSES as u64);
+        assert_eq!(m.sort_ops(0), 0);
+        // The per-pair byte total is exactly passes × bytes-per-pass.
+        assert!((BYTES_PER_PAIR_SORT - SORT_RADIX_PASSES * BYTES_PER_PAIR_SORT_PASS).abs() < 1e-12);
+        // sort_time bills the same bandwidth-bound total.
+        let t = m.sort_time(1_000_000);
+        assert!((t - 1e6 * BYTES_PER_PAIR_SORT / m.mem_bw_bytes_per_s).abs() < 1e-18);
     }
 
     #[test]

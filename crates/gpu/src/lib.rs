@@ -40,4 +40,7 @@ pub mod energy;
 pub mod gscore;
 pub mod paper;
 
-pub use cuda_model::{mean_processed_len, CudaGpuModel, StageTimes};
+pub use cuda_model::{
+    mean_processed_len, CudaGpuModel, StageTimes, BYTES_PER_PAIR_SORT, BYTES_PER_PAIR_SORT_PASS,
+    SORT_RADIX_PASSES,
+};

@@ -74,21 +74,19 @@ impl RefinedWork {
 pub fn refine(workload: &RasterWorkload) -> RefinedWork {
     let mut out = RefinedWork::default();
     let splats = workload.splats();
-    for ty in 0..workload.tiles_y() {
-        for tx in 0..workload.tiles_x() {
-            let list = workload.tile_list(tx, ty);
-            let n = workload.processed_count(tx, ty) as usize;
-            let (x0, y0, x1, y1) = workload.tile_rect(tx, ty);
-            let tile_pixels = workload.tile_pixels(tx, ty);
-            for &si in &list[..n] {
-                let s = &splats[si as usize];
-                out.aabb_pairs += 1;
-                out.full_pixel_work += tile_pixels;
-                let (subtiles, pixels) = covered_subtiles(s, x0, y0, x1, y1);
-                if subtiles > 0 {
-                    out.shape_pairs += 1;
-                    out.subtile_pixel_work += pixels;
-                }
+    // One pass over the CSR tile ranges — the same traversal the other
+    // architecture models share.
+    for tile in workload.tiles() {
+        let (x0, y0, x1, y1) = tile.rect;
+        let tile_pixels = tile.pixels();
+        for &si in &tile.list[..tile.processed as usize] {
+            let s = &splats[si as usize];
+            out.aabb_pairs += 1;
+            out.full_pixel_work += tile_pixels;
+            let (subtiles, pixels) = covered_subtiles(s, x0, y0, x1, y1);
+            if subtiles > 0 {
+                out.shape_pairs += 1;
+                out.subtile_pixel_work += pixels;
             }
         }
     }

@@ -121,15 +121,14 @@ impl CommandBuffer {
     /// tile chunk (saturation-truncated lists), terminated by a fence.
     pub fn encode_gaussian(workload: &RasterWorkload, config: &RasterizerConfig) -> Self {
         let cap = TileBufferModel::new(config.bus_words_per_cycle).capacity_primitives;
-        let mut jobs = Vec::new();
-        for ty in 0..workload.tiles_y() {
-            for tx in 0..workload.tiles_x() {
-                jobs.push(TileJob {
-                    primitives: workload.processed_count(tx, ty),
-                    pixels: workload.tile_pixels(tx, ty) as u32,
-                });
-            }
-        }
+        // CSR traversal: one job per tile range, truncated at saturation.
+        let jobs: Vec<TileJob> = workload
+            .tiles()
+            .map(|t| TileJob {
+                primitives: t.processed,
+                pixels: t.pixels() as u32,
+            })
+            .collect();
         Self::encode_jobs(RasterMode::Gaussian, &chunk_jobs(&jobs, cap))
     }
 

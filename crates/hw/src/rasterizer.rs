@@ -118,32 +118,28 @@ impl EnhancedRasterizer {
         let mut fb = Framebuffer::new(workload.width(), workload.height());
         let mut pe = Pe::new(self.config.precision);
         let splats = workload.splats();
-        for ty in 0..workload.tiles_y() {
-            for tx in 0..workload.tiles_x() {
-                let list = workload.tile_list(tx, ty);
-                let n = workload.processed_count(tx, ty) as usize;
-                let (x0, y0, x1, y1) = workload.tile_rect(tx, ty);
-                let w = (x1 - x0) as usize;
-                let h = (y1 - y0) as usize;
-                let mut px_state = vec![GaussianPixel::default(); w * h];
-                for &si in &list[..n] {
-                    let s = &splats[si as usize];
-                    for py in 0..h {
-                        for px in 0..w {
-                            let p = Vec2::new(
-                                (x0 + px as u32) as f32 + 0.5,
-                                (y0 + py as u32) as f32 + 0.5,
-                            );
-                            pe.blend_gaussian(s, p, &mut px_state[py * w + px]);
-                        }
-                    }
-                }
+        // One pass over the CSR tile ranges: each tile's saturation-
+        // truncated prefix of its sorted slice streams through the PE.
+        for tile in workload.tiles() {
+            let (x0, y0, x1, y1) = tile.rect;
+            let w = (x1 - x0) as usize;
+            let h = (y1 - y0) as usize;
+            let mut px_state = vec![GaussianPixel::default(); w * h];
+            for &si in &tile.list[..tile.processed as usize] {
+                let s = &splats[si as usize];
                 for py in 0..h {
                     for px in 0..w {
-                        let s = &px_state[py * w + px];
-                        fb.set_color(x0 + px as u32, y0 + py as u32, s.color);
-                        fb.set_transmittance(x0 + px as u32, y0 + py as u32, s.transmittance);
+                        let p =
+                            Vec2::new((x0 + px as u32) as f32 + 0.5, (y0 + py as u32) as f32 + 0.5);
+                        pe.blend_gaussian(s, p, &mut px_state[py * w + px]);
                     }
+                }
+            }
+            for py in 0..h {
+                for px in 0..w {
+                    let s = &px_state[py * w + px];
+                    fb.set_color(x0 + px as u32, y0 + py as u32, s.color);
+                    fb.set_transmittance(x0 + px as u32, y0 + py as u32, s.transmittance);
                 }
             }
         }
@@ -194,21 +190,19 @@ impl EnhancedRasterizer {
         (fb, report)
     }
 
-    /// Builds per-tile work items for Gaussian mode, honoring buffer
-    /// capacity chunking. Returns items indexed by tile.
+    /// Builds per-tile work items for Gaussian mode straight off the CSR
+    /// tile ranges, honoring buffer capacity chunking. Returns items
+    /// indexed by tile.
     fn gaussian_items(&self, w: &RasterWorkload) -> Vec<(u64, Vec<WorkItem>)> {
-        let mut tiles = Vec::with_capacity(w.tile_count());
-        for ty in 0..w.tiles_y() {
-            for tx in 0..w.tiles_x() {
-                let n = w.processed_count(tx, ty);
-                let pixels = w.tile_pixels(tx, ty) as u32;
-                tiles.push((
-                    issued_pairs(n, pixels),
-                    self.chunked_items(n, WORDS_PER_SPLAT, pixels),
-                ));
-            }
-        }
-        tiles
+        w.tiles()
+            .map(|tile| {
+                let pixels = tile.pixels() as u32;
+                (
+                    issued_pairs(tile.processed, pixels),
+                    self.chunked_items(tile.processed, WORDS_PER_SPLAT, pixels),
+                )
+            })
+            .collect()
     }
 
     /// Builds per-tile work items for triangle mode; also returns the total

@@ -8,10 +8,13 @@
 //! 1. **Preprocessing** ([`preprocess`]) — project every 3D Gaussian to a 2D
 //!    splat (EWA covariance projection), convert spherical harmonics to RGB,
 //!    compute depth;
-//! 2. **Sorting** ([`sort`]) — order splats by depth and bin them into
-//!    16×16-pixel tiles ([`tile`]);
+//! 2. **Sorting** ([`sort`], [`tile`]) — duplicate every splat into one
+//!    packed 64-bit `(tile, depth)` key per covered tile and order the
+//!    whole key array with a single stable LSD radix sort, yielding a flat
+//!    CSR workload (one value buffer + per-tile offsets) whose buffers
+//!    live in a per-session [`FrameArena`];
 //! 3. **Gaussian rasterization** ([`rasterize`]) — per pixel, front-to-back
-//!    alpha blending of the covering splats.
+//!    alpha blending of the covering splats, one job per sorted CSR range.
 //!
 //! It also implements the triangle pipeline ([`triangle`]) that the original
 //! rasterizer hardware supports, with the same four subtasks the paper's
@@ -23,11 +26,12 @@
 //! `gaurast-gpu` CUDA model), guaranteeing both see identical work.
 //!
 //! The pipeline is data-parallel *within* a frame: Stage 1 runs in fixed
-//! Gaussian chunks and Stages 2–3 as independent per-tile jobs (each tile
-//! sorts its own list and writes its own disjoint framebuffer view) over a
-//! shared [`pool::WorkerPool`]. Output is bit-identical for every worker
-//! count — `workers = 1` is exactly the serial reference path; see
-//! [`pool`] for the determinism recipe and
+//! Gaussian chunks, Stage 2's radix sort in fixed key chunks
+//! ([`sort::RADIX_CHUNK`]), and Stage 3 as independent per-tile jobs (each
+//! tile reads its sorted CSR range and writes its own disjoint framebuffer
+//! view) over a shared [`pool::WorkerPool`]. Output is bit-identical for
+//! every worker count — `workers = 1` is exactly the serial reference
+//! path; see [`pool`] for the determinism recipe and
 //! [`pipeline::RenderConfig::workers`] for the knob.
 //!
 //! # Example
@@ -63,7 +67,7 @@ mod workload;
 pub use framebuffer::{Framebuffer, TileViewMut};
 pub use pool::WorkerPool;
 pub use preprocess::Splat2D;
-pub use workload::RasterWorkload;
+pub use workload::{FrameArena, RasterWorkload, TileRef};
 
 /// Default tile edge in pixels — the 16×16 tiling of the reference 3DGS
 /// rasterizer, also the granularity of GauRast's tile buffers.

@@ -5,23 +5,67 @@ use crate::ops::OpCounts;
 use crate::pool::WorkerPool;
 use crate::preprocess::{preprocess_pooled, PreprocessOutput};
 use crate::rasterize::{rasterize_with, RasterStats};
-use crate::tile::bin_splats_deferred_into;
-use crate::workload::RasterWorkload;
+use crate::tile::{bin_splats_legacy, bin_splats_pooled};
+use crate::workload::{FrameArena, RasterWorkload};
 use crate::DEFAULT_TILE_SIZE;
 use gaurast_scene::{Camera, GaussianScene};
+
+/// Which Stage-2 implementation a pipeline runs.
+///
+/// Both modes produce **bit-identical** workloads (proven by proptest in
+/// `tests/keysort.rs`): the stable radix order on packed keys equals the
+/// stable per-tile comparison order. The legacy mode exists for one
+/// release as an escape hatch and A/B baseline, then goes away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Stage2Mode {
+    /// Packed `(tile, depth)` keys + one parallel LSD radix sort into a
+    /// flat CSR workload ([`crate::tile::bin_splats_pooled`]) — the
+    /// default and the architecture the hw/gscore models simulate.
+    #[default]
+    KeySorted,
+    /// The historical per-tile `Vec` lists with a comparison sort per tile
+    /// ([`crate::tile::bin_splats_legacy`]).
+    LegacyPerTile,
+}
+
+impl Stage2Mode {
+    /// Runs this mode's Stage 2 out of `arena` — the one dispatch point
+    /// shared by the pipeline, the engine's reference pass, and the
+    /// benchmark harness.
+    pub fn bin(
+        self,
+        splats: Vec<crate::Splat2D>,
+        width: u32,
+        height: u32,
+        tile_size: u32,
+        arena: &mut FrameArena,
+        pool: &WorkerPool,
+    ) -> RasterWorkload {
+        match self {
+            Stage2Mode::KeySorted => {
+                bin_splats_pooled(splats, width, height, tile_size, arena, pool)
+            }
+            Stage2Mode::LegacyPerTile => {
+                bin_splats_legacy(splats, width, height, tile_size, arena, pool)
+            }
+        }
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RenderConfig {
     /// Tile edge in pixels (16 in the reference and in GauRast).
     pub tile_size: u32,
-    /// Intra-frame worker threads: Stage 1 runs in Gaussian chunks and
-    /// Stages 2–3 as per-tile jobs over a pool this wide. `0` (the
-    /// default) resolves to the `GAURAST_WORKERS` environment variable or
-    /// the machine's available parallelism
-    /// ([`crate::pool::resolve_workers`]); `1` is exactly the historical
-    /// serial path. Output is bit-identical for every value.
+    /// Intra-frame worker threads: Stage 1 runs in Gaussian chunks,
+    /// Stage 2's radix sort in key chunks, and Stage 3 as per-tile jobs
+    /// over a pool this wide. `0` (the default) resolves to the
+    /// `GAURAST_WORKERS` environment variable or the machine's available
+    /// parallelism ([`crate::pool::resolve_workers`]); `1` is exactly the
+    /// historical serial path. Output is bit-identical for every value.
     pub workers: usize,
+    /// Stage-2 implementation (key-sorted radix/CSR by default).
+    pub stage2: Stage2Mode,
 }
 
 impl Default for RenderConfig {
@@ -29,6 +73,7 @@ impl Default for RenderConfig {
         Self {
             tile_size: DEFAULT_TILE_SIZE,
             workers: 0,
+            stage2: Stage2Mode::default(),
         }
     }
 }
@@ -44,6 +89,12 @@ impl RenderConfig {
     /// count.
     pub fn with_workers(self, workers: usize) -> Self {
         Self { workers, ..self }
+    }
+
+    /// A configuration identical to this one but with an explicit Stage-2
+    /// mode.
+    pub fn with_stage2(self, stage2: Stage2Mode) -> Self {
+        Self { stage2, ..self }
     }
 }
 
@@ -105,23 +156,40 @@ impl From<&PreprocessOutput> for PreprocessStats {
 /// # Ok::<(), gaurast_scene::SceneError>(())
 /// ```
 pub fn render(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> RenderOutput {
+    render_with_arena(scene, camera, config, &mut FrameArena::new())
+}
+
+/// [`render`] with a caller-held [`FrameArena`]: recycle the workload back
+/// into the arena after the frame
+/// ([`RasterWorkload::recycle_into`]) and steady-state Stage 2 —
+/// key emission, radix sort, CSR assembly, processed counts — makes no
+/// data-path allocations (a multi-worker pool still pays its scoped
+/// thread spawns). This is the session hot path the engine uses.
+pub fn render_with_arena(
+    scene: &GaussianScene,
+    camera: &Camera,
+    config: &RenderConfig,
+    arena: &mut FrameArena,
+) -> RenderOutput {
     let pool = config.worker_pool();
 
     // Stage 1: preprocessing, in parallel Gaussian chunks.
     let pre = preprocess_pooled(scene, camera, &pool);
     let pre_stats = PreprocessStats::from(&pre);
 
-    // Stage 2: tiling (the per-tile depth sort runs inside each tile job).
-    let mut workload = bin_splats_deferred_into(
+    // Stage 2: packed-key radix sort into the flat CSR workload (or the
+    // legacy per-tile path behind the escape hatch).
+    let mut workload = config.stage2.bin(
         pre.splats,
         camera.width(),
         camera.height(),
         config.tile_size,
-        Vec::new(),
+        arena,
+        &pool,
     );
 
-    // Stages 2–3: per-tile sort + Gaussian rasterization as independent
-    // tile jobs (fills processed counts).
+    // Stage 3: Gaussian rasterization over the sorted CSR ranges as
+    // independent tile jobs (fills processed counts).
     let mut image = Framebuffer::new(camera.width(), camera.height());
     let raster = rasterize_with(&mut workload, Some(&mut image), &pool);
 
@@ -164,12 +232,13 @@ pub fn render_record_only(
     let pool = config.worker_pool();
     let pre = preprocess_pooled(scene, camera, &pool);
     let pre_stats = PreprocessStats::from(&pre);
-    let mut workload = bin_splats_deferred_into(
+    let mut workload = config.stage2.bin(
         pre.splats,
         camera.width(),
         camera.height(),
         config.tile_size,
-        Vec::new(),
+        &mut FrameArena::new(),
+        &pool,
     );
     let raster = rasterize_with(&mut workload, None, &pool);
     WorkloadOutput {

@@ -13,7 +13,6 @@ use crate::framebuffer::{Framebuffer, TileViewMut};
 use crate::ops::{Subtask, SubtaskCounts};
 use crate::pool::WorkerPool;
 use crate::preprocess::Splat2D;
-use crate::sort::sort_indices_by_depth;
 use crate::workload::RasterWorkload;
 use crate::{ALPHA_CUTOFF, TRANSMITTANCE_EPS};
 use gaurast_math::{Vec2, Vec3};
@@ -87,28 +86,30 @@ pub fn rasterize_into(workload: &mut RasterWorkload, fb: Option<&mut Framebuffer
     rasterize_with(workload, fb, &WorkerPool::serial())
 }
 
-/// One tile's rasterization job: its (to-be-)sorted splat index list, its
-/// exclusive framebuffer view (absent in record-only mode), and its output
-/// slot.
+/// One tile's rasterization job: its depth-sorted CSR slice, its exclusive
+/// framebuffer view (absent in record-only mode), and its output slot.
 struct TileJob<'l, 'fb> {
-    list: &'l mut Vec<u32>,
+    list: &'l [u32],
     view: Option<TileViewMut<'fb>>,
     processed: u32,
     stats: RasterStats,
 }
 
-/// The tile-major rasterization pass — the single Stage-2+3 code path
-/// behind [`rasterize`], [`rasterize_counts`], and [`rasterize_into`].
+/// The tile-major rasterization pass — the single Stage-3 code path behind
+/// [`rasterize`], [`rasterize_counts`], and [`rasterize_into`].
 ///
-/// Each tile is an independent job: it depth-sorts its own splat list
-/// (idempotent on already-sorted workloads — the sort is stable, so the
-/// resulting order is bit-identical wherever it runs) and rasterizes into
-/// its own disjoint framebuffer view
-/// ([`Framebuffer::tile_views_mut`]) with no locking. Jobs are fanned over
-/// `pool`; per-tile statistics and processed counts are merged in tile
-/// order on the calling thread, so every output — image bytes, op tallies,
-/// processed counts — is bit-identical for every worker count, including
-/// the serial pool.
+/// Each tile is an independent job over its own depth-sorted CSR range of
+/// the workload (Stage 2 sorted every range up front via the packed-key
+/// radix sort — there is no in-job sort), rasterizing into its own
+/// disjoint framebuffer view ([`Framebuffer::tile_views_mut`]) with no
+/// locking. Jobs are fanned over `pool`; per-tile statistics and processed
+/// counts are merged in tile order on the calling thread, so every output
+/// — image bytes, op tallies, processed counts — is bit-identical for
+/// every worker count, including the serial pool.
+///
+/// The front-to-back invariant is checked only in debug builds
+/// ([`crate::sort::is_depth_sorted`] is a full scan — too expensive for
+/// the hot path); both binning entry points establish it by construction.
 ///
 /// The framebuffer is cleared once up front (only the depth plane actually
 /// needs it for the Gaussian path: tile views cover and overwrite every
@@ -132,26 +133,26 @@ pub fn rasterize_with(
     }
     let (tiles_x, tile_size) = (workload.tiles_x(), workload.tile_size());
     let n_tiles = workload.tile_count();
+    // Recycled counts buffer: refilled below, handed back via
+    // `set_processed` (no per-frame allocation in steady state).
+    let mut processed = workload.take_processed_scratch();
+
     // One grid authority: the same tile_rect the workload exposes to the
     // architecture models also shapes the jobs (and matches the views
     // `tile_views_mut` builds on the identical grid).
     let rects: Vec<(u32, u32, u32, u32)> = (0..n_tiles as u32)
         .map(|i| workload.tile_rect(i % tiles_x, i / tiles_x))
         .collect();
-    // Workloads from the sorted binning entry points are already
-    // front-to-back; their tile jobs skip the (idempotent) in-job sort.
-    let presorted = workload.is_sorted();
 
     let mut views: Vec<Option<TileViewMut<'_>>> = match fb {
         Some(fb) => fb.tile_views_mut(tile_size).into_iter().map(Some).collect(),
         None => (0..n_tiles).map(|_| None).collect(),
     };
-    let (splats, lists) = workload.splats_and_lists_mut();
-    let mut jobs: Vec<TileJob<'_, '_>> = lists
-        .iter_mut()
+    let splats = workload.splats();
+    let mut jobs: Vec<TileJob<'_, '_>> = (0..n_tiles)
         .zip(views.drain(..))
-        .map(|(list, view)| TileJob {
-            list,
+        .map(|(i, view)| TileJob {
+            list: workload.tile_list_at(i),
             view,
             processed: 0,
             stats: RasterStats::default(),
@@ -159,9 +160,12 @@ pub fn rasterize_with(
         .collect();
 
     pool.run_mut(&mut jobs, |i, job| {
-        if !presorted {
-            sort_indices_by_depth(job.list, splats);
-        }
+        // Full-scan front-to-back check, debug builds only (demoted from
+        // the hot path; `is_depth_sorted` stays public for tests).
+        debug_assert!(
+            crate::sort::is_depth_sorted(job.list, splats),
+            "tile {i} list reached Stage 3 unsorted"
+        );
         let rect = rects[i];
         if let Some(view) = &job.view {
             debug_assert_eq!(
@@ -174,13 +178,12 @@ pub fn rasterize_with(
     });
 
     let mut stats = RasterStats::default();
-    let mut processed = Vec::with_capacity(n_tiles);
+    processed.reserve(n_tiles);
     for job in jobs {
         stats += job.stats;
         processed.push(job.processed);
     }
     workload.set_processed(processed);
-    workload.mark_sorted();
     stats
 }
 

@@ -1,12 +1,20 @@
 //! Tile binning: assign splats to the 16×16-pixel tiles they may touch.
 //!
-//! The reference rasterizer duplicates each splat key into every tile its
-//! 3σ bounding square overlaps, then sorts per tile by depth. This module
-//! reproduces that exactly and emits the [`RasterWorkload`].
+//! The reference rasterizer duplicates each splat into one packed
+//! `(tile, depth)` key per tile its 3σ bounding square overlaps
+//! ([`crate::sort::pack_key`]), radix-sorts the whole key array once, and
+//! reads the result back as a flat CSR workload. This module reproduces
+//! that exactly and emits the [`RasterWorkload`]; the historical
+//! per-tile-list + comparison-sort path survives as
+//! [`bin_splats_legacy`] (the [`Stage2Mode::LegacyPerTile`] escape hatch
+//! and the proptest oracle).
+//!
+//! [`Stage2Mode::LegacyPerTile`]: crate::pipeline::Stage2Mode::LegacyPerTile
 
+use crate::pool::WorkerPool;
 use crate::preprocess::Splat2D;
-use crate::sort::sort_indices_by_depth;
-use crate::workload::RasterWorkload;
+use crate::sort::{key_tile, pack_key, sort_indices_by_depth};
+use crate::workload::{FrameArena, RasterWorkload};
 use gaurast_math::{Aabb2, Vec2};
 
 /// Tile index range `(x0, y0, x1, y1)` (inclusive bounds) overlapped by a
@@ -50,65 +58,127 @@ pub fn tile_range(
     Some((x0, y0, x1e - 1, y1e - 1))
 }
 
-/// Bins depth-sortable splats into per-tile lists and returns the workload.
+/// Bins depth-sortable splats into a CSR workload through the key-sorted
+/// path with a fresh arena and the serial pool — the convenience entry for
+/// tests and one-off frames.
 ///
-/// Each tile's list is sorted front-to-back. The input order of `splats` is
-/// irrelevant; determinism comes from the stable depth sort.
+/// Each tile's CSR range is sorted front-to-back. The input order of
+/// `splats` is irrelevant; determinism comes from the stable radix sort on
+/// packed `(tile, depth)` keys.
 ///
 /// # Panics
 /// Panics when `tile_size` is zero or the image is empty.
 pub fn bin_splats(splats: Vec<Splat2D>, width: u32, height: u32, tile_size: u32) -> RasterWorkload {
-    bin_splats_into(splats, width, height, tile_size, Vec::new())
+    bin_splats_pooled(
+        splats,
+        width,
+        height,
+        tile_size,
+        &mut FrameArena::new(),
+        &WorkerPool::serial(),
+    )
 }
 
-/// [`bin_splats`] with caller-recycled tile-list buffers: `lists` is
-/// resized to the grid and each list cleared (keeping its allocation)
-/// before binning. Engine sessions thread the buffers returned by
-/// [`RasterWorkload::into_buffers`] back through here so steady-state
-/// frames allocate nothing for binning.
+/// The key-sorted Stage-2 hot path: emits one packed `(tile, depth)` key
+/// per covered tile, radix-sorts the key/value pairs in one pass over
+/// `pool` ([`crate::sort::RadixSorter`]), and builds the CSR offset table
+/// from the sorted runs. All scratch comes from `arena`, so steady-state
+/// frames make no data-path allocations (a multi-worker pool still pays
+/// its scoped thread spawns per `run`, as in every other stage); give the
+/// buffers back with [`RasterWorkload::recycle_into`].
+///
+/// The output is **bit-identical** to [`bin_splats_legacy`] for every
+/// worker count: the stable radix order on
+/// [`crate::sort::depth_key_bits`] equals the stable comparison order on
+/// [`f32::total_cmp`], key for key.
 ///
 /// # Panics
 /// Panics when `tile_size` is zero or the image is empty.
-pub fn bin_splats_into(
+pub fn bin_splats_pooled(
     splats: Vec<Splat2D>,
     width: u32,
     height: u32,
     tile_size: u32,
-    lists: Vec<Vec<u32>>,
-) -> RasterWorkload {
-    let mut workload = bin_splats_deferred_into(splats, width, height, tile_size, lists);
-    let (splats, lists) = workload.splats_and_lists_mut();
-    for list in lists {
-        sort_indices_by_depth(list, splats);
-    }
-    workload.mark_sorted();
-    workload
-}
-
-/// [`bin_splats_into`] with the per-tile depth sort *deferred*: each tile's
-/// list holds its splat indices in submission order, to be sorted by the
-/// consumer — the tile-major rasterization path
-/// ([`crate::rasterize::rasterize_with`]) sorts every tile inside its own
-/// parallel tile job, so there is no serial sort stage at all. The stable
-/// per-tile sort produces bit-identical lists wherever it runs.
-///
-/// # Panics
-/// Panics when `tile_size` is zero or the image is empty.
-pub fn bin_splats_deferred_into(
-    splats: Vec<Splat2D>,
-    width: u32,
-    height: u32,
-    tile_size: u32,
-    mut lists: Vec<Vec<u32>>,
+    arena: &mut FrameArena,
+    pool: &WorkerPool,
 ) -> RasterWorkload {
     assert!(tile_size > 0 && width > 0 && height > 0);
     let tiles_x = width.div_ceil(tile_size);
     let tiles_y = height.div_ceil(tile_size);
-    lists.resize((tiles_x * tiles_y) as usize, Vec::new());
+    let tile_count = (tiles_x * tiles_y) as usize;
+
+    // Key emission: one (packed key, splat index) pair per covered tile,
+    // in splat submission order — the order stability preserves for equal
+    // depths.
+    let mut keys = std::mem::take(&mut arena.keys);
+    let mut values = std::mem::take(&mut arena.values);
+    keys.clear();
+    values.clear();
+    for (i, s) in splats.iter().enumerate() {
+        if let Some((x0, y0, x1, y1)) = tile_range(s, width, height, tile_size) {
+            for ty in y0..=y1 {
+                for tx in x0..=x1 {
+                    keys.push(pack_key(ty * tiles_x + tx, s.depth));
+                    values.push(i as u32);
+                }
+            }
+        }
+    }
+
+    // One stable LSD radix sort orders every tile's run front-to-back.
+    arena.sorter.sort_pairs(&mut keys, &mut values, pool);
+
+    // CSR offsets from the sorted keys: count per tile, then prefix-sum.
+    let mut offsets = std::mem::take(&mut arena.offsets);
+    offsets.clear();
+    offsets.resize(tile_count + 1, 0);
+    for &k in &keys {
+        offsets[key_tile(k) as usize + 1] += 1;
+    }
+    for i in 0..tile_count {
+        offsets[i + 1] += offsets[i];
+    }
+
+    arena.keys = keys;
+    RasterWorkload::from_csr(
+        width,
+        height,
+        tile_size,
+        splats,
+        values,
+        offsets,
+        std::mem::take(&mut arena.processed),
+    )
+}
+
+/// The historical Stage-2 path, kept for one release as the
+/// [`Stage2Mode::LegacyPerTile`](crate::pipeline::Stage2Mode) escape hatch
+/// and as the proptest oracle: bins splat indices into per-tile `Vec`s in
+/// submission order, stably comparison-sorts each list by depth
+/// ([`sort_indices_by_depth`]) — one pool job per tile, exactly where the
+/// pre-CSR pipeline ran its in-job sorts — and flattens the lists into the
+/// same CSR workload the key-sorted path produces.
+///
+/// # Panics
+/// Panics when `tile_size` is zero or the image is empty.
+pub fn bin_splats_legacy(
+    splats: Vec<Splat2D>,
+    width: u32,
+    height: u32,
+    tile_size: u32,
+    arena: &mut FrameArena,
+    pool: &WorkerPool,
+) -> RasterWorkload {
+    assert!(tile_size > 0 && width > 0 && height > 0);
+    let tiles_x = width.div_ceil(tile_size);
+    let tiles_y = height.div_ceil(tile_size);
+    let tile_count = (tiles_x * tiles_y) as usize;
+
+    let mut lists = std::mem::take(&mut arena.lists);
+    lists.resize(tile_count, Vec::new());
     for list in &mut lists {
         list.clear();
     }
-
     for (i, s) in splats.iter().enumerate() {
         if let Some((x0, y0, x1, y1)) = tile_range(s, width, height, tile_size) {
             for ty in y0..=y1 {
@@ -118,7 +188,27 @@ pub fn bin_splats_deferred_into(
             }
         }
     }
-    RasterWorkload::new(width, height, tile_size, splats, lists)
+    pool.run_mut(&mut lists, |_, list| sort_indices_by_depth(list, &splats));
+
+    let mut values = std::mem::take(&mut arena.values);
+    let mut offsets = std::mem::take(&mut arena.offsets);
+    values.clear();
+    offsets.clear();
+    offsets.push(0);
+    for list in &lists {
+        values.extend_from_slice(list);
+        offsets.push(values.len() as u32);
+    }
+    arena.lists = lists;
+    RasterWorkload::from_csr(
+        width,
+        height,
+        tile_size,
+        splats,
+        values,
+        offsets,
+        std::mem::take(&mut arena.processed),
+    )
 }
 
 #[cfg(test)]
@@ -176,6 +266,31 @@ mod tests {
         ];
         let w = bin_splats(splats, 32, 32, 16);
         assert_eq!(w.tile_list(0, 0), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn keyed_path_matches_legacy_path() {
+        let splats: Vec<Splat2D> = (0..60)
+            .map(|i| {
+                splat_at(
+                    (i * 13 % 64) as f32,
+                    (i * 29 % 64) as f32,
+                    2.0 + (i % 7) as f32,
+                    // Repeating depths exercise tie stability.
+                    1.0 + (i % 5) as f32,
+                )
+            })
+            .collect();
+        let keyed = bin_splats(splats.clone(), 64, 64, 16);
+        let legacy = bin_splats_legacy(
+            splats,
+            64,
+            64,
+            16,
+            &mut FrameArena::new(),
+            &WorkerPool::serial(),
+        );
+        assert_eq!(keyed, legacy);
     }
 
     #[test]
@@ -237,17 +352,19 @@ mod tests {
     }
 
     #[test]
-    fn recycled_buffers_produce_identical_workloads() {
+    fn recycled_arena_produces_identical_workloads() {
         let splats = vec![
             splat_at(8.0, 8.0, 3.0, 2.0),
             splat_at(40.0, 40.0, 5.0, 1.0),
             splat_at(16.0, 16.0, 4.0, 3.0),
         ];
         let fresh = bin_splats(splats.clone(), 64, 64, 16);
-        // Recycle through a stale buffer set from a differently sized grid.
-        let (recycled_splats, stale_lists) = bin_splats(splats.clone(), 128, 96, 16).into_buffers();
-        drop(recycled_splats);
-        let reused = super::bin_splats_into(splats, 64, 64, 16, stale_lists);
+        // Recycle through a stale arena from a differently sized grid.
+        let mut arena = FrameArena::new();
+        let pool = WorkerPool::serial();
+        let stale = bin_splats_pooled(splats.clone(), 128, 96, 16, &mut arena, &pool);
+        stale.recycle_into(&mut arena);
+        let reused = bin_splats_pooled(splats, 64, 64, 16, &mut arena, &pool);
         assert_eq!(fresh, reused);
     }
 }

@@ -164,7 +164,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RasterWorkload, TraceError> {
     let tiles_y = height.div_ceil(tile_size);
     let tile_count = (tiles_x * tiles_y) as usize;
     let mut lists = Vec::with_capacity(tile_count);
-    for _ in 0..tile_count {
+    for t in 0..tile_count {
         let len = r.u32()? as usize;
         let mut list = Vec::with_capacity(len);
         for _ in 0..len {
@@ -173,6 +173,18 @@ pub fn from_bytes(bytes: &[u8]) -> Result<RasterWorkload, TraceError> {
                 return Err(TraceError::Corrupt(format!("index {idx} out of bounds")));
             }
             list.push(idx);
+        }
+        // Processed counts are prefixes of the recorded order, so replay
+        // must preserve that order exactly. `RasterWorkload::new`
+        // re-establishes depth order (stably) — reject traces whose lists
+        // are not already depth-sorted rather than silently replaying a
+        // different processed set. Every trace this crate writes is
+        // depth-sorted by construction.
+        if !crate::sort::is_depth_sorted(&list, &splats) {
+            return Err(TraceError::Corrupt(format!(
+                "tile {t} list is not depth-sorted; processed prefixes \
+                 would not survive replay"
+            )));
         }
         lists.push(list);
     }
@@ -288,6 +300,38 @@ mod tests {
         if bytes.len() > idx_pos + 4 {
             bytes[idx_pos..idx_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
             assert!(from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn unsorted_trace_list_rejected() {
+        // A hand-crafted (or pre-CSR) trace whose tile list is not
+        // depth-sorted must fail to decode: its processed prefix counts
+        // reference an order replay cannot reproduce.
+        let splats: Vec<Splat2D> = [3.0f32, 1.0]
+            .iter()
+            .map(|&depth| Splat2D {
+                mean: Vec2::new(8.0, 8.0),
+                conic: [0.1, 0.0, 0.1],
+                depth,
+                color: Vec3::one(),
+                opacity: 0.5,
+                radius: 4.0,
+                source: 0,
+            })
+            .collect();
+        let mut w = RasterWorkload::new(16, 16, 16, splats, vec![vec![0, 1]]);
+        w.set_processed(vec![1]);
+        let mut bytes = to_bytes(&w);
+        // The constructor sorted the list to [1, 0]; swap the two index
+        // words back to the unsorted [0, 1] on the wire.
+        let lists_start = 8 + 4 * 5 + w.splats().len() * SPLAT_WORDS * 4;
+        let (a, b) = (lists_start + 4, lists_start + 8);
+        bytes[a..a + 4].copy_from_slice(&0u32.to_le_bytes());
+        bytes[b..b + 4].copy_from_slice(&1u32.to_le_bytes());
+        match from_bytes(&bytes) {
+            Err(TraceError::Corrupt(msg)) => assert!(msg.contains("depth-sorted"), "{msg}"),
+            other => panic!("unsorted trace must be rejected, got {other:?}"),
         }
     }
 

@@ -2,13 +2,22 @@
 //! and the architecture models.
 //!
 //! Stages 1–2 produce a [`RasterWorkload`]: the preprocessed splats plus a
-//! depth-sorted index list per 16×16 tile. Both the CUDA baseline model and
-//! the GauRast cycle-accurate simulator consume this same structure, so the
-//! speedups compare identical work (DESIGN.md §6, decision 1).
+//! flat **CSR** (compressed sparse row) table of depth-sorted splat indices
+//! — one contiguous `values` buffer holding every (splat, tile) pair
+//! tile-major, and an `offsets` table with one entry per tile plus a
+//! terminator, so tile `i`'s list is `values[offsets[i]..offsets[i + 1]]`.
+//! Both the CUDA baseline model and the GauRast cycle-accurate simulator
+//! consume this same structure, so the speedups compare identical work
+//! (DESIGN.md §6, decision 1).
+//!
+//! The CSR buffers (and the packed 64-bit sort keys that produce them —
+//! see [`crate::sort::pack_key`]) live in a per-session [`FrameArena`], so
+//! steady-state frames run Stage 2 without allocating.
 
 use crate::preprocess::Splat2D;
+use crate::sort::RadixSorter;
 
-/// Per-tile, depth-ordered rasterization work for one frame.
+/// Per-tile, depth-ordered rasterization work for one frame, in CSR form.
 #[derive(Clone, Debug)]
 pub struct RasterWorkload {
     width: u32,
@@ -17,42 +26,50 @@ pub struct RasterWorkload {
     tiles_x: u32,
     tiles_y: u32,
     splats: Vec<Splat2D>,
-    tile_lists: Vec<Vec<u32>>,
-    processed: Option<Vec<u32>>,
-    /// Whether every tile list is already depth-sorted — a cache flag
-    /// (excluded from equality) letting the tile-major rasterization pass
-    /// skip its in-job sort for workloads from the sorted binning entry
-    /// points.
-    sorted: bool,
+    /// Flat, tile-major splat-index buffer: every (splat, tile) pair once,
+    /// each tile's run depth-sorted.
+    values: Vec<u32>,
+    /// CSR offset table, `tile_count() + 1` entries: tile `i` owns
+    /// `values[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Per-tile processed counts recorded by the reference rasterizer;
+    /// empty until [`RasterWorkload::set_processed`] runs.
+    processed: Vec<u32>,
 }
 
 impl PartialEq for RasterWorkload {
-    /// Equality over the semantic content (grid, splats, lists, processed
-    /// counts); the `sorted` cache flag is deliberately excluded — a
-    /// sorted-binned workload and a deferred-binned one whose tile jobs
-    /// sorted it describe identical work.
+    /// Equality over the semantic content: grid, splats, CSR table, and
+    /// processed counts.
     fn eq(&self, other: &Self) -> bool {
         (
             self.width,
             self.height,
             self.tile_size,
             &self.splats,
-            &self.tile_lists,
+            &self.values,
+            &self.offsets,
             &self.processed,
         ) == (
             other.width,
             other.height,
             other.tile_size,
             &other.splats,
-            &other.tile_lists,
+            &other.values,
+            &other.offsets,
             &other.processed,
         )
     }
 }
 
 impl RasterWorkload {
-    /// Assembles a workload. Intended to be called by
-    /// [`crate::tile::bin_splats`]; exposed for tests and custom tilers.
+    /// Assembles a workload from per-tile index lists, stably
+    /// depth-sorting each list (the Stage-2 invariant every consumer
+    /// relies on — Stage 3 no longer sorts in its tile jobs, so the
+    /// constructor establishes the order; already-sorted lists pass
+    /// through bit-identically). This is the compatibility entry for
+    /// tests, custom tilers and trace replay ([`crate::trace`]); the
+    /// reference pipeline builds workloads through the key-sorted CSR
+    /// path ([`crate::tile::bin_splats_pooled`]).
     ///
     /// # Panics
     /// Panics when the tile-list count does not match the grid, when the
@@ -73,21 +90,83 @@ impl RasterWorkload {
             (tiles_x * tiles_y) as usize,
             "tile list count must match the grid"
         );
+        let total: usize = tile_lists.iter().map(Vec::len).sum();
+        let mut values = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(tile_lists.len() + 1);
+        offsets.push(0u32);
         for list in &tile_lists {
+            let start = values.len();
             for &i in list {
                 assert!((i as usize) < splats.len(), "splat index {i} out of bounds");
+                values.push(i);
             }
+            crate::sort::sort_indices_by_depth(&mut values[start..], &splats);
+            offsets.push(values.len() as u32);
         }
+        Self::from_csr(
+            width,
+            height,
+            tile_size,
+            splats,
+            values,
+            offsets,
+            Vec::new(),
+        )
+    }
+
+    /// Assembles a workload directly from CSR buffers (the arena-backed
+    /// binning path). `processed` may carry a recycled (cleared) counts
+    /// buffer whose capacity is reused by the next
+    /// [`RasterWorkload::set_processed`].
+    ///
+    /// # Panics
+    /// Panics when the offset table does not match the grid or is not a
+    /// monotone cover of `values`. Index bounds are a `debug_assert` — the
+    /// binning paths emit indices straight from the splat iteration, and
+    /// this constructor is on the per-frame hot path.
+    pub(crate) fn from_csr(
+        width: u32,
+        height: u32,
+        tile_size: u32,
+        splats: Vec<Splat2D>,
+        values: Vec<u32>,
+        offsets: Vec<u32>,
+        mut processed: Vec<u32>,
+    ) -> Self {
+        assert!(tile_size > 0, "tile size must be positive");
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let tiles_x = width.div_ceil(tile_size);
+        let tiles_y = height.div_ceil(tile_size);
+        assert_eq!(
+            offsets.len(),
+            (tiles_x * tiles_y) as usize + 1,
+            "offset table must have one entry per tile plus a terminator"
+        );
+        assert_eq!(offsets[0], 0, "offset table must start at zero");
+        assert_eq!(
+            *offsets.last().expect("non-empty offsets") as usize,
+            values.len(),
+            "offset table must end at the value count"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offset table must be monotone"
+        );
+        debug_assert!(
+            values.iter().all(|&i| (i as usize) < splats.len()),
+            "splat index out of bounds in CSR values"
+        );
         // Debug-only finiteness gate: Stage 1 culls non-finite splats and
         // `tile_range` refuses to bin them, so a non-finite mean, radius,
         // or depth here means an upstream guard was bypassed (NaN depths
-        // would also poison the per-tile sort).
+        // would also poison the depth keys).
         debug_assert!(
             splats
                 .iter()
                 .all(|s| s.mean.is_finite() && s.radius.is_finite() && s.depth.is_finite()),
-            "non-finite splat reached RasterWorkload::new"
+            "non-finite splat reached RasterWorkload"
         );
+        processed.clear();
         Self {
             width,
             height,
@@ -95,9 +174,9 @@ impl RasterWorkload {
             tiles_x,
             tiles_y,
             splats,
-            tile_lists,
-            processed: None,
-            sorted: false,
+            values,
+            offsets,
+            processed,
         }
     }
 
@@ -143,6 +222,29 @@ impl RasterWorkload {
         &self.splats
     }
 
+    /// The flat CSR value buffer: every (splat, tile) pair, tile-major,
+    /// depth-sorted within each tile's run.
+    #[inline]
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// The CSR offset table (`tile_count() + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Depth-sorted splat indices for the linear tile index
+    /// (`ty * tiles_x + tx`) — a zero-copy slice of the CSR value buffer.
+    ///
+    /// # Panics
+    /// Panics when the index is out of range.
+    #[inline]
+    pub fn tile_list_at(&self, tile: usize) -> &[u32] {
+        &self.values[self.offsets[tile] as usize..self.offsets[tile + 1] as usize]
+    }
+
     /// Depth-sorted splat indices for tile `(tx, ty)`.
     ///
     /// # Panics
@@ -150,7 +252,24 @@ impl RasterWorkload {
     #[inline]
     pub fn tile_list(&self, tx: u32, ty: u32) -> &[u32] {
         assert!(tx < self.tiles_x && ty < self.tiles_y, "tile out of range");
-        &self.tile_lists[(ty * self.tiles_x + tx) as usize]
+        self.tile_list_at((ty * self.tiles_x + tx) as usize)
+    }
+
+    /// Iterates the tiles in linear (tile-major) order, yielding each
+    /// tile's CSR range, rectangle, and processed count — the one traversal
+    /// every architecture model shares.
+    pub fn tiles(&self) -> impl Iterator<Item = TileRef<'_>> + '_ {
+        (0..self.tile_count()).map(move |i| {
+            let (tx, ty) = (i as u32 % self.tiles_x, i as u32 / self.tiles_x);
+            TileRef {
+                index: i,
+                tx,
+                ty,
+                list: self.tile_list_at(i),
+                processed: self.processed_count(tx, ty),
+                rect: self.tile_rect(tx, ty),
+            }
+        })
     }
 
     /// Pixel rectangle of tile `(tx, ty)`: `(x0, y0, x1, y1)`, exclusive
@@ -172,10 +291,10 @@ impl RasterWorkload {
         u64::from(x1 - x0) * u64::from(y1 - y0)
     }
 
-    /// Total (splat, tile) pairs — the length sum of all tile lists, i.e.
-    /// the sort/binning workload of Stage 2.
+    /// Total (splat, tile) pairs — the CSR value count, i.e. the
+    /// sort/binning workload of Stage 2.
     pub fn total_pairs(&self) -> u64 {
-        self.tile_lists.iter().map(|l| l.len() as u64).sum()
+        self.values.len() as u64
     }
 
     /// Records how many splats of each tile's list were actually processed
@@ -184,26 +303,33 @@ impl RasterWorkload {
     ///
     /// # Panics
     /// Panics when the vector length does not match the tile count or when
-    /// any count exceeds the corresponding list length.
+    /// any count exceeds the corresponding CSR range length.
     pub fn set_processed(&mut self, processed: Vec<u32>) {
         assert_eq!(processed.len(), self.tile_count(), "one count per tile");
-        for (p, list) in processed.iter().zip(&self.tile_lists) {
-            assert!(
-                *p as usize <= list.len(),
-                "processed count {p} exceeds list length {}",
-                list.len()
-            );
+        for (i, p) in processed.iter().enumerate() {
+            let len = self.offsets[i + 1] - self.offsets[i];
+            assert!(*p <= len, "processed count {p} exceeds list length {len}");
         }
-        self.processed = Some(processed);
+        self.processed = processed;
+    }
+
+    /// Hands out the (cleared) processed-count buffer so the reference
+    /// rasterization pass can refill it without allocating; the pass gives
+    /// it back through [`RasterWorkload::set_processed`].
+    pub(crate) fn take_processed_scratch(&mut self) -> Vec<u32> {
+        let mut p = std::mem::take(&mut self.processed);
+        p.clear();
+        p
     }
 
     /// Processed splat count for tile `(tx, ty)`: the recorded count if the
     /// reference rasterizer ran, otherwise the full list length.
     pub fn processed_count(&self, tx: u32, ty: u32) -> u32 {
         let idx = (ty * self.tiles_x + tx) as usize;
-        match &self.processed {
-            Some(p) => p[idx],
-            None => self.tile_lists[idx].len() as u32,
+        if self.processed.is_empty() {
+            self.offsets[idx + 1] - self.offsets[idx]
+        } else {
+            self.processed[idx]
         }
     }
 
@@ -211,56 +337,94 @@ impl RasterWorkload {
     /// `Σ_tiles processed(tile) × pixels(tile)`. This is the `W` that both
     /// architecture models divide by their respective throughputs.
     pub fn blend_work(&self) -> u64 {
-        let mut total = 0u64;
-        for ty in 0..self.tiles_y {
-            for tx in 0..self.tiles_x {
-                total += u64::from(self.processed_count(tx, ty)) * self.tile_pixels(tx, ty);
-            }
-        }
-        total
+        self.tiles()
+            .map(|t| u64::from(t.processed) * t.pixels())
+            .sum()
     }
 
-    /// Splits the workload into its shared splat slice and exclusive
-    /// per-tile lists — what a tile-major rasterization pass needs: every
-    /// tile job reads the splats and sorts/consumes its own list. Crate
-    /// internal so list contents can only be permuted, never given
-    /// out-of-bounds indices.
-    pub(crate) fn splats_and_lists_mut(&mut self) -> (&[Splat2D], &mut [Vec<u32>]) {
-        (&self.splats, &mut self.tile_lists)
-    }
-
-    /// `true` when every tile list is known depth-sorted (see the
-    /// `sorted` field).
-    pub(crate) fn is_sorted(&self) -> bool {
-        self.sorted
-    }
-
-    /// Records that every tile list is depth-sorted (set by the sorted
-    /// binning entry points and by the tile-major pass after its in-job
-    /// sorts).
-    pub(crate) fn mark_sorted(&mut self) {
-        self.sorted = true;
-    }
-
-    /// Disassembles the workload into its splat and tile-list buffers so a
-    /// session can recycle the allocations for the next frame (see
-    /// [`crate::tile::bin_splats_into`]). Any recorded processed counts are
-    /// dropped.
-    pub fn into_buffers(self) -> (Vec<Splat2D>, Vec<Vec<u32>>) {
-        (self.splats, self.tile_lists)
+    /// Moves this workload's CSR and processed-count buffers back into a
+    /// session arena so the next frame reuses the allocations
+    /// ([`FrameArena`] is the steady-state zero-allocation contract of
+    /// Stage 2's data path). The splats are dropped — their allocation
+    /// belongs to Stage 1, which produces a fresh `Vec` per frame.
+    pub fn recycle_into(self, arena: &mut FrameArena) {
+        arena.values = self.values;
+        arena.offsets = self.offsets;
+        arena.processed = self.processed;
     }
 
     /// Length of the longest tile list (load-imbalance metric).
     pub fn max_list_len(&self) -> usize {
-        self.tile_lists.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean tile-list length.
     pub fn mean_list_len(&self) -> f64 {
-        if self.tile_lists.is_empty() {
+        if self.tile_count() == 0 {
             return 0.0;
         }
-        self.total_pairs() as f64 / self.tile_lists.len() as f64
+        self.total_pairs() as f64 / self.tile_count() as f64
+    }
+}
+
+/// One tile's view of a CSR workload (see [`RasterWorkload::tiles`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TileRef<'a> {
+    /// Linear tile index (`ty * tiles_x + tx`).
+    pub index: usize,
+    /// Tile column.
+    pub tx: u32,
+    /// Tile row.
+    pub ty: u32,
+    /// The tile's depth-sorted CSR range of splat indices.
+    pub list: &'a [u32],
+    /// Processed count (list length when no reference pass recorded one).
+    pub processed: u32,
+    /// Pixel rectangle `(x0, y0, x1, y1)`, exclusive upper bounds.
+    pub rect: (u32, u32, u32, u32),
+}
+
+impl TileRef<'_> {
+    /// Pixels in the tile (edge tiles may be partial).
+    #[inline]
+    pub fn pixels(&self) -> u64 {
+        let (x0, y0, x1, y1) = self.rect;
+        u64::from(x1 - x0) * u64::from(y1 - y0)
+    }
+}
+
+/// Per-session Stage-2 scratch: the packed-key, CSR, sorter and
+/// processed-count buffers a frame needs, recycled across frames so
+/// steady-state Stage 2 allocates nothing.
+///
+/// Thread one arena through [`crate::tile::bin_splats_pooled`] (or the
+/// legacy [`crate::tile::bin_splats_legacy`]) and give the buffers back
+/// with [`RasterWorkload::recycle_into`] after the frame.
+#[derive(Debug, Default)]
+pub struct FrameArena {
+    /// Packed `(tile, depth)` sort keys ([`crate::sort::pack_key`]); only
+    /// live during binning — the finished workload keeps values/offsets.
+    pub(crate) keys: Vec<u64>,
+    /// CSR value buffer under construction.
+    pub(crate) values: Vec<u32>,
+    /// CSR offset table under construction.
+    pub(crate) offsets: Vec<u32>,
+    /// The radix sorter and its ping-pong/histogram scratch.
+    pub(crate) sorter: RadixSorter,
+    /// Recycled processed-count buffer.
+    pub(crate) processed: Vec<u32>,
+    /// Legacy-path per-tile lists ([`crate::tile::bin_splats_legacy`]).
+    pub(crate) lists: Vec<Vec<u32>>,
+}
+
+impl FrameArena {
+    /// An empty arena; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -301,6 +465,52 @@ mod tests {
     }
 
     #[test]
+    fn csr_layout_matches_lists() {
+        let w = workload_2x2();
+        assert_eq!(w.values(), &[0, 1, 0, 1]);
+        assert_eq!(w.offsets(), &[0, 2, 3, 3, 4]);
+        assert_eq!(w.tile_list(0, 0), &[0, 1]);
+        assert_eq!(w.tile_list(1, 0), &[0]);
+        assert!(w.tile_list(0, 1).is_empty());
+        assert_eq!(w.tile_list(1, 1), &[1]);
+        assert_eq!(w.tile_list_at(3), &[1]);
+    }
+
+    #[test]
+    fn tiles_iterator_covers_grid_in_order() {
+        let w = workload_2x2();
+        let tiles: Vec<_> = w.tiles().collect();
+        assert_eq!(tiles.len(), 4);
+        for (i, t) in tiles.iter().enumerate() {
+            assert_eq!(t.index, i);
+            assert_eq!((t.tx, t.ty), (i as u32 % 2, i as u32 / 2));
+            assert_eq!(t.list, w.tile_list(t.tx, t.ty));
+            assert_eq!(t.pixels(), w.tile_pixels(t.tx, t.ty));
+            assert_eq!(t.processed, t.list.len() as u32);
+        }
+    }
+
+    #[test]
+    fn new_establishes_depth_order_for_unsorted_lists() {
+        // Stage 3 no longer sorts in its tile jobs, so the compatibility
+        // constructor (custom tilers, trace replay) must establish the
+        // front-to-back invariant itself — stably, so already-sorted
+        // lists pass through bit-identically.
+        let mk = |depth: f32| Splat2D { depth, ..splat() };
+        let splats = vec![mk(3.0), mk(1.0), mk(2.0), mk(1.0)];
+        let w = RasterWorkload::new(
+            32,
+            32,
+            16,
+            splats,
+            vec![vec![0, 1, 2, 3], vec![], vec![], vec![]],
+        );
+        // Sorted by depth; the two depth-1.0 entries keep submission order.
+        assert_eq!(w.tile_list(0, 0), &[1, 3, 2, 0]);
+        assert!(crate::sort::is_depth_sorted(w.tile_list(0, 0), w.splats()));
+    }
+
+    #[test]
     fn partial_edge_tiles() {
         let w = RasterWorkload::new(20, 18, 16, vec![], vec![vec![], vec![], vec![], vec![]]);
         assert_eq!(w.tile_rect(1, 1), (16, 16, 20, 18));
@@ -337,6 +547,44 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn dangling_index_rejected() {
         let _ = RasterWorkload::new(16, 16, 16, vec![splat()], vec![vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_offsets_rejected() {
+        let _ = RasterWorkload::from_csr(
+            32,
+            32,
+            16,
+            vec![splat()],
+            vec![0, 0],
+            vec![0, 2, 1, 1, 2],
+            Vec::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "end at the value count")]
+    fn short_offsets_rejected() {
+        let _ = RasterWorkload::from_csr(
+            32,
+            32,
+            16,
+            vec![splat()],
+            vec![0, 0],
+            vec![0, 1, 1, 1, 1],
+            Vec::new(),
+        );
+    }
+
+    #[test]
+    fn recycle_roundtrip_preserves_capacity() {
+        let mut arena = FrameArena::new();
+        let w = workload_2x2();
+        let values_cap = w.values.capacity();
+        w.recycle_into(&mut arena);
+        assert!(arena.values.capacity() >= values_cap);
+        assert_eq!(arena.offsets.len(), 5);
     }
 
     #[test]

@@ -204,12 +204,13 @@ fn empty_visible_set_renders_empty_frame() {
     let pre = preprocess_prepared_visible_pooled(&prepared, &camera, &set, &pool);
     assert!(pre.splats.is_empty());
     assert_eq!(pre.culled, prepared.len());
-    let mut workload = gaurast_render::tile::bin_splats_deferred_into(
+    let mut workload = gaurast_render::tile::bin_splats_pooled(
         pre.splats,
         camera.width(),
         camera.height(),
         16,
-        Vec::new(),
+        &mut gaurast_render::FrameArena::new(),
+        &pool,
     );
     let mut fb = gaurast_render::Framebuffer::new(camera.width(), camera.height());
     let stats = gaurast_render::rasterize::rasterize_with(&mut workload, Some(&mut fb), &pool);

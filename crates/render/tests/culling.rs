@@ -16,7 +16,8 @@ use gaurast_render::preprocess::{
     preprocess_prepared_pooled, preprocess_prepared_visible_pooled, PreprocessOutput,
 };
 use gaurast_render::rasterize::rasterize_with;
-use gaurast_render::tile::bin_splats_deferred_into;
+use gaurast_render::tile::bin_splats_pooled;
+use gaurast_render::FrameArena;
 use gaurast_render::Framebuffer;
 use gaurast_scene::{Camera, Gaussian3, GaussianScene, PreparedScene};
 use proptest::prelude::*;
@@ -75,8 +76,14 @@ fn raster_from(
     gaurast_render::rasterize::RasterStats,
     gaurast_render::RasterWorkload,
 ) {
-    let mut workload =
-        bin_splats_deferred_into(pre.splats, camera.width(), camera.height(), 16, Vec::new());
+    let mut workload = bin_splats_pooled(
+        pre.splats,
+        camera.width(),
+        camera.height(),
+        16,
+        &mut FrameArena::new(),
+        pool,
+    );
     let mut fb = Framebuffer::new(camera.width(), camera.height());
     let stats = rasterize_with(&mut workload, Some(&mut fb), pool);
     (fb, stats, workload)
