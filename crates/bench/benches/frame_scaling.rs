@@ -94,7 +94,7 @@ fn bench_stage2_sort(c: &mut Criterion) {
                     &mut arena,
                     &pool,
                 )
-                .recycle_into(&mut arena)
+                .recycle_into(&mut arena);
             });
         });
     }
@@ -111,7 +111,7 @@ fn bench_stage2_sort(c: &mut Criterion) {
                     &mut arena,
                     &WorkerPool::serial(),
                 )
-                .recycle_into(&mut arena)
+                .recycle_into(&mut arena);
             });
         });
     }

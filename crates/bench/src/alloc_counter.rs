@@ -33,17 +33,29 @@ pub struct CountingAllocator;
 // `GlobalAlloc` contract; the counter side effect does not affect any
 // returned pointer or layout.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: `unsafe fn` per the trait; the caller's contract is
+    // forwarded verbatim to `System` (see the impl-level comment).
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: the caller's `GlobalAlloc::alloc` obligations (valid,
+        // non-zero-sized layout) are forwarded to `System` unchanged.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `unsafe fn` per the trait; contract forwarded to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was returned by `alloc`/`realloc` above, which
+        // delegate to `System`, so it is a live `System` allocation with
+        // this exact layout (caller obligation, forwarded unchanged).
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: `unsafe fn` per the trait; contract forwarded to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: same forwarding argument as `dealloc` — `ptr` is a live
+        // `System` allocation of `layout`, `new_size` is the caller's
+        // validated new size.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

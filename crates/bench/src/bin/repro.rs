@@ -297,7 +297,7 @@ fn scaling_demo(scale: SceneScale) -> String {
     let desc = Nerf360Scene::Garden.descriptor();
     let scene = desc.synthesize(scale);
     let cam = desc.camera(scale, 0.4).expect("descriptor camera");
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let mut out = String::new();
     writeln!(

@@ -1,0 +1,38 @@
+//! `gaurast-check`: correctness tooling for the GauRast workspace — a
+//! deterministic-interleaving concurrency model checker and a
+//! repo-invariant lint pass.
+//!
+//! # Model checker
+//!
+//! [`model::Model`] runs a closure under every (or a seeded sample of)
+//! sequentially consistent interleaving of its shadow-atomic operations.
+//! The primitives live in [`shadow`]; production code reaches them through
+//! the `gaurast_render::sync` facade, which re-exports `std` by default
+//! and these shadows under `--cfg gaurast_model_check` — so the renderer's
+//! release codegen is untouched while its worker-pool cursor and radix
+//! scatter protocols get exhaustively interleaved in
+//! `crates/check/tests/model.rs`.
+//!
+//! The scheduler ([`sched`]) serializes real OS threads: exactly one
+//! shadow thread runs at a time, every shadow atomic operation is a
+//! context-switch decision point, and depth-first enumeration with replay
+//! (falling back to seeded random sampling) drives the exploration. No
+//! external dependencies — the whole checker is this crate plus `std`.
+//!
+//! # Lint pass
+//!
+//! [`lint`] enforces the invariants the compiler cannot: `SAFETY:`
+//! comments on every `unsafe` site, total float ordering in the renderer,
+//! allocation-free hot paths, clock/env-free deterministic pipeline code,
+//! debug-only full-scan asserts, and crate-wide `unsafe` bans. Run it with
+//! `cargo run -p gaurast-check -- lint`; CI fails on any finding.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod lint;
+pub mod model;
+pub mod rng;
+pub mod sched;
+pub mod shadow;

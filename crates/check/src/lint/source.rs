@@ -1,0 +1,258 @@
+//! Lightweight line/token source model for the lint rules.
+//!
+//! Deliberately not a parser (no `syn` — the workspace builds offline and
+//! dependency-free): each line is split into a *code* part — with string
+//! and char literal contents blanked and comments removed — and a
+//! *comment* part (line, block, and doc comments). Rules match tokens
+//! against the code part and markers (`SAFETY:`, `gaurast-check: …`)
+//! against the comment part, so a `"unsafe"` inside a string or a
+//! commented-out `Instant::now()` never trips a rule.
+
+/// One source line, classified.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text of the line (`//`, `///`, `/* … */`).
+    pub comment: String,
+}
+
+/// Splits `content` into classified [`Line`]s, tracking block comments,
+/// (raw) string literals, and char literals across line boundaries.
+pub fn classify(content: &str) -> Vec<Line> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        /// Nested block comments (Rust block comments nest).
+        Block(u32),
+        Str,
+        /// Raw string with this many `#`s in the delimiter.
+        RawStr(u32),
+    }
+
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw in content.lines() {
+        let mut line = Line::default();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped char (may be `"` or `\`)
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        line.code.push(' '); // blank literal content
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut n = 0;
+                        while n < hashes && chars.get(i + 1 + n as usize) == Some(&'#') {
+                            n += 1;
+                        }
+                        if n == hashes {
+                            line.code.push('"');
+                            state = State::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::Code => {
+                    if c == '/' && next == Some('/') {
+                        // Line comment (incl. doc comments) to end of line.
+                        line.comment.push_str(&raw[byte_offset(raw, i)..]);
+                        i = chars.len();
+                    } else if c == '/' && next == Some('*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if c == 'r'
+                        && matches!(next, Some('"' | '#'))
+                        && !prev_is_ident(&chars, i)
+                    {
+                        // Raw string r"…" or r#"…"# (also br… via the `b`
+                        // being a separate ident char — close enough for
+                        // lint purposes).
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            line.code.push('"');
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a lifetime is `'ident`
+                        // not followed by a closing quote.
+                        if next == Some('\\') {
+                            // Escaped char literal: the char after the
+                            // backslash is consumed by the escape; scan on
+                            // to the closing quote.
+                            line.code.push_str("' '");
+                            let mut j = i + 3;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("' '");
+                            i += 3;
+                        } else {
+                            line.code.push(c); // lifetime tick
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// Byte offset of char index `i` in `raw` (lines are short; linear is fine).
+fn byte_offset(raw: &str, i: usize) -> usize {
+    raw.char_indices()
+        .nth(i)
+        .map_or_else(|| raw.len(), |(b, _)| b)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// `true` when `code` contains `word` delimited by non-identifier chars —
+/// `unsafe` matches `unsafe impl` but not `overflow_unsafe_guard`.
+pub fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(at) = code[start..].find(word) {
+        let at = start + at;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Index of the first line whose code opens a `#[cfg(test)]` region, or
+/// `lines.len()`. Rules do not apply to in-crate test modules (the
+/// convention throughout the workspace puts them last in the file).
+pub fn test_region_start(lines: &[Line]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let lines = classify("let x = 1; // unsafe in a comment\n/* block */ let y = 2;");
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe in a comment"));
+        assert!(lines[1].code.contains("let y = 2;"));
+        assert!(lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = classify(r#"let s = "unsafe // not a comment"; call();"#);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("call();"));
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src = "let a = r#\"unsafe \" quote\"#;\nlet b = \"esc \\\" unsafe\";\nnext();";
+        let lines = classify(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[2].code.contains("next();"));
+    }
+
+    #[test]
+    fn multi_line_block_comment_and_nesting() {
+        let lines = classify("a(); /* one /* two */ still */ b();\nc();");
+        assert!(lines[0].code.contains("a();"));
+        assert!(lines[0].code.contains("b();"));
+        assert!(lines[0].comment.contains("two"));
+        assert!(lines[1].code.contains("c();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = classify("let c = 'u'; fn f<'a>(x: &'a str) {} let e = '\\n';");
+        let code = &lines[0].code;
+        assert!(code.contains("fn f<'a>"), "{code}");
+        assert!(code.contains('\''));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("unsafe impl Sync for X {}", "unsafe"));
+        assert!(has_word("unsafe{", "unsafe"));
+        assert!(!has_word(
+            "fn overflow_guard_vetoes_unsafe_certifications()",
+            "unsafe"
+        ));
+        assert!(!has_word("let unsafety = 1;", "unsafe"));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let lines = classify("fn a() {}\n#[cfg(test)]\nmod tests {}\n");
+        assert_eq!(test_region_start(&lines), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! `gaurast-check` CLI: `cargo run -p gaurast-check -- lint [--root PATH]`.
+//!
+//! Walks the workspace tree, applies every repo-invariant lint rule, and
+//! exits non-zero when any finding is produced (the CI contract). With no
+//! `--root`, the workspace root is discovered by walking up from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some(other) => {
+            eprintln!("gaurast-check: unknown command `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: gaurast-check lint [--root PATH]\n\n\
+    Lints the workspace tree for repo invariants (SAFETY comments, float \n\
+    ordering, hot-path allocations, determinism, full-scan asserts, \n\
+    crate-wide unsafe bans). Exits 1 when any finding is produced.";
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(Some(path)) => path,
+        Ok(None) => match discover_workspace_root() {
+            Some(path) => path,
+            None => {
+                eprintln!(
+                    "gaurast-check: no workspace root found above the current directory \
+                     (pass --root PATH)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(msg) => {
+            eprintln!("gaurast-check: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match gaurast_check::lint::lint_tree(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("gaurast-check lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("gaurast-check lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("gaurast-check: i/o error while linting: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<Option<PathBuf>, String> {
+    match args {
+        [] => Ok(None),
+        [flag, path] if flag == "--root" => Ok(Some(PathBuf::from(path))),
+        _ => Err(format!("unexpected arguments: {args:?}")),
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn discover_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The model-checking driver: exhaustive depth-first schedule enumeration
+//! with a seeded random-sampling fallback for large interleavings.
+//!
+//! ```
+//! use gaurast_check::model::Model;
+//! use gaurast_check::shadow::{scope, AtomicUsize};
+//! use std::sync::atomic::Ordering;
+//!
+//! let report = Model::new()
+//!     .check(|| {
+//!         let cursor = AtomicUsize::new(0);
+//!         scope(|s| {
+//!             for _ in 0..2 {
+//!                 s.spawn(|| while cursor.fetch_add(1, Ordering::Relaxed) < 3 {});
+//!             }
+//!         });
+//!         assert!(cursor.into_inner() >= 4);
+//!     })
+//!     .expect("protocol holds on every schedule");
+//! assert!(report.schedules >= 1);
+//! ```
+//!
+//! The closure runs once per schedule. It must be deterministic given the
+//! schedule (no wall clock, no ambient randomness — the same discipline
+//! the renderer's deterministic pipeline already follows), and it should
+//! `assert!` its protocol invariants either inside the spawned jobs or
+//! after the scope joins. Any panic on any shadow thread is caught,
+//! attributed to the schedule that produced it, and returned as a
+//! [`Violation`] carrying the reproduction trace.
+
+use crate::rng::XorShift64;
+use crate::sched::{self, format_schedule, Decision, Execution, Strategy, ABORT_MSG};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// A schedule-dependent failure found by [`Model::check`].
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The panic/assertion message of the first failing thread.
+    pub message: String,
+    /// The decision trace that produced the failure (`T0→T1→T1`).
+    pub schedule: String,
+    /// Schedules run before (and including) the failing one.
+    pub schedules_explored: usize,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedule {} (after {} schedules): {}",
+            self.schedule, self.schedules_explored, self.message
+        )
+    }
+}
+
+/// Summary of a completed (violation-free) check.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Total schedules executed (enumerated + sampled).
+    pub schedules: usize,
+    /// `true` when depth-first enumeration covered the *entire* decision
+    /// tree — every sequentially consistent interleaving of the modeled
+    /// operations was executed.
+    pub exhaustive: bool,
+    /// Longest decision sequence seen (a size measure of the state space).
+    pub max_decisions: usize,
+}
+
+/// Configuration and entry point of the checker (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct Model {
+    max_schedules: usize,
+    samples: usize,
+    seed: u64,
+    max_ops: u64,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self {
+            max_schedules: 20_000,
+            samples: 256,
+            seed: 0x6761_7572_6173_7421, // "gaurast!"
+            max_ops: 5_000_000,
+        }
+    }
+}
+
+/// Serializes model runs within the process: the scheduler uses
+/// thread-local identity plus a filtering panic hook, and overlapping
+/// checks from parallel `cargo test` threads would interleave their
+/// schedule output.
+static CHECK_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+/// Installs (once) a panic hook that silences panics raised on shadow
+/// threads — expected-panic noise from mutant detection and poisoned-run
+/// unwinding — while delegating every other panic to the previous hook.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if sched::current().is_some() {
+                return; // a model run: the driver reports the violation
+            }
+            previous(info);
+        }));
+    });
+}
+
+impl Model {
+    /// The default configuration: exhaustive up to 20 000 schedules, then
+    /// 256 seeded random samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap on depth-first enumeration before switching to sampling.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n.max(1);
+        self
+    }
+
+    /// Random schedules to sample when enumeration does not finish under
+    /// the cap.
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n;
+        self
+    }
+
+    /// Seed of the sampling PRNG (the same seed replays the same sampled
+    /// schedule sequence).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-schedule yield-point budget (livelock guard).
+    pub fn max_ops(mut self, n: u64) -> Self {
+        self.max_ops = n.max(1);
+        self
+    }
+
+    /// Runs `f` under every enumerated schedule (falling back to sampling
+    /// past the cap). Returns the first [`Violation`] found, or a
+    /// [`Report`] when every executed schedule upheld the invariants.
+    pub fn check<F>(&self, f: F) -> Result<Report, Violation>
+    where
+        F: Fn(),
+    {
+        let _guard = CHECK_LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        install_quiet_hook();
+
+        let mut schedules = 0usize;
+        let mut max_decisions = 0usize;
+        let mut prefix: Vec<usize> = Vec::new();
+        while schedules < self.max_schedules {
+            let strategy = Strategy::Replay {
+                prefix: prefix.clone(),
+            };
+            let (decisions, failure) = self.run_once(strategy, &f);
+            schedules += 1;
+            max_decisions = max_decisions.max(decisions.len());
+            if let Some(message) = failure {
+                return Err(Violation {
+                    message,
+                    schedule: format_schedule(&decisions),
+                    schedules_explored: schedules,
+                });
+            }
+            match backtrack(decisions) {
+                Some(next_prefix) => prefix = next_prefix,
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        exhaustive: true,
+                        max_decisions,
+                    })
+                }
+            }
+        }
+
+        let mut rng = XorShift64::new(self.seed);
+        for _ in 0..self.samples {
+            let strategy = Strategy::Random {
+                rng: XorShift64::new(rng.next_u64()),
+            };
+            let (decisions, failure) = self.run_once(strategy, &f);
+            schedules += 1;
+            max_decisions = max_decisions.max(decisions.len());
+            if let Some(message) = failure {
+                return Err(Violation {
+                    message,
+                    schedule: format_schedule(&decisions),
+                    schedules_explored: schedules,
+                });
+            }
+        }
+        Ok(Report {
+            schedules,
+            exhaustive: false,
+            max_decisions,
+        })
+    }
+
+    /// One serialized run of `f` under `strategy` on the calling thread
+    /// (shadow thread 0).
+    fn run_once<F: Fn()>(&self, strategy: Strategy, f: &F) -> (Vec<Decision>, Option<String>) {
+        let exec = Execution::new(strategy, self.max_ops);
+        sched::set_current(std::sync::Arc::clone(&exec), 0);
+        let result = catch_unwind(AssertUnwindSafe(f));
+        sched::clear_current();
+        let (decisions, poisoned) = exec.take_results();
+        let failure = match result {
+            Ok(()) => poisoned,
+            Err(payload) => {
+                let msg = crate::shadow::panic_message(payload.as_ref());
+                // The controller unwinding with ABORT_MSG means a *child*
+                // failed first and its message is in the poison slot.
+                Some(poisoned.unwrap_or(msg).replace(ABORT_MSG, "aborted"))
+            }
+        };
+        (decisions, failure)
+    }
+}
+
+/// Depth-first backtracking: drop trailing decisions that took their last
+/// option, advance the deepest one that has options left, and return the
+/// forced prefix for the next run — or `None` when the tree is exhausted.
+fn backtrack(mut decisions: Vec<Decision>) -> Option<Vec<usize>> {
+    loop {
+        let last = decisions.pop()?;
+        if last.chosen + 1 < last.options {
+            let mut prefix: Vec<usize> = decisions.iter().map(|d| d.chosen).collect();
+            prefix.push(last.chosen + 1);
+            return Some(prefix);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::{scope, AtomicUsize};
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn single_threaded_closure_is_one_schedule() {
+        let report = Model::new()
+            .check(|| {
+                let a = AtomicUsize::new(1);
+                assert_eq!(a.load(Ordering::SeqCst), 1);
+            })
+            .expect("no violation");
+        assert_eq!(report.schedules, 1);
+        assert!(report.exhaustive);
+        assert_eq!(report.max_decisions, 0);
+    }
+
+    #[test]
+    fn two_racing_increments_explore_multiple_schedules() {
+        let report = Model::new()
+            .check(|| {
+                let a = AtomicUsize::new(0);
+                scope(|s| {
+                    s.spawn(|| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    });
+                    s.spawn(|| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+                assert_eq!(a.into_inner(), 2, "fetch_add must never lose an update");
+            })
+            .expect("fetch_add is atomic");
+        assert!(report.exhaustive);
+        assert!(
+            report.schedules >= 2,
+            "two racing ops must yield at least two interleavings, got {}",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn lost_update_mutant_is_caught_exhaustively() {
+        // load-then-store is the classic lost-update bug: some schedule
+        // interleaves the two loads before either store.
+        let violation = Model::new()
+            .check(|| {
+                let a = AtomicUsize::new(0);
+                scope(|s| {
+                    for _ in 0..2 {
+                        s.spawn(|| {
+                            let v = a.load(Ordering::SeqCst);
+                            a.store(v + 1, Ordering::SeqCst);
+                        });
+                    }
+                });
+                assert_eq!(a.into_inner(), 2, "lost update");
+            })
+            .expect_err("the checker must find the lost-update schedule");
+        assert!(violation.message.contains("lost update"), "{violation}");
+        assert!(violation.schedule.contains('T'), "{violation}");
+    }
+
+    #[test]
+    fn sampling_mode_reports_non_exhaustive() {
+        let report = Model::new()
+            .max_schedules(2)
+            .samples(8)
+            .check(|| {
+                let a = AtomicUsize::new(0);
+                scope(|s| {
+                    for _ in 0..2 {
+                        s.spawn(|| {
+                            a.fetch_add(1, Ordering::Relaxed);
+                            a.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                assert_eq!(a.into_inner(), 4);
+            })
+            .expect("protocol holds");
+        assert!(!report.exhaustive);
+        assert_eq!(report.schedules, 2 + 8);
+    }
+
+    #[test]
+    fn sampled_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            Model::new()
+                .max_schedules(1)
+                .samples(16)
+                .seed(seed)
+                .check(|| {
+                    let a = AtomicUsize::new(0);
+                    scope(|s| {
+                        for _ in 0..3 {
+                            s.spawn(|| {
+                                let v = a.load(Ordering::SeqCst);
+                                a.store(v + 1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                    assert_eq!(a.into_inner(), 3, "lost update");
+                })
+        };
+        let (a, b) = (run(7), run(7));
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => assert_eq!(ra.schedules, rb.schedules),
+            (Err(va), Err(vb)) => {
+                assert_eq!(va.schedule, vb.schedule);
+                assert_eq!(va.schedules_explored, vb.schedules_explored);
+            }
+            (a, b) => panic!("seeded runs diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn child_panic_is_attributed_not_hung() {
+        let violation = Model::new()
+            .check(|| {
+                let a = AtomicUsize::new(0);
+                scope(|s| {
+                    s.spawn(|| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                        panic!("in-flight invariant broke");
+                    });
+                    s.spawn(|| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .expect_err("child panic must surface");
+        assert!(
+            violation.message.contains("in-flight invariant broke"),
+            "{violation}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Tiny seeded PRNG for the sampling scheduler.
+//!
+//! The model checker must be dependency-free (the shadow atomics are
+//! imported by `gaurast-render` itself), so it carries its own xorshift64*
+//! generator instead of using the vendored `rand`. Determinism is the only
+//! requirement: the same seed always replays the same schedule sequence.
+
+/// A xorshift64* generator (Vigna 2016): tiny, fast, and plenty for
+/// choosing among a handful of runnable threads.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// A generator seeded with `seed` (a zero seed is remapped — xorshift
+    /// has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniformly-enough distributed index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let mut r = XorShift64::new(7);
+        for n in 1..20 {
+            for _ in 0..50 {
+                assert!(r.index(n) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The virtual scheduler: serialized execution of shadow threads with an
+//! explored (or sampled) context-switch decision at every shared-memory
+//! operation.
+//!
+//! # Model
+//!
+//! An [`Execution`] owns a set of *shadow threads* — the controlling test
+//! thread (id 0) plus every thread spawned through
+//! [`crate::shadow::Scope::spawn`]. At any instant exactly one shadow
+//! thread is *active*; all others are parked on a condvar. Every shadow
+//! atomic operation calls `Execution::yield_point`, which consults the
+//! schedule strategy to pick the next active thread among the runnable
+//! ones. Because only one thread ever executes at a time, even *buggy*
+//! protocols corrupt values deterministically instead of invoking
+//! undefined behavior — the checker observes the corruption safely.
+//!
+//! The explored semantics are **sequentially consistent** interleavings:
+//! one atomic operation is one indivisible scheduling step. Weaker
+//! `Ordering`s are accepted and ignored (they are audited by hand and
+//! documented at each call site in `gaurast-render`); what the checker
+//! proves is protocol logic — exactly-once claims, disjoint writes,
+//! termination — over every (or a sampled set of) SC interleavings.
+//!
+//! # Exploration
+//!
+//! A schedule is the sequence of decisions taken at points where more than
+//! one thread was runnable. [`Strategy::Replay`] drives depth-first
+//! enumeration: follow a forced prefix of choices, then always pick the
+//! first candidate, and record `(chosen, options)` pairs so the driver in
+//! [`crate::model`] can backtrack to the last non-exhausted decision.
+//! [`Strategy::Random`] replaces the choice with a seeded
+//! [`XorShift64`] draw — the sampling mode for
+//! interleavings too large to enumerate.
+
+use crate::rng::XorShift64;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to unwind shadow threads once an execution is
+/// poisoned by a first failure; the original failure message is preserved
+/// in the execution state, not in this payload.
+pub(crate) const ABORT_MSG: &str = "gaurast-check: execution aborted after violation";
+
+/// One recorded scheduling decision (only points with ≥ 2 runnable
+/// candidates are recorded).
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    /// Index chosen among the sorted runnable candidates.
+    pub chosen: usize,
+    /// Number of runnable candidates at this point.
+    pub options: usize,
+    /// Shadow thread id the choice activated.
+    pub tid: usize,
+}
+
+/// How the scheduler resolves decision points (see module docs).
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Follow `prefix` choice-by-choice, then always pick candidate 0 —
+    /// the depth-first enumeration mode.
+    Replay {
+        /// Forced choices for the first `prefix.len()` decision points.
+        prefix: Vec<usize>,
+    },
+    /// Pick uniformly among candidates with a seeded PRNG — the sampling
+    /// mode for state spaces too large to enumerate.
+    Random {
+        /// The per-schedule generator.
+        rng: XorShift64,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    /// Parked until every thread in its wait set finishes (scope join).
+    Blocked,
+    Finished,
+}
+
+#[derive(Debug)]
+struct State {
+    threads: Vec<ThreadState>,
+    /// Join wait set per thread (`Some` iff the thread is `Blocked`).
+    waiting: Vec<Option<Vec<usize>>>,
+    active: usize,
+    /// First failure observed in this execution, if any.
+    poisoned: Option<String>,
+    decisions: Vec<Decision>,
+    strategy: Strategy,
+    /// Yield points executed — a livelock guard.
+    ops: u64,
+}
+
+/// One serialized run of the program under test (see module docs).
+#[derive(Debug)]
+pub struct Execution {
+    state: Mutex<State>,
+    turn: Condvar,
+    max_ops: u64,
+}
+
+thread_local! {
+    /// The execution this OS thread is currently acting in, plus its
+    /// shadow thread id. `None` outside model runs, in which case every
+    /// shadow primitive falls through to plain `std` behavior.
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's shadow identity, if it is part of a model run.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Execution {
+    /// A fresh execution whose controlling thread is shadow thread 0
+    /// (runnable and active).
+    pub(crate) fn new(strategy: Strategy, max_ops: u64) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(State {
+                threads: vec![ThreadState::Runnable],
+                waiting: vec![None],
+                active: 0,
+                poisoned: None,
+                decisions: Vec::new(),
+                strategy,
+                ops: 0,
+            }),
+            turn: Condvar::new(),
+            max_ops,
+        })
+    }
+
+    /// Consumes the run's results: recorded decisions and the failure
+    /// message, if the execution was poisoned.
+    pub(crate) fn take_results(&self) -> (Vec<Decision>, Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        (std::mem::take(&mut st.decisions), st.poisoned.take())
+    }
+
+    /// Picks the next active thread among the runnable ones, recording the
+    /// decision when there is a real choice. Panics (poisons) if replay
+    /// diverges, which would mean the program under test is not
+    /// deterministic given the schedule.
+    fn choose_locked(&self, st: &mut State) -> usize {
+        let candidates: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(
+            !candidates.is_empty(),
+            "choose called with no runnable thread"
+        );
+        if candidates.len() == 1 {
+            return candidates[0];
+        }
+        let idx = match &mut st.strategy {
+            Strategy::Replay { prefix } => {
+                let at = st.decisions.len();
+                if at < prefix.len() {
+                    assert!(
+                        prefix[at] < candidates.len(),
+                        "schedule replay diverged: the program under test must be \
+                         deterministic given the decision sequence"
+                    );
+                    prefix[at]
+                } else {
+                    0
+                }
+            }
+            Strategy::Random { rng } => rng.index(candidates.len()),
+        };
+        st.decisions.push(Decision {
+            chosen: idx,
+            options: candidates.len(),
+            tid: candidates[idx],
+        });
+        candidates[idx]
+    }
+
+    /// Parks the calling shadow thread until it is the active one (or the
+    /// execution is poisoned, in which case it unwinds with [`ABORT_MSG`]).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        loop {
+            if st.poisoned.is_some() {
+                drop(st);
+                std::panic::panic_any(ABORT_MSG);
+            }
+            if st.active == me && st.threads[me] == ThreadState::Runnable {
+                return st;
+            }
+            st = self.turn.wait(st).unwrap();
+        }
+    }
+
+    /// The context-switch point every shadow atomic operation passes
+    /// through: pick the next active thread and, if it is someone else,
+    /// hand over and park until re-activated.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.poisoned.is_some() {
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        st.ops += 1;
+        if st.ops > self.max_ops {
+            st.poisoned = Some(format!(
+                "operation budget exceeded ({} yield points): livelock or runaway loop",
+                self.max_ops
+            ));
+            self.turn.notify_all();
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        let next = self.choose_locked(&mut st);
+        if next != me {
+            st.active = next;
+            self.turn.notify_all();
+            let _st = self.wait_for_turn(st, me);
+        }
+    }
+
+    /// Registers a newly spawned shadow thread as runnable and returns its
+    /// id. The spawner keeps running: spawning is not itself a yield point
+    /// (the child cannot touch shared state before its first scheduled
+    /// activation, and the parent yields at its own next atomic operation
+    /// or join, where the schedule may switch to the child).
+    pub(crate) fn register_child(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.threads.push(ThreadState::Runnable);
+        st.waiting.push(None);
+        st.threads.len() - 1
+    }
+
+    /// First park of a freshly spawned shadow thread: wait to be scheduled
+    /// for the first time before running any of its closure.
+    pub(crate) fn start_child(&self, me: usize) {
+        let st = self.state.lock().unwrap();
+        let _st = self.wait_for_turn(st, me);
+    }
+
+    /// Marks a shadow thread finished. A `panic_msg` poisons the execution
+    /// (first failure wins) and wakes everyone so they can unwind;
+    /// otherwise threads whose join sets completed become runnable again
+    /// and the schedule picks the next active thread.
+    pub(crate) fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me] = ThreadState::Finished;
+        st.waiting[me] = None;
+        if let Some(msg) = panic_msg {
+            if st.poisoned.is_none() {
+                st.poisoned = Some(msg);
+            }
+            self.turn.notify_all();
+            return;
+        }
+        if st.poisoned.is_some() {
+            self.turn.notify_all();
+            return;
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t] == ThreadState::Blocked {
+                let done = st.waiting[t]
+                    .as_ref()
+                    .is_some_and(|w| w.iter().all(|&c| st.threads[c] == ThreadState::Finished));
+                if done {
+                    st.threads[t] = ThreadState::Runnable;
+                    st.waiting[t] = None;
+                }
+            }
+        }
+        if st.threads.contains(&ThreadState::Runnable) {
+            let next = self.choose_locked(&mut st);
+            st.active = next;
+            self.turn.notify_all();
+        } else if st.threads.contains(&ThreadState::Blocked) {
+            st.poisoned = Some("deadlock: every live shadow thread is blocked".to_string());
+            self.turn.notify_all();
+        }
+        // All finished: nothing left to schedule — the controller has (or
+        // is about to) run to completion.
+    }
+
+    /// Scope-join: parks the calling thread until every thread in
+    /// `children` has finished. The only blocking primitive the modeled
+    /// protocols use.
+    pub(crate) fn join_children(&self, me: usize, children: &[usize]) {
+        let mut st = self.state.lock().unwrap();
+        if st.poisoned.is_some() {
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        if children
+            .iter()
+            .all(|&c| st.threads[c] == ThreadState::Finished)
+        {
+            return;
+        }
+        st.threads[me] = ThreadState::Blocked;
+        st.waiting[me] = Some(children.to_vec());
+        if st.threads.contains(&ThreadState::Runnable) {
+            let next = self.choose_locked(&mut st);
+            st.active = next;
+            self.turn.notify_all();
+        } else {
+            st.poisoned = Some("deadlock: join with no runnable thread".to_string());
+            self.turn.notify_all();
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        let _st = self.wait_for_turn(st, me);
+    }
+}
+
+/// Renders a decision list as a compact schedule string (`T0→T1→T1`),
+/// the reproduction trace attached to violations.
+pub(crate) fn format_schedule(decisions: &[Decision]) -> String {
+    if decisions.is_empty() {
+        return "(no decision points: single-threaded schedule)".to_string();
+    }
+    let mut s = String::new();
+    for (i, d) in decisions.iter().enumerate() {
+        if i > 0 {
+            s.push('→');
+        }
+        s.push('T');
+        s.push_str(&d.tid.to_string());
+    }
+    s
+}

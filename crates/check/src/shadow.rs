@@ -1,0 +1,236 @@
+//! Shadow concurrency primitives: drop-in stand-ins for the `std` atomics
+//! and scoped threads that `gaurast_render::sync` re-exports when built
+//! with `--cfg gaurast_model_check`.
+//!
+//! Outside a [`crate::model::Model::check`] run (no execution registered on
+//! the calling thread), every operation falls through to plain `std`
+//! behavior, so a `gaurast_model_check` build still runs its ordinary test
+//! suites correctly — only slower by one thread-local lookup per atomic
+//! operation. Inside a run, every operation is a scheduling yield point of
+//! the virtual scheduler ([`crate::sched`]), and spawned scoped threads are
+//! registered as shadow threads whose interleaving the checker controls.
+//!
+//! Only the primitives the renderer's protocols use are shadowed:
+//! [`AtomicUsize`] and [`scope`]/[`Scope::spawn`]. `Ordering` arguments are
+//! accepted for API compatibility and ignored — the checker explores
+//! sequentially consistent interleavings (see [`crate::sched`] for why
+//! that is the honest contract).
+
+use crate::sched::{self, Execution};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Yields to the virtual scheduler if the calling thread is part of a
+/// model run; no-op otherwise.
+#[inline]
+fn maybe_yield() {
+    if let Some((exec, tid)) = sched::current() {
+        exec.yield_point(tid);
+    }
+}
+
+/// Shadow [`std::sync::atomic::AtomicUsize`]: same API surface (the subset
+/// the renderer uses), backed by a real atomic — the virtual scheduler
+/// serializes execution, so the real atomicity is only needed for the
+/// fall-through mode — with a scheduler yield point before every
+/// operation.
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    inner: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicUsize {
+    /// A new shadow atomic holding `value`.
+    pub const fn new(value: usize) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicUsize::new(value),
+        }
+    }
+
+    /// Loads the value. The `Ordering` is accepted and ignored (SC model).
+    #[inline]
+    pub fn load(&self, _order: Ordering) -> usize {
+        maybe_yield();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Stores `value`. The `Ordering` is accepted and ignored (SC model).
+    #[inline]
+    pub fn store(&self, value: usize, _order: Ordering) {
+        maybe_yield();
+        self.inner.store(value, Ordering::SeqCst);
+    }
+
+    /// Atomically adds `value`, returning the previous value. One
+    /// indivisible scheduling step, like the hardware operation it models.
+    #[inline]
+    pub fn fetch_add(&self, value: usize, _order: Ordering) -> usize {
+        maybe_yield();
+        self.inner.fetch_add(value, Ordering::SeqCst)
+    }
+
+    /// Atomically swaps in `value`, returning the previous value.
+    #[inline]
+    pub fn swap(&self, value: usize, _order: Ordering) -> usize {
+        maybe_yield();
+        self.inner.swap(value, Ordering::SeqCst)
+    }
+
+    /// Compare-and-exchange, one indivisible scheduling step.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        maybe_yield();
+        self.inner
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Consumes the atomic and returns the contained value (no yield: the
+    /// value is exclusively owned).
+    #[inline]
+    pub fn into_inner(self) -> usize {
+        self.inner.into_inner()
+    }
+
+    /// Exclusive access to the contained value (no yield: `&mut self`
+    /// proves no concurrent access exists).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut usize {
+        self.inner.get_mut()
+    }
+}
+
+/// Shadow scoped-thread handle mirroring [`std::thread::Scope`]: spawned
+/// closures become shadow threads of the active execution (or plain scoped
+/// threads outside a model run).
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    exec: Option<(Arc<Execution>, usize)>,
+    children: Mutex<Vec<usize>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread, mirroring [`std::thread::Scope::spawn`].
+    ///
+    /// Inside a model run the child is registered with the execution
+    /// before this returns (so the scheduler can already pick it), parks
+    /// until first activated, and reports back on completion — carrying
+    /// any panic message into the execution as a violation.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.exec {
+            None => self.inner.spawn(f),
+            Some((exec, _parent)) => {
+                let tid = exec.register_child();
+                self.children.lock().unwrap().push(tid);
+                let exec = Arc::clone(exec);
+                self.inner.spawn(move || {
+                    sched::set_current(Arc::clone(&exec), tid);
+                    exec.start_child(tid);
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    sched::clear_current();
+                    match result {
+                        Ok(value) => {
+                            exec.finish_thread(tid, None);
+                            value
+                        }
+                        Err(payload) => {
+                            exec.finish_thread(tid, Some(panic_message(payload.as_ref())));
+                            resume_unwind(payload)
+                        }
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Shadow [`std::thread::scope`]: creates a scope whose spawned threads
+/// participate in the active execution's schedule. The implicit
+/// join-at-scope-exit is modeled as a blocking scheduler operation
+/// (`join_children`) *before* the real `std` join, so the scheduler keeps
+/// driving the children while the creating thread logically blocks — by
+/// the time the real join runs, every child has already finished.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    // Unlike `std::thread::scope`, the borrow of the shadow scope handle is
+    // a lifetime of its own rather than `'scope` itself: the handle is a
+    // local wrapping `&'scope std::thread::Scope`, so it cannot be borrowed
+    // for all of `'scope`. `spawn(&self, …)` still enforces `F: 'scope` on
+    // the spawned closures, which is what scoped soundness needs.
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let exec = sched::current();
+    std::thread::scope(|inner| {
+        let shadow = Scope {
+            inner,
+            exec,
+            children: Mutex::new(Vec::new()),
+        };
+        let out = f(&shadow);
+        if let Some((exec, me)) = &shadow.exec {
+            let children = shadow.children.lock().unwrap().clone();
+            exec.join_children(*me, &children);
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falls_through_to_std_outside_model_runs() {
+        // No execution registered: the shadow primitives behave exactly
+        // like std and real threads run truly concurrently.
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 400);
+    }
+
+    #[test]
+    fn atomic_api_surface_matches_std() {
+        let a = AtomicUsize::new(5);
+        assert_eq!(a.load(Ordering::SeqCst), 5);
+        a.store(7, Ordering::SeqCst);
+        assert_eq!(a.fetch_add(3, Ordering::SeqCst), 7);
+        assert_eq!(a.swap(1, Ordering::SeqCst), 10);
+        assert_eq!(
+            a.compare_exchange(1, 2, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(1)
+        );
+        let mut a = a;
+        *a.get_mut() = 9;
+        assert_eq!(a.into_inner(), 9);
+    }
+}

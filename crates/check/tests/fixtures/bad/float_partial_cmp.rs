@@ -1,0 +1,4 @@
+// Fixture: non-total float ordering inside the renderer.
+pub fn sort_depths(depths: &mut [f32]) {
+    depths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

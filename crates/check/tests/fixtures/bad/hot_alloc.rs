@@ -1,0 +1,6 @@
+// Fixture: heap allocation inside a marked hot-path function.
+// gaurast-check: hot-path
+pub fn bin_splats_pooled(xs: &[u32]) -> usize {
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    doubled.len()
+}

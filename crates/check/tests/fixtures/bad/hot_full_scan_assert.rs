@@ -1,0 +1,5 @@
+// Fixture: O(n) assertion scan that would run in release hot loops.
+pub fn merge(keys: &[u64]) -> u64 {
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    keys.iter().sum()
+}

@@ -1,0 +1,6 @@
+// Fixture: wall-clock read inside deterministic pipeline code.
+pub fn frame_seed() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

@@ -1,0 +1,4 @@
+// Fixture: `unsafe` block with no SAFETY comment anywhere near it.
+pub fn read_first(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

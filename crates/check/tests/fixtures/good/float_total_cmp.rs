@@ -1,0 +1,4 @@
+// Fixture: total float ordering — radix-compatible, NaN-safe.
+pub fn sort_depths(depths: &mut [f32]) {
+    depths.sort_by(f32::total_cmp);
+}

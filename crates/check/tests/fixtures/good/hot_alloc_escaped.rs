@@ -1,0 +1,14 @@
+// Fixture: hot-path function that reuses scratch (no allocation), plus a
+// justified escape hatch.
+// gaurast-check: hot-path
+pub fn bin_splats_pooled(xs: &[u32], scratch: &mut Vec<u32>) -> usize {
+    scratch.clear();
+    scratch.extend(xs.iter().map(|x| x * 2));
+    let header = vec![0u8; 4]; // gaurast-check: allow(alloc): one-time setup
+    scratch.len() + header.len()
+}
+
+pub fn cold_setup(xs: &[u32]) -> Vec<u32> {
+    // Outside any hot-path marker: allocation is fine.
+    xs.iter().map(|x| x + 1).collect()
+}

@@ -1,0 +1,6 @@
+// Fixture: config-time env read with a justified escape hatch; the frame
+// path itself stays deterministic.
+pub fn workers_override() -> Option<usize> {
+    // gaurast-check: allow(nondet): config knob, read once at startup
+    std::env::var("WORKERS").ok()?.parse().ok()
+}

@@ -1,0 +1,9 @@
+// Fixture: every unsafe site carries an adjacent SAFETY comment.
+pub fn read_first(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees `ptr` is valid for reads and aligned.
+    unsafe { *ptr }
+}
+
+pub struct Cell(*mut u32);
+// SAFETY: handed out only as disjoint per-index slots.
+unsafe impl Sync for Cell {}

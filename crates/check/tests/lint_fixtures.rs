@@ -1,0 +1,128 @@
+//! Good/bad fixture pairs for every lint rule, plus a fake-tree test of
+//! the tree-level `forbid-unsafe` rule.
+//!
+//! The fixtures live under `tests/fixtures/` (excluded from the real
+//! tree walk) and are linted through [`gaurast_check::lint::lint_source`]
+//! with *simulated* repository paths, since most rules are path-scoped.
+
+use gaurast_check::lint::{lint_source, lint_tree, Finding};
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+/// Every bad fixture must produce exactly its intended rule; every good
+/// twin must be clean — at the same simulated path.
+#[test]
+fn each_rule_fails_its_bad_fixture_and_passes_its_good_twin() {
+    let cases: &[(&str, &str, &str, &[&str])] = &[
+        (
+            "crates/render/src/pool.rs",
+            include_str!("fixtures/bad/unsafe_no_safety.rs"),
+            include_str!("fixtures/good/unsafe_with_safety.rs"),
+            &["unsafe-comment"],
+        ),
+        (
+            "crates/render/src/rasterize.rs",
+            include_str!("fixtures/bad/float_partial_cmp.rs"),
+            include_str!("fixtures/good/float_total_cmp.rs"),
+            &["float-ord"],
+        ),
+        (
+            "crates/render/src/tile.rs",
+            include_str!("fixtures/bad/hot_alloc.rs"),
+            include_str!("fixtures/good/hot_alloc_escaped.rs"),
+            &["hot-alloc"],
+        ),
+        (
+            "crates/scene/src/nerf360.rs",
+            include_str!("fixtures/bad/nondet_clock.rs"),
+            include_str!("fixtures/good/nondet_escaped.rs"),
+            &["determinism"],
+        ),
+        (
+            "crates/render/src/sort.rs",
+            include_str!("fixtures/bad/hot_full_scan_assert.rs"),
+            include_str!("fixtures/good/hot_debug_assert.rs"),
+            &["hot-assert"],
+        ),
+    ];
+
+    for (path, bad, good, expected) in cases {
+        let bad_findings = lint_source(path, bad);
+        assert_eq!(
+            &rules_of(&bad_findings),
+            expected,
+            "bad fixture at {path} must trip exactly {expected:?}: {bad_findings:?}"
+        );
+        for f in &bad_findings {
+            assert!(f.line >= 1, "findings carry 1-based lines: {f:?}");
+            assert_eq!(&f.path, path);
+        }
+        let good_findings = lint_source(path, good);
+        assert!(
+            good_findings.is_empty(),
+            "good fixture at {path} must be clean: {good_findings:?}"
+        );
+    }
+}
+
+/// The hot-path marker is itself enforced: stripping it from a required
+/// steady-state function is a finding.
+#[test]
+fn deleting_a_required_hot_marker_is_a_finding() {
+    let unmarked =
+        include_str!("fixtures/bad/hot_alloc.rs").replace("// gaurast-check: hot-path", "");
+    let findings = lint_source("crates/render/src/tile.rs", &unmarked);
+    assert!(
+        rules_of(&findings).contains(&"hot-marker"),
+        "unmarked bin_splats_pooled must be flagged: {findings:?}"
+    );
+}
+
+/// Tree-level `forbid-unsafe` rule, exercised on a small synthetic
+/// workspace built under `CARGO_TARGET_TMPDIR`.
+#[test]
+fn forbid_unsafe_rule_on_a_fake_tree() {
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("fake-ws");
+    let math_src = root.join("crates/math/src");
+    std::fs::create_dir_all(&math_src).unwrap();
+
+    // Certified crate missing the attribute and using unsafe: two findings.
+    std::fs::write(
+        math_src.join("lib.rs"),
+        "pub fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+    )
+    .unwrap();
+    let findings = lint_tree(&root).unwrap();
+    let forbid: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "forbid-unsafe")
+        .collect();
+    assert!(
+        forbid
+            .iter()
+            .any(|f| f.message.contains("forbid(unsafe_code)")),
+        "missing attribute must be reported: {findings:?}"
+    );
+    assert!(
+        forbid
+            .iter()
+            .any(|f| f.message.contains("certified unsafe-free")),
+        "unsafe usage must be reported: {findings:?}"
+    );
+
+    // Fixed crate: attribute present, no unsafe anywhere.
+    std::fs::write(
+        math_src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f(x: u32) -> u32 { x + 1 }\n",
+    )
+    .unwrap();
+    let findings = lint_tree(&root).unwrap();
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.rule != "forbid-unsafe" || f.path != "crates/math/src/lib.rs"),
+        "fixed crate must be clean: {findings:?}"
+    );
+}

@@ -1,0 +1,310 @@
+//! Model-checked verification of the renderer's lock-free protocols.
+//!
+//! This suite only compiles under `--cfg gaurast_model_check` (set via
+//! `RUSTFLAGS`), which switches `gaurast_render::sync` from `std`
+//! re-exports to the shadow primitives of `gaurast_check::shadow`. The
+//! tests then drive the *production* `WorkerPool` and `RadixSorter` code
+//! through every sequentially consistent interleaving of their atomic
+//! operations (exhaustively for these sizes — every `Report` below is
+//! asserted `exhaustive`) and prove the two protocol invariants the
+//! renderer's determinism rests on:
+//!
+//! * **exactly-once claims** — the pool's `fetch_add` cursor hands every
+//!   job index to exactly one worker;
+//! * **disjoint scatter ranges** — the radix placement table gives every
+//!   (chunk, bucket) an output range no other chunk writes.
+//!
+//! Each invariant is paired with a *mutant*: the classic broken variant
+//! (load-then-store claim, inclusive instead of exclusive prefix) written
+//! against the same `gaurast_render::sync` facade. The checker must
+//! produce a [`gaurast_check::model::Violation`] for every mutant — that
+//! regression is what CI runs, proving the checker actually has the power
+//! to reject the bugs the real protocols avoid.
+#![cfg(gaurast_model_check)]
+
+use gaurast_check::model::Model;
+use gaurast_render::pool::WorkerPool;
+use gaurast_render::sort::RadixSorter;
+use gaurast_render::sync::atomic::{AtomicUsize, Ordering};
+use gaurast_render::sync::thread;
+
+// Verification counters use plain `std` atomics on purpose: the scheduler
+// serializes shadow threads, so they are race-free, and keeping them out
+// of the shadow layer means they add no yield points — the explored state
+// space stays exactly the protocol's own operations.
+use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+use std::sync::atomic::Ordering::Relaxed;
+
+#[test]
+fn pool_cursor_claims_each_job_exactly_once_2x3() {
+    let report = Model::new()
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let claims: Vec<StdAtomicUsize> = (0..3).map(|_| StdAtomicUsize::new(0)).collect();
+            pool.run(3, |i| {
+                claims[i].fetch_add(1, Relaxed);
+            });
+            for (i, c) in claims.iter().enumerate() {
+                assert_eq!(c.load(Relaxed), 1, "job {i} not claimed exactly once");
+            }
+        })
+        .expect("the fetch_add cursor must claim every job exactly once");
+    assert!(report.exhaustive, "this size must be fully enumerable");
+    assert!(report.schedules > 1, "2 workers must actually interleave");
+}
+
+#[test]
+fn pool_cursor_claims_each_job_exactly_once_3x3() {
+    let report = Model::new()
+        .check(|| {
+            let pool = WorkerPool::new(3);
+            let claims: Vec<StdAtomicUsize> = (0..3).map(|_| StdAtomicUsize::new(0)).collect();
+            pool.run(3, |i| {
+                claims[i].fetch_add(1, Relaxed);
+            });
+            for (i, c) in claims.iter().enumerate() {
+                assert_eq!(c.load(Relaxed), 1, "job {i} not claimed exactly once");
+            }
+        })
+        .expect("three workers racing one cursor still claim exactly once");
+    assert!(report.exhaustive);
+}
+
+#[test]
+fn pool_run_mut_hands_out_every_slot_exactly_once() {
+    let report = Model::new()
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let mut slots = [0usize; 3];
+            pool.run_mut(&mut slots, |i, slot| {
+                // A second visit to the same slot would double this.
+                *slot += i + 1;
+            });
+            assert_eq!(slots, [1, 2, 3], "each slot written by exactly one job");
+        })
+        .expect("run_mut's disjoint &mut handout holds on every schedule");
+    assert!(report.exhaustive);
+}
+
+/// The deliberately broken cursor of the ISSUE's acceptance criterion: a
+/// load-then-store claim loop written against the same facade the real
+/// pool uses. Some interleaving makes two workers observe the same index —
+/// the checker must find it.
+#[test]
+fn mutant_load_then_store_cursor_is_caught() {
+    let violation = Model::new()
+        .check(|| {
+            let n_jobs = 3;
+            let cursor = AtomicUsize::new(0);
+            let claims: Vec<StdAtomicUsize> = (0..n_jobs).map(|_| StdAtomicUsize::new(0)).collect();
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| loop {
+                        // BUG under test: claim is not atomic.
+                        let i = cursor.load(Ordering::SeqCst);
+                        cursor.store(i + 1, Ordering::SeqCst);
+                        if i >= n_jobs {
+                            break;
+                        }
+                        assert_eq!(claims[i].fetch_add(1, Relaxed), 0, "job claimed twice");
+                    });
+                }
+            });
+        })
+        .expect_err("the checker must find the duplicate-claim schedule");
+    assert!(
+        violation.message.contains("claimed twice"),
+        "unexpected violation: {violation}"
+    );
+    assert!(
+        violation.schedule.contains('T'),
+        "violation must carry a reproduction schedule: {violation}"
+    );
+}
+
+#[test]
+fn radix_sort_is_correct_under_every_interleaving() {
+    // 16 keys in 4 chunks of 4 on 2 workers; keys stay below 256 so only
+    // digit 0 varies and the sort is a single histogram→prefix→scatter
+    // round — small enough to enumerate every schedule of the two
+    // `pool.run` calls, while exercising the full production protocol.
+    let keys: [u64; 16] = [9, 3, 200, 3, 17, 90, 4, 3, 250, 0, 64, 17, 9, 128, 2, 33];
+    let report = Model::new()
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let mut k: Vec<u64> = keys.to_vec();
+            let mut v: Vec<u32> = (0..16).collect();
+            RadixSorter::new().sort_pairs_chunked(&mut k, &mut v, &pool, 4);
+            let mut expected: Vec<(u64, u32)> = keys.iter().copied().zip(0..16).collect();
+            expected.sort_by_key(|&(key, _)| key); // stable oracle
+            let got: Vec<(u64, u32)> = k.into_iter().zip(v).collect();
+            assert_eq!(got, expected, "sort must be correct and stable");
+        })
+        .expect("histogram/prefix/scatter holds on every schedule");
+    assert!(
+        report.exhaustive,
+        "4 chunks on 2 workers must be enumerable"
+    );
+    assert!(report.schedules > 1);
+}
+
+/// Re-derivation of the scatter-disjointness argument with per-slot claim
+/// counters: the exclusive (bucket, chunk) prefix gives every chunk output
+/// ranges no other chunk touches, so every output index is written exactly
+/// once per pass.
+#[test]
+fn scatter_ranges_are_disjoint_under_every_interleaving() {
+    const BUCKETS: usize = 4; // 2-bit digit keeps the table small
+    let keys: [usize; 8] = [3, 1, 0, 2, 1, 3, 0, 1];
+    let report = Model::new()
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let chunks = 2;
+            let chunk_len = keys.len() / chunks;
+            // 1. Per-chunk histograms (each job owns its row).
+            let hist: Vec<StdAtomicUsize> = (0..chunks * BUCKETS)
+                .map(|_| StdAtomicUsize::new(0))
+                .collect();
+            pool.run(chunks, |c| {
+                for &k in &keys[c * chunk_len..(c + 1) * chunk_len] {
+                    hist[c * BUCKETS + k].fetch_add(1, Relaxed);
+                }
+            });
+            // 2. Exclusive prefix over (bucket, chunk) on the controller.
+            let mut place = vec![0usize; chunks * BUCKETS];
+            let mut running = 0;
+            for b in 0..BUCKETS {
+                for c in 0..chunks {
+                    place[c * BUCKETS + b] = running;
+                    running += hist[c * BUCKETS + b].load(Relaxed);
+                }
+            }
+            assert_eq!(running, keys.len(), "histogram counts every key once");
+            // 3. Scatter, counting writes per output slot.
+            let writes: Vec<StdAtomicUsize> =
+                (0..keys.len()).map(|_| StdAtomicUsize::new(0)).collect();
+            let place = &place;
+            let writes = &writes;
+            pool.run(chunks, move |c| {
+                let mut cursor = [0usize; BUCKETS];
+                cursor.copy_from_slice(&place[c * BUCKETS..(c + 1) * BUCKETS]);
+                for &k in &keys[c * chunk_len..(c + 1) * chunk_len] {
+                    let at = cursor[k];
+                    cursor[k] += 1;
+                    writes[at].fetch_add(1, Relaxed);
+                }
+            });
+            for (at, w) in writes.iter().enumerate() {
+                assert_eq!(
+                    w.load(Relaxed),
+                    1,
+                    "output slot {at} not written exactly once"
+                );
+            }
+        })
+        .expect("the exclusive prefix yields disjoint scatter ranges");
+    assert!(report.exhaustive);
+}
+
+/// Mutant of the placement step: an *inclusive* prefix (the off-by-one the
+/// exclusive scan exists to avoid) makes chunk ranges overlap; some slot is
+/// written twice and some never. The checker must reject it.
+#[test]
+fn mutant_inclusive_prefix_overlapping_scatter_is_caught() {
+    const BUCKETS: usize = 4;
+    let keys: [usize; 8] = [3, 1, 0, 2, 1, 3, 0, 1];
+    let violation = Model::new()
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let chunks = 2;
+            let chunk_len = keys.len() / chunks;
+            let hist: Vec<StdAtomicUsize> = (0..chunks * BUCKETS)
+                .map(|_| StdAtomicUsize::new(0))
+                .collect();
+            pool.run(chunks, |c| {
+                for &k in &keys[c * chunk_len..(c + 1) * chunk_len] {
+                    hist[c * BUCKETS + k].fetch_add(1, Relaxed);
+                }
+            });
+            // BUG under test: inclusive prefix — ranges start one count too
+            // late and overlap the successor's range.
+            let mut place = vec![0usize; chunks * BUCKETS];
+            let mut running = 0;
+            for b in 0..BUCKETS {
+                for c in 0..chunks {
+                    running += hist[c * BUCKETS + b].load(Relaxed);
+                    place[c * BUCKETS + b] = running % keys.len();
+                }
+            }
+            let writes: Vec<StdAtomicUsize> =
+                (0..keys.len()).map(|_| StdAtomicUsize::new(0)).collect();
+            let place = &place;
+            let writes = &writes;
+            pool.run(chunks, move |c| {
+                let mut cursor = [0usize; BUCKETS];
+                cursor.copy_from_slice(&place[c * BUCKETS..(c + 1) * BUCKETS]);
+                for &k in &keys[c * chunk_len..(c + 1) * chunk_len] {
+                    let at = cursor[k] % keys.len();
+                    cursor[k] += 1;
+                    writes[at].fetch_add(1, Relaxed);
+                }
+            });
+            for (at, w) in writes.iter().enumerate() {
+                assert_eq!(
+                    w.load(Relaxed),
+                    1,
+                    "output slot {at} not written exactly once"
+                );
+            }
+        })
+        .expect_err("overlapping ranges must be rejected");
+    assert!(
+        violation.message.contains("not written exactly once"),
+        "unexpected violation: {violation}"
+    );
+}
+
+/// The sampling fallback must retain bug-finding power: cap enumeration at
+/// one schedule and let seeded random sampling find the lost update.
+#[test]
+fn sampling_mode_still_catches_the_cursor_mutant() {
+    let violation = Model::new()
+        .max_schedules(1)
+        .samples(128)
+        .check(|| {
+            let cursor = AtomicUsize::new(0);
+            let claims: Vec<StdAtomicUsize> = (0..2).map(|_| StdAtomicUsize::new(0)).collect();
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| loop {
+                        let i = cursor.load(Ordering::SeqCst);
+                        cursor.store(i + 1, Ordering::SeqCst);
+                        if i >= 2 {
+                            break;
+                        }
+                        assert_eq!(claims[i].fetch_add(1, Relaxed), 0, "job claimed twice");
+                    });
+                }
+            });
+        })
+        .expect_err("random sampling must hit a duplicate-claim schedule");
+    assert!(violation.message.contains("claimed twice"), "{violation}");
+}
+
+/// Outside `Model::check` the shadow primitives fall through to plain
+/// `std`, so a `gaurast_model_check` build still runs the ordinary suites:
+/// the real pool must work normally in this very test binary.
+#[test]
+fn facade_falls_through_to_std_outside_model_runs() {
+    let pool = WorkerPool::new(4);
+    let sum = StdAtomicUsize::new(0);
+    pool.run(100, |i| {
+        sum.fetch_add(i, Relaxed);
+    });
+    assert_eq!(sum.into_inner(), 99 * 100 / 2);
+
+    let mut keys: Vec<u64> = (0..1000).rev().map(|i| i * 3 % 257).collect();
+    let mut vals: Vec<u32> = (0..1000).collect();
+    RadixSorter::new().sort_pairs(&mut keys, &mut vals, &pool);
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -1,0 +1,28 @@
+//! The workspace must pass its own lint — the same check CI runs via
+//! `cargo run -p gaurast-check -- lint`, wired into plain `cargo test` so
+//! a violation is caught before it ever reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check sits two levels under the workspace root");
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let findings = gaurast_check::lint::lint_tree(root).expect("tree walk");
+    assert!(
+        findings.is_empty(),
+        "the repository violates its own invariants:\n{}",
+        findings
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

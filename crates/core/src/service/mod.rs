@@ -349,7 +349,7 @@ impl RenderServiceBuilder {
             .map_err(|e| ServiceError::InvalidConfig(format!("hardware configuration: {e}")))?;
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
-                .map(|n| n.get())
+                .map(std::num::NonZero::get)
                 .unwrap_or(1)
         });
         let mut scenes = HashMap::with_capacity(self.scenes.len());

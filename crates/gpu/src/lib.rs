@@ -31,6 +31,7 @@
 //! assert!(t > 0.2 && t < 0.45, "bicycle raster {t} s");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

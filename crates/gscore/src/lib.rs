@@ -21,6 +21,7 @@
 //!
 //! What is measured vs. assumed is documented per item in [`accel`].
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

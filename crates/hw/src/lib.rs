@@ -36,6 +36,7 @@
 //! # Ok::<(), gaurast_scene::SceneError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -25,6 +25,7 @@
 //! assert!((v.y - 1.0).abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -50,6 +50,10 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+// The only unsafe in this crate is the disjoint-slice handout in `pool`
+// and `sort`; every unsafe operation must sit in an explicit block with
+// its own SAFETY comment (enforced by `gaurast-check lint`).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod compose;
 mod framebuffer;
@@ -59,6 +63,7 @@ pub mod pool;
 pub mod preprocess;
 pub mod rasterize;
 pub mod sort;
+pub mod sync;
 pub mod tile;
 pub mod trace;
 pub mod triangle;

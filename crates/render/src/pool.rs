@@ -41,7 +41,11 @@
 //! assert_eq!(sum.into_inner(), 99 * 100 / 2);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+// All pool concurrency goes through the `sync` facade so the protocol can
+// be model-checked (`crates/check`); by default these are plain `std`
+// re-exports.
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::thread;
 
 /// Environment variable overriding the automatic worker count (used by CI
 /// to force the serial path: `GAURAST_WORKERS=1 cargo test`).
@@ -54,6 +58,8 @@ pub fn resolve_workers(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
+    // gaurast-check: allow(nondet): documented config knob, resolved once
+    // at pool construction — never inside the per-frame pipeline.
     if let Ok(v) = std::env::var(WORKERS_ENV) {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -62,7 +68,7 @@ pub fn resolve_workers(requested: usize) -> usize {
         }
     }
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
 }
 
@@ -128,9 +134,18 @@ impl WorkerPool {
             return;
         }
         let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
+                    // Ordering audit: `Relaxed` is sufficient here. The
+                    // exactly-once property needs only the *atomicity* of
+                    // fetch_add (two workers can never observe the same
+                    // index); no data is published through the cursor, so
+                    // no acquire/release edge is required. The jobs' own
+                    // writes are made visible to the caller by the
+                    // spawn/join synchronization of the enclosing scope,
+                    // which is a full happens-before edge. Model-checked in
+                    // crates/check/tests/model.rs (`pool_cursor_claims_*`).
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n_jobs {
                         break;
@@ -163,7 +178,9 @@ impl WorkerPool {
             /// SAFETY: caller must ensure `i` is in bounds of the slice
             /// this pointer was taken from.
             unsafe fn slot(&self, i: usize) -> *mut T {
-                self.0.add(i)
+                // SAFETY: forwarding the caller's in-bounds obligation to
+                // `pointer::add` — `i` is within the slice allocation.
+                unsafe { self.0.add(i) }
             }
         }
 

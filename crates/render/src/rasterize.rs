@@ -189,6 +189,7 @@ pub fn rasterize_with(
 
 /// Rasterizes one tile; returns how many splats of its list were processed
 /// before every pixel saturated, plus the tile-local statistics.
+// gaurast-check: hot-path
 fn rasterize_tile(
     splats: &[Splat2D],
     list: &[u32],
@@ -206,7 +207,11 @@ fn rasterize_tile(
 
     // Per-pixel accumulation state, tile-local (this is the pixel data held
     // in GauRast's tile buffers).
+    // gaurast-check: allow(alloc): tile-local pixel buffers, one bounded
+    // (tile_size²) allocation per tile job — ROADMAP item: move into a
+    // per-worker arena.
     let mut color = vec![Vec3::zero(); n_px];
+    // gaurast-check: allow(alloc): same tile-local buffer as above.
     let mut transmittance = vec![1.0f32; n_px];
     let mut alive = n_px as u32;
 

@@ -127,7 +127,31 @@ impl RadixSorter {
     /// # Panics
     /// Panics when `keys` and `values` have different lengths.
     pub fn sort_pairs(&mut self, keys: &mut Vec<u64>, values: &mut Vec<u32>, pool: &WorkerPool) {
+        self.sort_pairs_chunked(keys, values, pool, RADIX_CHUNK);
+    }
+
+    /// [`RadixSorter::sort_pairs`] with an explicit chunk size.
+    ///
+    /// Production always passes [`RADIX_CHUNK`] (the determinism contract
+    /// fixes the chunking independently of the worker count); the explicit
+    /// parameter exists so the `gaurast-check` model tests can shrink the
+    /// histogram/scatter protocol to a handful of chunks and exhaustively
+    /// interleave the *same code* that runs in production
+    /// (`crates/check/tests/model.rs`).
+    ///
+    /// # Panics
+    /// Panics when `keys` and `values` have different lengths or when
+    /// `chunk` is zero.
+    // gaurast-check: hot-path
+    pub fn sort_pairs_chunked(
+        &mut self,
+        keys: &mut Vec<u64>,
+        values: &mut Vec<u32>,
+        pool: &WorkerPool,
+        chunk: usize,
+    ) {
         assert_eq!(keys.len(), values.len(), "one value per key");
+        assert!(chunk > 0, "chunk size must be positive");
         let n = keys.len();
         if n <= 1 {
             return;
@@ -136,7 +160,7 @@ impl RadixSorter {
             n <= u32::MAX as usize,
             "radix placement offsets are u32: at most 2^32-1 pairs"
         );
-        let chunks = n.div_ceil(RADIX_CHUNK);
+        let chunks = n.div_ceil(chunk);
         self.tmp_keys.resize(n, 0);
         self.tmp_vals.resize(n, 0);
         self.hist.resize(chunks * RADIX_BUCKETS, 0);
@@ -192,8 +216,8 @@ impl RadixSorter {
                     let h = unsafe {
                         std::slice::from_raw_parts_mut(out.0.add(c * RADIX_BUCKETS), RADIX_BUCKETS)
                     };
-                    let lo = c * RADIX_CHUNK;
-                    let hi = (lo + RADIX_CHUNK).min(n);
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(n);
                     for &k in &src[lo..hi] {
                         h[((k >> shift) & 0xFF) as usize] += 1;
                     }
@@ -224,8 +248,8 @@ impl RadixSorter {
                 };
                 let out = &out;
                 pool.run(chunks, |c| {
-                    let lo = c * RADIX_CHUNK;
-                    let hi = (lo + RADIX_CHUNK).min(n);
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(n);
                     let mut cursor = [0u32; RADIX_BUCKETS];
                     cursor.copy_from_slice(&hist[c * RADIX_BUCKETS..(c + 1) * RADIX_BUCKETS]);
                     for i in lo..hi {

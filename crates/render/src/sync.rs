@@ -1,0 +1,55 @@
+//! The concurrency facade of the renderer: one import point for the
+//! atomics and scoped threads its parallel protocols are built on.
+//!
+//! # Why a facade
+//!
+//! The worker pool's claim cursor ([`crate::pool::WorkerPool::run`]) and
+//! the radix sorter's histogram→prefix→scatter protocol
+//! ([`crate::sort::RadixSorter`]) are lock-free by construction; their
+//! correctness arguments (exactly-once claims, disjoint scatter ranges)
+//! are stated in comments, not checked by the compiler. Routing every
+//! atomic operation and thread spawn through this module makes those
+//! protocols *model-checkable*: the `gaurast-check` crate can substitute
+//! instrumented shadow primitives and exhaustively interleave them.
+//!
+//! # The two builds
+//!
+//! * **Default** (any ordinary `cargo build`/`test`): pure re-exports of
+//!   `std::sync::atomic` and `std::thread::scope`. Zero-cost — release
+//!   codegen is byte-for-byte what it would be importing `std` directly.
+//! * **`--cfg gaurast_model_check`** (set via `RUSTFLAGS`, never a cargo
+//!   feature, so feature unification can't turn it on by accident): the
+//!   same names resolve to [`gaurast_check::shadow`] types. Every atomic
+//!   operation becomes a yield point of a virtual scheduler and
+//!   `thread::scope` registers shadow threads, letting
+//!   `cargo test -p gaurast-check` (with the cfg) drive the *real*
+//!   `WorkerPool` and `RadixSorter` code through every small interleaving
+//!   — see `crates/check/tests/model.rs`.
+//!
+//! Outside a model run the shadow primitives fall through to plain `std`
+//! behavior, so a model-check build still passes the ordinary suites.
+//!
+//! `Ordering` is always the real `std` enum; the shadow checker accepts
+//! and ignores it (it explores sequentially consistent interleavings —
+//! the weaker orderings used by the protocols are audited by hand at each
+//! call site).
+
+/// Atomic types used by the renderer's lock-free protocols.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(gaurast_model_check))]
+    pub use std::sync::atomic::AtomicUsize;
+
+    #[cfg(gaurast_model_check)]
+    pub use gaurast_check::shadow::AtomicUsize;
+}
+
+/// Scoped-thread spawning used by the worker pool.
+pub mod thread {
+    #[cfg(not(gaurast_model_check))]
+    pub use std::thread::{scope, Scope};
+
+    #[cfg(gaurast_model_check)]
+    pub use gaurast_check::shadow::{scope, Scope};
+}

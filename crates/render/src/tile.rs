@@ -94,6 +94,7 @@ pub fn bin_splats(splats: Vec<Splat2D>, width: u32, height: u32, tile_size: u32)
 ///
 /// # Panics
 /// Panics when `tile_size` is zero or the image is empty.
+// gaurast-check: hot-path
 pub fn bin_splats_pooled(
     splats: Vec<Splat2D>,
     width: u32,

@@ -167,7 +167,7 @@ fn four_workers_reach_2x_on_multicore() {
     use gaurast_scene::generator::SceneParams;
     use std::time::Instant;
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     if cores < 4 {
         eprintln!("skipping intra-frame scaling check: only {cores} core(s) available");
         return;

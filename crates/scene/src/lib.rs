@@ -35,6 +35,7 @@
 //! assert!(scene.len() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

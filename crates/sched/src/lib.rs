@@ -22,6 +22,7 @@
 //! # Ok::<(), gaurast_sched::ScheduleError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -5,6 +5,8 @@
 //! whole system through a single dependency. See `crates/core` for the actual
 //! facade implementation and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use gaurast::*;
 
 /// Workspace version string, kept in sync with the facade crate.

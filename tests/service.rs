@@ -94,7 +94,7 @@ fn batch_throughput_accounting_beats_or_matches_sequential() {
     // acceptance configuration); in debug builds allow scheduling noise,
     // and on a single-core runner only bound the pool overhead.
     let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     if cores >= 2 && !cfg!(debug_assertions) {
         assert!(
