@@ -88,12 +88,12 @@ fn main() {
     });
     let set = set.as_ref();
     if csv {
-        let path = "gaurast_results.csv";
         let data = gaurast::report::evaluation_to_csv(set.expect("set computed"));
-        if let Err(e) = std::fs::write(path, data) {
-            eprintln!("could not write {path}: {e}");
-        } else {
-            eprintln!("wrote {path}");
+        match gaurast_bench::artifacts::path("gaurast_results.csv")
+            .and_then(|path| std::fs::write(&path, data).map(|()| path))
+        {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write gaurast_results.csv: {e}"),
         }
     }
 

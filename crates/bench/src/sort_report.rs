@@ -329,13 +329,15 @@ pub fn run(quick: bool) -> SortBenchReport {
     }
 }
 
-/// Runs the measurement, writes `BENCH_sort.json` next to the working
-/// directory, re-validates the payload, and returns the human summary.
+/// Runs the measurement, writes `BENCH_sort.json` under
+/// `target/artifacts/` ([`crate::artifacts`]), re-validates the payload,
+/// and returns the human summary.
 pub fn write_artifact(quick: bool) -> std::io::Result<String> {
     let report = run(quick);
     let json = report.to_json();
     SortBenchReport::validate_json(&json)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(BENCH_SORT_JSON, &json)?;
-    Ok(format!("{}wrote {BENCH_SORT_JSON}\n", report.summary()))
+    let path = crate::artifacts::path(BENCH_SORT_JSON)?;
+    std::fs::write(&path, &json)?;
+    Ok(format!("{}wrote {}\n", report.summary(), path.display()))
 }

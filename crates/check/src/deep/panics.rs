@@ -1,0 +1,61 @@
+//! Serving panic-freedom: no `unwrap`/`expect`/`panic!`-family construct
+//! reachable from the serving entry points.
+//!
+//! A panic in a worker takes the whole batch (or, across an FFI
+//! boundary, the process) with it; production serving must degrade to
+//! typed [`ServiceError`]s instead. Roots are `RenderService::submit`
+//! and `RenderService::render_batch`. Reachable panic constructs are
+//! violations anywhere; an invariant that genuinely holds is stated with
+//! `// gaurast-check: allow(panic): <proof>` at the site.
+//!
+//! Unguarded indexing (`xs[i]`) is enforced as a violation only inside
+//! `crates/core/src/service/` — the service's own request-handling code,
+//! where every index comes from client input. Elsewhere in the reachable
+//! pipeline, indexing sites are *counted* as advisory
+//! ([`super::RuleOutcome::advisory_index_sites`]): the math and raster
+//! kernels index bound-checked arena slices on every line, and demanding
+//! hundreds of annotations there would bury the signal without adding
+//! proof.
+//!
+//! [`ServiceError`]: ../../../gaurast_core/service/enum.ServiceError.html
+
+use super::{run_reachability, EventMatch, RuleOutcome};
+use crate::graph::{CallGraph, EventKind};
+use crate::resolve::Resolution;
+
+/// Kinds this rule inspects (indexing is advisory outside the service).
+pub const KINDS: &[EventKind] = &[EventKind::Panic, EventKind::Index];
+
+/// Owner type rooting the analysis.
+pub const ROOT_OWNER: &str = "RenderService";
+
+/// Method names rooting the analysis.
+pub const ROOT_METHODS: &[&str] = &["submit", "render_batch"];
+
+/// File prefix inside which indexing is a violation, not advisory.
+pub const ENFORCED_INDEX_PREFIX: &str = "crates/core/src/service/";
+
+/// Runs the rule: roots are the serving entry methods.
+pub fn run(graph: &CallGraph, res: &Resolution) -> RuleOutcome {
+    let roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            n.owner.as_deref() == Some(ROOT_OWNER) && ROOT_METHODS.contains(&n.name.as_str())
+        })
+        .collect();
+    run_reachability(
+        graph,
+        res,
+        "serving-panic-freedom",
+        &roots,
+        |node, ev| match ev.kind {
+            EventKind::Panic => EventMatch::Violation,
+            EventKind::Index if node.file.starts_with(ENFORCED_INDEX_PREFIX) => {
+                EventMatch::Violation
+            }
+            EventKind::Index => EventMatch::Advisory,
+            _ => EventMatch::Ignore,
+        },
+        KINDS,
+    )
+}

@@ -1,0 +1,37 @@
+//! Hot-path purity: everything reachable from a `// gaurast-check:
+//! hot-path` root must be transitively free of heap allocation, locking,
+//! and I/O.
+//!
+//! The line lint already polices the *bodies* of the marked functions;
+//! this rule is why the marker means something two calls deep: a hot
+//! function calling a helper that calls `Vec::push` on a growing vector
+//! fails here with the full witness chain. Steady-state frames reuse
+//! arena storage (ROADMAP item 1's whole premise) — an allocation an
+//! `allow(alloc)` annotation has not justified is a per-frame cost the
+//! paper's speedups silently pay for.
+
+use super::{run_reachability, EventMatch, RuleOutcome};
+use crate::graph::{CallGraph, EventKind};
+use crate::resolve::Resolution;
+
+/// Kinds this rule fails on.
+pub const KINDS: &[EventKind] = &[EventKind::Alloc, EventKind::Lock, EventKind::Io];
+
+/// Runs the rule: roots are the hot-marked functions.
+pub fn run(graph: &CallGraph, res: &Resolution) -> RuleOutcome {
+    let roots = graph.hot_roots();
+    run_reachability(
+        graph,
+        res,
+        "hot-path-purity",
+        &roots,
+        |_, ev| {
+            if KINDS.contains(&ev.kind) {
+                EventMatch::Violation
+            } else {
+                EventMatch::Ignore
+            }
+        },
+        KINDS,
+    )
+}

@@ -1,0 +1,48 @@
+//! Determinism taint: no path from a pipeline entry point to a source of
+//! run-to-run variation.
+//!
+//! The software reference must be bit-identical across runs and machines
+//! — it is the oracle every backend (`hw`, `gpu`, `gscore`) is diffed
+//! against. Taint sources are wall clocks (`Instant::now`, `SystemTime`),
+//! environment reads, the default hasher's ambient randomness
+//! (`RandomState`, `HashMap::new`), and thread-count queries
+//! (`available_parallelism`): same binary, different machine, different
+//! answer. Entry points are the frame renderers, the reference pass, the
+//! pooled binner, and every backend `simulate*` function. Timing
+//! *measurement* that provably cannot feed back into outputs carries
+//! `// gaurast-check: allow(nondet): …` at the source line.
+
+use super::{run_reachability, EventMatch, RuleOutcome};
+use crate::graph::{CallGraph, EventKind};
+use crate::resolve::Resolution;
+
+/// Kinds this rule fails on.
+pub const KINDS: &[EventKind] = &[EventKind::Nondet];
+
+/// Entry-point function names rooting the taint analysis.
+pub const ENTRY_NAMES: &[&str] = &["render_frame", "reference_pass", "bin_splats_pooled"];
+
+/// Runs the rule: roots are the named entry points plus every backend
+/// `simulate*` function.
+pub fn run(graph: &CallGraph, res: &Resolution) -> RuleOutcome {
+    let roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let name = graph.nodes[i].name.as_str();
+            ENTRY_NAMES.contains(&name) || name.starts_with("simulate")
+        })
+        .collect();
+    run_reachability(
+        graph,
+        res,
+        "determinism-taint",
+        &roots,
+        |_, ev| {
+            if KINDS.contains(&ev.kind) {
+                EventMatch::Violation
+            } else {
+                EventMatch::Ignore
+            }
+        },
+        KINDS,
+    )
+}

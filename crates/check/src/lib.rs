@@ -26,13 +26,28 @@
 //! allocation-free hot paths, clock/env-free deterministic pipeline code,
 //! debug-only full-scan asserts, and crate-wide `unsafe` bans. Run it with
 //! `cargo run -p gaurast-check -- lint`; CI fails on any finding.
+//!
+//! # Deep layer
+//!
+//! The line lint sees one call deep; the deep layer follows edges.
+//! [`graph`] parses every library source into a module-qualified
+//! function/method call graph, [`resolve`] turns textual call sites into
+//! graph edges (counting what it cannot resolve instead of dropping it),
+//! and [`deep`] runs the transitive fixpoint rules over the result:
+//! hot-path purity, determinism taint, and serving panic-freedom, each
+//! violation reported with a multi-hop witness path. Run it with
+//! `cargo run -p gaurast-check -- deep`; CI asserts a clean
+//! `CHECK_report.json`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod deep;
+pub mod graph;
 pub mod lint;
 pub mod model;
+pub mod resolve;
 pub mod rng;
 pub mod sched;
 pub mod shadow;

@@ -16,7 +16,9 @@ mod rules;
 mod source;
 
 pub use rules::{
-    lint_source, Finding, DETERMINISTIC_PREFIXES, HOT_FILES, REQUIRED_HOT_FNS, UNSAFE_FREE_CRATES,
+    annotated, lint_source, Finding, ALLOC_TOKENS, ALLOW_ALLOC, ALLOW_NONDET, ALLOW_PANIC,
+    DETERMINISTIC_PREFIXES, HOT_FILES, HOT_MARKER, NONDET_TOKENS, REQUIRED_HOT_FNS,
+    UNSAFE_FREE_CRATES,
 };
 pub use source::{classify, has_word, test_region_start, Line};
 
@@ -36,11 +38,25 @@ const EXCLUDED_PREFIXES: &[&str] = &[
 /// the tree-level rules. Findings are sorted by path then line for stable
 /// output. I/O errors surface as `Err`; findings are not errors.
 pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let sources = workspace_sources(root)?;
+    let mut findings = Vec::new();
+    for (rel_str, content) in &sources {
+        findings.extend(lint_source(rel_str, content));
+    }
+    rule_forbid_unsafe_crates(&sources, &mut findings);
+    findings.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(findings)
+}
+
+/// Reads every lintable `.rs` file under `root` in one pass, returning
+/// `(repo-relative path with '/' separators, content)` pairs sorted by
+/// path. Shared by [`lint_tree`] and the deep call-graph layer
+/// ([`crate::graph`]) so the whole-repo analyses stay single-pass over the
+/// tree (the CI time budget).
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-
-    let mut findings = Vec::new();
     let mut sources = Vec::new();
     for rel in &files {
         let content = std::fs::read_to_string(root.join(rel))?;
@@ -49,12 +65,9 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        findings.extend(lint_source(&rel_str, &content));
         sources.push((rel_str, content));
     }
-    rule_forbid_unsafe_crates(&sources, &mut findings);
-    findings.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
-    Ok(findings)
+    Ok(sources)
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -91,11 +91,20 @@ pub const UNSAFE_FREE_CRATES: &[&str] = &[
     ".",
 ];
 
-const HOT_MARKER: &str = "gaurast-check: hot-path";
-const ALLOW_ALLOC: &str = "gaurast-check: allow(alloc)";
-const ALLOW_NONDET: &str = "gaurast-check: allow(nondet)";
+/// Marker comment putting a function's body (and, for the deep layer, its
+/// whole call subtree) under the hot-path rules.
+pub const HOT_MARKER: &str = "gaurast-check: hot-path";
+/// Escape hatch suppressing allocation findings on the annotated line.
+pub const ALLOW_ALLOC: &str = "gaurast-check: allow(alloc)";
+/// Escape hatch suppressing determinism findings on the annotated line.
+pub const ALLOW_NONDET: &str = "gaurast-check: allow(nondet)";
+/// Escape hatch suppressing panic-freedom findings on the annotated line
+/// (deep layer only); the stated reason must carry the invariant proof.
+pub const ALLOW_PANIC: &str = "gaurast-check: allow(panic)";
 
-const ALLOC_TOKENS: &[&str] = &[
+/// Heap-allocating call tokens the hot-path rules match (fresh
+/// allocations, not amortized growth of recycled arena buffers).
+pub const ALLOC_TOKENS: &[&str] = &[
     "Vec::new",
     "vec!",
     ".to_vec(",
@@ -110,7 +119,9 @@ const ALLOC_TOKENS: &[&str] = &[
     "BTreeMap::new",
 ];
 
-const NONDET_TOKENS: &[&str] = &[
+/// Wall-clock / environment / ambient-randomness tokens — the determinism
+/// rule's line-level sources, shared with the deep taint analysis.
+pub const NONDET_TOKENS: &[&str] = &[
     "Instant::now",
     "SystemTime",
     "env::var",
@@ -162,7 +173,7 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<Finding> {
 /// the contiguous block of comment/attribute/blank lines directly above it
 /// (real code ends the block: the annotation must be *adjacent* to its
 /// site, however many lines the comment itself spans).
-fn annotated(lines: &[Line], i: usize, needle: &str) -> bool {
+pub fn annotated(lines: &[Line], i: usize, needle: &str) -> bool {
     if lines[i].comment.contains(needle) {
         return true;
     }

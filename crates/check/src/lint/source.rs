@@ -96,27 +96,16 @@ pub fn classify(content: &str) -> Vec<Line> {
                         line.code.push('"');
                         state = State::Str;
                         i += 1;
-                    } else if c == 'r'
-                        && matches!(next, Some('"' | '#'))
-                        && !prev_is_ident(&chars, i)
-                    {
-                        // Raw string r"…" or r#"…"# (also br… via the `b`
-                        // being a separate ident char — close enough for
-                        // lint purposes).
-                        let mut hashes = 0;
-                        let mut j = i + 1;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            line.code.push('"');
-                            state = State::RawStr(hashes);
-                            i = j + 1;
-                        } else {
-                            line.code.push(c);
-                            i += 1;
-                        }
+                    } else if let Some((hashes, after)) = raw_string_open(&chars, i) {
+                        // Raw string r"…" / r#"…"# and the byte/C-string
+                        // prefixed forms br"…", br#"…"#, cr#"…"# — raw
+                        // strings have **no escapes**, so they must not fall
+                        // into the `"`-with-escapes path (a trailing `\`
+                        // would swallow the closing quote and blank the rest
+                        // of the line, hiding real code from the rules).
+                        line.code.push('"');
+                        state = State::RawStr(hashes);
+                        i = after;
                     } else if c == '\'' {
                         // Char literal vs lifetime: a lifetime is `'ident`
                         // not followed by a closing quote.
@@ -158,6 +147,31 @@ fn byte_offset(raw: &str, i: usize) -> usize {
 
 fn prev_is_ident(chars: &[char], i: usize) -> bool {
     i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Detects a raw-string opener at `i`: `r`, `br`, or `cr`, then zero or
+/// more `#`s, then `"`. Returns the delimiter hash count and the index of
+/// the first content character, or `None` when `i` does not open a raw
+/// string (e.g. `r` is the tail of an identifier, or a raw identifier like
+/// `r#match` follows).
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let r_at = match chars[i] {
+        'r' => i,
+        // `br"…"` / `cr"…"` — the prefix letter must itself start the
+        // token (not be the tail of an identifier like `abr"…`).
+        'b' | 'c' if chars.get(i + 1) == Some(&'r') => i + 1,
+        _ => return None,
+    };
+    if prev_is_ident(chars, i) {
+        return None;
+    }
+    let mut hashes = 0;
+    let mut j = r_at + 1;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((hashes, j + 1))
 }
 
 /// `true` when `code` contains `word` delimited by non-identifier chars —
@@ -229,6 +243,70 @@ mod tests {
         assert!(lines[0].code.contains("b();"));
         assert!(lines[0].comment.contains("two"));
         assert!(lines[1].code.contains("c();"));
+    }
+
+    #[test]
+    fn prefixed_raw_strings_do_not_swallow_code() {
+        // Regression: `br"…"` used to be lexed as `b`+`r` code then a
+        // *normal* string, so a trailing `\` (no escape in raw strings!)
+        // consumed the closing quote and blanked the rest of the line —
+        // hiding real calls from every rule.
+        let lines = classify("let p = br\"dir\\\"; let t = Instant::now();");
+        assert!(lines[0].code.contains("Instant::now()"), "{:?}", lines[0]);
+        assert!(!lines[0].code.contains("dir"));
+    }
+
+    #[test]
+    fn prefixed_raw_strings_blank_contents() {
+        // Regression: `br#"…"#` contents used to leak into the code part.
+        for src in [
+            "let x = br#\"unsafe \"quoted\" u\"#; call();",
+            "let x = cr#\"unsafe \"quoted\" u\"#; call();",
+            "let x = r#\"unsafe \"quoted\" u\"#; call();",
+        ] {
+            let lines = classify(src);
+            assert!(!lines[0].code.contains("unsafe"), "{src}: {:?}", lines[0]);
+            assert!(!lines[0].code.contains("quoted"), "{src}: {:?}", lines[0]);
+            assert!(lines[0].code.contains("call();"), "{src}: {:?}", lines[0]);
+        }
+    }
+
+    #[test]
+    fn multi_line_raw_strings_track_state() {
+        let src = "let s = r##\"line \"# not the end\nInstant::now() still raw\nend\"##; after();";
+        let lines = classify(src);
+        assert!(!lines[0].code.contains("not the end"));
+        assert!(!lines[1].code.contains("Instant::now"));
+        assert!(lines[2].code.contains("after();"), "{:?}", lines[2]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let lines = classify("let r#match = r#try(); abr\"x\"; next();");
+        assert!(lines[0].code.contains("r#match"));
+        assert!(lines[0].code.contains("next();"));
+    }
+
+    #[test]
+    fn nested_block_comments_across_lines() {
+        let src = "a(); /* l1 /* l2\nstill /* deeper */ in */ comment */ b();\nc();";
+        let lines = classify(src);
+        assert!(lines[0].code.contains("a();"));
+        assert!(lines[1].code.trim().starts_with("b();"), "{:?}", lines[1]);
+        assert!(lines[1].comment.contains("deeper"));
+        assert!(lines[2].code.contains("c();"));
+    }
+
+    #[test]
+    fn raw_strings_and_comments_do_not_open_each_other() {
+        // A block-comment opener inside a raw string is content; a
+        // raw-string opener inside a block comment is comment text.
+        let a = classify("let s = r\"/* not a comment */\"; tail();");
+        assert!(a[0].code.contains("tail();"));
+        assert!(a[0].comment.is_empty());
+        let b = classify("/* r#\" */ code();");
+        assert!(b[0].code.contains("code();"));
+        assert!(b[0].comment.contains("r#"));
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! `gaurast-check` CLI: `cargo run -p gaurast-check -- lint [--root PATH]`.
+//! `gaurast-check` CLI: `cargo run -p gaurast-check -- <lint|deep>`.
 //!
-//! Walks the workspace tree, applies every repo-invariant lint rule, and
-//! exits non-zero when any finding is produced (the CI contract). With no
+//! `lint` walks the workspace tree, applies every repo-invariant line
+//! lint rule, and exits non-zero when any finding is produced (the CI
+//! contract). `deep` builds the whole-workspace call graph and runs the
+//! transitive rules — hot-path purity, determinism taint, serving
+//! panic-freedom — printing a witness path per violation and writing the
+//! machine-readable `CHECK_report.json` at the workspace root. With no
 //! `--root`, the workspace root is discovered by walking up from the
 //! current directory to the first `Cargo.toml` containing `[workspace]`.
 
@@ -15,6 +19,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("deep") => run_deep(&args[1..]),
         Some(other) => {
             eprintln!("gaurast-check: unknown command `{other}`");
             eprintln!("{USAGE}");
@@ -27,10 +32,15 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: gaurast-check lint [--root PATH]\n\n\
-    Lints the workspace tree for repo invariants (SAFETY comments, float \n\
-    ordering, hot-path allocations, determinism, full-scan asserts, \n\
-    crate-wide unsafe bans). Exits 1 when any finding is produced.";
+const USAGE: &str = "usage: gaurast-check <command> [--root PATH]\n\n\
+    lint   Lints the workspace tree for repo invariants (SAFETY comments, \n\
+           float ordering, hot-path allocations, determinism, full-scan \n\
+           asserts, crate-wide unsafe bans). Exits 1 on any finding.\n\
+    deep   Builds the whole-workspace call graph and runs the transitive \n\
+           rules (hot-path purity, determinism taint, serving panic-\n\
+           freedom), printing a witness path per violation and writing \n\
+           CHECK_report.json at the workspace root. Exits 1 on any \n\
+           violation. `--json PATH` overrides the report location.";
 
 fn run_lint(args: &[String]) -> ExitCode {
     let root = match parse_root(args) {
@@ -71,12 +81,92 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_deep(args: &[String]) -> ExitCode {
+    let (root_arg, json_arg) = match parse_deep_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("gaurast-check: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root_arg {
+        Some(path) => path,
+        None => match discover_workspace_root() {
+            Some(path) => path,
+            None => {
+                eprintln!(
+                    "gaurast-check: no workspace root found above the current directory \
+                     (pass --root PATH)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match gaurast_check::deep::analyze(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("gaurast-check: i/o error while building the call graph: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let json_path = json_arg.unwrap_or_else(|| root.join("CHECK_report.json"));
+    if let Err(err) = std::fs::write(&json_path, report.json()) {
+        eprintln!(
+            "gaurast-check: cannot write report to {}: {err}",
+            json_path.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    print!("{}", report.human());
+    let total = report.total_violations();
+    if total == 0 {
+        println!(
+            "gaurast-check deep: clean ({}), report at {}",
+            root.display(),
+            json_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "gaurast-check deep: {total} violation(s), report at {}",
+            json_path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn parse_root(args: &[String]) -> Result<Option<PathBuf>, String> {
     match args {
         [] => Ok(None),
         [flag, path] if flag == "--root" => Ok(Some(PathBuf::from(path))),
         _ => Err(format!("unexpected arguments: {args:?}")),
     }
+}
+
+type DeepArgs = (Option<PathBuf>, Option<PathBuf>);
+
+fn parse_deep_args(args: &[String]) -> Result<DeepArgs, String> {
+    let mut root = None;
+    let mut json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--json" if i + 1 < args.len() => {
+                json = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok((root, json))
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` that

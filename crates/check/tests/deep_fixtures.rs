@@ -1,0 +1,167 @@
+//! Good/bad fixture trees for the deep (call-graph) layer, one pair per
+//! transitive rule, plus a deliberately-misresolved call proving the
+//! resolver reports what it cannot map instead of dropping it.
+//!
+//! Each fixture is a miniature workspace tree under
+//! `tests/fixtures/deep/<case>/crates/…/src/` (the real tree walk
+//! excludes `tests/fixtures/`), analyzed through the same
+//! [`gaurast_check::deep::analyze`] entry point the CLI uses. The bad
+//! fixtures hide their effect *behind calls* — that is the whole point
+//! of the deep layer over the line lint — and the assertions check the
+//! full multi-hop witness path, not just the violation count.
+
+use gaurast_check::deep::{analyze, DeepReport, RuleOutcome};
+use std::path::PathBuf;
+
+fn fixture_root(case: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/deep")
+        .join(case)
+}
+
+fn run(case: &str) -> DeepReport {
+    let root = fixture_root(case);
+    assert!(root.is_dir(), "missing fixture tree {}", root.display());
+    analyze(&root).expect("fixture analysis")
+}
+
+fn rule<'a>(report: &'a DeepReport, name: &str) -> &'a RuleOutcome {
+    report
+        .rules
+        .iter()
+        .find(|r| r.rule == name)
+        .unwrap_or_else(|| panic!("rule {name} missing from report"))
+}
+
+#[test]
+fn transitive_alloc_two_calls_deep_fails_purity_with_the_full_witness() {
+    let report = run("bad_purity");
+    let purity = rule(&report, "hot-path-purity");
+    assert_eq!(
+        purity.roots,
+        vec!["hot::bin_splats_pooled"],
+        "the hot marker roots the rule"
+    );
+    assert_eq!(purity.violations.len(), 1, "{purity:?}");
+    let v = &purity.violations[0];
+    assert_eq!(
+        v.witness,
+        vec!["hot::bin_splats_pooled", "hot::helper", "hot::deeper"],
+        "witness must walk the whole chain, root first"
+    );
+    assert_eq!(v.token, "Vec::with_capacity");
+    assert_eq!(v.file, "crates/hot/src/lib.rs");
+    assert_eq!(v.line, 14);
+    assert!(
+        v.render().contains("→ hot::deeper → Vec::with_capacity"),
+        "rendered witness reads as a story: {}",
+        v.render()
+    );
+}
+
+#[test]
+fn allow_alloc_is_honored_two_calls_deep() {
+    let report = run("good_purity");
+    let purity = rule(&report, "hot-path-purity");
+    assert!(purity.violations.is_empty(), "{purity:?}");
+    assert_eq!(
+        purity.suppressed, 1,
+        "the justified allocation stays visible as a suppression count"
+    );
+}
+
+#[test]
+fn taint_through_a_helper_reaches_the_entry_point() {
+    let report = run("bad_taint");
+    let taint = rule(&report, "determinism-taint");
+    assert_eq!(taint.roots, vec!["pipe::render_frame"]);
+    assert_eq!(taint.violations.len(), 1, "{taint:?}");
+    let v = &taint.violations[0];
+    assert_eq!(
+        v.witness,
+        vec![
+            "pipe::render_frame",
+            "pipe::frame_stamp",
+            "pipe::clock_bits"
+        ]
+    );
+    assert_eq!(v.token, "Instant::now");
+    assert_eq!(v.file, "crates/pipe/src/lib.rs");
+}
+
+#[test]
+fn allow_nondet_at_the_source_clears_the_taint() {
+    let report = run("good_taint");
+    let taint = rule(&report, "determinism-taint");
+    assert!(taint.violations.is_empty(), "{taint:?}");
+    assert_eq!(taint.suppressed, 1);
+}
+
+#[test]
+fn panic_behind_a_method_call_fails_serving_with_the_witness() {
+    let report = run("bad_panics");
+    let panics = rule(&report, "serving-panic-freedom");
+    assert_eq!(panics.roots, vec!["core::service::RenderService::submit"]);
+    // Two violations in `pick`: the `.unwrap(` and — because the file
+    // sits under the enforced `crates/core/src/service/` prefix — the
+    // unguarded `xs[0]`.
+    assert_eq!(panics.violations.len(), 2, "{panics:?}");
+    for v in &panics.violations {
+        assert_eq!(
+            v.witness,
+            vec![
+                "core::service::RenderService::submit",
+                "core::service::RenderService::pick"
+            ],
+            "the panic hides one method call deep"
+        );
+        assert_eq!(v.file, "crates/core/src/service/mod.rs");
+    }
+    let tokens: Vec<&str> = panics.violations.iter().map(|v| v.token.as_str()).collect();
+    assert!(tokens.contains(&".unwrap("), "{tokens:?}");
+    assert!(
+        tokens.contains(&"[…]"),
+        "indexing enforced in-service: {tokens:?}"
+    );
+}
+
+#[test]
+fn guarded_access_and_a_justified_expect_pass_serving() {
+    let report = run("good_panics");
+    let panics = rule(&report, "serving-panic-freedom");
+    assert!(panics.violations.is_empty(), "{panics:?}");
+    assert_eq!(panics.suppressed, 1, "the justified expect is counted");
+}
+
+#[test]
+fn a_call_the_resolver_cannot_map_is_reported_not_dropped() {
+    let report = run("misresolved");
+    assert_eq!(report.unresolved.len(), 1, "{:?}", report.unresolved);
+    let u = &report.unresolved[0];
+    assert_eq!(u.caller, "maze::entry");
+    assert_eq!(u.name, "frobnicate_quux");
+    assert_eq!(u.file, "crates/maze/src/lib.rs");
+    assert!(u.line >= 1);
+    // The unresolved call must also surface in both report renderings.
+    assert!(report.human().contains("frobnicate_quux"), "human report");
+    assert!(report.json().contains("frobnicate_quux"), "json report");
+    assert_eq!(
+        report.total_violations(),
+        0,
+        "unresolved is not a violation"
+    );
+}
+
+#[test]
+fn fixture_reports_carry_consistent_graph_statistics() {
+    let report = run("bad_purity");
+    assert_eq!(report.files, 1);
+    assert_eq!(report.nodes, 3);
+    assert!(report.edges >= 2, "root→helper→deeper must both resolve");
+    let json = report.json();
+    assert!(
+        json.contains("\"schema\": \"gaurast-check/deep/v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"total_violations\": 1"), "{json}");
+}

@@ -1,0 +1,15 @@
+//! Bad fixture: a panic hiding behind a method call from a serving
+//! root, plus an unguarded index inside the enforced service tree.
+
+pub struct RenderService;
+
+impl RenderService {
+    pub fn submit(&self, xs: &[u32]) -> u32 {
+        self.pick(xs)
+    }
+
+    fn pick(&self, xs: &[u32]) -> u32 {
+        let first = xs.first().copied().unwrap();
+        first + xs[0]
+    }
+}

@@ -1,0 +1,16 @@
+//! Bad fixture: the hot root is itself clean — the allocation hides two
+//! calls deep, which only the transitive rule can see.
+
+// gaurast-check: hot-path
+pub fn bin_splats_pooled(n: usize) -> usize {
+    helper(n)
+}
+
+fn helper(n: usize) -> usize {
+    deeper(n) + 1
+}
+
+fn deeper(n: usize) -> usize {
+    let v: Vec<usize> = Vec::with_capacity(n);
+    v.capacity()
+}

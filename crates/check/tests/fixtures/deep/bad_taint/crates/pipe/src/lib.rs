@@ -1,0 +1,15 @@
+//! Bad fixture: determinism taint flowing through a helper — the entry
+//! point never touches a clock directly.
+
+pub fn render_frame(seed: u64) -> u64 {
+    frame_stamp(seed)
+}
+
+fn frame_stamp(seed: u64) -> u64 {
+    seed ^ clock_bits()
+}
+
+fn clock_bits() -> u64 {
+    let t = std::time::Instant::now();
+    u64::from(t.elapsed().subsec_nanos())
+}

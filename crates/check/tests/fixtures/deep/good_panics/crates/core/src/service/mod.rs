@@ -1,0 +1,18 @@
+//! Good twin: the indexing is bounds-checked away and the one remaining
+//! `expect` states its invariant through the escape hatch.
+
+pub struct RenderService;
+
+impl RenderService {
+    pub fn submit(&self, xs: &[u32]) -> u32 {
+        self.pick(xs)
+    }
+
+    fn pick(&self, xs: &[u32]) -> u32 {
+        let first = xs.first().copied().unwrap_or(0);
+        // gaurast-check: allow(panic): fixture — `xs` was length-checked
+        // by the caller's request validation.
+        let second = xs.get(1).copied().expect("validated: len >= 2");
+        first + second
+    }
+}

@@ -1,0 +1,19 @@
+//! Good twin: the same two-deep chain, but the allocation carries an
+//! `allow(alloc)` justification — honored at depth, counted as
+//! suppressed.
+
+// gaurast-check: hot-path
+pub fn bin_splats_pooled(n: usize) -> usize {
+    helper(n)
+}
+
+fn helper(n: usize) -> usize {
+    deeper(n) + 1
+}
+
+fn deeper(n: usize) -> usize {
+    // gaurast-check: allow(alloc): fixture — buffer handed back to the
+    // caller's arena, grown once at startup.
+    let v: Vec<usize> = Vec::with_capacity(n);
+    v.capacity()
+}

@@ -1,0 +1,18 @@
+//! Good twin: the clock read is justified at the source line — the
+//! measured duration is reported, never mixed into the output.
+
+pub fn render_frame(seed: u64) -> u64 {
+    frame_stamp(seed)
+}
+
+fn frame_stamp(seed: u64) -> u64 {
+    seed.wrapping_add(clock_bits())
+}
+
+fn clock_bits() -> u64 {
+    // gaurast-check: allow(nondet): fixture — timing measured alongside
+    // the frame, not fed back into it.
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+    0
+}

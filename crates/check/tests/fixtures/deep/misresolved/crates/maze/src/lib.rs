@@ -1,0 +1,7 @@
+//! Fixture with a call the resolver cannot map anywhere: no such free
+//! function exists in the tree, the std vocabulary, or any impl block.
+//! The deep report must *count and list* it, not silently drop it.
+
+pub fn entry(n: u32) -> u32 {
+    frobnicate_quux(n)
+}

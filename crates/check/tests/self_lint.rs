@@ -1,11 +1,10 @@
-//! The workspace must pass its own lint — the same check CI runs via
-//! `cargo run -p gaurast-check -- lint`, wired into plain `cargo test` so
-//! a violation is caught before it ever reaches CI.
+//! The workspace must pass its own checks — the same `lint` and `deep`
+//! commands CI runs via `cargo run -p gaurast-check`, wired into plain
+//! `cargo test` so a violation is caught before it ever reaches CI.
 
 use std::path::Path;
 
-#[test]
-fn the_workspace_tree_is_lint_clean() {
+fn workspace_root() -> &'static Path {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
@@ -15,6 +14,12 @@ fn the_workspace_tree_is_lint_clean() {
         "workspace root not found at {}",
         root.display()
     );
+    root
+}
+
+#[test]
+fn the_workspace_tree_is_lint_clean() {
+    let root = workspace_root();
     let findings = gaurast_check::lint::lint_tree(root).expect("tree walk");
     assert!(
         findings.is_empty(),
@@ -25,4 +30,37 @@ fn the_workspace_tree_is_lint_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// The deep layer's self-check: every transitive rule must hold on the
+/// repository itself — zero violations, with the escape hatches and the
+/// unresolved-call count visible rather than failing.
+#[test]
+fn the_workspace_passes_deep_analysis_clean() {
+    let report = gaurast_check::deep::analyze(workspace_root()).expect("deep analysis");
+    assert!(
+        report.total_violations() == 0,
+        "the repository fails its own deep rules:\n{}",
+        report.human()
+    );
+    // The graph must actually cover the pipeline — an empty graph would
+    // also be "clean". These floors are far below the real counts.
+    assert!(
+        report.files > 50,
+        "graph covers the workspace: {}",
+        report.files
+    );
+    assert!(
+        report.nodes > 400,
+        "graph covers the workspace: {}",
+        report.nodes
+    );
+    assert_eq!(report.rules.len(), 3);
+    for rule in &report.rules {
+        assert!(
+            !rule.roots.is_empty(),
+            "rule {} found no roots — the markers or entry points moved",
+            rule.rule
+        );
+    }
 }

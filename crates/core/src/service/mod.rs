@@ -75,6 +75,13 @@ pub enum ServiceError {
     DuplicateScene(String),
     /// The service-wide session configuration is invalid.
     InvalidConfig(String),
+    /// A batch worker thread panicked; the batch is abandoned but the
+    /// service (and the caller) survive to serve the next request.
+    WorkerPanicked(usize),
+    /// An internal invariant broke mid-request. Serving code never
+    /// panics on these — the caller gets the breach as data and decides
+    /// whether to retry, shed, or page someone.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -86,6 +93,12 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::InvalidConfig(reason) => {
                 write!(f, "invalid service configuration: {reason}")
+            }
+            ServiceError::WorkerPanicked(worker) => {
+                write!(f, "render worker {worker} panicked mid-batch")
+            }
+            ServiceError::Internal(reason) => {
+                write!(f, "internal service invariant broke: {reason}")
             }
         }
     }
@@ -469,7 +482,7 @@ impl RenderService {
     /// [`ServiceError::UnknownScene`] when the name is not registered.
     pub fn session(&self, scene: &str, backend: BackendKind) -> Result<Engine, ServiceError> {
         let prepared = self.lookup(scene)?;
-        Ok(self.open_session(Arc::clone(prepared), backend, self.frame_worker_budget(1)))
+        self.open_session(Arc::clone(prepared), backend, self.frame_worker_budget(1))
     }
 
     /// Renders one request on the calling thread (with the full
@@ -485,7 +498,7 @@ impl RenderService {
             Arc::clone(prepared),
             request.backend,
             self.frame_worker_budget(1),
-        );
+        )?;
         let report = engine.render_frame(&request.camera);
         Ok(RenderResponse {
             scene: request.scene,
@@ -528,27 +541,52 @@ impl RenderService {
         let mut slots: Vec<Option<RenderResponse>> = Vec::new();
         slots.resize_with(requests.len(), || None);
 
-        let per_worker: Vec<Vec<(usize, RenderResponse)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|worker| {
-                    let cursor = &cursor;
-                    scope.spawn(move || self.worker_loop(worker, requests, cursor, frame_budget))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("render worker panicked"))
-                .collect()
-        });
+        let per_worker: Vec<Result<Vec<(usize, RenderResponse)>, ServiceError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let cursor = &cursor;
+                        scope
+                            .spawn(move || self.worker_loop(worker, requests, cursor, frame_budget))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(worker, h)| {
+                        h.join()
+                            .map_err(|_| ServiceError::WorkerPanicked(worker))
+                            .and_then(|rendered| rendered)
+                    })
+                    .collect()
+            });
 
-        for (index, response) in per_worker.into_iter().flatten() {
-            debug_assert!(slots[index].is_none(), "request {index} rendered twice");
-            slots[index] = Some(response);
+        for rendered in per_worker {
+            for (index, response) in rendered? {
+                match slots.get_mut(index) {
+                    Some(slot) if slot.is_none() => *slot = Some(response),
+                    Some(_) => {
+                        return Err(ServiceError::Internal(format!(
+                            "request {index} rendered twice"
+                        )))
+                    }
+                    None => {
+                        return Err(ServiceError::Internal(format!(
+                            "worker produced out-of-range request index {index}"
+                        )))
+                    }
+                }
+            }
         }
         let responses = slots
             .into_iter()
-            .map(|slot| slot.expect("every request rendered exactly once"))
-            .collect();
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.ok_or_else(|| {
+                    ServiceError::Internal(format!("request {index} was never rendered"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(BatchReport {
             responses,
             wall_s: started.elapsed().as_secs_f64(),
@@ -558,13 +596,18 @@ impl RenderService {
 
     /// One worker's batch loop: claim the next request index, render it on
     /// a per-worker cached session, repeat until the cursor runs out.
+    ///
+    /// Scene names are validated before the batch starts, so the lookup
+    /// here cannot fail in a correct service — but a worker thread must
+    /// not panic on a broken invariant (it would take the whole batch
+    /// down), so the breach is returned as a typed error instead.
     fn worker_loop(
         &self,
         worker: usize,
         requests: &[RenderRequest],
         cursor: &AtomicUsize,
         frame_budget: usize,
-    ) -> Vec<(usize, RenderResponse)> {
+    ) -> Result<Vec<(usize, RenderResponse)>, ServiceError> {
         let mut sessions: HashMap<(&str, BackendKind), Engine> = HashMap::new();
         let mut rendered = Vec::new();
         loop {
@@ -572,15 +615,19 @@ impl RenderService {
             let Some(request) = requests.get(index) else {
                 break;
             };
-            let engine = sessions
-                .entry((request.scene.as_str(), request.backend))
-                .or_insert_with(|| {
-                    let prepared = self
-                        .scenes
-                        .get(&request.scene)
-                        .expect("scene names validated before the batch started");
-                    self.open_session(Arc::clone(prepared), request.backend, frame_budget)
-                });
+            let key = (request.scene.as_str(), request.backend);
+            if !sessions.contains_key(&key) {
+                let prepared = self.lookup(&request.scene)?;
+                let session =
+                    self.open_session(Arc::clone(prepared), request.backend, frame_budget)?;
+                sessions.insert((request.scene.as_str(), request.backend), session);
+            }
+            let Some(engine) = sessions.get_mut(&key) else {
+                return Err(ServiceError::Internal(format!(
+                    "session for scene {:?} vanished after insertion",
+                    request.scene
+                )));
+            };
             let report = engine.render_frame(&request.camera);
             rendered.push((
                 index,
@@ -591,7 +638,7 @@ impl RenderService {
                 },
             ));
         }
-        rendered
+        Ok(rendered)
     }
 
     fn lookup(&self, name: &str) -> Result<&Arc<PreparedScene>, ServiceError> {
@@ -606,12 +653,16 @@ impl RenderService {
         &self.vis_cache
     }
 
+    /// Opens a per-request engine session. The configuration was
+    /// validated when the service was built, so a builder failure here is
+    /// an internal invariant breach — surfaced as a typed error, never a
+    /// panic on a serving path.
     fn open_session(
         &self,
         prepared: Arc<PreparedScene>,
         backend: BackendKind,
         frame_workers: usize,
-    ) -> Engine {
+    ) -> Result<Engine, ServiceError> {
         EngineBuilder::shared(prepared)
             .backend(backend)
             .tile_size(self.tile_size)
@@ -623,7 +674,11 @@ impl RenderService {
             .stage2_mode(self.stage2)
             .visibility_cache(Arc::clone(&self.vis_cache))
             .build()
-            .expect("service configuration validated at build time")
+            .map_err(|e| {
+                ServiceError::Internal(format!(
+                    "session build failed for configuration validated at service build: {e}"
+                ))
+            })
     }
 }
 

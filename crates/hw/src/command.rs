@@ -288,6 +288,9 @@ impl CommandProcessor {
                 }
                 Command::StageTile(job) => staged = Some(*job),
                 Command::Rasterize => {
+                    // gaurast-check: allow(panic): `validate` rejects any
+                    // stream with a Rasterize not preceded by StageTile,
+                    // and `execute` validates before dispatch.
                     batch.push(staged.take().expect("validated: staged"));
                     tiles += 1;
                 }

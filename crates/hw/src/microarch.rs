@@ -87,6 +87,9 @@ impl ModuleMicroArch {
     /// # Panics
     /// Panics for invalid configurations.
     pub fn new(config: RasterizerConfig) -> Self {
+        // gaurast-check: allow(panic): documented `# Panics` constructor
+        // contract; every serving path validates the config first
+        // (`RenderServiceBuilder::build` → `RasterizerConfig::validate`).
         config.validate().expect("invalid rasterizer configuration");
         Self {
             config,
@@ -213,6 +216,8 @@ impl ModuleMicroArch {
                         .position(|b| matches!(b, BufferState::Ready { .. }))
                     {
                         let BufferState::Ready { job } = buffers[i] else {
+                            // gaurast-check: allow(panic): locally proven
+                            // — `i` came from `position(Ready)` above.
                             unreachable!()
                         };
                         let groups =

@@ -80,6 +80,9 @@ impl EnhancedRasterizer {
     /// Panics when the configuration is invalid; use
     /// [`RasterizerConfig::validate`] to check first.
     pub fn new(config: RasterizerConfig) -> Self {
+        // gaurast-check: allow(panic): documented `# Panics` constructor
+        // contract; every serving path validates the config first
+        // (`RenderServiceBuilder::build` → `RasterizerConfig::validate`).
         config.validate().expect("invalid rasterizer configuration");
         Self {
             config,

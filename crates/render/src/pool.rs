@@ -134,8 +134,13 @@ impl WorkerPool {
             return;
         }
         let cursor = AtomicUsize::new(0);
+        // gaurast-check: allow(alloc): scoped threads are spawned per
+        // `run` call today; replacing this with a persistent worker pool
+        // (parked threads, zero per-frame spawns) is ROADMAP item 1.
         thread::scope(|scope| {
             for _ in 0..threads {
+                // gaurast-check: allow(alloc): per-run scoped spawn — see
+                // the `thread::scope` note above (ROADMAP item 1).
                 scope.spawn(|| loop {
                     // Ordering audit: `Relaxed` is sufficient here. The
                     // exactly-once property needs only the *atomicity* of

@@ -327,6 +327,8 @@ fn preprocess_over(
     let tan_half_y = 0.5 * h / focal.y;
 
     for i in indices {
+        // gaurast-check: allow(panic): visible-set indices are drawn from
+        // `0..scene.len()` over this same scene when the set is built.
         let g = scene.get(i).expect("index within scene");
         let p_cam = camera.world_to_camera(g.position);
         // Near-plane cull (reference: z <= 0.2 in scene units scaled; we use

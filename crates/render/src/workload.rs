@@ -144,8 +144,8 @@ impl RasterWorkload {
         );
         assert_eq!(offsets[0], 0, "offset table must start at zero");
         assert_eq!(
-            *offsets.last().expect("non-empty offsets") as usize,
-            values.len(),
+            offsets.last().map(|&n| n as usize),
+            Some(values.len()),
             "offset table must end at the value count"
         );
         assert!(

@@ -44,7 +44,9 @@ impl SceneStats {
             max_scales.push(ms);
             importance_sum += crate::mini_splatting::importance(g);
         }
-        max_scales.sort_by(|a, b| a.partial_cmp(b).expect("scales are finite"));
+        // Total float order: never panics, and NaN scales (which validation
+        // upstream rejects anyway) sort last instead of aborting a batch.
+        max_scales.sort_by(f32::total_cmp);
         let p95_idx = ((max_scales.len() as f32 * 0.95) as usize).min(max_scales.len() - 1);
         Self {
             count: scene.len(),

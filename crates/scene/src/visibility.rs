@@ -352,10 +352,13 @@ const CACHE_CAPACITY: usize = 256;
 /// pose build the set once and reuse it everywhere.
 #[derive(Debug, Default)]
 pub struct VisibilityCache {
-    sets: Mutex<HashMap<(u64, PoseKey), Arc<VisibleSet>>>,
+    sets: Mutex<CacheMap>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
+
+/// The map under the cache lock.
+type CacheMap = HashMap<(u64, PoseKey), Arc<VisibleSet>>;
 
 impl VisibilityCache {
     /// An empty cache.
@@ -372,12 +375,7 @@ impl VisibilityCache {
         camera: &Camera,
     ) -> (Arc<VisibleSet>, bool) {
         let key = (prepared.generation(), pose_key(camera));
-        if let Some(set) = self
-            .sets
-            .lock()
-            .expect("visibility cache poisoned")
-            .get(&key)
-        {
+        if let Some(set) = lock_sets(&self.sets).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(set), true);
         }
@@ -385,7 +383,7 @@ impl VisibilityCache {
         // proceed in parallel; a racing duplicate of the same pose is
         // discarded in favor of the first inserted set.
         let built = Arc::new(prepared.visible_set(camera));
-        let mut sets = self.sets.lock().expect("visibility cache poisoned");
+        let mut sets = lock_sets(&self.sets);
         if sets.len() >= CACHE_CAPACITY {
             sets.clear();
         }
@@ -406,7 +404,7 @@ impl VisibilityCache {
 
     /// Number of sets currently stored.
     pub fn len(&self) -> usize {
-        self.sets.lock().expect("visibility cache poisoned").len()
+        lock_sets(&self.sets).len()
     }
 
     /// `true` when no set is stored.
@@ -416,8 +414,19 @@ impl VisibilityCache {
 
     /// Drops every stored set (hit/miss counters are kept).
     pub fn clear(&self) {
-        self.sets.lock().expect("visibility cache poisoned").clear();
+        lock_sets(&self.sets).clear();
     }
+}
+
+/// Locks the cache map, recovering from poisoning instead of panicking.
+/// The map is only ever mutated through `HashMap` methods that leave it
+/// structurally valid on unwind, so a panic elsewhere in a lock-holding
+/// thread can at worst have inserted a set that was fully built — safe to
+/// keep serving. A serving path must not turn one renderer panic into a
+/// cache that panics every caller forever after.
+fn lock_sets(sets: &Mutex<CacheMap>) -> std::sync::MutexGuard<'_, CacheMap> {
+    sets.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

@@ -63,7 +63,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mixed = hw.simulate_mixed(&tri_workload, &gauss_out.workload);
 
     let frame = compose::over(&gauss_img, &mesh_img);
-    std::fs::write("ar_overlay.ppm", frame.to_ppm())?;
+    let out = gaurast_repro::artifacts::path("ar_overlay.ppm")?;
+    std::fs::write(&out, frame.to_ppm())?;
 
     println!(
         "triangle pass : {:>9} cycles ({} triangle-tile pairs)",
@@ -83,6 +84,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         t * 1e3,
         1.0 / t
     );
-    println!("wrote ar_overlay.ppm (mesh layer visible through the splats)");
+    println!(
+        "wrote {} (mesh layer visible through the splats)",
+        out.display()
+    );
     Ok(())
 }

@@ -54,7 +54,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         tri_report.activity.div,
         tri_report.activity.exp
     );
-    std::fs::write("dual_mode_triangles.ppm", hw_tri.to_ppm())?;
+    let tri_out = gaurast_repro::artifacts::path("dual_mode_triangles.ppm")?;
+    std::fs::write(&tri_out, hw_tri.to_ppm())?;
 
     // --- Gaussian mode: a splat cloud through an engine session on the
     //     same prototype configuration. The comparison executes the
@@ -79,8 +80,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         hw_row.time_s * 1e3,
         hw_row.ops
     );
-    std::fs::write("dual_mode_gaussians.ppm", hw_gauss.to_ppm())?;
+    let gauss_out_path = gaurast_repro::artifacts::path("dual_mode_gaussians.ppm")?;
+    std::fs::write(&gauss_out_path, hw_gauss.to_ppm())?;
 
-    println!("wrote dual_mode_triangles.ppm and dual_mode_gaussians.ppm");
+    println!(
+        "wrote {} and {}",
+        tri_out.display(),
+        gauss_out_path.display()
+    );
     Ok(())
 }

@@ -68,9 +68,11 @@ fn main() -> Result<(), Box<dyn Error>> {
          the paper-scale comparison)"
     );
 
-    // 6. Save the image for inspection.
+    // 6. Save the image for inspection, under target/artifacts/ with the
+    //    rest of the build output (never the repository root).
     let image = frame.image.expect("retain policy keeps images");
-    std::fs::write("quickstart.ppm", image.to_ppm())?;
-    println!("wrote quickstart.ppm");
+    let out = gaurast_repro::artifacts::path("quickstart.ppm")?;
+    std::fs::write(&out, image.to_ppm())?;
+    println!("wrote {}", out.display());
     Ok(())
 }
