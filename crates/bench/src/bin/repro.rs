@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Artifact ids: `tab1 tab2 fig4 fig5 fig8 fig9 fig10 tab3 fig11 sec5c
-//! sec5d ablations quality sweep compare batch scaling culling sort`.
+//! sec5d ablations quality sweep compare batch scaling culling sort pool`.
 
 use gaurast::backend::BackendKind;
 use gaurast::engine::EngineBuilder;
@@ -25,7 +25,7 @@ use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 static ALLOC: gaurast_bench::alloc_counter::CountingAllocator =
     gaurast_bench::alloc_counter::CountingAllocator;
 
-const ALL_IDS: [&str; 19] = [
+const ALL_IDS: [&str; 20] = [
     "tab1",
     "tab2",
     "fig4",
@@ -45,6 +45,7 @@ const ALL_IDS: [&str; 19] = [
     "scaling",
     "culling",
     "sort",
+    "pool",
 ];
 
 fn main() {
@@ -209,6 +210,15 @@ fn main() {
                 // machine-readable BENCH_sort.json artifact.
                 let text = gaurast_bench::sort_report::write_artifact(quick)
                     .expect("BENCH_sort.json must be writable and well-formed");
+                section(&text);
+            }
+            "pool" => {
+                // Persistent-pool A/B: one long-lived pool (threads parked
+                // between frames) vs a fresh pool per frame, bit-identity
+                // asserted, plus the machine-readable BENCH_pool.json
+                // artifact with both mode records.
+                let text = gaurast_bench::pool_report::write_artifact(quick)
+                    .expect("BENCH_pool.json must be writable and well-formed");
                 section(&text);
             }
             "culling" => {

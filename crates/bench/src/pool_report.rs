@@ -1,0 +1,461 @@
+//! Persistent-pool measurement harness: times frames through one
+//! long-lived [`WorkerPool`] (threads spawned once, parked between
+//! frames) against the old cost model of constructing a pool — and
+//! spawning its threads — every frame, at widths 1/2/4/8 on a small and a
+//! large scene. Spawn and pool-construction counts come from the pool's
+//! process-global counters, heap allocations from the counting allocator;
+//! the result is serialized as the machine-readable `BENCH_pool.json`
+//! artifact `repro pool` emits — the perf trajectory of the persistent
+//! pool rewrite.
+
+use crate::alloc_counter::allocation_count;
+use gaurast_math::Vec3;
+use gaurast_render::pipeline::{render_with_pool, RenderConfig};
+use gaurast_render::pool::{construction_count, spawned_thread_count, WorkerPool};
+use gaurast_render::FrameArena;
+use gaurast_scene::generator::SceneParams;
+use gaurast_scene::{Camera, GaussianScene};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// File name of the machine-readable artifact.
+pub const BENCH_POOL_JSON: &str = "BENCH_pool.json";
+
+/// Worker widths every scene is measured at.
+pub const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// One (mode, width) measurement on one scene.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolModeReport {
+    /// `"spawn_per_frame"` (a fresh pool constructed, spawned, and torn
+    /// down every frame — the old per-frame cost model) or
+    /// `"persistent"` (one long-lived pool; workers parked between
+    /// frames).
+    pub mode: &'static str,
+    /// Worker-pool width the frames ran with.
+    pub workers: usize,
+    /// Mean full-frame wall time, milliseconds.
+    pub frame_ms: f64,
+    /// Frames per second (`1000 / frame_ms`).
+    pub frames_per_s: f64,
+    /// Threads spawned during the final measured frame (pool counter
+    /// delta): `workers - 1` per frame for the spawning mode, 0 for the
+    /// persistent mode.
+    pub spawns_per_frame: i64,
+    /// Pools constructed during the final measured frame.
+    pub pool_constructions_per_frame: i64,
+    /// Heap allocations during the final measured frame (−1 when the
+    /// counting allocator is not installed in this binary).
+    pub allocs_per_frame: i64,
+}
+
+/// All (mode, width) measurements for one scene.
+#[derive(Clone, Debug)]
+pub struct PoolSceneReport {
+    /// `"small"` or `"large"`.
+    pub label: &'static str,
+    /// Gaussians in the scene.
+    pub scene_gaussians: usize,
+    /// Frame width, pixels.
+    pub width: u32,
+    /// Frame height, pixels.
+    pub height: u32,
+    /// One record per mode × width, spawning first.
+    pub modes: Vec<PoolModeReport>,
+}
+
+/// The complete persistent-pool benchmark result.
+#[derive(Clone, Debug)]
+pub struct PoolBenchReport {
+    /// Timed frames per (mode, width, scene) after one warm-up frame.
+    pub frames_timed: u32,
+    /// The measured scenes (small always; large unless `quick`).
+    pub scenes: Vec<PoolSceneReport>,
+}
+
+impl PoolBenchReport {
+    /// Serializes the report as the `BENCH_pool.json` payload.
+    pub fn to_json(&self) -> String {
+        let mode_json = |m: &PoolModeReport| {
+            format!(
+                "{{\"mode\": \"{}\", \"workers\": {}, \"frame_ms\": {:.4}, \
+                 \"frames_per_s\": {:.3}, \"spawns_per_frame\": {}, \
+                 \"pool_constructions_per_frame\": {}, \"allocs_per_frame\": {}}}",
+                m.mode,
+                m.workers,
+                m.frame_ms,
+                m.frames_per_s,
+                m.spawns_per_frame,
+                m.pool_constructions_per_frame,
+                m.allocs_per_frame,
+            )
+        };
+        let scene_json = |s: &PoolSceneReport| {
+            let modes = s
+                .modes
+                .iter()
+                .map(|m| format!("        {}", mode_json(m)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "    {{\n      \"scene\": \"{}\",\n      \"scene_gaussians\": {},\n      \
+                 \"width\": {},\n      \"height\": {},\n      \"modes\": [\n{}\n      ]\n    }}",
+                s.label, s.scene_gaussians, s.width, s.height, modes,
+            )
+        };
+        let scenes = self
+            .scenes
+            .iter()
+            .map(scene_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"bench\": \"worker_pool\",\n  \"frames_timed\": {},\n  \
+             \"widths\": [{}],\n  \"scenes\": [\n{}\n  ]\n}}\n",
+            self.frames_timed,
+            WIDTHS
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+            scenes,
+        )
+    }
+
+    /// Human-readable summary table of the same numbers.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "worker pool — persistent (park/unpark) vs spawn-per-frame, {} frame(s) per cell",
+            self.frames_timed
+        )
+        .unwrap();
+        for s in &self.scenes {
+            writeln!(
+                out,
+                "scene {} — {} gaussians, {}x{}",
+                s.label, s.scene_gaussians, s.width, s.height
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "mode             workers   frame ms   frames/s   spawns/frame   allocs/frame"
+            )
+            .unwrap();
+            for m in &s.modes {
+                writeln!(
+                    out,
+                    "{:<15} {:8} {:10.3} {:10.2} {:14} {:>14}",
+                    m.mode,
+                    m.workers,
+                    m.frame_ms,
+                    m.frames_per_s,
+                    m.spawns_per_frame,
+                    if m.allocs_per_frame < 0 {
+                        "n/a".to_string()
+                    } else {
+                        m.allocs_per_frame.to_string()
+                    },
+                )
+                .unwrap();
+            }
+            for &w in &WIDTHS[1..] {
+                let of = |mode: &str| {
+                    s.modes
+                        .iter()
+                        .find(|m| m.mode == mode && m.workers == w)
+                        .map(|m| m.frame_ms)
+                };
+                if let (Some(old), Some(new)) = (of("spawn_per_frame"), of("persistent")) {
+                    writeln!(
+                        out,
+                        "persistent speedup at {w} workers: {:.2}x",
+                        old / new.max(1e-12)
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks a serialized `BENCH_pool.json` payload for well-formedness:
+    /// the required keys and **both** mode records must be present. Used
+    /// by the CI smoke run.
+    ///
+    /// # Errors
+    /// Returns the first missing key.
+    pub fn validate_json(json: &str) -> Result<(), String> {
+        for key in [
+            "\"bench\": \"worker_pool\"",
+            "\"frames_timed\"",
+            "\"widths\"",
+            "\"scene\": \"small\"",
+            "\"mode\": \"spawn_per_frame\"",
+            "\"mode\": \"persistent\"",
+            "\"frame_ms\"",
+            "\"frames_per_s\"",
+            "\"spawns_per_frame\"",
+            "\"pool_constructions_per_frame\"",
+            "\"allocs_per_frame\"",
+        ] {
+            if !json.contains(key) {
+                return Err(format!("missing {key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `true` when a counting global allocator is actually installed in this
+/// binary (probed by allocating).
+fn counter_active() -> bool {
+    let before = allocation_count();
+    let probe = vec![0u8; 64];
+    std::hint::black_box(&probe);
+    allocation_count() > before
+}
+
+/// Times `frames` full frames at width `workers`, reading the
+/// spawn/construction/allocation counters across the final frame. With
+/// `persistent: Some(pool)` every frame reuses that pool; with `None` a
+/// fresh pool is constructed — and its threads spawned and joined —
+/// inside each frame, reproducing the old per-frame cost model.
+fn measure(
+    persistent: Option<&WorkerPool>,
+    scene: &GaussianScene,
+    camera: &Camera,
+    workers: usize,
+    frames: u32,
+    count_allocs: bool,
+) -> PoolModeReport {
+    let cfg = RenderConfig::default().with_workers(workers);
+    let mut arena = FrameArena::new();
+    let frame = |arena: &mut FrameArena| match persistent {
+        Some(pool) => render_with_pool(scene, camera, &cfg, arena, pool),
+        None => {
+            let pool = WorkerPool::new(workers);
+            render_with_pool(scene, camera, &cfg, arena, &pool)
+        }
+    };
+    // Warm-up sizes the arena and plan cache; the timed loop is the
+    // steady state.
+    frame(&mut arena).workload.recycle_into(&mut arena);
+
+    let mut spawns = 0i64;
+    let mut constructions = 0i64;
+    let mut allocs = -1i64;
+    let started = Instant::now();
+    for i in 0..frames {
+        let final_frame = i + 1 == frames;
+        let (a0, s0, c0) = (
+            allocation_count(),
+            spawned_thread_count(),
+            construction_count(),
+        );
+        frame(&mut arena).workload.recycle_into(&mut arena);
+        if final_frame {
+            spawns = (spawned_thread_count() - s0) as i64;
+            constructions = (construction_count() - c0) as i64;
+            if count_allocs {
+                allocs = (allocation_count() - a0) as i64;
+            }
+        }
+    }
+    let frame_s = started.elapsed().as_secs_f64() / f64::from(frames);
+    PoolModeReport {
+        mode: if persistent.is_some() {
+            "persistent"
+        } else {
+            "spawn_per_frame"
+        },
+        workers,
+        frame_ms: frame_s * 1e3,
+        frames_per_s: 1.0 / frame_s.max(1e-12),
+        spawns_per_frame: spawns,
+        pool_constructions_per_frame: constructions,
+        allocs_per_frame: allocs,
+    }
+}
+
+/// Measures one scene at every width in both modes, asserting the two
+/// modes stay bit-identical before reporting any speedup.
+fn measure_scene(
+    label: &'static str,
+    n: usize,
+    width: u32,
+    height: u32,
+    frames: u32,
+    count_allocs: bool,
+) -> PoolSceneReport {
+    let scene = SceneParams::new(n)
+        .seed(42)
+        .generate()
+        .expect("valid scene");
+    let camera = Camera::look_at(
+        Vec3::new(0.0, 6.0, -28.0),
+        Vec3::zero(),
+        Vec3::new(0.0, 1.0, 0.0),
+        width,
+        height,
+        1.05,
+    )
+    .expect("valid camera");
+
+    let mut modes = Vec::new();
+    for &w in &WIDTHS {
+        let pool = WorkerPool::new(w);
+        let cfg = RenderConfig::default().with_workers(w);
+        // Bit-identity gate: the artifact never reports a speedup over a
+        // divergent baseline. Consecutive persistent frames and a
+        // fresh-pool frame must all agree.
+        let a = render_with_pool(&scene, &camera, &cfg, &mut FrameArena::new(), &pool);
+        let b = render_with_pool(&scene, &camera, &cfg, &mut FrameArena::new(), &pool);
+        let fresh = render_with_pool(
+            &scene,
+            &camera,
+            &cfg,
+            &mut FrameArena::new(),
+            &WorkerPool::new(w),
+        );
+        assert!(
+            a.image == b.image
+                && a.image == fresh.image
+                && a.workload == fresh.workload
+                && b.workload == fresh.workload,
+            "persistent pool diverged from fresh-pool frames at width {w}"
+        );
+
+        modes.push(measure(None, &scene, &camera, w, frames, count_allocs));
+        modes.push(measure(
+            Some(&pool),
+            &scene,
+            &camera,
+            w,
+            frames,
+            count_allocs,
+        ));
+    }
+    PoolSceneReport {
+        label,
+        scene_gaussians: n,
+        width,
+        height,
+        modes,
+    }
+}
+
+/// Runs the full pool A/B measurement on deterministic synthetic scenes
+/// and returns the report. `quick` shrinks to the small scene and fewer
+/// frames for smoke runs.
+pub fn run(quick: bool) -> PoolBenchReport {
+    let frames = if quick { 3 } else { 8 };
+    let count_allocs = counter_active();
+    let mut scenes = vec![measure_scene(
+        "small",
+        4_000,
+        160,
+        104,
+        frames,
+        count_allocs,
+    )];
+    if !quick {
+        scenes.push(measure_scene(
+            "large",
+            40_000,
+            320,
+            208,
+            frames,
+            count_allocs,
+        ));
+    }
+    PoolBenchReport {
+        frames_timed: frames,
+        scenes,
+    }
+}
+
+/// Runs the measurement, writes `BENCH_pool.json` under
+/// `target/artifacts/` ([`crate::artifacts`]), re-validates the payload,
+/// and returns the human summary.
+///
+/// # Errors
+/// Propagates artifact-directory and file-write I/O errors; an invalid
+/// payload (which would indicate a serializer bug) surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn write_artifact(quick: bool) -> std::io::Result<String> {
+    let report = run(quick);
+    let json = report.to_json();
+    PoolBenchReport::validate_json(&json)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let path = crate::artifacts::path(BENCH_POOL_JSON)?;
+    std::fs::write(&path, &json)?;
+    Ok(format!("{}wrote {}\n", report.summary(), path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_shape_and_counters() {
+        let report = run(true);
+        assert_eq!(report.scenes.len(), 1);
+        let small = &report.scenes[0];
+        assert_eq!(small.modes.len(), 2 * WIDTHS.len());
+        for m in &small.modes {
+            assert!(m.frame_ms > 0.0);
+            match m.mode {
+                "persistent" => {
+                    assert_eq!(m.spawns_per_frame, 0, "persistent mode spawned threads");
+                    assert_eq!(m.pool_constructions_per_frame, 0);
+                }
+                "spawn_per_frame" => {
+                    assert_eq!(m.spawns_per_frame, m.workers as i64 - 1);
+                    assert_eq!(m.pool_constructions_per_frame, 1);
+                }
+                other => panic!("unknown mode {other}"),
+            }
+        }
+        let json = report.to_json();
+        PoolBenchReport::validate_json(&json).expect("well-formed payload");
+    }
+
+    /// Synthetic report (no pools constructed) so this test cannot race
+    /// `quick_report_shape_and_counters`' process-global counter windows.
+    fn synthetic() -> PoolBenchReport {
+        let mode = |mode, workers| PoolModeReport {
+            mode,
+            workers,
+            frame_ms: 1.5,
+            frames_per_s: 666.0,
+            spawns_per_frame: if mode == "persistent" { 0 } else { 1 },
+            pool_constructions_per_frame: i64::from(mode != "persistent"),
+            allocs_per_frame: -1,
+        };
+        PoolBenchReport {
+            frames_timed: 3,
+            scenes: vec![PoolSceneReport {
+                label: "small",
+                scene_gaussians: 4_000,
+                width: 160,
+                height: 104,
+                modes: vec![mode("spawn_per_frame", 2), mode("persistent", 2)],
+            }],
+        }
+    }
+
+    #[test]
+    fn validate_requires_both_mode_records() {
+        let json = synthetic().to_json();
+        PoolBenchReport::validate_json(&json).expect("synthetic payload is well-formed");
+        for missing in ["persistent", "spawn_per_frame", "frame_ms"] {
+            let broken = json.replace(missing, "gone");
+            assert!(
+                PoolBenchReport::validate_json(&broken).is_err(),
+                "payload without {missing} must be rejected"
+            );
+        }
+    }
+}

@@ -32,10 +32,10 @@ pub struct ModeReport {
     /// Full-pipeline frames per second (`1000 / full_frame_ms`).
     pub frames_per_s: f64,
     /// Heap allocations per steady-state Stage-2 call (−1 when the
-    /// counting allocator is not installed in this binary). At
-    /// multi-worker widths this includes the scoped thread spawns the
-    /// `WorkerPool` makes per `run` call — the data-path contract (0 for
-    /// the key-sorted path) is exact at `workers = 1`.
+    /// counting allocator is not installed in this binary). The
+    /// persistent `WorkerPool` parks its resident workers between `run`
+    /// calls — dispatches neither spawn nor allocate — so the key-sorted
+    /// path's zero-allocation contract holds at every width.
     pub stage2_allocs_per_frame: i64,
 }
 

@@ -1,0 +1,54 @@
+//! Measured (not asserted-by-inspection) zero-allocation contract of the
+//! persistent pool's dispatch path: with the counting allocator installed
+//! as this binary's global allocator, steady-state `WorkerPool::run`
+//! dispatches — the per-frame wakeup/claim/park protocol — must perform
+//! **zero** heap allocations.
+//!
+//! Single `#[test]` on purpose: the allocation counter is process-global,
+//! so the measured window must not race another test's allocations in
+//! this binary.
+
+use gaurast_bench::alloc_counter::{allocation_count, CountingAllocator};
+use gaurast_render::pool::{spawned_thread_count, WorkerPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_dispatches_allocate_and_spawn_nothing() {
+    assert!(
+        allocation_count() > 0,
+        "counting allocator must be installed in this binary"
+    );
+
+    let pool = WorkerPool::new(4);
+    let sum = AtomicU64::new(0);
+    // Warm-up dispatches: first wakeups, lazy thread-local init, any
+    // one-time runtime setup on the worker threads.
+    for _ in 0..3 {
+        pool.run(64, |j| {
+            sum.fetch_add(j as u64, Ordering::Relaxed);
+        });
+    }
+
+    let allocs_before = allocation_count();
+    let spawned_before = spawned_thread_count();
+    for _ in 0..100 {
+        pool.run(64, |j| {
+            sum.fetch_add(j as u64, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(
+        allocation_count(),
+        allocs_before,
+        "pool dispatches must not allocate in steady state"
+    );
+    assert_eq!(
+        spawned_thread_count(),
+        spawned_before,
+        "pool dispatches must not spawn threads"
+    );
+    // 103 dispatches × Σ(0..64) — every job of every dispatch ran.
+    assert_eq!(sum.load(Ordering::Relaxed), 103 * (63 * 64 / 2));
+}

@@ -47,6 +47,7 @@ pub const HOT_FILES: &[&str] = &[
     "crates/render/src/sort.rs",
     "crates/render/src/tile.rs",
     "crates/render/src/rasterize.rs",
+    "crates/render/src/graph.rs",
 ];
 
 /// Steady-state functions that **must** carry the
@@ -58,6 +59,11 @@ pub const REQUIRED_HOT_FNS: &[(&str, &str)] = &[
     ("crates/render/src/sort.rs", "sort_pairs_chunked"),
     ("crates/render/src/tile.rs", "bin_splats_pooled"),
     ("crates/render/src/rasterize.rs", "rasterize_tile"),
+    // The frame-graph executor: marking it puts the whole per-frame
+    // execution subtree (every graph node body, the pool dispatch path)
+    // under the deep no-alloc/no-spawn purity rule, so re-introducing a
+    // per-frame thread spawn or allocation there fails CI.
+    ("crates/render/src/graph.rs", "execute"),
 ];
 
 /// Crates whose sources must stay deterministic: no wall clock, no

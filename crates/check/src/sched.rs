@@ -75,6 +75,8 @@ enum ThreadState {
     Runnable,
     /// Parked until every thread in its wait set finishes (scope join).
     Blocked,
+    /// Parked via `thread::park` until another thread unparks it.
+    Parked,
     Finished,
 }
 
@@ -83,6 +85,10 @@ struct State {
     threads: Vec<ThreadState>,
     /// Join wait set per thread (`Some` iff the thread is `Blocked`).
     waiting: Vec<Option<Vec<usize>>>,
+    /// Pending `unpark` token per thread ([`std::thread::park`] semantics:
+    /// tokens do not accumulate, and a `Parked` thread never holds one —
+    /// `unpark` wakes it instead).
+    tokens: Vec<bool>,
     active: usize,
     /// First failure observed in this execution, if any.
     poisoned: Option<String>,
@@ -128,6 +134,7 @@ impl Execution {
             state: Mutex::new(State {
                 threads: vec![ThreadState::Runnable],
                 waiting: vec![None],
+                tokens: vec![false],
                 active: 0,
                 poisoned: None,
                 decisions: Vec::new(),
@@ -235,6 +242,78 @@ impl Execution {
         }
     }
 
+    /// Shadow [`std::thread::park`]: a scheduling point that either
+    /// consumes a pending unpark token (and keeps running) or parks the
+    /// calling thread until [`Execution::unpark`] wakes it. Parking when no
+    /// runnable thread remains poisons the execution as a deadlock — the
+    /// real program would hang here (a lost wakeup, for protocols built on
+    /// park/unpark).
+    pub(crate) fn park(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.poisoned.is_some() {
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        st.ops += 1;
+        if st.ops > self.max_ops {
+            st.poisoned = Some(format!(
+                "operation budget exceeded ({} yield points): livelock or runaway loop",
+                self.max_ops
+            ));
+            self.turn.notify_all();
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        if st.tokens[me] {
+            // A banked unpark: consume it and return immediately, yielding
+            // the schedule like any other operation.
+            st.tokens[me] = false;
+            let next = self.choose_locked(&mut st);
+            if next != me {
+                st.active = next;
+                self.turn.notify_all();
+                let _st = self.wait_for_turn(st, me);
+            }
+            return;
+        }
+        st.threads[me] = ThreadState::Parked;
+        if st.threads.contains(&ThreadState::Runnable) {
+            let next = self.choose_locked(&mut st);
+            st.active = next;
+            self.turn.notify_all();
+        } else {
+            st.poisoned = Some(
+                "deadlock: every live shadow thread is parked or blocked (lost wakeup?)"
+                    .to_string(),
+            );
+            self.turn.notify_all();
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        let _st = self.wait_for_turn(st, me);
+    }
+
+    /// Shadow [`std::thread::Thread::unpark`]: wakes a parked shadow thread
+    /// (making it runnable again) or banks a token its next `park`
+    /// consumes. Not itself a yield point — the caller keeps running, and
+    /// the woken thread competes at the next decision point, exactly like
+    /// the real primitive.
+    pub(crate) fn unpark(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.threads[tid] == ThreadState::Parked {
+            st.threads[tid] = ThreadState::Runnable;
+            st.tokens[tid] = false;
+        } else if st.threads[tid] != ThreadState::Finished {
+            st.tokens[tid] = true;
+        }
+    }
+
+    /// Whether this execution has recorded a failure. Not a yield point —
+    /// drop paths use it to avoid re-entering a poisoned schedule.
+    pub(crate) fn poisoned(&self) -> bool {
+        self.state.lock().unwrap().poisoned.is_some()
+    }
+
     /// Registers a newly spawned shadow thread as runnable and returns its
     /// id. The spawner keeps running: spawning is not itself a yield point
     /// (the child cannot touch shared state before its first scheduled
@@ -244,6 +323,7 @@ impl Execution {
         let mut st = self.state.lock().unwrap();
         st.threads.push(ThreadState::Runnable);
         st.waiting.push(None);
+        st.tokens.push(false);
         st.threads.len() - 1
     }
 
@@ -288,7 +368,11 @@ impl Execution {
             let next = self.choose_locked(&mut st);
             st.active = next;
             self.turn.notify_all();
-        } else if st.threads.contains(&ThreadState::Blocked) {
+        } else if st
+            .threads
+            .iter()
+            .any(|&t| t == ThreadState::Blocked || t == ThreadState::Parked)
+        {
             st.poisoned = Some("deadlock: every live shadow thread is blocked".to_string());
             self.turn.notify_all();
         }
@@ -296,9 +380,9 @@ impl Execution {
         // is about to) run to completion.
     }
 
-    /// Scope-join: parks the calling thread until every thread in
-    /// `children` has finished. The only blocking primitive the modeled
-    /// protocols use.
+    /// Join: parks the calling thread until every thread in `children` has
+    /// finished (used for both the scope-exit join and single
+    /// `JoinHandle::join`s).
     pub(crate) fn join_children(&self, me: usize, children: &[usize]) {
         let mut st = self.state.lock().unwrap();
         if st.poisoned.is_some() {

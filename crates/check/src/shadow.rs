@@ -11,10 +11,12 @@
 //! registered as shadow threads whose interleaving the checker controls.
 //!
 //! Only the primitives the renderer's protocols use are shadowed:
-//! [`AtomicUsize`] and [`scope`]/[`Scope::spawn`]. `Ordering` arguments are
-//! accepted for API compatibility and ignored — the checker explores
-//! sequentially consistent interleavings (see [`crate::sched`] for why
-//! that is the honest contract).
+//! [`AtomicUsize`], [`scope`]/[`Scope::spawn`], and the persistent-pool
+//! set — [`spawn`]/[`JoinHandle`], [`park`], [`current`] and
+//! [`Thread::unpark`]. `Ordering` arguments are accepted for API
+//! compatibility and ignored — the checker explores sequentially
+//! consistent interleavings (see [`crate::sched`] for why that is the
+//! honest contract).
 
 use crate::sched::{self, Execution};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -81,6 +83,13 @@ impl AtomicUsize {
         self.inner.fetch_add(value, Ordering::SeqCst)
     }
 
+    /// Atomically subtracts `value`, returning the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, value: usize, _order: Ordering) -> usize {
+        maybe_yield();
+        self.inner.fetch_sub(value, Ordering::SeqCst)
+    }
+
     /// Atomically swaps in `value`, returning the previous value.
     #[inline]
     pub fn swap(&self, value: usize, _order: Ordering) -> usize {
@@ -114,6 +123,137 @@ impl AtomicUsize {
     #[inline]
     pub fn get_mut(&mut self) -> &mut usize {
         self.inner.get_mut()
+    }
+}
+
+/// Shadow [`std::thread::Thread`]: an unpark-capable handle to a shadow
+/// (or, outside model runs, a plain OS) thread.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    inner: std::thread::Thread,
+    shadow: Option<(Arc<Execution>, usize)>,
+}
+
+impl Thread {
+    /// Wakes the thread from [`park`], or banks a token its next `park`
+    /// consumes — [`std::thread::Thread::unpark`] semantics (tokens do not
+    /// accumulate), enumerated by the scheduler inside a model run.
+    pub fn unpark(&self) {
+        match &self.shadow {
+            Some((exec, tid)) => exec.unpark(*tid),
+            None => self.inner.unpark(),
+        }
+    }
+}
+
+/// Shadow [`std::thread::current`]: a handle to the calling thread carrying
+/// its shadow identity, so `unpark` through it reaches the scheduler.
+pub fn current() -> Thread {
+    Thread {
+        inner: std::thread::current(),
+        shadow: sched::current(),
+    }
+}
+
+/// Shadow [`std::thread::park`]: inside a model run, a scheduling point
+/// that blocks the shadow thread until some other thread unparks it (or
+/// returns immediately on a banked token). Falls through to the real
+/// `park` outside model runs.
+pub fn park() {
+    match sched::current() {
+        Some((exec, tid)) => exec.park(tid),
+        None => std::thread::park(),
+    }
+}
+
+/// `true` when the calling thread belongs to a model run whose execution
+/// has already recorded a failure. Shutdown paths (`Drop` impls that join
+/// worker threads) consult this to avoid re-entering a poisoned schedule —
+/// the poison unwinds every shadow thread on its own, so skipping the
+/// orderly shutdown is safe. Always `false` outside model runs.
+pub fn poisoned() -> bool {
+    match sched::current() {
+        Some((exec, _)) => exec.poisoned(),
+        None => false,
+    }
+}
+
+/// Shadow non-scoped [`std::thread::spawn`]: inside a model run the child
+/// becomes a shadow thread of the active execution (registered before this
+/// returns, parked until first scheduled); outside, a plain OS thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        None => {
+            let inner = std::thread::spawn(f);
+            let thread = Thread {
+                inner: inner.thread().clone(),
+                shadow: None,
+            };
+            JoinHandle { inner, thread }
+        }
+        Some((exec, _parent)) => {
+            let tid = exec.register_child();
+            let exec2 = Arc::clone(&exec);
+            let inner = std::thread::spawn(move || {
+                sched::set_current(Arc::clone(&exec2), tid);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    exec2.start_child(tid);
+                    f()
+                }));
+                sched::clear_current();
+                match result {
+                    Ok(value) => {
+                        exec2.finish_thread(tid, None);
+                        value
+                    }
+                    Err(payload) => {
+                        exec2.finish_thread(tid, Some(panic_message(payload.as_ref())));
+                        resume_unwind(payload)
+                    }
+                }
+            });
+            let thread = Thread {
+                inner: inner.thread().clone(),
+                shadow: Some((exec, tid)),
+            };
+            JoinHandle { inner, thread }
+        }
+    }
+}
+
+/// Shadow [`std::thread::JoinHandle`] for [`spawn`]ed threads.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    thread: Thread,
+}
+
+impl<T> JoinHandle<T> {
+    /// Handle to the underlying thread (for [`Thread::unpark`]).
+    pub fn thread(&self) -> &Thread {
+        &self.thread
+    }
+
+    /// Joins the thread, mirroring [`std::thread::JoinHandle::join`].
+    ///
+    /// Inside a model run the block is modeled as a scheduler join *first*
+    /// (so the schedule keeps driving the child while the caller logically
+    /// blocks); by the time the real join runs the child has finished. On
+    /// a poisoned execution the shadow join is skipped — the poison
+    /// unwinds every shadow thread, so the real join still completes.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, me)) = sched::current() {
+            if let Some((_, child)) = &self.thread.shadow {
+                if !exec.poisoned() {
+                    exec.join_children(me, &[*child]);
+                }
+            }
+        }
+        self.inner.join()
     }
 }
 
@@ -216,6 +356,22 @@ mod tests {
             }
         });
         assert_eq!(counter.into_inner(), 400);
+    }
+
+    #[test]
+    fn park_spawn_fall_through_to_std_outside_model_runs() {
+        // No execution registered: spawn creates a real thread, park/unpark
+        // are the real token protocol, join returns the closure's value.
+        let handle = spawn(|| {
+            park(); // consumes the token banked below (or blocks until it)
+            21 * 2
+        });
+        handle.thread().unpark();
+        assert_eq!(handle.join().unwrap(), 42);
+        assert!(!poisoned());
+        let me = current();
+        me.unpark(); // bank a token…
+        park(); // …and consume it: returns immediately instead of blocking
     }
 
     #[test]

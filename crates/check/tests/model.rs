@@ -4,22 +4,33 @@
 //! `RUSTFLAGS`), which switches `gaurast_render::sync` from `std`
 //! re-exports to the shadow primitives of `gaurast_check::shadow`. The
 //! tests then drive the *production* `WorkerPool` and `RadixSorter` code
-//! through every sequentially consistent interleaving of their atomic
-//! operations (exhaustively for these sizes — every `Report` below is
-//! asserted `exhaustive`) and prove the two protocol invariants the
-//! renderer's determinism rests on:
+//! through sequentially consistent interleavings of their atomic, park and
+//! unpark operations and prove the protocol invariants the renderer's
+//! determinism rests on:
 //!
 //! * **exactly-once claims** — the pool's `fetch_add` cursor hands every
 //!   job index to exactly one worker;
+//! * **no lost wakeup / clean shutdown** — the persistent pool's
+//!   generation + park/unpark handoff always completes a dispatch and
+//!   always joins its workers at drop (a lost wakeup shows up as a
+//!   scheduler-detected deadlock);
 //! * **disjoint scatter ranges** — the radix placement table gives every
 //!   (chunk, bucket) an output range no other chunk writes.
 //!
+//! Single-dispatch pool lifecycles at width 2 (spawn → dispatch → drop)
+//! are **exhaustively** enumerated — those reports assert `exhaustive`.
+//! Wider pools and multi-dispatch reuse runs have state spaces in the
+//! millions of schedules, so they run the depth-first prefix plus seeded
+//! random sampling instead; the invariants are asserted on every explored
+//! schedule either way.
+//!
 //! Each invariant is paired with a *mutant*: the classic broken variant
-//! (load-then-store claim, inclusive instead of exclusive prefix) written
-//! against the same `gaurast_render::sync` facade. The checker must
-//! produce a [`gaurast_check::model::Violation`] for every mutant — that
-//! regression is what CI runs, proving the checker actually has the power
-//! to reject the bugs the real protocols avoid.
+//! (load-then-store claim, missed generation bump, inclusive instead of
+//! exclusive prefix) written against the same `gaurast_render::sync`
+//! facade. The checker must produce a
+//! [`gaurast_check::model::Violation`] for every mutant — that regression
+//! is what CI runs, proving the checker actually has the power to reject
+//! the bugs the real protocols avoid.
 #![cfg(gaurast_model_check)]
 
 use gaurast_check::model::Model;
@@ -27,6 +38,7 @@ use gaurast_render::pool::WorkerPool;
 use gaurast_render::sort::RadixSorter;
 use gaurast_render::sync::atomic::{AtomicUsize, Ordering};
 use gaurast_render::sync::thread;
+use std::sync::Arc;
 
 // Verification counters use plain `std` atomics on purpose: the scheduler
 // serializes shadow threads, so they are race-free, and keeping them out
@@ -37,7 +49,10 @@ use std::sync::atomic::Ordering::Relaxed;
 
 #[test]
 fn pool_cursor_claims_each_job_exactly_once_2x3() {
+    // Width 2, one dispatch of 3 jobs, full pool lifecycle (spawn, park,
+    // wake, drain, shutdown): ~37k schedules — exhaustively enumerated.
     let report = Model::new()
+        .max_schedules(80_000)
         .check(|| {
             let pool = WorkerPool::new(2);
             let claims: Vec<StdAtomicUsize> = (0..3).map(|_| StdAtomicUsize::new(0)).collect();
@@ -55,7 +70,13 @@ fn pool_cursor_claims_each_job_exactly_once_2x3() {
 
 #[test]
 fn pool_cursor_claims_each_job_exactly_once_3x3() {
+    // Three workers racing one cursor: the state space tops 3M schedules
+    // (two resident threads interleave through the whole dispatch), so
+    // this runs the DFS prefix plus seeded sampling rather than proving
+    // exhaustiveness — width-2 lifecycles are the exhaustive ones.
     let report = Model::new()
+        .max_schedules(2_000)
+        .samples(256)
         .check(|| {
             let pool = WorkerPool::new(3);
             let claims: Vec<StdAtomicUsize> = (0..3).map(|_| StdAtomicUsize::new(0)).collect();
@@ -67,12 +88,64 @@ fn pool_cursor_claims_each_job_exactly_once_3x3() {
             }
         })
         .expect("three workers racing one cursor still claim exactly once");
-    assert!(report.exhaustive);
+    assert!(report.schedules > 1);
+}
+
+/// Pool **reuse**: two dispatches on one long-lived pool, exercising the
+/// generation handoff across park/unpark cycles — a lost wakeup between
+/// the dispatches (a worker sleeping through the second generation bump)
+/// would deadlock the run and the scheduler would flag it.
+#[test]
+fn pool_reuse_across_dispatches_loses_no_wakeup() {
+    let report = Model::new()
+        .max_schedules(4_000)
+        .samples(256)
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let claims: Vec<StdAtomicUsize> = (0..4).map(|_| StdAtomicUsize::new(0)).collect();
+            pool.run(2, |i| {
+                claims[i].fetch_add(1, Relaxed);
+            });
+            pool.run(2, |i| {
+                claims[2 + i].fetch_add(1, Relaxed);
+            });
+            for (i, c) in claims.iter().enumerate() {
+                assert_eq!(
+                    c.load(Relaxed),
+                    1,
+                    "claim {i} not exactly once across reuse"
+                );
+            }
+        })
+        .expect("a reused pool must complete every dispatch exactly once");
+    assert!(report.schedules > 1);
+}
+
+/// Clean shutdown on every schedule: the `Drop` bump-to-odd + unpark must
+/// reach a worker no matter where it is in its loop (mid-drain, parked,
+/// about to park with a stale token); a missed exit would hang the join
+/// and surface as a scheduler deadlock.
+#[test]
+fn pool_shutdown_joins_cleanly_on_every_schedule() {
+    let report = Model::new()
+        .max_schedules(40_000)
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let ran = StdAtomicUsize::new(0);
+            pool.run(2, |_| {
+                ran.fetch_add(1, Relaxed);
+            });
+            drop(pool); // the assertion: this join terminates on every schedule
+            assert_eq!(ran.load(Relaxed), 2);
+        })
+        .expect("shutdown must join the resident workers on every schedule");
+    assert!(report.exhaustive, "this size must be fully enumerable");
 }
 
 #[test]
 fn pool_run_mut_hands_out_every_slot_exactly_once() {
     let report = Model::new()
+        .max_schedules(80_000)
         .check(|| {
             let pool = WorkerPool::new(2);
             let mut slots = [0usize; 3];
@@ -122,14 +195,69 @@ fn mutant_load_then_store_cursor_is_caught() {
     );
 }
 
+/// The persistent-pool mutant of the ISSUE: a dispatcher that publishes
+/// work and unparks its worker but **forgets the generation bump**. The
+/// worker wakes, sees no new generation, parks again — and the dispatch
+/// hangs with every thread parked. The checker must catch this as a
+/// deadlock (this is exactly the failure a lost `fetch_add(2)` in
+/// `WorkerPool`'s dispatch would cause).
 #[test]
-fn radix_sort_is_correct_under_every_interleaving() {
+fn mutant_missed_generation_bump_is_caught() {
+    let violation = Model::new()
+        .check(|| {
+            let generation = Arc::new(AtomicUsize::new(0));
+            let remaining = Arc::new(AtomicUsize::new(0));
+            let caller = thread::current();
+            let worker = {
+                let generation = Arc::clone(&generation);
+                let remaining = Arc::clone(&remaining);
+                thread::spawn(move || {
+                    let mut last = 0usize;
+                    loop {
+                        let g = generation.load(Ordering::SeqCst);
+                        if g & 1 == 1 {
+                            return;
+                        }
+                        if g == last {
+                            thread::park();
+                            continue;
+                        }
+                        last = g;
+                        if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            caller.unpark();
+                        }
+                    }
+                })
+            };
+            remaining.store(1, Ordering::SeqCst);
+            // BUG under test: no `generation.fetch_add(2)` before the
+            // wakeup — the worker has nothing to observe.
+            worker.thread().unpark();
+            while remaining.load(Ordering::SeqCst) != 0 {
+                thread::park(); // hangs: the worker never drains
+            }
+            generation.fetch_add(1, Ordering::SeqCst);
+            worker.thread().unpark();
+            let _ = worker.join();
+        })
+        .expect_err("the checker must catch the lost dispatch as a deadlock");
+    assert!(
+        violation.message.contains("deadlock"),
+        "expected a deadlock violation, got: {violation}"
+    );
+}
+
+#[test]
+fn radix_sort_is_correct_under_interleavings() {
     // 16 keys in 4 chunks of 4 on 2 workers; keys stay below 256 so only
     // digit 0 varies and the sort is a single histogram→prefix→scatter
-    // round — small enough to enumerate every schedule of the two
-    // `pool.run` calls, while exercising the full production protocol.
+    // round. Two dispatches on one persistent pool put the full state
+    // space beyond enumeration, so this checks the DFS prefix plus seeded
+    // samples of the production protocol.
     let keys: [u64; 16] = [9, 3, 200, 3, 17, 90, 4, 3, 250, 0, 64, 17, 9, 128, 2, 33];
     let report = Model::new()
+        .max_schedules(3_000)
+        .samples(192)
         .check(|| {
             let pool = WorkerPool::new(2);
             let mut k: Vec<u64> = keys.to_vec();
@@ -140,11 +268,7 @@ fn radix_sort_is_correct_under_every_interleaving() {
             let got: Vec<(u64, u32)> = k.into_iter().zip(v).collect();
             assert_eq!(got, expected, "sort must be correct and stable");
         })
-        .expect("histogram/prefix/scatter holds on every schedule");
-    assert!(
-        report.exhaustive,
-        "4 chunks on 2 workers must be enumerable"
-    );
+        .expect("histogram/prefix/scatter holds on every explored schedule");
     assert!(report.schedules > 1);
 }
 
@@ -153,10 +277,12 @@ fn radix_sort_is_correct_under_every_interleaving() {
 /// ranges no other chunk touches, so every output index is written exactly
 /// once per pass.
 #[test]
-fn scatter_ranges_are_disjoint_under_every_interleaving() {
+fn scatter_ranges_are_disjoint_under_interleavings() {
     const BUCKETS: usize = 4; // 2-bit digit keeps the table small
     let keys: [usize; 8] = [3, 1, 0, 2, 1, 3, 0, 1];
     let report = Model::new()
+        .max_schedules(3_000)
+        .samples(192)
         .check(|| {
             let pool = WorkerPool::new(2);
             let chunks = 2;
@@ -203,7 +329,7 @@ fn scatter_ranges_are_disjoint_under_every_interleaving() {
             }
         })
         .expect("the exclusive prefix yields disjoint scatter ranges");
-    assert!(report.exhaustive);
+    assert!(report.schedules > 1);
 }
 
 /// Mutant of the placement step: an *inclusive* prefix (the off-by-one the
@@ -214,6 +340,8 @@ fn mutant_inclusive_prefix_overlapping_scatter_is_caught() {
     const BUCKETS: usize = 4;
     let keys: [usize; 8] = [3, 1, 0, 2, 1, 3, 0, 1];
     let violation = Model::new()
+        .max_schedules(3_000)
+        .samples(192)
         .check(|| {
             let pool = WorkerPool::new(2);
             let chunks = 2;
@@ -289,6 +417,28 @@ fn sampling_mode_still_catches_the_cursor_mutant() {
         })
         .expect_err("random sampling must hit a duplicate-claim schedule");
     assert!(violation.message.contains("claimed twice"), "{violation}");
+}
+
+/// A worker-side job panic under the model: the dispatch must still
+/// converge on every schedule (the catch keeps the pool's protocol
+/// draining) and surface the typed error — no deadlock, no teardown.
+#[test]
+fn pool_job_panic_still_converges_under_model() {
+    let report = Model::new()
+        .max_schedules(80_000)
+        .check(|| {
+            let pool = WorkerPool::new(2);
+            let err = pool
+                .try_run(2, |i| {
+                    if i == 1 {
+                        std::panic::panic_any("job 1 dies");
+                    }
+                })
+                .expect_err("job 1 panics on every schedule");
+            assert_eq!(err.job, 1, "typed error must name the job");
+        })
+        .expect("a panicking job must not break the dispatch protocol");
+    assert!(report.exhaustive);
 }
 
 /// Outside `Model::check` the shadow primitives fall through to plain

@@ -205,10 +205,14 @@ impl Framebuffer {
                     y0,
                     width: (x0 + tile_size).min(width) - x0,
                     height: (y0 + tile_size).min(height) - y0,
+                    // gaurast-check: allow(alloc): row-pointer holders for
+                    // the borrowed tile views; O(tiles × tile_rows) tiny
+                    // Vecs that cannot outlive the framebuffer borrow.
                     color: Vec::with_capacity(ts),
-                    transmittance: Vec::with_capacity(ts),
+                    transmittance: Vec::with_capacity(ts), // gaurast-check: allow(alloc): see above
                 }
             })
+            // gaurast-check: allow(alloc): per-frame view list, O(tiles).
             .collect();
 
         for (y, (mut color_row, mut trans_row)) in self.rows_mut().enumerate() {

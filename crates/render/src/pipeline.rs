@@ -1,14 +1,19 @@
 //! End-to-end orchestration of the three-stage 3DGS pipeline.
 
 use crate::framebuffer::Framebuffer;
+use crate::graph::{self, frame, GraphMode, GraphRunner, NodeId};
 use crate::ops::OpCounts;
 use crate::pool::WorkerPool;
-use crate::preprocess::{preprocess_pooled, PreprocessOutput};
+use crate::preprocess::{
+    preprocess_pooled, preprocess_range, PreprocessOutput, Splat2D, PREPROCESS_CHUNK,
+};
 use crate::rasterize::{rasterize_with, RasterStats};
-use crate::tile::{bin_splats_legacy, bin_splats_pooled};
+use crate::sort::{key_tile, pack_key};
+use crate::tile::{bin_splats_legacy, bin_splats_pooled, tile_range};
 use crate::workload::{FrameArena, RasterWorkload};
 use crate::DEFAULT_TILE_SIZE;
 use gaurast_scene::{Camera, GaussianScene};
+use std::cell::UnsafeCell;
 
 /// Which Stage-2 implementation a pipeline runs.
 ///
@@ -66,6 +71,11 @@ pub struct RenderConfig {
     pub workers: usize,
     /// Stage-2 implementation (key-sorted radix/CSR by default).
     pub stage2: Stage2Mode,
+    /// Frame-graph scheduling mode ([`GraphMode::Overlapped`] by default;
+    /// [`GraphMode::Sequential`] is the strict one-barrier-per-stage A/B
+    /// reference). Both modes are bit-identical; ignored by the legacy
+    /// Stage-2 path, which predates the graph.
+    pub graph: GraphMode,
 }
 
 impl Default for RenderConfig {
@@ -74,6 +84,7 @@ impl Default for RenderConfig {
             tile_size: DEFAULT_TILE_SIZE,
             workers: 0,
             stage2: Stage2Mode::default(),
+            graph: GraphMode::default(),
         }
     }
 }
@@ -95,6 +106,12 @@ impl RenderConfig {
     /// mode.
     pub fn with_stage2(self, stage2: Stage2Mode) -> Self {
         Self { stage2, ..self }
+    }
+
+    /// A configuration identical to this one but with an explicit
+    /// frame-graph mode.
+    pub fn with_graph(self, graph: GraphMode) -> Self {
+        Self { graph, ..self }
     }
 }
 
@@ -159,12 +176,13 @@ pub fn render(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> 
     render_with_arena(scene, camera, config, &mut FrameArena::new())
 }
 
-/// [`render`] with a caller-held [`FrameArena`]: recycle the workload back
-/// into the arena after the frame
-/// ([`RasterWorkload::recycle_into`]) and steady-state Stage 2 —
+/// [`render`] with a caller-held [`FrameArena`] and a pool built from the
+/// config — a convenience over [`render_with_pool`] for callers without a
+/// long-lived pool. Recycle the workload back into the arena after the
+/// frame ([`RasterWorkload::recycle_into`]) and steady-state Stage 2 —
 /// key emission, radix sort, CSR assembly, processed counts — makes no
-/// data-path allocations (a multi-worker pool still pays its scoped
-/// thread spawns). This is the session hot path the engine uses.
+/// data-path allocations. Sessions should hold a persistent pool and call
+/// [`render_with_pool`] instead, which is also spawn-free per frame.
 pub fn render_with_arena(
     scene: &GaussianScene,
     camera: &Camera,
@@ -172,31 +190,35 @@ pub fn render_with_arena(
     arena: &mut FrameArena,
 ) -> RenderOutput {
     let pool = config.worker_pool();
+    render_with_pool(scene, camera, config, arena, &pool)
+}
 
-    // Stage 1: preprocessing, in parallel Gaussian chunks.
-    let pre = preprocess_pooled(scene, camera, &pool);
-    let pre_stats = PreprocessStats::from(&pre);
-
-    // Stage 2: packed-key radix sort into the flat CSR workload (or the
-    // legacy per-tile path behind the escape hatch).
-    let mut workload = config.stage2.bin(
-        pre.splats,
-        camera.width(),
-        camera.height(),
-        config.tile_size,
-        arena,
-        &pool,
-    );
-
-    // Stage 3: Gaussian rasterization over the sorted CSR ranges as
-    // independent tile jobs (fills processed counts).
+/// [`render`] with a caller-held [`FrameArena`] **and** a caller-held
+/// persistent [`WorkerPool`] — the session hot path the engine uses.
+/// Steady-state frames neither spawn threads (the pool's workers are
+/// parked between dispatches) nor allocate in the Stage-2 data path (the
+/// arena recycles every buffer, including the cached frame-graph plan).
+///
+/// Stages are scheduled by the static frame graph
+/// ([`graph::FrameGraph::standard`]) under [`RenderConfig::graph`]: the
+/// overlapped mode fuses Stage-1 chunk preprocessing with Stage-2 key
+/// histogramming in one dispatch, the sequential mode runs every node as
+/// its own barrier. Output is **bit-identical** across modes, worker
+/// counts, and against the historical staged path.
+pub fn render_with_pool(
+    scene: &GaussianScene,
+    camera: &Camera,
+    config: &RenderConfig,
+    arena: &mut FrameArena,
+    pool: &WorkerPool,
+) -> RenderOutput {
     let mut image = Framebuffer::new(camera.width(), camera.height());
-    let raster = rasterize_with(&mut workload, Some(&mut image), &pool);
-
+    let (workload, preprocess, raster) =
+        run_frame(scene, camera, config, arena, pool, Some(&mut image));
     RenderOutput {
         image,
         workload,
-        preprocess: pre_stats,
+        preprocess,
         raster,
     }
 }
@@ -230,21 +252,403 @@ pub fn render_record_only(
     config: &RenderConfig,
 ) -> WorkloadOutput {
     let pool = config.worker_pool();
-    let pre = preprocess_pooled(scene, camera, &pool);
-    let pre_stats = PreprocessStats::from(&pre);
-    let mut workload = config.stage2.bin(
-        pre.splats,
-        camera.width(),
-        camera.height(),
-        config.tile_size,
-        &mut FrameArena::new(),
-        &pool,
-    );
-    let raster = rasterize_with(&mut workload, None, &pool);
+    render_record_only_with_pool(scene, camera, config, &mut FrameArena::new(), &pool)
+}
+
+/// [`render_record_only`] with a caller-held [`FrameArena`] and persistent
+/// [`WorkerPool`] — the record-only analogue of [`render_with_pool`], with
+/// the same spawn-free, steady-state-allocation-free contract.
+pub fn render_record_only_with_pool(
+    scene: &GaussianScene,
+    camera: &Camera,
+    config: &RenderConfig,
+    arena: &mut FrameArena,
+    pool: &WorkerPool,
+) -> WorkloadOutput {
+    let (workload, preprocess, raster) = run_frame(scene, camera, config, arena, pool, None);
     WorkloadOutput {
         workload,
-        preprocess: pre_stats,
+        preprocess,
         raster,
+    }
+}
+
+/// Runs one frame — Stage 1 through the reference Stage-3 pass — over the
+/// frame graph (or the staged legacy-Stage-2 path), writing pixels only
+/// when `image` is provided.
+fn run_frame(
+    scene: &GaussianScene,
+    camera: &Camera,
+    config: &RenderConfig,
+    arena: &mut FrameArena,
+    pool: &WorkerPool,
+    image: Option<&mut Framebuffer>,
+) -> (RasterWorkload, PreprocessStats, RasterStats) {
+    if config.stage2 == Stage2Mode::LegacyPerTile {
+        // The escape-hatch path predates the frame graph: classic staged
+        // execution, one barrier per stage.
+        let pre = preprocess_pooled(scene, camera, pool);
+        let pre_stats = PreprocessStats::from(&pre);
+        let mut workload = config.stage2.bin(
+            pre.splats,
+            camera.width(),
+            camera.height(),
+            config.tile_size,
+            arena,
+            pool,
+        );
+        let raster = rasterize_with(&mut workload, image, pool);
+        return (workload, pre_stats, raster);
+    }
+
+    // A serial pool gets a single chunk: the graph collapses to exactly
+    // the historical in-thread pass (chunking only exists to feed the
+    // pool, and stitching in index order makes the output independent of
+    // the chunk count anyway).
+    let n_chunks = if pool.is_serial() {
+        1
+    } else {
+        scene.len().div_ceil(PREPROCESS_CHUNK).max(1)
+    };
+    let plan = arena.plan.take(n_chunks, config.graph);
+    let mut runner = FrameRunner::new(
+        scene,
+        camera,
+        config.tile_size,
+        pool,
+        arena,
+        image,
+        n_chunks,
+    );
+    graph::execute(&plan, pool, &mut runner);
+    let out = runner.finish();
+    arena.plan.restore(n_chunks, config.graph, plan);
+    out
+}
+
+/// Fixed-size per-chunk output slots shared with pool workers.
+///
+/// Each pooled graph job `c` owns slot `c` exclusively (jobs are claimed
+/// exactly once by the pool's cursor protocol), so handing out `&mut`
+/// access through `&self` is race-free by construction — the same
+/// disjointness argument as the sorter's scatter ranges.
+struct ChunkSlots<T> {
+    slots: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: slots are only accessed per-index with exclusive job ownership
+// (see `ChunkSlots::slot`); `T: Send` moves values across the worker
+// threads that fill them.
+unsafe impl<T: Send> Sync for ChunkSlots<T> {}
+
+impl<T: Default> ChunkSlots<T> {
+    fn new(n: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(n, || UnsafeCell::new(T::default()));
+        Self { slots }
+    }
+}
+
+impl<T> ChunkSlots<T> {
+    /// Exclusive access to slot `i` from a pooled job.
+    ///
+    /// # Safety
+    /// The caller must be the sole accessor of slot `i` for the duration
+    /// of the borrow (the frame graph guarantees this: each pooled job
+    /// index is claimed exactly once per dispatch, and the runner only
+    /// touches slot `i` from job `i`).
+    #[allow(clippy::mut_from_ref)]
+    // SAFETY: the caller is slot `i`'s sole accessor (contract above).
+    unsafe fn slot(&self, i: usize) -> &mut T {
+        // SAFETY: exclusivity is the caller's contract, stated above.
+        unsafe { &mut *self.slots[i].get() }
+    }
+
+    /// Exclusive access through an exclusive borrow (inline nodes).
+    fn get_mut(&mut self, i: usize) -> &mut T {
+        self.slots[i].get_mut()
+    }
+}
+
+/// The [`GraphRunner`] for the standard frame graph: all per-frame state
+/// of one render, with each pooled node confined to per-job disjoint
+/// slices of it.
+struct FrameRunner<'a> {
+    scene: &'a GaussianScene,
+    camera: &'a Camera,
+    tile_size: u32,
+    pool: &'a WorkerPool,
+    arena: &'a mut FrameArena,
+    image: Option<&'a mut Framebuffer>,
+    n_chunks: usize,
+    /// Per-chunk Stage-1 outputs (S1 job `c` writes slot `c`).
+    chunks: ChunkSlots<PreprocessOutput>,
+    /// Per-chunk key counts (COUNT job `c` writes slot `c`).
+    counts: ChunkSlots<usize>,
+    /// Stitched-splat index of each chunk's first splat (`n_chunks + 1`
+    /// entries, filled by STITCH).
+    splat_base: Vec<usize>,
+    /// Key-buffer start of each chunk's emission range (`n_chunks + 1`
+    /// entries, filled by PREFIX).
+    key_base: Vec<usize>,
+    /// The stitched splats, in serial-pass order.
+    splats: Vec<Splat2D>,
+    pre_stats: PreprocessStats,
+    /// Raw bases of the arena's key/value buffers, set by PREFIX after
+    /// sizing; EMIT job `c` writes only `key_base[c]..key_base[c + 1]`.
+    keys_ptr: *mut u64,
+    values_ptr: *mut u32,
+    workload: Option<RasterWorkload>,
+    raster: RasterStats,
+}
+
+// SAFETY: pooled jobs (`pooled_job`, taking `&self`) only touch per-job
+// disjoint state — `chunks`/`counts` slot `c` and the half-open key range
+// `key_base[c]..key_base[c + 1]` behind `keys_ptr`/`values_ptr` — while
+// every `&mut`-reachable field (`arena`, `image`, the stat fields) is
+// used exclusively by inline nodes on the calling thread, separated from
+// dispatches by the pool's full barriers.
+unsafe impl Sync for FrameRunner<'_> {}
+
+impl<'a> FrameRunner<'a> {
+    fn new(
+        scene: &'a GaussianScene,
+        camera: &'a Camera,
+        tile_size: u32,
+        pool: &'a WorkerPool,
+        arena: &'a mut FrameArena,
+        image: Option<&'a mut Framebuffer>,
+        n_chunks: usize,
+    ) -> Self {
+        assert!(tile_size > 0, "tile size must be positive");
+        Self {
+            scene,
+            camera,
+            tile_size,
+            pool,
+            arena,
+            image,
+            n_chunks,
+            chunks: ChunkSlots::new(n_chunks),
+            counts: ChunkSlots::new(n_chunks),
+            splat_base: Vec::with_capacity(n_chunks + 1),
+            key_base: Vec::with_capacity(n_chunks + 1),
+            splats: Vec::new(),
+            pre_stats: PreprocessStats::default(),
+            keys_ptr: std::ptr::null_mut(),
+            values_ptr: std::ptr::null_mut(),
+            workload: None,
+            raster: RasterStats::default(),
+        }
+    }
+
+    /// The chunk's Gaussian index range (the fixed [`PREPROCESS_CHUNK`]
+    /// decomposition; a single-chunk frame covers the whole scene).
+    fn chunk_range(&self, c: usize) -> std::ops::Range<usize> {
+        if self.n_chunks == 1 {
+            return 0..self.scene.len();
+        }
+        let start = c * PREPROCESS_CHUNK;
+        start..(start + PREPROCESS_CHUNK).min(self.scene.len())
+    }
+
+    /// S1 job `c`: preprocess the chunk's Gaussians into slot `c`.
+    fn stage1(&self, c: usize) {
+        // SAFETY: job `c` is this slot's sole accessor (pool jobs are
+        // claimed exactly once; only `stage1(c)` touches `chunks[c]`
+        // during the dispatch).
+        let slot = unsafe { self.chunks.slot(c) };
+        *slot = preprocess_range(
+            self.scene,
+            self.camera,
+            &|_, g| g.covariance(),
+            self.chunk_range(c),
+        );
+    }
+
+    /// COUNT job `c`: count the packed keys chunk `c`'s splats will emit
+    /// (its covered-tile total). Element-wise on S1: reads only slot `c`.
+    fn count(&self, c: usize) {
+        let (w, h, ts) = (self.camera.width(), self.camera.height(), self.tile_size);
+        // SAFETY: job `c` is the sole accessor of both slots during this
+        // dispatch; in the fused dispatch S1's write of `chunks[c]`
+        // happens earlier on this same thread.
+        let chunk = unsafe { self.chunks.slot(c) };
+        let mut n = 0usize;
+        for s in &chunk.splats {
+            if let Some((x0, y0, x1, y1)) = tile_range(s, w, h, ts) {
+                n += (x1 - x0 + 1) as usize * (y1 - y0 + 1) as usize;
+            }
+        }
+        // SAFETY: as above — only `count(c)` writes `counts[c]`.
+        *unsafe { self.counts.slot(c) } = n;
+    }
+
+    /// STITCH: concatenate chunk splats in index order (bit-identical to
+    /// the serial pass) and accumulate the Stage-1 statistics.
+    fn stitch(&mut self) {
+        let mut total = 0;
+        for c in 0..self.n_chunks {
+            total += self.chunks.get_mut(c).splats.len();
+        }
+        self.splats.clear();
+        self.splats.reserve(total);
+        self.splat_base.clear();
+        self.splat_base.push(0);
+        let mut culled = 0;
+        let mut non_finite = 0;
+        let mut ops = OpCounts::default();
+        for c in 0..self.n_chunks {
+            let chunk = self.chunks.get_mut(c);
+            self.splats.append(&mut chunk.splats);
+            self.splat_base.push(self.splats.len());
+            culled += chunk.culled;
+            non_finite += chunk.culled_non_finite;
+            ops += chunk.ops;
+        }
+        self.pre_stats = PreprocessStats {
+            visible: self.splats.len(),
+            culled,
+            non_finite,
+            ops,
+        };
+    }
+
+    /// PREFIX: prefix-sum the per-chunk key counts into emission ranges
+    /// and size the arena's key/value buffers.
+    fn prefix(&mut self) {
+        self.key_base.clear();
+        self.key_base.push(0);
+        let mut total = 0;
+        for c in 0..self.n_chunks {
+            total += *self.counts.get_mut(c);
+            self.key_base.push(total);
+        }
+        let FrameArena { keys, values, .. } = &mut *self.arena;
+        keys.clear();
+        keys.resize(total, 0);
+        values.clear();
+        values.resize(total, 0);
+        self.keys_ptr = keys.as_mut_ptr();
+        self.values_ptr = values.as_mut_ptr();
+    }
+
+    /// EMIT job `c`: write chunk `c`'s packed `(tile, depth)` keys and
+    /// stitched-splat values into its disjoint buffer range, in the same
+    /// splat-major order the serial emission produces — concatenated over
+    /// chunks, the buffers equal the serial pass byte for byte.
+    fn emit(&self, c: usize) {
+        let (w, h, ts) = (self.camera.width(), self.camera.height(), self.tile_size);
+        let tiles_x = w.div_ceil(ts);
+        let mut pos = self.key_base[c];
+        for gi in self.splat_base[c]..self.splat_base[c + 1] {
+            let s = &self.splats[gi];
+            if let Some((x0, y0, x1, y1)) = tile_range(s, w, h, ts) {
+                for ty in y0..=y1 {
+                    for tx in x0..=x1 {
+                        debug_assert!(pos < self.key_base[c + 1]);
+                        // SAFETY: COUNT sized this chunk's range with the
+                        // identical `tile_range` traversal, so
+                        // `pos < key_base[c + 1] <= buffer len`, and the
+                        // per-chunk ranges are disjoint — no other job
+                        // writes these elements.
+                        unsafe {
+                            *self.keys_ptr.add(pos) = pack_key(ty * tiles_x + tx, s.depth);
+                            *self.values_ptr.add(pos) = gi as u32;
+                        }
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            pos,
+            self.key_base[c + 1],
+            "COUNT/EMIT disagree on chunk {c}"
+        );
+    }
+
+    /// SORT: the stable parallel LSD radix sort over the emitted pairs.
+    fn sort(&mut self) {
+        let FrameArena {
+            keys,
+            values,
+            sorter,
+            ..
+        } = &mut *self.arena;
+        sorter.sort_pairs(keys, values, self.pool);
+    }
+
+    /// CSR: per-tile offsets from the sorted keys, then assemble the
+    /// workload (the arena keeps the key buffer; values/offsets move into
+    /// the workload exactly as in the staged path).
+    fn csr(&mut self) {
+        let (w, h, ts) = (self.camera.width(), self.camera.height(), self.tile_size);
+        let tile_count = (w.div_ceil(ts) * h.div_ceil(ts)) as usize;
+        let FrameArena {
+            keys,
+            values,
+            offsets,
+            processed,
+            ..
+        } = &mut *self.arena;
+        offsets.clear();
+        offsets.resize(tile_count + 1, 0);
+        for &k in keys.iter() {
+            offsets[key_tile(k) as usize + 1] += 1;
+        }
+        for i in 0..tile_count {
+            offsets[i + 1] += offsets[i];
+        }
+        self.keys_ptr = std::ptr::null_mut();
+        self.values_ptr = std::ptr::null_mut();
+        self.workload = Some(RasterWorkload::from_csr(
+            w,
+            h,
+            ts,
+            std::mem::take(&mut self.splats),
+            std::mem::take(values),
+            std::mem::take(offsets),
+            std::mem::take(processed),
+        ));
+    }
+
+    /// RASTER: the reference Stage-3 pass over the CSR workload
+    /// (per-tile pool jobs; writes pixels only when an image is held).
+    fn raster(&mut self) {
+        if let Some(workload) = self.workload.as_mut() {
+            self.raster = rasterize_with(workload, self.image.as_deref_mut(), self.pool);
+        }
+    }
+
+    /// Extracts the frame products after the plan ran.
+    fn finish(self) -> (RasterWorkload, PreprocessStats, RasterStats) {
+        let workload = self
+            .workload
+            .expect("frame graph must run the CSR node before finish");
+        (workload, self.pre_stats, self.raster)
+    }
+}
+
+impl GraphRunner for FrameRunner<'_> {
+    fn pooled_job(&self, node: NodeId, job: usize) {
+        match node {
+            frame::S1 => self.stage1(job),
+            frame::COUNT => self.count(job),
+            frame::EMIT => self.emit(job),
+            _ => debug_assert!(false, "node {node} is not pooled"),
+        }
+    }
+
+    fn inline_node(&mut self, node: NodeId) {
+        match node {
+            frame::STITCH => self.stitch(),
+            frame::PREFIX => self.prefix(),
+            frame::SORT => self.sort(),
+            frame::CSR => self.csr(),
+            frame::RASTER => self.raster(),
+            _ => debug_assert!(false, "node {node} is not inline"),
+        }
     }
 }
 

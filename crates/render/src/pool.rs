@@ -1,4 +1,4 @@
-//! A reusable scoped worker pool for deterministic intra-frame data
+//! A persistent worker pool for deterministic intra-frame data
 //! parallelism.
 //!
 //! The three-stage pipeline decomposes into jobs that are *independent by
@@ -11,8 +11,50 @@
 //! while the *output* is bit-identical run to run and identical to the
 //! serial schedule.
 //!
-//! With `workers == 1` no thread is spawned and the jobs run in index
-//! order on the calling thread — exactly the historical serial path.
+//! # Lifecycle
+//!
+//! Worker threads are spawned **once**, at pool construction, and live
+//! until the pool is dropped; between dispatches they are parked. A
+//! [`WorkerPool::run`] call is therefore a wakeup, not a spawn — steady-state
+//! frames pay zero thread spawns and zero allocations in the pool
+//! (asserted by [`spawned_thread_count`] regression tests and the bench
+//! crate's counting allocator). With `workers == 1` no thread exists at
+//! all and the jobs run in index order on the calling thread — exactly the
+//! historical serial path.
+//!
+//! # Wakeup protocol
+//!
+//! One dispatch is one bump of a generation atomic, park/unpark for the
+//! edges, and the same claim cursor as ever:
+//!
+//! ```text
+//! caller                                   worker (×  workers−1, resident)
+//! ──────                                   ──────────────────────────────
+//! acquire `busy` (one dispatch at a time)  loop:
+//! publish job ptr, caller handle, n_jobs     g = generation.load(Acquire)
+//! cursor ← 0, remaining ← workers−1          g odd?        → exit thread
+//! generation += 2          (Release)  ───▶   g == last?    → park(), retry
+//! unpark every worker                        last = g
+//! claim jobs from cursor too                 claim jobs: cursor.fetch_add
+//! park until remaining == 0          ◀───    remaining.fetch_sub == 1?
+//! release `busy`                                 → unpark(caller)
+//! ```
+//!
+//! Unpark tokens do not accumulate but never get lost either
+//! (park/unpark is acquire/release synchronized), and both park loops
+//! re-check their condition after every return, so stale tokens and
+//! spurious wakeups are harmless and lost wakeups are impossible. The
+//! final `generation += 1` (odd = shutdown) comes from `Drop`, so workers
+//! watch a single atomic for both "new work" and "exit". The whole
+//! protocol runs through the [`crate::sync`] facade and is enumerated by
+//! the `gaurast-check` model checker (`crates/check/tests/model.rs`),
+//! including a lost-wakeup mutant the checker must catch.
+//!
+//! A panicking job is caught *inside* the worker loop: the dispatch still
+//! converges, the pool stays usable, and the failure surfaces as the typed
+//! [`JobPanicked`] — as a `Result` from [`WorkerPool::try_run`], or as a
+//! typed panic payload from [`WorkerPool::run`] (which feeds the existing
+//! `ServiceError::WorkerPanicked` path in the serving layer).
 //!
 //! # Determinism
 //!
@@ -26,7 +68,8 @@
 //!
 //! Because no job reads another job's output and the merge order is fixed,
 //! images, op counts, and statistics are bit-identical for every worker
-//! count.
+//! count — and identical between a long-lived pool and a
+//! fresh-pool-per-frame, since the job boundaries never depend on either.
 //!
 //! # Example
 //! ```
@@ -46,6 +89,8 @@
 // re-exports.
 use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::thread;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
 
 /// Environment variable overriding the automatic worker count (used by CI
 /// to force the serial path: `GAURAST_WORKERS=1 cargo test`).
@@ -72,16 +117,261 @@ pub fn resolve_workers(requested: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// A scoped worker pool of a fixed width.
-///
-/// The pool is a *policy*, not a set of live threads: each [`WorkerPool::run`] call
-/// spawns scoped workers for its own job set and joins them before
-/// returning, so a pool can be held in a session and reused across frames
-/// without keeping idle threads alive. See the [module docs](self) for the
-/// determinism contract.
+/// Pools constructed through [`WorkerPool::new`] since process start
+/// (process-wide, diagnostics only — plain `std` atomics, not the model
+/// facade, so the counters add no scheduling points).
+static CONSTRUCTIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Worker threads ever spawned by pools since process start.
+static SPAWNED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total [`WorkerPool::new`] constructions since process start — the
+/// regression counter pinning "sessions build their pool once, not per
+/// frame" (the `const` [`WorkerPool::serial`] is not counted).
+pub fn construction_count() -> u64 {
+    CONSTRUCTIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Total worker threads ever spawned by pools since process start. Flat
+/// across steady-state frames: dispatches wake resident threads instead of
+/// spawning — the zero-spawns-per-frame acceptance gate.
+pub fn spawned_thread_count() -> u64 {
+    SPAWNED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Typed error for a job that panicked inside [`WorkerPool::try_run`] —
+/// and the typed panic payload [`WorkerPool::run`] re-raises for a
+/// worker-side job panic. The panic's own payload stays on the worker
+/// (caught there so the pool survives); only the job index crosses
+/// threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// Index of the first job observed to panic.
+    pub job: usize,
+}
+
+impl std::fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker-pool job {} panicked", self.job)
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+/// Type-erased pointer to the dispatched job closure. The `'static` in the
+/// type is a lie told to the type system only — see the safety argument at
+/// the publication site in [`WorkerPool::run`]'s dispatch.
+type Job = *const (dyn Fn(usize) + Sync + 'static);
+
+/// Initial content of the job slot: never dispatched, present so reading
+/// the slot needs no `Option` unwrap on the hot path.
+fn job_noop(_: usize) {}
+
+/// The dispatch mailbox shared by the caller and the resident workers.
+struct Shared {
+    /// Dispatch generation: steps by 2 per dispatch (even while alive);
+    /// the final `+1` from `Drop` makes it odd — the shutdown signal — so
+    /// the worker loop watches one atomic for both work and exit.
+    generation: AtomicUsize,
+    /// The job-claim cursor — byte-for-byte the cursor of the historical
+    /// spawn-per-run pool, reset to 0 per dispatch.
+    cursor: AtomicUsize,
+    /// Workers that have not yet finished draining the current dispatch;
+    /// the last one to check in unparks the caller.
+    remaining: AtomicUsize,
+    /// `job index + 1` of the first worker-side job panic of the current
+    /// dispatch (0 = none); first writer wins via compare-exchange.
+    panic_flag: AtomicUsize,
+    /// Dispatch mutual exclusion: a pool runs one job set at a time.
+    /// Callers contend here only if `run` is invoked concurrently from
+    /// several threads on one pool (never on the render paths).
+    busy: AtomicUsize,
+    /// The dispatched closure; valid from the generation bump until
+    /// `remaining` reaches zero.
+    job: UnsafeCell<Job>,
+    /// Job count of the current dispatch; published by the generation
+    /// bump like the job pointer (not an atomic: fewer scheduling points
+    /// for the model checker, no synchronization lost).
+    n_jobs: UnsafeCell<usize>,
+    /// Unpark handle of the dispatching thread.
+    caller: UnsafeCell<thread::Thread>,
+}
+
+// SAFETY: the `UnsafeCell` slots are written only by the dispatching
+// thread while it holds `busy`, before the Release generation bump, and
+// read by workers only after the Acquire load that observes the bump;
+// workers stop touching them before the final `remaining` decrement the
+// caller waits on. The atomics are `Sync` by nature. The raw job pointer
+// is `Send`-safe to workers because the closure it points to is `Sync`
+// (shared by reference across threads, exactly like the scoped borrow the
+// old pool used).
+unsafe impl Send for Shared {}
+// SAFETY: see the `Send` argument above — all mutation of the cells is
+// ordered before all cross-thread reads by the generation/`remaining`
+// protocol.
+unsafe impl Sync for Shared {}
+
+/// The resident half of a multi-worker pool: the shared mailbox plus the
+/// spawned threads' unpark and join handles.
+struct PoolCore {
+    shared: Arc<Shared>,
+    /// Unpark handles, one per resident worker.
+    threads: Vec<thread::Thread>,
+    /// Join handles, consumed by `Drop`.
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl PoolCore {
+    /// Spawns the `workers - 1` resident threads (the caller is always the
+    /// remaining worker). The only thread spawns in the pool's lifetime.
+    fn launch(workers: usize) -> Self {
+        debug_assert!(workers >= 2, "serial pools have no core");
+        let shared = Arc::new(Shared {
+            generation: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            panic_flag: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
+            job: UnsafeCell::new(&job_noop as &(dyn Fn(usize) + Sync) as Job),
+            n_jobs: UnsafeCell::new(0),
+            caller: UnsafeCell::new(thread::current()),
+        });
+        let mut handles = Vec::with_capacity(workers - 1);
+        for _ in 0..workers - 1 {
+            let shared = Arc::clone(&shared);
+            handles.push(thread::spawn(move || worker_loop(&shared)));
+            SPAWNED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let threads = handles.iter().map(|h| h.thread().clone()).collect();
+        Self {
+            shared,
+            threads,
+            handles,
+        }
+    }
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        // Inside a poisoned model-check run the scheduler is already
+        // unwinding every shadow thread; re-entering it would double
+        // panic. Outside model runs `poisoned()` is constant `false`.
+        if !thread::poisoned() {
+            // Odd generation = shutdown; wake everyone to observe it.
+            self.shared.generation.fetch_add(1, Ordering::Release);
+            for t in &self.threads {
+                t.unpark();
+            }
+        }
+        for h in self.handles.drain(..) {
+            // Err only if a worker unwound from a poisoned model run;
+            // shutdown is best-effort there.
+            let _ = h.join();
+        }
+    }
+}
+
+/// The resident worker body: park between dispatches, drain the claim
+/// cursor on a generation bump, unpark the caller when last to check in.
+fn worker_loop(shared: &Shared) {
+    let mut last_gen = 0usize;
+    loop {
+        let g = shared.generation.load(Ordering::Acquire);
+        if g & 1 == 1 {
+            // Odd: the pool is shutting down.
+            return;
+        }
+        if g == last_gen {
+            // No new dispatch. Stale tokens and spurious returns are
+            // harmless — the loop re-reads the generation; a token banked
+            // by a dispatch's unpark happens-after its generation bump, so
+            // consuming it here means the re-read observes the bump (park
+            // consumes tokens with an acquire RMW paired with unpark's
+            // release).
+            thread::park();
+            continue;
+        }
+        last_gen = g;
+        // The Acquire generation load synchronizes with the caller's
+        // Release bump: the job pointer, caller handle, job count and
+        // cursor reset published before the bump are visible now.
+        // SAFETY: the dispatching thread keeps the closure alive until
+        // `remaining` reaches zero, which happens only after this worker's
+        // check-in below — after its last use of the pointer. The job
+        // count is published and kept valid the same way.
+        let (job, n_jobs) = unsafe { (&*(*shared.job.get()), *shared.n_jobs.get()) };
+        loop {
+            // Ordering audit: `Relaxed` is sufficient. Exactly-once needs
+            // only the *atomicity* of fetch_add (two workers can never
+            // observe the same index); no data is published through the
+            // cursor. Job outputs are published to the caller by the
+            // `remaining` AcqRel check-in below, paired with the caller's
+            // Acquire wait — the persistent-pool replacement for the old
+            // scope-join edge. Model-checked in
+            // crates/check/tests/model.rs (`pool_cursor_claims_*`).
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_jobs {
+                break;
+            }
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i))).is_err() {
+                // First panicking job wins; keep draining so the dispatch
+                // converges and the pool stays usable. The payload dies
+                // here (it may not be `Send`-able past the pool's
+                // lifetime); only the index crosses threads.
+                let _ = shared.panic_flag.compare_exchange(
+                    0,
+                    i + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        // Read the caller handle *before* the check-in: once `remaining`
+        // hits zero the caller may start the next dispatch and overwrite
+        // the slot.
+        // SAFETY: written before the generation bump (visible via the
+        // Acquire load above), not rewritten until after `remaining`
+        // reaches zero.
+        let caller = unsafe { (*shared.caller.get()).clone() };
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            caller.unpark();
+        }
+    }
+}
+
+/// How a dispatch ended (internal).
+enum DispatchOutcome {
+    /// Every job ran without panicking.
+    Done,
+    /// A job running on the *calling* thread panicked; the original
+    /// payload is preserved so [`WorkerPool::run`] can re-raise it intact.
+    CallerPanic {
+        job: usize,
+        payload: Box<dyn std::any::Any + Send>,
+    },
+    /// A job on a resident worker panicked (payload consumed there).
+    WorkerPanic { job: usize },
+}
+
+/// A worker pool of a fixed width with resident, parked threads.
+///
+/// Construction spawns `workers - 1` threads ([`WorkerPool::serial`] and
+/// width-1 pools spawn none); every [`WorkerPool::run`] is a park/unpark
+/// round-trip, not a spawn/join. Dropping the pool shuts the threads down.
+/// See the [module docs](self) for the wakeup protocol and the determinism
+/// contract.
 pub struct WorkerPool {
     workers: usize,
+    /// `None` for width-1 pools: the serial path has no threads at all.
+    core: Option<PoolCore>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("resident", &self.core.is_some())
+            .finish()
+    }
 }
 
 impl Default for WorkerPool {
@@ -93,72 +383,182 @@ impl Default for WorkerPool {
 
 impl WorkerPool {
     /// A pool of `workers` threads; `0` selects the automatic width
-    /// ([`resolve_workers`]).
+    /// ([`resolve_workers`]). Spawns the resident worker threads — hold
+    /// the pool in a session and reuse it across frames rather than
+    /// constructing one per frame.
     pub fn new(workers: usize) -> Self {
-        Self {
-            workers: resolve_workers(workers),
-        }
+        let workers = resolve_workers(workers);
+        CONSTRUCTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let core = if workers > 1 {
+            Some(PoolCore::launch(workers))
+        } else {
+            None
+        };
+        Self { workers, core }
     }
 
     /// The single-threaded pool — every job runs on the calling thread in
-    /// index order (the historical serial pipeline).
+    /// index order (the historical serial pipeline). Spawns nothing.
     pub const fn serial() -> Self {
-        Self { workers: 1 }
+        Self {
+            workers: 1,
+            core: None,
+        }
     }
 
-    /// Number of worker threads `run` may use.
+    /// Number of workers (calling thread included) `run` may use.
     #[inline]
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// `true` when this pool never spawns a thread.
+    /// `true` when this pool owns no threads and runs every job inline.
     #[inline]
     pub fn is_serial(&self) -> bool {
         self.workers == 1
     }
 
     /// Runs `n_jobs` jobs, each exactly once. Jobs are claimed from an
-    /// atomic cursor by up to `workers` scoped threads (never more threads
-    /// than jobs); with one worker they run in index order on the calling
-    /// thread without spawning. A panicking job propagates to the caller.
+    /// atomic cursor by the resident workers plus the calling thread; with
+    /// one worker (or at most one job) they run in index order on the
+    /// calling thread with no cross-thread traffic at all.
+    ///
+    /// A panicking job does **not** tear down the pool: the dispatch
+    /// drains, then the panic is re-raised here — the original payload for
+    /// a caller-side job, the typed [`JobPanicked`] for a worker-side one.
+    /// Use [`WorkerPool::try_run`] for the non-panicking variant.
     pub fn run<F>(&self, n_jobs: usize, job: F)
     where
         F: Fn(usize) + Sync,
     {
-        let threads = self.workers.min(n_jobs);
-        if threads <= 1 {
+        let Some(core) = &self.core else {
+            // The exact historical serial path: inline, in order, no
+            // catch — a panic propagates as the job's own.
+            for i in 0..n_jobs {
+                job(i);
+            }
+            return;
+        };
+        if n_jobs <= 1 {
+            // A wakeup round-trip costs more than the job; this also keeps
+            // single-job dispatches bit-identical to the serial pool.
             for i in 0..n_jobs {
                 job(i);
             }
             return;
         }
-        let cursor = AtomicUsize::new(0);
-        // gaurast-check: allow(alloc): scoped threads are spawned per
-        // `run` call today; replacing this with a persistent worker pool
-        // (parked threads, zero per-frame spawns) is ROADMAP item 1.
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                // gaurast-check: allow(alloc): per-run scoped spawn — see
-                // the `thread::scope` note above (ROADMAP item 1).
-                scope.spawn(|| loop {
-                    // Ordering audit: `Relaxed` is sufficient here. The
-                    // exactly-once property needs only the *atomicity* of
-                    // fetch_add (two workers can never observe the same
-                    // index); no data is published through the cursor, so
-                    // no acquire/release edge is required. The jobs' own
-                    // writes are made visible to the caller by the
-                    // spawn/join synchronization of the enclosing scope,
-                    // which is a full happens-before edge. Model-checked in
-                    // crates/check/tests/model.rs (`pool_cursor_claims_*`).
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_jobs {
-                        break;
-                    }
-                    job(i);
-                });
+        match self.dispatch(core, n_jobs, &job) {
+            DispatchOutcome::Done => {}
+            DispatchOutcome::CallerPanic { payload, .. } => std::panic::resume_unwind(payload),
+            DispatchOutcome::WorkerPanic { job: at } => {
+                std::panic::panic_any(JobPanicked { job: at })
             }
-        });
+        }
+    }
+
+    /// [`WorkerPool::run`] returning the first job panic as a typed error
+    /// instead of re-raising it. All jobs still run (the cursor drains
+    /// fully) and the pool remains usable afterwards.
+    pub fn try_run<F>(&self, n_jobs: usize, job: F) -> Result<(), JobPanicked>
+    where
+        F: Fn(usize) + Sync,
+    {
+        let Some(core) = &self.core else {
+            return run_serial_caught(n_jobs, &job);
+        };
+        if n_jobs <= 1 {
+            return run_serial_caught(n_jobs, &job);
+        }
+        match self.dispatch(core, n_jobs, &job) {
+            DispatchOutcome::Done => Ok(()),
+            DispatchOutcome::CallerPanic { job: at, .. }
+            | DispatchOutcome::WorkerPanic { job: at } => Err(JobPanicked { job: at }),
+        }
+    }
+
+    /// One wakeup round-trip: publish the job set, bump the generation,
+    /// claim jobs alongside the workers, wait for every check-in.
+    fn dispatch<F>(&self, core: &PoolCore, n_jobs: usize, job: &F) -> DispatchOutcome
+    where
+        F: Fn(usize) + Sync,
+    {
+        let shared = &*core.shared;
+        // One dispatch at a time. Uncontended on every render path (a
+        // session's pool is dispatched from one thread); concurrent
+        // callers of a shared pool serialize here.
+        while shared
+            .busy
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: `busy` is held, so no other dispatch writes the slots,
+        // and no worker reads them until the generation bump below. The
+        // lifetime erasure to `'static` is sound because this function
+        // does not return until `remaining` reaches zero — every worker is
+        // done with the pointer — so the borrow of `job` outlives all
+        // uses.
+        unsafe {
+            *shared.job.get() = std::mem::transmute::<
+                &(dyn Fn(usize) + Sync),
+                &'static (dyn Fn(usize) + Sync),
+            >(job as &(dyn Fn(usize) + Sync)) as Job;
+            *shared.n_jobs.get() = n_jobs;
+            *shared.caller.get() = thread::current();
+        }
+        shared.cursor.store(0, Ordering::Relaxed);
+        shared
+            .remaining
+            .store(core.threads.len(), Ordering::Relaxed);
+        // Publish: everything above happens-before a worker's Acquire
+        // load of the bumped generation.
+        shared.generation.fetch_add(2, Ordering::Release);
+        for t in &core.threads {
+            t.unpark();
+        }
+        // The calling thread is a worker too — same cursor, same claims
+        // (see the ordering audit in `worker_loop`). Its job panics are
+        // caught so the dispatch always converges and `busy` is always
+        // released.
+        let mut caught: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_jobs {
+                break;
+            }
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
+            {
+                if caught.is_none() {
+                    caught = Some((i, payload));
+                }
+            }
+        }
+        // Wait for every worker's AcqRel check-in; the Acquire load pairs
+        // with it, publishing the jobs' writes to this thread (the
+        // replacement for the old scope-join edge). A stale unpark token
+        // makes `park` return spuriously; the loop re-checks.
+        while shared.remaining.load(Ordering::Acquire) != 0 {
+            thread::park();
+        }
+        // Lazy reset keeps the no-panic dispatch one load cheaper (and one
+        // scheduling point smaller in the model): the flag is nonzero only
+        // after a worker-side panic, and cleared here before reuse.
+        let flag = shared.panic_flag.load(Ordering::Relaxed);
+        if flag != 0 {
+            shared.panic_flag.store(0, Ordering::Relaxed);
+        }
+        shared.busy.store(0, Ordering::Release);
+        if let Some((job_index, payload)) = caught {
+            return DispatchOutcome::CallerPanic {
+                job: job_index,
+                payload,
+            };
+        }
+        if flag != 0 {
+            return DispatchOutcome::WorkerPanic { job: flag - 1 };
+        }
+        DispatchOutcome::Done
     }
 
     /// Runs one job per element of `items`, handing each job exclusive
@@ -199,6 +599,26 @@ impl WorkerPool {
             let item = unsafe { &mut *slots.slot(i) };
             f(i, item);
         });
+    }
+}
+
+/// Serial job loop with per-job catch: the [`WorkerPool::try_run`] path
+/// for pools (or job sets) that never leave the calling thread.
+fn run_serial_caught<F>(n_jobs: usize, job: &F) -> Result<(), JobPanicked>
+where
+    F: Fn(usize) + Sync,
+{
+    let mut first: Option<usize> = None;
+    for i in 0..n_jobs {
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i))).is_err()
+            && first.is_none()
+        {
+            first = Some(i);
+        }
+    }
+    match first {
+        None => Ok(()),
+        Some(job) => Err(JobPanicked { job }),
     }
 }
 
@@ -268,8 +688,9 @@ mod tests {
     }
 
     #[test]
-    fn never_more_threads_than_jobs() {
-        // 2 jobs on an 8-wide pool: both must still run exactly once.
+    fn never_more_claims_than_jobs() {
+        // 2 jobs on an 8-wide pool: both must still run exactly once, even
+        // though every resident worker races for the cursor.
         let pool = WorkerPool::new(8);
         let counts = [AtomicUsize::new(0), AtomicUsize::new(0)];
         pool.run(2, |i| {
@@ -277,5 +698,107 @@ mod tests {
         });
         assert_eq!(counts[0].load(Ordering::Relaxed), 1);
         assert_eq!(counts[1].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn single_job_runs_inline_even_on_wide_pools() {
+        let pool = WorkerPool::new(4);
+        let main = std::thread::current().id();
+        pool.run(1, |i| {
+            assert_eq!(i, 0);
+            assert_eq!(
+                std::thread::current().id(),
+                main,
+                "1 job must not wake workers"
+            );
+        });
+    }
+
+    #[test]
+    fn reuse_spawns_no_new_threads() {
+        // The zero-spawns-per-frame contract: all spawning happens at
+        // construction; 100 dispatches add none.
+        let pool = WorkerPool::new(4);
+        let before = spawned_thread_count();
+        for round in 0..100 {
+            let sum = AtomicUsize::new(0);
+            pool.run(32, |i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.into_inner(), 31 * 32 / 2, "round {round}");
+        }
+        assert_eq!(
+            spawned_thread_count(),
+            before,
+            "a dispatch spawned a thread"
+        );
+    }
+
+    #[test]
+    fn construction_is_counted() {
+        let before = construction_count();
+        let _p = WorkerPool::new(2);
+        let _q = WorkerPool::new(1);
+        assert_eq!(construction_count(), before + 2);
+    }
+
+    #[test]
+    fn try_run_returns_typed_error_and_pool_survives() {
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let err = pool
+                .try_run(8, |i| {
+                    if i == 3 {
+                        panic!("job 3 exploded");
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err, JobPanicked { job: 3 }, "{workers} workers");
+            assert_eq!(err.to_string(), "worker-pool job 3 panicked");
+            // The pool must remain fully usable after the panic.
+            let counts: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(16, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "post-panic job {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_reraises_job_panics_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, |i| {
+                if i == 1 {
+                    panic!("original payload");
+                }
+            });
+        }));
+        let payload = result.expect_err("run must re-raise the panic");
+        // Depending on which side claimed job 1, the payload is either the
+        // original one (caller-side) or the typed JobPanicked marker
+        // (worker-side) — both carry enough to identify the failure.
+        let identified = payload
+            .downcast_ref::<&str>()
+            .is_some_and(|s| *s == "original payload")
+            || payload
+                .downcast_ref::<JobPanicked>()
+                .is_some_and(|j| j.job == 1);
+        assert!(identified, "unexpected panic payload");
+        // And the pool still works.
+        let sum = AtomicUsize::new(0);
+        pool.run(10, |i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 55);
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let pool = WorkerPool::new(4);
+        pool.run(8, |_| {});
+        drop(pool); // must not hang or leak: Drop joins every worker
     }
 }

@@ -142,11 +142,15 @@ pub fn rasterize_with(
     // `tile_views_mut` builds on the identical grid).
     let rects: Vec<(u32, u32, u32, u32)> = (0..n_tiles as u32)
         .map(|i| workload.tile_rect(i % tiles_x, i / tiles_x))
+        // gaurast-check: allow(alloc): per-frame tile-job staging, O(tiles)
+        // not O(pairs); the Stage-2 data path stays arena-recycled.
         .collect();
 
     let mut views: Vec<Option<TileViewMut<'_>>> = match fb {
+        // gaurast-check: allow(alloc): borrowed per-frame tile views cannot
+        // outlive the framebuffer borrow, so they cannot be arena-cached.
         Some(fb) => fb.tile_views_mut(tile_size).into_iter().map(Some).collect(),
-        None => (0..n_tiles).map(|_| None).collect(),
+        None => (0..n_tiles).map(|_| None).collect(), // gaurast-check: allow(alloc): same staging list, record-only shape
     };
     let splats = workload.splats();
     let mut jobs: Vec<TileJob<'_, '_>> = (0..n_tiles)
@@ -157,6 +161,8 @@ pub fn rasterize_with(
             processed: 0,
             stats: RasterStats::default(),
         })
+        // gaurast-check: allow(alloc): per-frame job list, O(tiles); holds
+        // the borrowed views above and dies with the frame.
         .collect();
 
     pool.run_mut(&mut jobs, |i, job| {

@@ -1,27 +1,28 @@
 //! The concurrency facade of the renderer: one import point for the
-//! atomics and scoped threads its parallel protocols are built on.
+//! atomics and thread primitives its parallel protocols are built on.
 //!
 //! # Why a facade
 //!
-//! The worker pool's claim cursor ([`crate::pool::WorkerPool::run`]) and
-//! the radix sorter's histogram→prefix→scatter protocol
-//! ([`crate::sort::RadixSorter`]) are lock-free by construction; their
-//! correctness arguments (exactly-once claims, disjoint scatter ranges)
-//! are stated in comments, not checked by the compiler. Routing every
-//! atomic operation and thread spawn through this module makes those
+//! The persistent worker pool's park/wake generation handoff and claim
+//! cursor ([`crate::pool::WorkerPool::run`]) and the radix sorter's
+//! histogram→prefix→scatter protocol ([`crate::sort::RadixSorter`]) are
+//! lock-free by construction; their correctness arguments (exactly-once
+//! claims, no lost wakeups, disjoint scatter ranges) are stated in
+//! comments, not checked by the compiler. Routing every atomic operation,
+//! thread spawn, and park/unpark through this module makes those
 //! protocols *model-checkable*: the `gaurast-check` crate can substitute
 //! instrumented shadow primitives and exhaustively interleave them.
 //!
 //! # The two builds
 //!
 //! * **Default** (any ordinary `cargo build`/`test`): pure re-exports of
-//!   `std::sync::atomic` and `std::thread::scope`. Zero-cost — release
+//!   `std::sync::atomic` and `std::thread`. Zero-cost — release
 //!   codegen is byte-for-byte what it would be importing `std` directly.
 //! * **`--cfg gaurast_model_check`** (set via `RUSTFLAGS`, never a cargo
 //!   feature, so feature unification can't turn it on by accident): the
 //!   same names resolve to [`gaurast_check::shadow`] types. Every atomic
 //!   operation becomes a yield point of a virtual scheduler and
-//!   `thread::scope` registers shadow threads, letting
+//!   `thread::spawn`/`thread::scope` register shadow threads, letting
 //!   `cargo test -p gaurast-check` (with the cfg) drive the *real*
 //!   `WorkerPool` and `RadixSorter` code through every small interleaving
 //!   — see `crates/check/tests/model.rs`.
@@ -45,11 +46,26 @@ pub mod atomic {
     pub use gaurast_check::shadow::AtomicUsize;
 }
 
-/// Scoped-thread spawning used by the worker pool.
+/// Thread spawning, parking and handles used by the worker pool: the
+/// scoped primitives (legacy protocols) plus the non-scoped
+/// `spawn`/`park`/`unpark` set the persistent [`crate::pool::WorkerPool`]
+/// is built on.
 pub mod thread {
     #[cfg(not(gaurast_model_check))]
-    pub use std::thread::{scope, Scope};
+    pub use std::thread::{current, park, scope, spawn, JoinHandle, Scope, Thread};
 
     #[cfg(gaurast_model_check)]
-    pub use gaurast_check::shadow::{scope, Scope};
+    pub use gaurast_check::shadow::{current, park, scope, spawn, JoinHandle, Scope, Thread};
+
+    /// `true` when the calling thread is inside a poisoned model-check
+    /// execution. Shutdown paths (the pool's `Drop`) consult this to skip
+    /// the orderly park/unpark shutdown when the checker is already
+    /// unwinding every shadow thread. Always `false` in ordinary builds.
+    #[cfg(not(gaurast_model_check))]
+    pub fn poisoned() -> bool {
+        false
+    }
+
+    #[cfg(gaurast_model_check)]
+    pub use gaurast_check::shadow::poisoned;
 }

@@ -83,9 +83,9 @@ pub fn bin_splats(splats: Vec<Splat2D>, width: u32, height: u32, tile_size: u32)
 /// per covered tile, radix-sorts the key/value pairs in one pass over
 /// `pool` ([`crate::sort::RadixSorter`]), and builds the CSR offset table
 /// from the sorted runs. All scratch comes from `arena`, so steady-state
-/// frames make no data-path allocations (a multi-worker pool still pays
-/// its scoped thread spawns per `run`, as in every other stage); give the
-/// buffers back with [`RasterWorkload::recycle_into`].
+/// frames make no data-path allocations (and the persistent pool's
+/// workers are parked, not respawned, between `run`s); give the buffers
+/// back with [`RasterWorkload::recycle_into`].
 ///
 /// The output is **bit-identical** to [`bin_splats_legacy`] for every
 /// worker count: the stable radix order on

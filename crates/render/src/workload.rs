@@ -419,6 +419,9 @@ pub struct FrameArena {
     pub(crate) processed: Vec<u32>,
     /// Legacy-path per-tile lists ([`crate::tile::bin_splats_legacy`]).
     pub(crate) lists: Vec<Vec<u32>>,
+    /// Cached frame-graph execution plan, reused while the chunk count and
+    /// graph mode stay put ([`crate::graph::PlanCache`]).
+    pub(crate) plan: crate::graph::PlanCache,
 }
 
 impl FrameArena {

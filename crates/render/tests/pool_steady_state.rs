@@ -1,0 +1,74 @@
+//! Steady-state counters of the persistent pool: a long-lived session
+//! rendering 100+ consecutive frames must construct **zero** new pools
+//! and spawn **zero** new threads after warm-up — dispatches wake the
+//! resident, parked workers instead.
+//!
+//! This file holds a single `#[test]` on purpose: the spawn/construction
+//! counters are process-global, so the measurement must not race another
+//! test creating pools in the same binary.
+
+use gaurast_math::Vec3;
+use gaurast_render::pipeline::{render_with_pool, RenderConfig};
+use gaurast_render::pool::{construction_count, spawned_thread_count, WorkerPool};
+use gaurast_render::FrameArena;
+use gaurast_scene::Camera;
+
+#[test]
+fn hundred_frame_session_spawns_nothing_in_steady_state() {
+    let scene = gaurast_scene::generator::SceneParams::new(5000)
+        .seed(23)
+        .generate()
+        .expect("generator scene");
+    let camera = Camera::look_at(
+        Vec3::new(0.0, 6.0, -28.0),
+        Vec3::zero(),
+        Vec3::new(0.0, 1.0, 0.0),
+        128,
+        96,
+        1.05,
+    )
+    .expect("fixed camera");
+    let config = RenderConfig::default().with_workers(4);
+
+    // Session setup: the one pool construction (3 spawned workers for
+    // width 4) and one arena for the whole session.
+    let pool = WorkerPool::new(4);
+    let mut arena = FrameArena::new();
+
+    // Warm-up frame grows the arena buffers and the plan cache.
+    let first = render_with_pool(&scene, &camera, &config, &mut arena, &pool);
+    let reference = first.clone();
+    first.workload.recycle_into(&mut arena);
+
+    let constructions_before = construction_count();
+    let spawned_before = spawned_thread_count();
+
+    let mut last = None;
+    for _ in 0..100 {
+        if let Some(prev) = last.take() {
+            let prev: gaurast_render::pipeline::RenderOutput = prev;
+            prev.workload.recycle_into(&mut arena);
+        }
+        last = Some(render_with_pool(
+            &scene, &camera, &config, &mut arena, &pool,
+        ));
+    }
+
+    assert_eq!(
+        construction_count(),
+        constructions_before,
+        "steady-state frames must not construct pools"
+    );
+    assert_eq!(
+        spawned_thread_count(),
+        spawned_before,
+        "steady-state frames must not spawn threads"
+    );
+
+    // And the 101st frame is still bit-identical to the first.
+    let last = last.expect("frames ran");
+    assert_eq!(last.image, reference.image);
+    assert_eq!(last.workload, reference.workload);
+    assert_eq!(last.preprocess, reference.preprocess);
+    assert_eq!(last.raster, reference.raster);
+}
