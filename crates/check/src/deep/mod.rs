@@ -1,6 +1,6 @@
 //! Transitive fixpoint rules over the workspace call graph.
 //!
-//! Three rules run over the graph built by [`crate::graph`] and resolved
+//! Four rules run over the graph built by [`crate::graph`] and resolved
 //! by [`crate::resolve`], all instances of one reachability engine:
 //!
 //! * [`purity`] — **hot-path purity**: everything reachable from the
@@ -12,6 +12,10 @@
 //!   `panic!`-family construct (and, inside the service crate's own
 //!   sources, no unguarded indexing) reachable from the serving entry
 //!   points.
+//! * [`races`] — **unsafe-instrumentation-coverage**: every raw-pointer
+//!   write reachable from the hot roots must lexically sit inside a
+//!   `race_region!` block, so the shadow race detector actually sees the
+//!   access ranges it claims to check.
 //!
 //! Every violation carries a *witness path* — the call chain from a root
 //! to the offending token, e.g.
@@ -28,6 +32,7 @@
 
 pub mod panics;
 pub mod purity;
+pub mod races;
 pub mod taint;
 
 use crate::graph::{CallGraph, Event, EventKind, FnNode};
@@ -36,7 +41,9 @@ use std::collections::VecDeque;
 use std::path::Path;
 
 /// Identifier of the report schema emitted by [`DeepReport::json`].
-pub const REPORT_SCHEMA: &str = "gaurast-check/deep/v1";
+/// `v2` added the `unsafe-instrumentation-coverage` rule block and the
+/// per-rule `advisory_top` function tallies.
+pub const REPORT_SCHEMA: &str = "gaurast-check/deep/v2";
 
 /// One transitive rule violation with its witness path.
 #[derive(Clone, Debug)]
@@ -84,6 +91,10 @@ pub struct RuleOutcome {
     /// failing — full-pipeline indexing enforcement would demand
     /// hundreds of annotations for no proof value.
     pub advisory_index_sites: usize,
+    /// The functions contributing the most advisory sites, as
+    /// `(node id, count)` sorted descending — the worklist a future
+    /// tightening of the enforced set would start from.
+    pub advisory_top: Vec<(String, usize)>,
 }
 
 /// One call site the resolver could not map, with the caller's identity
@@ -149,6 +160,12 @@ impl DeepReport {
                 ));
             }
             out.push('\n');
+            if !rule.advisory_top.is_empty() {
+                out.push_str("  top advisory-site functions:\n");
+                for (id, count) in &rule.advisory_top {
+                    out.push_str(&format!("    {count:4}  {id}\n"));
+                }
+            }
             for v in &rule.violations {
                 out.push_str(&format!("  {}\n", v.render()));
             }
@@ -213,6 +230,14 @@ impl DeepReport {
             out.push_str(&format!(
                 "      \"advisory_index_sites\": {},\n",
                 rule.advisory_index_sites
+            ));
+            out.push_str(&format!(
+                "      \"advisory_top\": [{}],\n",
+                rule.advisory_top
+                    .iter()
+                    .map(|(id, c)| format!("{{ \"fn\": {}, \"sites\": {} }}", json_str(id), c))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ));
             out.push_str("      \"violations\": [\n");
             for (vi, v) in rule.violations.iter().enumerate() {
@@ -293,6 +318,7 @@ pub fn analyze_graph(graph: &CallGraph, res: &Resolution) -> DeepReport {
         purity::run(graph, res),
         taint::run(graph, res),
         panics::run(graph, res),
+        races::run(graph, res),
     ];
     let unresolved = res
         .unresolved
@@ -365,8 +391,10 @@ pub(crate) fn run_reachability(
     let mut violations = Vec::new();
     let mut suppressed = 0;
     let mut advisory = 0;
+    let mut advisory_by_fn: Vec<(usize, usize)> = Vec::new(); // (node, count)
     for &u in &order {
         let node = &graph.nodes[u];
+        let mut node_advisory = 0;
         for ev in &node.events {
             match matches(node, ev) {
                 EventMatch::Violation => violations.push(Violation {
@@ -375,9 +403,15 @@ pub(crate) fn run_reachability(
                     file: node.file.clone(),
                     line: ev.line,
                 }),
-                EventMatch::Advisory => advisory += 1,
+                EventMatch::Advisory => {
+                    advisory += 1;
+                    node_advisory += 1;
+                }
                 EventMatch::Ignore => {}
             }
+        }
+        if node_advisory > 0 {
+            advisory_by_fn.push((u, node_advisory));
         }
         suppressed += node
             .suppressed
@@ -385,6 +419,9 @@ pub(crate) fn run_reachability(
             .filter(|e| kinds.contains(&e.kind))
             .count();
     }
+    // Largest offenders first; node order breaks ties deterministically.
+    advisory_by_fn.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    advisory_by_fn.truncate(ADVISORY_TOP);
 
     RuleOutcome {
         rule,
@@ -392,8 +429,15 @@ pub(crate) fn run_reachability(
         violations,
         suppressed,
         advisory_index_sites: advisory,
+        advisory_top: advisory_by_fn
+            .into_iter()
+            .map(|(u, c)| (graph.nodes[u].id(), c))
+            .collect(),
     }
 }
+
+/// How many top advisory-site functions a rule outcome retains.
+const ADVISORY_TOP: usize = 8;
 
 /// What a rule's event predicate decides about one event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

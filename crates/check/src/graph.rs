@@ -12,7 +12,9 @@
 //!   (`RadixSorter::new(…)`, `sort::depth_key_bits(…)`), and method
 //!   calls (`.bin_splats(…)`), each with the source line;
 //! * its **effect events** — heap allocation, locking, I/O, determinism
-//!   taint sources, panic constructs, and slice-indexing sites, matched
+//!   taint sources, panic constructs, slice-indexing sites, and
+//!   *uninstrumented unsafe writes* (raw-pointer/shared-memory stores
+//!   inside an `unsafe` block that no `race_region!` covers), matched
 //!   token-wise against the comment-stripped, literal-blanked code, with
 //!   `// gaurast-check: allow(…): reason` escape hatches honored per
 //!   line (suppressed events are kept separately so reports can count
@@ -34,7 +36,7 @@
 //! models the shipped pipeline, not its harnesses.
 
 use crate::lint::{
-    self, annotated, classify, Line, ALLOW_ALLOC, ALLOW_NONDET, ALLOW_PANIC, HOT_MARKER,
+    self, annotated, classify, Line, ALLOW_ALLOC, ALLOW_NONDET, ALLOW_PANIC, ALLOW_RACE, HOT_MARKER,
 };
 use std::path::Path;
 
@@ -94,6 +96,23 @@ pub const PANIC_TOKENS: &[&str] = &[
     "unimplemented!",
 ];
 
+/// Raw-write tokens the unsafe-instrumentation-coverage rule matches
+/// inside `unsafe` blocks, beyond plain deref assignments (`*p = v`,
+/// `*p += v`, …): mutable-view constructors and the `ptr` write family.
+/// A matching line inside an `unsafe` block that no `race_region!`
+/// covers becomes an [`EventKind::UnsafeWrite`] event.
+pub const RAW_WRITE_TOKENS: &[&str] = &[
+    "from_raw_parts_mut",
+    "&mut *",
+    "ptr::write",
+    "write_volatile",
+    "write_unaligned",
+    "copy_nonoverlapping",
+    "copy_from",
+    "copy_to",
+    "write_bytes",
+];
+
 /// What kind of effect an [`Event`] records.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -110,6 +129,11 @@ pub enum EventKind {
     Panic,
     /// Slice/array indexing (`xs[i]`) — panics when out of bounds.
     Index,
+    /// A raw-pointer/shared-memory write inside an `unsafe` block that no
+    /// `race_region!` lexically covers ([`RAW_WRITE_TOKENS`] + deref
+    /// assignments). Covered writes produce no event — the shadow race
+    /// detector sees their registered ranges instead.
+    UnsafeWrite,
 }
 
 impl EventKind {
@@ -122,6 +146,7 @@ impl EventKind {
             EventKind::Nondet => "nondet",
             EventKind::Panic => "panic",
             EventKind::Index => "index",
+            EventKind::UnsafeWrite => "unsafe-write",
         }
     }
 }
@@ -179,6 +204,14 @@ pub struct FnNode {
     /// `true` when `// gaurast-check: hot-path` sits directly above the
     /// signature — the hot-purity analysis roots.
     pub hot_marker: bool,
+    /// Names callable locally without naming a workspace function: the
+    /// function's own parameters (callback invocations like `f(i)`),
+    /// `let`-bound names (calling one is a value call through a closure
+    /// or fn pointer), and the parameters of `let`-bound closure
+    /// literals. The resolver treats a plain call to one of these as
+    /// local — a closure's body events are already attributed to the
+    /// node that defines it.
+    pub locals: Vec<String>,
     /// Call sites in the body, innermost-function attribution.
     pub calls: Vec<Call>,
     /// Effect events in the body (escape-hatched lines excluded).
@@ -301,7 +334,8 @@ fn tokenize(lines: &[Line]) -> Vec<(Tok, usize)> {
 /// Keywords that look like calls when followed by `(`.
 const CALL_KEYWORDS: &[&str] = &[
     "if", "while", "for", "match", "return", "loop", "in", "as", "move", "fn", "where", "impl",
-    "let", "else", "unsafe", "dyn", "ref", "mut", "box", "await", "Some", "None", "Ok", "Err",
+    "let", "else", "unsafe", "dyn", "ref", "mut", "box", "await", "static", "Some", "None", "Ok",
+    "Err",
 ];
 
 /// Keywords that precede `[` without forming an indexing site.
@@ -331,6 +365,15 @@ pub(crate) fn parse_file(rel: &str, content: &str, out: &mut Vec<FnNode>) {
     // Body line ranges, parallel to the nodes appended by this file, used
     // for innermost-function event attribution below.
     let mut ranges: Vec<(usize, usize, usize)> = Vec::new(); // (node, start, end)
+                                                             // Lexical block spans (0-based inclusive line ranges) for the
+                                                             // unsafe-write scan: `unsafe { … }` blocks, and the brace bodies of
+                                                             // `race_region!(…, { … })` invocations. Open entries carry the scope
+                                                             // depth at which their `{` pushed, so the matching `}` closes them.
+    let mut pending_region = false;
+    let mut unsafe_open: Vec<(usize, usize)> = Vec::new(); // (depth, open line)
+    let mut region_open: Vec<(usize, usize)> = Vec::new();
+    let mut unsafe_spans: Vec<(usize, usize)> = Vec::new();
+    let mut region_spans: Vec<(usize, usize)> = Vec::new();
 
     let mut i = 0;
     while i < toks.len() {
@@ -414,15 +457,45 @@ pub(crate) fn parse_file(rel: &str, content: &str, out: &mut Vec<FnNode>) {
                 };
                 let name = name.clone();
                 // Scan past the signature (parameters, return type, where
-                // clause) to the body brace or a `;` declaration.
+                // clause) to the body brace or a `;` declaration, capturing
+                // parameter names (ident directly before `:` at the
+                // top parameter depth) for callback-call resolution.
                 let mut j = i + 2;
                 let mut paren = 0i32;
+                let mut bracket = 0i32;
+                let mut params: Vec<String> = Vec::new();
                 while j < toks.len() {
                     match &toks[j].0 {
                         Tok::Punct('(') => paren += 1,
                         Tok::Punct(')') => paren -= 1,
+                        // Array types in the signature (`-> [f64; 7]`)
+                        // carry a `;` that must not read as a
+                        // declaration's end.
+                        Tok::Punct('[') => bracket += 1,
+                        Tok::Punct(']') => bracket -= 1,
                         Tok::Punct('{') if paren == 0 => break,
-                        Tok::Punct(';') if paren == 0 => break,
+                        Tok::Punct(';') if paren == 0 && bracket == 0 => break,
+                        // `name :` introduces a parameter; `a::b` path
+                        // segments inside types are skipped (`:` on either
+                        // side).
+                        Tok::Ident(w)
+                            if paren == 1
+                                && w != "self"
+                                && matches!(
+                                    toks.get(j + 1).map(|t| &t.0),
+                                    Some(Tok::Punct(':'))
+                                )
+                                && !matches!(
+                                    toks.get(j + 2).map(|t| &t.0),
+                                    Some(Tok::Punct(':'))
+                                )
+                                && !matches!(
+                                    j.checked_sub(1).map(|p| &toks[p].0),
+                                    Some(Tok::Punct(':'))
+                                ) =>
+                        {
+                            params.push(w.clone());
+                        }
                         _ => {}
                     }
                     j += 1;
@@ -443,6 +516,7 @@ pub(crate) fn parse_file(rel: &str, content: &str, out: &mut Vec<FnNode>) {
                         name,
                         line: sig_line + 1,
                         hot_marker: annotated(lines, sig_line, HOT_MARKER),
+                        locals: params,
                         calls: Vec::new(),
                         events: Vec::new(),
                         suppressed: Vec::new(),
@@ -455,11 +529,40 @@ pub(crate) fn parse_file(rel: &str, content: &str, out: &mut Vec<FnNode>) {
                     i = j + 1;
                 }
             }
+            Tok::Ident(kw) if kw == "race_region" => {
+                // `race_region!(label, { … })` — the next brace opens the
+                // instrumented body (the label is a blanked string
+                // literal, so no `{` intervenes).
+                if matches!(toks.get(i + 1).map(|t| &t.0), Some(Tok::Punct('!'))) {
+                    pending_region = true;
+                }
+                i += 1;
+            }
             Tok::Punct('{') => {
                 scopes.push(Scope::Other);
+                let depth = scopes.len();
+                if matches!(
+                    i.checked_sub(1).map(|p| &toks[p].0),
+                    Some(Tok::Ident(w)) if w == "unsafe"
+                ) {
+                    unsafe_open.push((depth, toks[i].1));
+                }
+                if pending_region {
+                    region_open.push((depth, toks[i].1));
+                    pending_region = false;
+                }
                 i += 1;
             }
             Tok::Punct('}') => {
+                let depth = scopes.len();
+                if unsafe_open.last().is_some_and(|&(d, _)| d == depth) {
+                    let (_, start) = unsafe_open.pop().unwrap();
+                    unsafe_spans.push((start, toks[i].1));
+                }
+                if region_open.last().is_some_and(|&(d, _)| d == depth) {
+                    let (_, start) = region_open.pop().unwrap();
+                    region_spans.push((start, toks[i].1));
+                }
                 match scopes.pop() {
                     Some(Scope::Mod) => {
                         mods.pop();
@@ -517,7 +620,19 @@ pub(crate) fn parse_file(rel: &str, content: &str, out: &mut Vec<FnNode>) {
                     if let Tok::Ident(name) = &toks[prev].0 {
                         let is_macro = i >= 2 && toks[prev - 1].0 == Tok::Punct('!');
                         let is_def = i >= 2 && toks[prev - 1].0 == Tok::Ident("fn".to_string());
-                        if !CALL_KEYWORDS.contains(&name.as_str()) && !is_macro && !is_def {
+                        // `#[cfg(…)]` / `#![allow(…)]` heads are
+                        // attributes, not calls.
+                        let is_attr = prev >= 2
+                            && toks[prev - 1].0 == Tok::Punct('[')
+                            && (toks[prev - 2].0 == Tok::Punct('#')
+                                || (prev >= 3
+                                    && toks[prev - 2].0 == Tok::Punct('!')
+                                    && toks[prev - 3].0 == Tok::Punct('#')));
+                        if !CALL_KEYWORDS.contains(&name.as_str())
+                            && !is_macro
+                            && !is_def
+                            && !is_attr
+                        {
                             let kind = call_kind(&toks, prev);
                             out[node].calls.push(Call {
                                 kind,
@@ -535,6 +650,13 @@ pub(crate) fn parse_file(rel: &str, content: &str, out: &mut Vec<FnNode>) {
         }
     }
 
+    // A parse irregularity that leaves an `unsafe` block open reads as
+    // unsafe-to-EOF (conservative: more lines scanned, never fewer); an
+    // unclosed region grants no coverage.
+    for (_, start) in unsafe_open {
+        unsafe_spans.push((start, lines.len().saturating_sub(1)));
+    }
+
     // Effect events, attributed to the innermost function whose body
     // range contains the line (closures included; nested fns excluded
     // from their parent).
@@ -547,7 +669,143 @@ pub(crate) fn parse_file(rel: &str, content: &str, out: &mut Vec<FnNode>) {
             continue;
         };
         scan_line_events(lines, ln, node, out);
+        let_bindings(&lines[ln].code, &mut out[node].locals);
+        let in_unsafe = unsafe_spans.iter().any(|&(s, e)| s <= ln && ln <= e);
+        let in_region = region_spans.iter().any(|&(s, e)| s <= ln && ln <= e);
+        if in_unsafe && !in_region {
+            if let Some(token) = raw_write_token(&lines[ln].code) {
+                let ev = Event {
+                    kind: EventKind::UnsafeWrite,
+                    token: token.to_string(),
+                    line: ln + 1,
+                };
+                if annotated(lines, ln, ALLOW_RACE) {
+                    out[node].suppressed.push(ev);
+                } else {
+                    out[node].events.push(ev);
+                }
+            }
+        }
     }
+}
+
+/// Collects locally-bound names from a `let` statement into `locals`:
+/// every identifier on the pattern side (simple bindings and tuple
+/// destructurings alike — a call through any of them is a value call, not
+/// a workspace-function call), and, when the bound value is a closure
+/// literal, the closure's own parameter names (its body's call sites
+/// belong to the enclosing function, so `f(i)` inside it must resolve
+/// locally too).
+fn let_bindings(code: &str, locals: &mut Vec<String>) {
+    let Some(at) = find_word(code, "let") else {
+        return;
+    };
+    let rest = &code[at + 3..];
+    // Pattern side: up to the `=` (assignment) or `:` (type ascription),
+    // whichever comes first.
+    let pat_end = rest.find(['=', ':']).unwrap_or(rest.len());
+    push_idents(&rest[..pat_end], locals);
+    // Closure value: `= |…|` or `= move |…|` — the first pipe pair holds
+    // the parameter list (rustfmt keeps the head on one line).
+    let Some(eq) = rest.find('=') else {
+        return;
+    };
+    let value = rest[eq + 1..].trim_start();
+    let value = value
+        .strip_prefix("move")
+        .map(str::trim_start)
+        .unwrap_or(value);
+    if let Some(head) = value.strip_prefix('|') {
+        if let Some(close) = head.find('|') {
+            // Only parameter-position identifiers: followed by `:`, `,`,
+            // or the closing pipe — not type names inside annotations.
+            let params = &head[..close];
+            for (word, next) in words_with_next(params) {
+                if matches!(next, Some(':' | ',') | None) {
+                    locals.push(word.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Start of `word` in `code` with identifier boundaries on both sides.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let at = from + rel;
+        let ok_left = !code[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let ok_right = !code[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if ok_left && ok_right {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+/// Identifiers in `s` (keywords and `_` excluded), each paired with the
+/// first non-whitespace character following it.
+fn words_with_next(s: &str) -> Vec<(&str, Option<char>)> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &s[start..i];
+            let next = s[i..].chars().find(|c| !c.is_whitespace());
+            if word != "_" && word != "mut" && word != "ref" {
+                out.push((word, next));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Pushes each identifier in `pattern` (skipping `mut`/`ref`/`_`) onto
+/// `locals`.
+fn push_idents(pattern: &str, locals: &mut Vec<String>) {
+    for (word, _) in words_with_next(pattern) {
+        locals.push(word.to_string());
+    }
+}
+
+/// Matches one classified code line against the raw-write vocabulary:
+/// [`RAW_WRITE_TOKENS`], or a statement-leading deref assignment
+/// (`*p = v` and the compound forms — rustfmt puts one statement per
+/// line, so the leading `*` identifies the store).
+fn raw_write_token(code: &str) -> Option<&'static str> {
+    for &t in RAW_WRITE_TOKENS {
+        if code.contains(t) {
+            return Some(t);
+        }
+    }
+    let trimmed = code.trim_start();
+    let trimmed = trimmed
+        .strip_prefix("unsafe {")
+        .map(str::trim_start)
+        .unwrap_or(trimmed);
+    if trimmed.starts_with('*') {
+        for op in [" = ", " += ", " -= ", " |= ", " &= ", " ^= "] {
+            if trimmed.contains(op) {
+                return Some("*… = …");
+            }
+        }
+    }
+    None
 }
 
 /// Classifies the call at token index `at` (the callee identifier).
@@ -788,6 +1046,135 @@ mod tests {
         let nodes = parse(src);
         assert_eq!(nodes.len(), 1);
         assert_eq!(nodes[0].name, "prod");
+    }
+
+    #[test]
+    fn uncovered_unsafe_writes_are_events() {
+        let src = "\
+fn scatter(out: *mut u32, i: usize, v: u32) {
+    unsafe {
+        *out.add(i) = v;
+    }
+}
+";
+        let nodes = parse(src);
+        let ev: Vec<&Event> = nodes[0]
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::UnsafeWrite)
+            .collect();
+        assert_eq!(ev.len(), 1, "{:?}", nodes[0].events);
+        assert_eq!(ev[0].line, 3);
+        assert_eq!(ev[0].token, "*… = …");
+    }
+
+    #[test]
+    fn race_region_covers_unsafe_writes() {
+        let src = "\
+fn scatter(out: *mut u32, i: usize, v: u32) {
+    crate::race_region!(\"slot\", {
+        crate::race_write!(out.wrapping_add(i), 1);
+        unsafe {
+            *out.add(i) = v;
+        }
+    });
+}
+";
+        let nodes = parse(src);
+        assert!(
+            nodes[0]
+                .events
+                .iter()
+                .all(|e| e.kind != EventKind::UnsafeWrite),
+            "{:?}",
+            nodes[0].events
+        );
+    }
+
+    #[test]
+    fn allow_race_suppresses_but_is_counted() {
+        let src = "\
+fn handout(&self, i: usize) -> &mut u32 {
+    // gaurast-check: allow(race): range registered at every call site
+    unsafe { &mut *self.slots[i].get() }
+}
+";
+        let nodes = parse(src);
+        assert!(
+            nodes[0]
+                .events
+                .iter()
+                .all(|e| e.kind != EventKind::UnsafeWrite),
+            "{:?}",
+            nodes[0].events
+        );
+        assert_eq!(
+            nodes[0]
+                .suppressed
+                .iter()
+                .filter(|e| e.kind == EventKind::UnsafeWrite)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn mutable_view_constructors_match_inside_unsafe() {
+        let src = "\
+fn rows(out: *mut u32, n: usize) {
+    unsafe {
+        let s = std::slice::from_raw_parts_mut(out, n);
+        s.fill(0);
+    }
+}
+";
+        let nodes = parse(src);
+        let ev: Vec<&Event> = nodes[0]
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::UnsafeWrite)
+            .collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].token, "from_raw_parts_mut");
+    }
+
+    #[test]
+    fn safe_code_and_unsafe_reads_are_not_write_events() {
+        let src = "\
+fn safe_assign(x: &mut u32, v: u32) {
+    *x = v;
+}
+fn unsafe_read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+";
+        let nodes = parse(src);
+        for n in &nodes {
+            assert!(
+                n.events.iter().all(|e| e.kind != EventKind::UnsafeWrite),
+                "{}: {:?}",
+                n.name,
+                n.events
+            );
+        }
+    }
+
+    #[test]
+    fn single_line_unsafe_deref_write_matches() {
+        let src = "\
+fn store(&self, c: usize, n: usize) {
+    *unsafe { self.counts.slot(c) } = n;
+}
+";
+        let nodes = parse(src);
+        assert_eq!(
+            nodes[0]
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::UnsafeWrite)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -19,6 +19,18 @@
 //! (falling back to seeded random sampling) drives the exploration. No
 //! external dependencies — the whole checker is this crate plus `std`.
 //!
+//! # Race detection
+//!
+//! Layered on the scheduler, [`races`] is a FastTrack-style happens-before
+//! race detector: per-thread vector clocks follow the release/acquire
+//! edges the code actually requested (plus spawn/join/park/unpark), and a
+//! shadow memory map of instrumented address ranges (`race_read!` /
+//! `race_write!` in `gaurast_render::sync`) flags write–write and
+//! read–write pairs unordered by happens-before, reporting both access
+//! sites and the reproduction schedule. `cargo run -p gaurast-check --
+//! races` runs the detector's self-diagnostics plus the static
+//! `unsafe-instrumentation-coverage` closure rule.
+//!
 //! # Lint pass
 //!
 //! [`lint`] enforces the invariants the compiler cannot: `SAFETY:`
@@ -47,6 +59,7 @@ pub mod deep;
 pub mod graph;
 pub mod lint;
 pub mod model;
+pub mod races;
 pub mod resolve;
 pub mod rng;
 pub mod sched;

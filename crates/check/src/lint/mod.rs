@@ -17,7 +17,7 @@ mod source;
 
 pub use rules::{
     annotated, lint_source, Finding, ALLOC_TOKENS, ALLOW_ALLOC, ALLOW_NONDET, ALLOW_PANIC,
-    DETERMINISTIC_PREFIXES, HOT_FILES, HOT_MARKER, NONDET_TOKENS, REQUIRED_HOT_FNS,
+    ALLOW_RACE, DETERMINISTIC_PREFIXES, HOT_FILES, HOT_MARKER, NONDET_TOKENS, REQUIRED_HOT_FNS,
     UNSAFE_FREE_CRATES,
 };
 pub use source::{classify, has_word, test_region_start, Line};

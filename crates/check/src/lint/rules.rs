@@ -107,6 +107,10 @@ pub const ALLOW_NONDET: &str = "gaurast-check: allow(nondet)";
 /// Escape hatch suppressing panic-freedom findings on the annotated line
 /// (deep layer only); the stated reason must carry the invariant proof.
 pub const ALLOW_PANIC: &str = "gaurast-check: allow(panic)";
+/// Escape hatch suppressing unsafe-instrumentation-coverage findings on
+/// the annotated line (deep layer only); the stated reason must say where
+/// the access range *is* registered (e.g. at every call site).
+pub const ALLOW_RACE: &str = "gaurast-check: allow(race)";
 
 /// Heap-allocating call tokens the hot-path rules match (fresh
 /// allocations, not amortized growth of recycled arena buffers).

@@ -1,13 +1,19 @@
-//! `gaurast-check` CLI: `cargo run -p gaurast-check -- <lint|deep>`.
+//! `gaurast-check` CLI: `cargo run -p gaurast-check -- <lint|deep|races>`.
 //!
 //! `lint` walks the workspace tree, applies every repo-invariant line
 //! lint rule, and exits non-zero when any finding is produced (the CI
 //! contract). `deep` builds the whole-workspace call graph and runs the
 //! transitive rules — hot-path purity, determinism taint, serving
-//! panic-freedom — printing a witness path per violation and writing the
-//! machine-readable `CHECK_report.json` at the workspace root. With no
-//! `--root`, the workspace root is discovered by walking up from the
-//! current directory to the first `Cargo.toml` containing `[workspace]`.
+//! panic-freedom, unsafe-instrumentation-coverage — printing a witness
+//! path per violation, writing the machine-readable `CHECK_report.json`
+//! under `target/artifacts/`, and enforcing the ratchet budgets in
+//! `crates/check/deep_budget.json` (unresolved calls, advisory indexing
+//! sites). `races` runs just the static race rule and prints its
+//! outcome — the focused entry point for the race-instrumentation story
+//! (the dynamic half lives in the `--cfg gaurast_model_check` test
+//! suites). With no `--root`, the workspace root is discovered by walking
+//! up from the current directory to the first `Cargo.toml` containing
+//! `[workspace]`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -20,6 +26,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("deep") => run_deep(&args[1..]),
+        Some("races") => run_races(&args[1..]),
         Some(other) => {
             eprintln!("gaurast-check: unknown command `{other}`");
             eprintln!("{USAGE}");
@@ -38,9 +45,16 @@ const USAGE: &str = "usage: gaurast-check <command> [--root PATH]\n\n\
            asserts, crate-wide unsafe bans). Exits 1 on any finding.\n\
     deep   Builds the whole-workspace call graph and runs the transitive \n\
            rules (hot-path purity, determinism taint, serving panic-\n\
-           freedom), printing a witness path per violation and writing \n\
-           CHECK_report.json at the workspace root. Exits 1 on any \n\
-           violation. `--json PATH` overrides the report location.";
+           freedom, unsafe-instrumentation-coverage), printing a witness \n\
+           path per violation, writing CHECK_report.json under \n\
+           target/artifacts/, and enforcing the ratchet budgets in \n\
+           crates/check/deep_budget.json. Exits 1 on any violation or \n\
+           budget breach. `--json PATH` overrides the report location.\n\
+    races  Runs just the unsafe-instrumentation-coverage rule: every \n\
+           unsafe write reachable from a hot root must sit inside a \n\
+           race_region! (or carry an allow(race) annotation). Exits 1 on \n\
+           any uncovered site. The dynamic race detector runs in the \n\
+           `--cfg gaurast_model_check` test suites.";
 
 fn run_lint(args: &[String]) -> ExitCode {
     let root = match parse_root(args) {
@@ -112,7 +126,10 @@ fn run_deep(args: &[String]) -> ExitCode {
         }
     };
 
-    let json_path = json_arg.unwrap_or_else(|| root.join("CHECK_report.json"));
+    let json_path = json_arg.unwrap_or_else(|| root.join("target/artifacts/CHECK_report.json"));
+    if let Some(parent) = json_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
     if let Err(err) = std::fs::write(&json_path, report.json()) {
         eprintln!(
             "gaurast-check: cannot write report to {}: {err}",
@@ -122,8 +139,12 @@ fn run_deep(args: &[String]) -> ExitCode {
     }
 
     print!("{}", report.human());
+    let breaches = budget_breaches(&root, &report);
+    for breach in &breaches {
+        println!("budget: {breach}");
+    }
     let total = report.total_violations();
-    if total == 0 {
+    if total == 0 && breaches.is_empty() {
         println!(
             "gaurast-check deep: clean ({}), report at {}",
             root.display(),
@@ -132,8 +153,117 @@ fn run_deep(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!(
-            "gaurast-check deep: {total} violation(s), report at {}",
+            "gaurast-check deep: {total} violation(s), {} budget breach(es), report at {}",
+            breaches.len(),
             json_path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Compares the report against the checked-in ratchet budgets in
+/// `crates/check/deep_budget.json`, returning one message per breach.
+/// The budgets only tighten: a growing unresolved-call or advisory-index
+/// count is a regression the vocabulary or an annotation must absorb.
+fn budget_breaches(
+    root: &std::path::Path,
+    report: &gaurast_check::deep::DeepReport,
+) -> Vec<String> {
+    let path = root.join("crates/check/deep_budget.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(_) => {
+            // Fixture trees have no budget file; the repo's CI always
+            // runs from the workspace root where it exists.
+            return Vec::new();
+        }
+    };
+    let mut out = Vec::new();
+    if let Some(max) = json_usize(&text, "unresolved_calls_max") {
+        if report.unresolved.len() > max {
+            out.push(format!(
+                "unresolved calls grew to {} (budget {max}); extend the resolver \
+                 vocabulary or fix the call shape",
+                report.unresolved.len()
+            ));
+        }
+    }
+    if let Some(max) = json_usize(&text, "advisory_index_sites_max") {
+        let advisory: usize = report.rules.iter().map(|r| r.advisory_index_sites).sum();
+        if advisory > max {
+            out.push(format!(
+                "advisory indexing sites grew to {advisory} (budget {max}); replace \
+                 new `xs[i]` sites with checked access or lower an existing one"
+            ));
+        }
+    }
+    out
+}
+
+/// First integer value following `"key":` in a flat JSON object (the
+/// budget file is machine-regular; the workspace stays dependency-free).
+fn json_usize(text: &str, key: &str) -> Option<usize> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = &text[at..];
+    let colon = rest.find(':')?;
+    let digits: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn run_races(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(Some(path)) => path,
+        Ok(None) => match discover_workspace_root() {
+            Some(path) => path,
+            None => {
+                eprintln!(
+                    "gaurast-check: no workspace root found above the current directory \
+                     (pass --root PATH)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(msg) => {
+            eprintln!("gaurast-check: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let graph = match gaurast_check::graph::CallGraph::build(&root) {
+        Ok(graph) => graph,
+        Err(err) => {
+            eprintln!("gaurast-check: i/o error while building the call graph: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let deps = gaurast_check::resolve::CrateDeps::discover(&root);
+    let res = gaurast_check::resolve::resolve(&graph, &deps);
+    let outcome = gaurast_check::deep::races::run(&graph, &res);
+
+    println!(
+        "rule {}: {} roots, {} violations, {} suppressed by allow(…)",
+        outcome.rule,
+        outcome.roots.len(),
+        outcome.violations.len(),
+        outcome.suppressed,
+    );
+    for v in &outcome.violations {
+        println!("  {}", v.render());
+    }
+    if outcome.violations.is_empty() {
+        println!("gaurast-check races: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "gaurast-check races: {} uncovered unsafe write(s) — wrap each in a \
+             race_region! that registers the access range, or annotate with \
+             `// gaurast-check: allow(race): reason`",
+            outcome.violations.len()
         );
         ExitCode::FAILURE
     }

@@ -1,0 +1,270 @@
+//! Happens-before data-race detection over the shadow scheduler: vector
+//! clocks, the shadow memory map, and the instrumentation entry points
+//! `gaurast_render`'s `race_read!`/`race_write!` macros call into.
+//!
+//! # Model
+//!
+//! Every shadow thread carries a `VClock`; the scheduler
+//! ([`crate::sched`]) maintains the clocks along the release/acquire edges
+//! the program actually requested — `Acquire` loads, `Release` stores,
+//! RMWs per their ordering, `spawn`/`join`, and `park`/`unpark`. A
+//! `Relaxed` operation contributes no edge.
+//!
+//! Instrumented shared-memory accesses are recorded on a `ShadowMemory`
+//! map at **address-range granularity**: each record is a half-open byte
+//! range `[start, start + len)` with its kind (read/write), owning shadow
+//! thread, and — the FastTrack epoch optimization — the single clock
+//! component `C_t[t]` of the accessing thread `t` at access time, instead
+//! of a full vector clock per access. A later access by thread `u` is
+//! ordered after a prior access `(t, c)` iff `C_u[t] >= c`, which is one
+//! integer comparison per candidate record.
+//!
+//! Two accesses **race** when their ranges overlap, at least one is a
+//! write, they come from different shadow threads, and neither is ordered
+//! before the other under happens-before. Because the relation is derived
+//! from the clocks and not from the particular interleaving, a single
+//! explored schedule suffices to expose a race — the report still carries
+//! the reproduction schedule string so the failing execution can be
+//! replayed.
+//!
+//! # Reporting
+//!
+//! A detected race poisons the execution (first failure wins) with a
+//! message naming **both access sites** (`file:line`, as stamped by the
+//! instrumentation macros) and kinds; [`crate::model::Model::check`]
+//! surfaces it as a [`crate::model::Violation`] whose `schedule` field is
+//! the reproduction trace.
+//!
+//! Outside a model run (`sched::current` is `None`) the entry
+//! points are no-ops, so instrumented code in a `--cfg gaurast_model_check`
+//! build still runs its ordinary test suites at full speed.
+
+use crate::sched;
+
+/// A vector clock: component `t` counts thread `t`'s release points.
+/// Missing components read as 0, so clocks grow lazily as threads spawn.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// Advances this clock's own component for thread `tid` — called at
+    /// each release point, after publishing, so accesses between releases
+    /// share one epoch.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component `tid` (0 when the clock never saw that thread).
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum — the join at every acquire edge.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (d, s) in self.0.iter_mut().zip(&other.0) {
+            *d = (*d).max(*s);
+        }
+    }
+}
+
+/// One recorded shared-memory access: a byte range, its kind, and the
+/// accessing thread's FastTrack epoch at access time.
+#[derive(Clone, Copy, Debug)]
+struct Access {
+    start: usize,
+    len: usize,
+    write: bool,
+    tid: usize,
+    /// `clock[tid]` of the accessing thread when the access happened.
+    epoch: u32,
+    /// `file:line` of the instrumentation site.
+    site: &'static str,
+}
+
+/// The shadow memory map of one execution: every instrumented access so
+/// far, race-checked pairwise against each newcomer (records of the same
+/// thread/kind/range/site collapse into one, keeping the map proportional
+/// to the number of *distinct* instrumented sites, not loop iterations).
+#[derive(Debug, Default)]
+pub(crate) struct ShadowMemory {
+    records: Vec<Access>,
+}
+
+fn kind(write: bool) -> &'static str {
+    if write {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+impl ShadowMemory {
+    /// Records one access and returns the race message if it conflicts
+    /// with an earlier access it is not happens-before ordered with.
+    pub(crate) fn record(
+        &mut self,
+        me: usize,
+        clock: &VClock,
+        start: usize,
+        len: usize,
+        write: bool,
+        site: &'static str,
+    ) -> Option<String> {
+        if len == 0 {
+            return None;
+        }
+        for r in &self.records {
+            if r.tid == me || !(r.write || write) {
+                continue;
+            }
+            let overlaps = start < r.start + r.len && r.start < start + len;
+            if !overlaps {
+                continue;
+            }
+            if clock.get(r.tid) >= r.epoch {
+                continue; // ordered: the prior access happens before us
+            }
+            return Some(format!(
+                "data race: {} of {} byte(s) at {} (T{}) is unordered with {} of {} byte(s) \
+                 at {} (T{}); ranges overlap at address {:#x}",
+                kind(r.write),
+                r.len,
+                r.site,
+                r.tid,
+                kind(write),
+                len,
+                site,
+                me,
+                start.max(r.start),
+            ));
+        }
+        let epoch = clock.get(me);
+        if let Some(r) = self
+            .records
+            .iter_mut()
+            .find(|r| r.tid == me && r.write == write && r.start == start && r.len == len)
+        {
+            r.epoch = epoch;
+            r.site = site;
+        } else {
+            self.records.push(Access {
+                start,
+                len,
+                write,
+                tid: me,
+                epoch,
+                site,
+            });
+        }
+        None
+    }
+}
+
+/// Registers an instrumented **write** of the byte range
+/// `[start, start + len)` by the calling shadow thread, poisoning the
+/// execution with a race report if it conflicts with an unordered earlier
+/// access. `site` should be the `file:line` of the write (the
+/// `race_write!` macro stamps it). No-op outside a model run.
+pub fn write_range(start: usize, len: usize, site: &'static str) {
+    if let Some((exec, tid)) = sched::current() {
+        exec.record_access(tid, start, len, true, site);
+    }
+}
+
+/// Registers an instrumented **read** — see [`write_range`]. Reads never
+/// race with other reads; only a write on an overlapping, unordered range
+/// reports. No-op outside a model run.
+pub fn read_range(start: usize, len: usize, site: &'static str) {
+    if let Some((exec, tid)) = sched::current() {
+        exec.record_access(tid, start, len, false, site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vclock_join_is_pointwise_max_with_growth() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn unordered_overlapping_writes_race() {
+        let mut mem = ShadowMemory::default();
+        let mut c0 = VClock::default();
+        c0.tick(0);
+        let mut c1 = VClock::default();
+        c1.tick(1);
+        assert!(mem.record(0, &c0, 100, 8, true, "a.rs:1").is_none());
+        let msg = mem.record(1, &c1, 104, 8, true, "b.rs:2").unwrap();
+        assert!(msg.contains("a.rs:1"), "{msg}");
+        assert!(msg.contains("b.rs:2"), "{msg}");
+        assert!(msg.contains("data race"), "{msg}");
+    }
+
+    #[test]
+    fn happens_before_ordered_accesses_do_not_race() {
+        let mut mem = ShadowMemory::default();
+        let mut c0 = VClock::default();
+        c0.tick(0);
+        assert!(mem.record(0, &c0, 100, 8, true, "a.rs:1").is_none());
+        // Thread 1 acquired thread 0's release: its clock covers epoch 1.
+        let mut c1 = VClock::default();
+        c1.tick(1);
+        c1.join(&c0);
+        assert!(mem.record(1, &c1, 100, 8, true, "b.rs:2").is_none());
+    }
+
+    #[test]
+    fn disjoint_ranges_and_read_read_do_not_race() {
+        let mut mem = ShadowMemory::default();
+        let mut c0 = VClock::default();
+        c0.tick(0);
+        let mut c1 = VClock::default();
+        c1.tick(1);
+        assert!(mem.record(0, &c0, 0, 8, true, "a.rs:1").is_none());
+        assert!(mem.record(1, &c1, 8, 8, true, "b.rs:2").is_none());
+        assert!(mem.record(0, &c0, 64, 4, false, "a.rs:3").is_none());
+        assert!(mem.record(1, &c1, 64, 4, false, "b.rs:4").is_none());
+    }
+
+    #[test]
+    fn read_write_conflicts_race_both_ways() {
+        let mut mem = ShadowMemory::default();
+        let mut c0 = VClock::default();
+        c0.tick(0);
+        let mut c1 = VClock::default();
+        c1.tick(1);
+        assert!(mem.record(0, &c0, 0, 8, false, "a.rs:1").is_none());
+        assert!(mem.record(1, &c1, 0, 8, true, "b.rs:2").is_some());
+        let mut mem = ShadowMemory::default();
+        assert!(mem.record(0, &c0, 0, 8, true, "a.rs:1").is_none());
+        assert!(mem.record(1, &c1, 4, 8, false, "b.rs:2").is_some());
+    }
+
+    #[test]
+    fn same_thread_never_races_and_records_collapse() {
+        let mut mem = ShadowMemory::default();
+        let mut c0 = VClock::default();
+        c0.tick(0);
+        for _ in 0..100 {
+            assert!(mem.record(0, &c0, 0, 8, true, "a.rs:1").is_none());
+        }
+        assert_eq!(mem.records.len(), 1);
+    }
+}

@@ -388,6 +388,58 @@ const UBIQUITOUS_METHODS: &[&str] = &[
     "resize_with",
     "into_inner",
     "total_cmp",
+    "unsigned_abs",
+    "saturating_mul",
+    "wrapping_mul",
+    "log10",
+    "cbrt",
+    "extend_from_slice",
+    "as_ptr",
+    "as_mut_ptr",
+    "as_deref_mut",
+    "read_line",
+    "read_exact",
+    "canonicalize",
+    "unpark",
+    "park",
+    "append",
+    "into_bytes",
+    "partition_point",
+    "copy_within",
+    "shrink_to_fit",
+    "thread",
+    "debug_struct",
+    "debug_tuple",
+    "field",
+    "finish_non_exhaustive",
+    // Vendored-rand vocabulary: the RNG is a workspace-vendored external
+    // whose sources sit outside the graph's `src/` trees.
+    "gen_range",
+    "fill_bytes",
+    "next_u32",
+    "next_u64",
+    "seed_from_u64",
+];
+
+/// Workspace methods and constructors defined *inside* `macro_rules!`
+/// bodies (`impl_vec_common!` in `crates/math/src/vec.rs`): the parser
+/// skips macro bodies (they are token soup), so these never become graph
+/// nodes, and a call through them cannot edge anywhere. They are pure
+/// value math — the math crate is `#![forbid(unsafe_code)]` and under the
+/// full line-lint — so resolving them external loses no effects.
+const MACRO_IMPL_METHODS: &[&str] = &[
+    "splat",
+    "zero",
+    "one",
+    "dot",
+    "hadamard",
+    "length",
+    "length_squared",
+    "lerp",
+    "normalized",
+    "try_normalized",
+    "max_component",
+    "min_component",
 ];
 
 /// Free-function names resolved external when no workspace match exists
@@ -674,6 +726,13 @@ fn resolve_one(
                     return Targets::Workspace(visible);
                 }
             }
+            if node.locals.iter().any(|l| l == &call.name) {
+                // A parameter or `let`-bound closure: the invocation runs
+                // a body the graph attributes elsewhere (closure bodies
+                // belong to the function that *defines* them), so the
+                // call site itself adds no edge.
+                return Targets::External;
+            }
             if STD_FREE_FNS.contains(&call.name.as_str()) || is_constructor(&call.name) {
                 // Uppercase-initial callees are tuple-struct or enum
                 // variant constructors (`InvalidConfig(msg)`, `Cuda(id)`)
@@ -717,6 +776,7 @@ fn resolve_one(
                 // (`std`, `cmp`, `arch`); their effects are token events.
                 Targets::External
             } else if UBIQUITOUS_METHODS.contains(&call.name.as_str())
+                || MACRO_IMPL_METHODS.contains(&call.name.as_str())
                 || call.name == "new"
                 || call.name == "default"
                 || call.name == "with_capacity"
@@ -731,7 +791,9 @@ fn resolve_one(
             }
         }
         CallKind::Method => {
-            if UBIQUITOUS_METHODS.contains(&call.name.as_str()) {
+            if UBIQUITOUS_METHODS.contains(&call.name.as_str())
+                || MACRO_IMPL_METHODS.contains(&call.name.as_str())
+            {
                 return Targets::External;
             }
             if let Some(cands) = methods_by_name.get(call.name.as_str()) {

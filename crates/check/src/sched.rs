@@ -16,10 +16,13 @@
 //!
 //! The explored semantics are **sequentially consistent** interleavings:
 //! one atomic operation is one indivisible scheduling step. Weaker
-//! `Ordering`s are accepted and ignored (they are audited by hand and
-//! documented at each call site in `gaurast-render`); what the checker
-//! proves is protocol logic — exactly-once claims, disjoint writes,
-//! termination — over every (or a sampled set of) SC interleavings.
+//! `Ordering`s execute as SC, but they are **not** ignored: each
+//! operation's requested ordering decides which vector-clock edges it
+//! contributes to the happens-before relation (see below), so the race
+//! detector checks the orderings the code actually wrote down. What the
+//! checker proves is protocol logic — exactly-once claims, disjoint
+//! writes, termination, data-race freedom of the instrumented ranges —
+//! over every (or a sampled set of) SC interleavings.
 //!
 //! # Exploration
 //!
@@ -31,9 +34,24 @@
 //! [`Strategy::Random`] replaces the choice with a seeded
 //! [`XorShift64`] draw — the sampling mode for
 //! interleavings too large to enumerate.
+//!
+//! # Happens-before tracking
+//!
+//! On top of the SC interleaving, every execution maintains per-thread
+//! **vector clocks** (`races::VClock`) and builds the
+//! happens-before relation from the orderings the program actually wrote
+//! down: an `Acquire` load joins the loading thread's clock with the
+//! atomic object's release clock, a `Release` store publishes the storing
+//! thread's clock into it, RMWs do both sides per their ordering, and
+//! `spawn`/`join`/`park`/`unpark` contribute their standard edges. A
+//! `Relaxed` operation contributes **no** edge — so a protocol that relies
+//! on an ordering it never requested shows up as a data race on the
+//! shadow memory map ([`crate::races`]), not as a silent pass.
 
+use crate::races::{ShadowMemory, VClock};
 use crate::rng::XorShift64;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Panic payload used to unwind shadow threads once an execution is
@@ -96,6 +114,17 @@ struct State {
     strategy: Strategy,
     /// Yield points executed — a livelock guard.
     ops: u64,
+    /// Per-thread vector clocks (the happens-before relation).
+    clocks: Vec<VClock>,
+    /// Per-atomic-object release clocks, keyed by the shadow atomic's
+    /// address: the join of every clock published into the object by a
+    /// `Release`-or-stronger operation.
+    released: HashMap<usize, VClock>,
+    /// Pending release clock delivered by `unpark`, joined into the target
+    /// thread's clock when its `park` returns (park/unpark synchronize).
+    unpark_clocks: Vec<VClock>,
+    /// The shadow memory map race-checked by [`crate::races`].
+    mem: ShadowMemory,
 }
 
 /// One serialized run of the program under test (see module docs).
@@ -130,6 +159,8 @@ impl Execution {
     /// A fresh execution whose controlling thread is shadow thread 0
     /// (runnable and active).
     pub(crate) fn new(strategy: Strategy, max_ops: u64) -> Arc<Self> {
+        let mut clock0 = VClock::default();
+        clock0.tick(0);
         Arc::new(Self {
             state: Mutex::new(State {
                 threads: vec![ThreadState::Runnable],
@@ -140,6 +171,10 @@ impl Execution {
                 decisions: Vec::new(),
                 strategy,
                 ops: 0,
+                clocks: vec![clock0],
+                released: HashMap::new(),
+                unpark_clocks: vec![VClock::default()],
+                mem: ShadowMemory::default(),
             }),
             turn: Condvar::new(),
             max_ops,
@@ -242,6 +277,57 @@ impl Execution {
         }
     }
 
+    /// Applies the release/acquire vector-clock edge of one shadow atomic
+    /// operation on the object at address `obj`. Called by the shadow
+    /// atomics *after* their [`Execution::yield_point`] — the scheduler is
+    /// serialized, so nothing runs between the two. `acquire` joins the
+    /// object's release clock into the thread's; `release` publishes the
+    /// thread's clock into the object's and then advances the thread's own
+    /// epoch. A `Relaxed` operation passes `false` for both and leaves the
+    /// happens-before relation untouched.
+    pub(crate) fn atomic_edge(&self, me: usize, obj: usize, acquire: bool, release: bool) {
+        if !acquire && !release {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        let st = &mut *st;
+        if acquire {
+            if let Some(rel) = st.released.get(&obj) {
+                st.clocks[me].join(rel);
+            }
+        }
+        if release {
+            st.released.entry(obj).or_default().join(&st.clocks[me]);
+            st.clocks[me].tick(me);
+        }
+    }
+
+    /// Records one instrumented shared-memory access on the shadow memory
+    /// map and poisons the execution (first failure wins, unwinding the
+    /// caller) if it is unordered, under happens-before, with a conflicting
+    /// earlier access. See [`crate::races`].
+    pub(crate) fn record_access(
+        &self,
+        me: usize,
+        start: usize,
+        len: usize,
+        write: bool,
+        site: &'static str,
+    ) {
+        let mut st = self.state.lock().unwrap();
+        if st.poisoned.is_some() {
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+        let stm = &mut *st;
+        if let Some(msg) = stm.mem.record(me, &stm.clocks[me], start, len, write, site) {
+            stm.poisoned = Some(msg);
+            self.turn.notify_all();
+            drop(st);
+            std::panic::panic_any(ABORT_MSG);
+        }
+    }
+
     /// Shadow [`std::thread::park`]: a scheduling point that either
     /// consumes a pending unpark token (and keeps running) or parks the
     /// calling thread until [`Execution::unpark`] wakes it. Parking when no
@@ -265,9 +351,12 @@ impl Execution {
             std::panic::panic_any(ABORT_MSG);
         }
         if st.tokens[me] {
-            // A banked unpark: consume it and return immediately, yielding
-            // the schedule like any other operation.
+            // A banked unpark: consume it (and the unparker's release
+            // clock — park/unpark synchronize) and return immediately,
+            // yielding the schedule like any other operation.
             st.tokens[me] = false;
+            let pending = std::mem::take(&mut st.unpark_clocks[me]);
+            st.clocks[me].join(&pending);
             let next = self.choose_locked(&mut st);
             if next != me {
                 st.active = next;
@@ -290,16 +379,27 @@ impl Execution {
             drop(st);
             std::panic::panic_any(ABORT_MSG);
         }
-        let _st = self.wait_for_turn(st, me);
+        let mut st = self.wait_for_turn(st, me);
+        // The wakeup synchronizes: everything the unparker did before its
+        // `unpark` happens before anything we do after this `park`.
+        let pending = std::mem::take(&mut st.unpark_clocks[me]);
+        st.clocks[me].join(&pending);
     }
 
     /// Shadow [`std::thread::Thread::unpark`]: wakes a parked shadow thread
     /// (making it runnable again) or banks a token its next `park`
     /// consumes. Not itself a yield point — the caller keeps running, and
     /// the woken thread competes at the next decision point, exactly like
-    /// the real primitive.
-    pub(crate) fn unpark(&self, tid: usize) {
+    /// the real primitive. `who` is the unparking thread's shadow id when
+    /// it belongs to this execution: its clock is published as the release
+    /// side of the park/unpark synchronization edge.
+    pub(crate) fn unpark(&self, tid: usize, who: Option<usize>) {
         let mut st = self.state.lock().unwrap();
+        if let Some(w) = who {
+            let clock = st.clocks[w].clone();
+            st.unpark_clocks[tid].join(&clock);
+            st.clocks[w].tick(w);
+        }
         if st.threads[tid] == ThreadState::Parked {
             st.threads[tid] = ThreadState::Runnable;
             st.tokens[tid] = false;
@@ -318,13 +418,21 @@ impl Execution {
     /// id. The spawner keeps running: spawning is not itself a yield point
     /// (the child cannot touch shared state before its first scheduled
     /// activation, and the parent yields at its own next atomic operation
-    /// or join, where the schedule may switch to the child).
-    pub(crate) fn register_child(&self) -> usize {
+    /// or join, where the schedule may switch to the child). The spawn is
+    /// a release edge: the child's clock starts as a copy of `parent`'s,
+    /// so everything the parent did so far happens before the child.
+    pub(crate) fn register_child(&self, parent: usize) -> usize {
         let mut st = self.state.lock().unwrap();
         st.threads.push(ThreadState::Runnable);
         st.waiting.push(None);
         st.tokens.push(false);
-        st.threads.len() - 1
+        let child = st.threads.len() - 1;
+        let mut clock = st.clocks[parent].clone();
+        clock.tick(child);
+        st.clocks.push(clock);
+        st.clocks[parent].tick(parent);
+        st.unpark_clocks.push(VClock::default());
+        child
     }
 
     /// First park of a freshly spawned shadow thread: wait to be scheduled
@@ -393,6 +501,7 @@ impl Execution {
             .iter()
             .all(|&c| st.threads[c] == ThreadState::Finished)
         {
+            Self::join_clocks(&mut st, me, children);
             return;
         }
         st.threads[me] = ThreadState::Blocked;
@@ -407,7 +516,17 @@ impl Execution {
             drop(st);
             std::panic::panic_any(ABORT_MSG);
         }
-        let _st = self.wait_for_turn(st, me);
+        let mut st = self.wait_for_turn(st, me);
+        Self::join_clocks(&mut st, me, children);
+    }
+
+    /// The acquire side of a thread join: everything each finished child
+    /// did happens before anything the joiner does next.
+    fn join_clocks(st: &mut State, me: usize, children: &[usize]) {
+        for &c in children {
+            let clock = st.clocks[c].clone();
+            st.clocks[me].join(&clock);
+        }
     }
 }
 

@@ -13,10 +13,14 @@
 //! Only the primitives the renderer's protocols use are shadowed:
 //! [`AtomicUsize`], [`scope`]/[`Scope::spawn`], and the persistent-pool
 //! set — [`spawn`]/[`JoinHandle`], [`park`], [`current`] and
-//! [`Thread::unpark`]. `Ordering` arguments are accepted for API
-//! compatibility and ignored — the checker explores sequentially
-//! consistent interleavings (see [`crate::sched`] for why that is the
-//! honest contract).
+//! [`Thread::unpark`]. Execution is sequentially consistent (one atomic
+//! operation is one indivisible scheduling step), but each operation's
+//! `Ordering` argument decides the happens-before edges it contributes to
+//! the race detector's vector clocks: `Acquire`-or-stronger loads join
+//! the object's release clock, `Release`-or-stronger stores publish the
+//! thread's clock, RMWs do both per their ordering, and `Relaxed`
+//! contributes no edge — so [`crate::races`] checks the orderings the
+//! protocols actually wrote down instead of trusting a hand audit.
 
 use crate::sched::{self, Execution};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -34,12 +38,30 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Yields to the virtual scheduler if the calling thread is part of a
-/// model run; no-op otherwise.
+/// Whether an ordering carries an acquire edge.
+fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Whether an ordering carries a release edge.
+fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// One shadow atomic operation on the object at address `obj`: a yield
+/// point of the virtual scheduler followed by the vector-clock edge the
+/// requested ordering carries. No-op outside a model run.
 #[inline]
-fn maybe_yield() {
+fn sync_op(obj: usize, acquire: bool, release: bool) {
     if let Some((exec, tid)) = sched::current() {
         exec.yield_point(tid);
+        exec.atomic_edge(tid, obj, acquire, release);
     }
 }
 
@@ -61,54 +83,83 @@ impl AtomicUsize {
         }
     }
 
-    /// Loads the value. The `Ordering` is accepted and ignored (SC model).
+    /// This atomic's identity on the scheduler's release-clock map.
     #[inline]
-    pub fn load(&self, _order: Ordering) -> usize {
-        maybe_yield();
+    fn obj(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Loads the value. Executed SC; the `Ordering` decides the acquire
+    /// edge (`Acquire`/`SeqCst` join the object's release clock,
+    /// `Relaxed` does not).
+    #[inline]
+    pub fn load(&self, order: Ordering) -> usize {
+        sync_op(self.obj(), acquires(order), false);
         self.inner.load(Ordering::SeqCst)
     }
 
-    /// Stores `value`. The `Ordering` is accepted and ignored (SC model).
+    /// Stores `value`. Executed SC; the `Ordering` decides the release
+    /// edge (`Release`/`SeqCst` publish the thread's clock, `Relaxed`
+    /// does not).
     #[inline]
-    pub fn store(&self, value: usize, _order: Ordering) {
-        maybe_yield();
+    pub fn store(&self, value: usize, order: Ordering) {
+        sync_op(self.obj(), false, releases(order));
         self.inner.store(value, Ordering::SeqCst);
     }
 
     /// Atomically adds `value`, returning the previous value. One
-    /// indivisible scheduling step, like the hardware operation it models.
+    /// indivisible scheduling step, like the hardware operation it models,
+    /// with acquire/release edges per the requested `Ordering`.
     #[inline]
-    pub fn fetch_add(&self, value: usize, _order: Ordering) -> usize {
-        maybe_yield();
+    pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        sync_op(self.obj(), acquires(order), releases(order));
         self.inner.fetch_add(value, Ordering::SeqCst)
     }
 
     /// Atomically subtracts `value`, returning the previous value.
     #[inline]
-    pub fn fetch_sub(&self, value: usize, _order: Ordering) -> usize {
-        maybe_yield();
+    pub fn fetch_sub(&self, value: usize, order: Ordering) -> usize {
+        sync_op(self.obj(), acquires(order), releases(order));
         self.inner.fetch_sub(value, Ordering::SeqCst)
     }
 
     /// Atomically swaps in `value`, returning the previous value.
     #[inline]
-    pub fn swap(&self, value: usize, _order: Ordering) -> usize {
-        maybe_yield();
+    pub fn swap(&self, value: usize, order: Ordering) -> usize {
+        sync_op(self.obj(), acquires(order), releases(order));
         self.inner.swap(value, Ordering::SeqCst)
     }
 
-    /// Compare-and-exchange, one indivisible scheduling step.
+    /// Compare-and-exchange, one indivisible scheduling step. A successful
+    /// exchange carries the `success` ordering's edges; a failed one only
+    /// the `failure` ordering's acquire edge (it does not write).
     #[inline]
     pub fn compare_exchange(
         &self,
         current: usize,
         new: usize,
-        _success: Ordering,
-        _failure: Ordering,
+        success: Ordering,
+        failure: Ordering,
     ) -> Result<usize, usize> {
-        maybe_yield();
-        self.inner
-            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        match sched::current() {
+            None => self
+                .inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst),
+            Some((exec, tid)) => {
+                exec.yield_point(tid);
+                let result =
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                let order = if result.is_ok() { success } else { failure };
+                exec.atomic_edge(
+                    tid,
+                    self.obj(),
+                    acquires(order),
+                    result.is_ok() && releases(order),
+                );
+                result
+            }
+        }
     }
 
     /// Consumes the atomic and returns the contained value (no yield: the
@@ -140,7 +191,14 @@ impl Thread {
     /// accumulate), enumerated by the scheduler inside a model run.
     pub fn unpark(&self) {
         match &self.shadow {
-            Some((exec, tid)) => exec.unpark(*tid),
+            Some((exec, tid)) => {
+                // The unparker's clock rides along as the release side of
+                // the park/unpark edge — when it is a shadow thread of the
+                // same execution.
+                let who =
+                    sched::current().and_then(|(cur, me)| Arc::ptr_eq(&cur, exec).then_some(me));
+                exec.unpark(*tid, who);
+            }
             None => self.inner.unpark(),
         }
     }
@@ -195,8 +253,8 @@ where
             };
             JoinHandle { inner, thread }
         }
-        Some((exec, _parent)) => {
-            let tid = exec.register_child();
+        Some((exec, parent)) => {
+            let tid = exec.register_child(parent);
             let exec2 = Arc::clone(&exec);
             let inner = std::thread::spawn(move || {
                 sched::set_current(Arc::clone(&exec2), tid);
@@ -281,8 +339,8 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     {
         match &self.exec {
             None => self.inner.spawn(f),
-            Some((exec, _parent)) => {
-                let tid = exec.register_child();
+            Some((exec, parent)) => {
+                let tid = exec.register_child(*parent);
                 self.children.lock().unwrap().push(tid);
                 let exec = Arc::clone(exec);
                 self.inner.spawn(move || {

@@ -134,6 +134,38 @@ fn guarded_access_and_a_justified_expect_pass_serving() {
 }
 
 #[test]
+fn an_uncovered_unsafe_write_two_calls_deep_fails_coverage_with_the_witness() {
+    let report = run("bad_races");
+    let races = rule(&report, "unsafe-instrumentation-coverage");
+    assert_eq!(
+        races.roots,
+        vec!["scat::scatter_root"],
+        "the hot marker roots the rule"
+    );
+    assert_eq!(races.violations.len(), 1, "{races:?}");
+    let v = &races.violations[0];
+    assert_eq!(
+        v.witness,
+        vec!["scat::scatter_root", "scat::stage", "scat::scatter"],
+        "witness must walk the whole chain, root first"
+    );
+    assert_eq!(v.token, "*… = …");
+    assert_eq!(v.file, "crates/scat/src/lib.rs");
+    assert_eq!(v.line, 15);
+}
+
+#[test]
+fn region_covered_and_allow_annotated_writes_pass_coverage() {
+    let report = run("good_races");
+    let races = rule(&report, "unsafe-instrumentation-coverage");
+    assert!(races.violations.is_empty(), "{races:?}");
+    assert_eq!(
+        races.suppressed, 1,
+        "the justified uncovered write stays visible as a suppression"
+    );
+}
+
+#[test]
 fn a_call_the_resolver_cannot_map_is_reported_not_dropped() {
     let report = run("misresolved");
     assert_eq!(report.unresolved.len(), 1, "{:?}", report.unresolved);
@@ -160,7 +192,7 @@ fn fixture_reports_carry_consistent_graph_statistics() {
     assert!(report.edges >= 2, "root→helper→deeper must both resolve");
     let json = report.json();
     assert!(
-        json.contains("\"schema\": \"gaurast-check/deep/v1\""),
+        json.contains("\"schema\": \"gaurast-check/deep/v2\""),
         "{json}"
     );
     assert!(json.contains("\"total_violations\": 1"), "{json}");

@@ -1,0 +1,16 @@
+//! Bad fixture: the hot root reaches an unsafe write two calls deep
+//! that no `race_region!` covers — only the transitive coverage rule
+//! sees it, and the witness must name the whole chain.
+
+// gaurast-check: hot-path
+pub fn scatter_root(dst: &mut [u32]) {
+    stage(dst);
+}
+
+fn stage(dst: &mut [u32]) {
+    scatter(dst.as_mut_ptr(), dst.len());
+}
+
+fn scatter(dst: *mut u32, n: usize) {
+    unsafe { *dst = n as u32 };
+}

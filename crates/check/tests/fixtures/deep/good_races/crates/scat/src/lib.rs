@@ -1,0 +1,21 @@
+//! Good twin: the same chain, but one write sits inside a
+//! `race_region!` that registers the range and the other carries an
+//! `allow(race)` justification — covered and suppressed, respectively.
+
+// gaurast-check: hot-path
+pub fn scatter_root(dst: &mut [u32]) {
+    stage(dst);
+}
+
+fn stage(dst: &mut [u32]) {
+    scatter(dst.as_mut_ptr(), dst.len());
+}
+
+fn scatter(dst: *mut u32, n: usize) {
+    race_region!("fixture scatter", {
+        unsafe { *dst = n as u32 };
+    });
+    // gaurast-check: allow(race): fixture — the caller registers this
+    // range with the shadow detector before handing the pointer down.
+    unsafe { *dst = 0 };
+}

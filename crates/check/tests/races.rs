@@ -1,0 +1,209 @@
+//! End-to-end tests of the happens-before race detector: mutant replicas
+//! of the renderer's two classic instrumentation-visible bugs (an
+//! off-by-one scatter placement that overlaps output ranges, and a
+//! `Relaxed` generation handoff whose publication carries no release
+//! edge), their correct twins, the synchronization edges the detector
+//! must honor (spawn/join, park/unpark), and the static half of the
+//! story — the repository's own `unsafe-instrumentation-coverage` rule
+//! run as a plain `cargo test`.
+//!
+//! Everything here drives `gaurast_check`'s shadow primitives directly,
+//! so no `--cfg gaurast_model_check` build is needed: the cfg only
+//! switches `gaurast_render`'s facade; the detector itself is always
+//! compiled. Detection is derived from vector clocks, not from the
+//! particular interleaving, so a single explored schedule suffices to
+//! expose each race — the asserts still check the report carries a
+//! reproduction schedule.
+
+use gaurast_check::model::Model;
+use gaurast_check::races::{read_range, write_range};
+use gaurast_check::shadow::{park, scope, spawn, AtomicUsize};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+/// The scatter mutant of the ISSUE: an off-by-one placement hands chunk 0
+/// the range `[0, 5)` instead of `[0, 4)`, overlapping chunk 1's `[4, 8)`
+/// by one byte. The two writes are unordered siblings, so the detector
+/// must report a write-write race naming both sites, with a reproduction
+/// schedule.
+#[test]
+fn mutant_off_by_one_scatter_overlap_races() {
+    let violation = Model::new()
+        .check(|| {
+            let out = [0u8; 8];
+            let base = out.as_ptr() as usize;
+            scope(|s| {
+                // BUG under test: chunk 0's range is one byte too long.
+                s.spawn(move || write_range(base, 5, "scatter.rs:chunk0"));
+                s.spawn(move || write_range(base + 4, 4, "scatter.rs:chunk1"));
+            });
+        })
+        .expect_err("overlapping unordered scatter writes must race");
+    assert!(
+        violation.message.contains("data race"),
+        "unexpected violation: {violation}"
+    );
+    assert!(
+        violation.message.contains("scatter.rs:chunk0")
+            && violation.message.contains("scatter.rs:chunk1"),
+        "the report must name both access sites: {violation}"
+    );
+    assert!(
+        violation.schedule.contains('T'),
+        "violation must carry a reproduction schedule: {violation}"
+    );
+}
+
+/// The correct twin: exclusive-prefix placement gives the chunks disjoint
+/// ranges, and disjoint unordered writes are not a race.
+#[test]
+fn disjoint_scatter_ranges_are_clean() {
+    let report = Model::new()
+        .check(|| {
+            let out = [0u8; 8];
+            let base = out.as_ptr() as usize;
+            scope(|s| {
+                s.spawn(move || write_range(base, 4, "scatter.rs:chunk0"));
+                s.spawn(move || write_range(base + 4, 4, "scatter.rs:chunk1"));
+            });
+        })
+        .expect("disjoint ranges must pass on every schedule");
+    assert!(report.schedules > 1, "two writers must actually interleave");
+}
+
+/// The generation-handoff mutant of the ISSUE: the dispatcher fills the
+/// mailbox and bumps the generation with `Relaxed` — deleting the release
+/// edge the protocol depends on. On any schedule where the worker
+/// observes the bump and drains, its read of the mailbox is unordered
+/// with the dispatcher's write: a read-write race.
+#[test]
+fn mutant_relaxed_generation_handoff_races() {
+    let violation = Model::new()
+        .check(|| {
+            let generation = AtomicUsize::new(0);
+            let mailbox = [0u64; 8];
+            let base = mailbox.as_ptr() as usize;
+            scope(|s| {
+                s.spawn(|| {
+                    if generation.load(Ordering::Acquire) != 0 {
+                        read_range(base, 64, "worker.rs:drain");
+                    }
+                });
+                write_range(base, 64, "dispatch.rs:publish");
+                // BUG under test: the bump is Relaxed, so the worker's
+                // acquire load synchronizes with nothing.
+                generation.store(1, Ordering::Relaxed);
+            });
+        })
+        .expect_err("an un-released publication must race with the drain");
+    assert!(
+        violation.message.contains("data race"),
+        "unexpected violation: {violation}"
+    );
+    assert!(
+        violation.message.contains("dispatch.rs:publish")
+            && violation.message.contains("worker.rs:drain"),
+        "the report must name both access sites: {violation}"
+    );
+    assert!(
+        violation.schedule.contains('T'),
+        "violation must carry a reproduction schedule: {violation}"
+    );
+}
+
+/// The correct twin: a `Release` bump makes the worker's acquire load
+/// synchronize with the publication, ordering write before read on every
+/// schedule where the drain happens at all.
+#[test]
+fn release_acquire_generation_handoff_is_clean() {
+    let report = Model::new()
+        .check(|| {
+            let generation = AtomicUsize::new(0);
+            let mailbox = [0u64; 8];
+            let base = mailbox.as_ptr() as usize;
+            scope(|s| {
+                s.spawn(|| {
+                    if generation.load(Ordering::Acquire) != 0 {
+                        read_range(base, 64, "worker.rs:drain");
+                    }
+                });
+                write_range(base, 64, "dispatch.rs:publish");
+                generation.store(1, Ordering::Release);
+            });
+        })
+        .expect("release/acquire orders the handoff on every schedule");
+    assert!(
+        report.schedules > 1,
+        "the worker must interleave with the dispatcher"
+    );
+}
+
+/// Spawn and join are happens-before edges: a write before `spawn`, the
+/// child's own write, and a write after `join` form a chain over the same
+/// range with no two accesses unordered.
+#[test]
+fn spawn_and_join_edges_order_same_range_writes() {
+    Model::new()
+        .check(|| {
+            let cell = [0u64; 1];
+            let base = cell.as_ptr() as usize;
+            write_range(base, 8, "parent.rs:before-spawn");
+            let child = spawn(move || write_range(base, 8, "child.rs:body"));
+            child.join().expect("child runs clean");
+            write_range(base, 8, "parent.rs:after-join");
+        })
+        .expect("spawn/join edges must order the three writes");
+}
+
+/// Unpark publishes and a returning `park` acquires — the same edge the
+/// real pool's wakeup protocol leans on — so a write made before `unpark`
+/// is ordered before the woken thread's read on every schedule (including
+/// the token path where `unpark` lands first and `park` returns
+/// immediately).
+#[test]
+fn unpark_edge_orders_write_before_woken_read() {
+    Model::new()
+        .check(|| {
+            let cell = [0u64; 1];
+            let base = cell.as_ptr() as usize;
+            let worker = spawn(move || {
+                park();
+                read_range(base, 8, "worker.rs:after-park");
+            });
+            write_range(base, 8, "dispatch.rs:before-unpark");
+            worker.thread().unpark();
+            worker.join().expect("worker runs clean");
+        })
+        .expect("the unpark→park edge must order the handoff");
+}
+
+/// The static half, wired into plain `cargo test` like the lint and deep
+/// self-checks: every unsafe write reachable from the repository's hot
+/// roots must sit inside a `race_region!` or carry an `allow(race)`
+/// justification — the coverage that keeps the dynamic detector above
+/// from being vacuous on the real renderer.
+#[test]
+fn the_workspace_has_no_uncovered_unsafe_writes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check sits two levels under the workspace root");
+    let graph = gaurast_check::graph::CallGraph::build(root).expect("graph build");
+    let deps = gaurast_check::resolve::CrateDeps::discover(root);
+    let res = gaurast_check::resolve::resolve(&graph, &deps);
+    let outcome = gaurast_check::deep::races::run(&graph, &res);
+    assert!(
+        !outcome.roots.is_empty(),
+        "the hot markers moved — the rule found no roots"
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "uncovered unsafe writes reachable from hot roots:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(gaurast_check::deep::Violation::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -55,7 +55,7 @@ fn the_workspace_passes_deep_analysis_clean() {
         "graph covers the workspace: {}",
         report.nodes
     );
-    assert_eq!(report.rules.len(), 3);
+    assert_eq!(report.rules.len(), 4);
     for rule in &report.rules {
         assert!(
             !rule.roots.is_empty(),

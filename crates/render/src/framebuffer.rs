@@ -296,6 +296,24 @@ impl TileViewMut<'_> {
         self.color[py as usize][px as usize] = color;
         self.transmittance[py as usize][px as usize] = transmittance;
     }
+
+    /// Registers this view's row ranges as written by the calling thread
+    /// on the shadow race detector ([`crate::race_write!`]). The tile jobs
+    /// call this on entry, so a binning bug that hands two jobs
+    /// overlapping views fails a model run as a data race instead of
+    /// silently corrupting pixels. Empty in ordinary builds.
+    #[inline]
+    pub fn race_register(&self) {
+        #[cfg(gaurast_model_check)]
+        {
+            for row in &self.color {
+                crate::race_write!(row.as_ptr(), row.len());
+            }
+            for row in &self.transmittance {
+                crate::race_write!(row.as_ptr(), row.len());
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -361,6 +361,8 @@ impl<T> ChunkSlots<T> {
     // SAFETY: the caller is slot `i`'s sole accessor (contract above).
     unsafe fn slot(&self, i: usize) -> &mut T {
         // SAFETY: exclusivity is the caller's contract, stated above.
+        // gaurast-check: allow(race): every call site sits in a
+        // race_region! that registers this slot's range first
         unsafe { &mut *self.slots[i].get() }
     }
 
@@ -454,10 +456,13 @@ impl<'a> FrameRunner<'a> {
 
     /// S1 job `c`: preprocess the chunk's Gaussians into slot `c`.
     fn stage1(&self, c: usize) {
-        // SAFETY: job `c` is this slot's sole accessor (pool jobs are
-        // claimed exactly once; only `stage1(c)` touches `chunks[c]`
-        // during the dispatch).
-        let slot = unsafe { self.chunks.slot(c) };
+        let slot = crate::race_region!("per-chunk S1 slot", {
+            crate::race_write!(self.chunks.slots[c].get(), 1);
+            // SAFETY: job `c` is this slot's sole accessor (pool jobs are
+            // claimed exactly once; only `stage1(c)` touches `chunks[c]`
+            // during the dispatch).
+            unsafe { self.chunks.slot(c) }
+        });
         *slot = preprocess_range(
             self.scene,
             self.camera,
@@ -470,18 +475,24 @@ impl<'a> FrameRunner<'a> {
     /// (its covered-tile total). Element-wise on S1: reads only slot `c`.
     fn count(&self, c: usize) {
         let (w, h, ts) = (self.camera.width(), self.camera.height(), self.tile_size);
-        // SAFETY: job `c` is the sole accessor of both slots during this
-        // dispatch; in the fused dispatch S1's write of `chunks[c]`
-        // happens earlier on this same thread.
-        let chunk = unsafe { self.chunks.slot(c) };
+        let chunk = crate::race_region!("per-chunk S1 slot readback", {
+            crate::race_read!(self.chunks.slots[c].get(), 1);
+            // SAFETY: job `c` is the sole accessor of both slots during
+            // this dispatch; in the fused dispatch S1's write of
+            // `chunks[c]` happens earlier on this same thread.
+            unsafe { self.chunks.slot(c) }
+        });
         let mut n = 0usize;
         for s in &chunk.splats {
             if let Some((x0, y0, x1, y1)) = tile_range(s, w, h, ts) {
                 n += (x1 - x0 + 1) as usize * (y1 - y0 + 1) as usize;
             }
         }
-        // SAFETY: as above — only `count(c)` writes `counts[c]`.
-        *unsafe { self.counts.slot(c) } = n;
+        crate::race_region!("per-chunk COUNT slot", {
+            crate::race_write!(self.counts.slots[c].get(), 1);
+            // SAFETY: as above — only `count(c)` writes `counts[c]`.
+            *unsafe { self.counts.slot(c) } = n;
+        });
     }
 
     /// STITCH: concatenate chunk splats in index order (bit-identical to
@@ -541,21 +552,26 @@ impl<'a> FrameRunner<'a> {
         let (w, h, ts) = (self.camera.width(), self.camera.height(), self.tile_size);
         let tiles_x = w.div_ceil(ts);
         let mut pos = self.key_base[c];
+        let chunk_len = self.key_base[c + 1] - pos;
+        crate::race_write!(self.keys_ptr.wrapping_add(pos), chunk_len);
+        crate::race_write!(self.values_ptr.wrapping_add(pos), chunk_len);
         for gi in self.splat_base[c]..self.splat_base[c + 1] {
             let s = &self.splats[gi];
             if let Some((x0, y0, x1, y1)) = tile_range(s, w, h, ts) {
                 for ty in y0..=y1 {
                     for tx in x0..=x1 {
                         debug_assert!(pos < self.key_base[c + 1]);
-                        // SAFETY: COUNT sized this chunk's range with the
-                        // identical `tile_range` traversal, so
-                        // `pos < key_base[c + 1] <= buffer len`, and the
-                        // per-chunk ranges are disjoint — no other job
-                        // writes these elements.
-                        unsafe {
-                            *self.keys_ptr.add(pos) = pack_key(ty * tiles_x + tx, s.depth);
-                            *self.values_ptr.add(pos) = gi as u32;
-                        }
+                        crate::race_region!("per-chunk EMIT range", {
+                            // SAFETY: COUNT sized this chunk's range with
+                            // the identical `tile_range` traversal, so
+                            // `pos < key_base[c + 1] <= buffer len`, and
+                            // the per-chunk ranges are disjoint — no other
+                            // job writes these elements.
+                            unsafe {
+                                *self.keys_ptr.add(pos) = pack_key(ty * tiles_x + tx, s.depth);
+                                *self.values_ptr.add(pos) = gi as u32;
+                            }
+                        });
                         pos += 1;
                     }
                 }

@@ -294,11 +294,15 @@ fn worker_loop(shared: &Shared) {
         // The Acquire generation load synchronizes with the caller's
         // Release bump: the job pointer, caller handle, job count and
         // cursor reset published before the bump are visible now.
-        // SAFETY: the dispatching thread keeps the closure alive until
-        // `remaining` reaches zero, which happens only after this worker's
-        // check-in below — after its last use of the pointer. The job
-        // count is published and kept valid the same way.
-        let (job, n_jobs) = unsafe { (&*(*shared.job.get()), *shared.n_jobs.get()) };
+        let (job, n_jobs) = crate::race_region!("job-slot consumption", {
+            crate::race_read!(shared.job.get(), 1);
+            crate::race_read!(shared.n_jobs.get(), 1);
+            // SAFETY: the dispatching thread keeps the closure alive until
+            // `remaining` reaches zero, which happens only after this
+            // worker's check-in below — after its last use of the pointer.
+            // The job count is published and kept valid the same way.
+            unsafe { (&*(*shared.job.get()), *shared.n_jobs.get()) }
+        });
         loop {
             // Ordering audit: `Relaxed` is sufficient. Exactly-once needs
             // only the *atomicity* of fetch_add (two workers can never
@@ -328,10 +332,13 @@ fn worker_loop(shared: &Shared) {
         // Read the caller handle *before* the check-in: once `remaining`
         // hits zero the caller may start the next dispatch and overwrite
         // the slot.
-        // SAFETY: written before the generation bump (visible via the
-        // Acquire load above), not rewritten until after `remaining`
-        // reaches zero.
-        let caller = unsafe { (*shared.caller.get()).clone() };
+        let caller = crate::race_region!("caller-handle consumption", {
+            crate::race_read!(shared.caller.get(), 1);
+            // SAFETY: written before the generation bump (visible via the
+            // Acquire load above), not rewritten until after `remaining`
+            // reaches zero.
+            unsafe { (*shared.caller.get()).clone() }
+        });
         if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             caller.unpark();
         }
@@ -493,20 +500,25 @@ impl WorkerPool {
         {
             std::hint::spin_loop();
         }
-        // SAFETY: `busy` is held, so no other dispatch writes the slots,
-        // and no worker reads them until the generation bump below. The
-        // lifetime erasure to `'static` is sound because this function
-        // does not return until `remaining` reaches zero — every worker is
-        // done with the pointer — so the borrow of `job` outlives all
-        // uses.
-        unsafe {
-            *shared.job.get() = std::mem::transmute::<
-                &(dyn Fn(usize) + Sync),
-                &'static (dyn Fn(usize) + Sync),
-            >(job as &(dyn Fn(usize) + Sync)) as Job;
-            *shared.n_jobs.get() = n_jobs;
-            *shared.caller.get() = thread::current();
-        }
+        crate::race_region!("job-slot publication", {
+            crate::race_write!(shared.job.get(), 1);
+            crate::race_write!(shared.n_jobs.get(), 1);
+            crate::race_write!(shared.caller.get(), 1);
+            // SAFETY: `busy` is held, so no other dispatch writes the
+            // slots, and no worker reads them until the generation bump
+            // below. The lifetime erasure to `'static` is sound because
+            // this function does not return until `remaining` reaches zero
+            // — every worker is done with the pointer — so the borrow of
+            // `job` outlives all uses.
+            unsafe {
+                *shared.job.get() = std::mem::transmute::<
+                    &(dyn Fn(usize) + Sync),
+                    &'static (dyn Fn(usize) + Sync),
+                >(job as &(dyn Fn(usize) + Sync)) as Job;
+                *shared.n_jobs.get() = n_jobs;
+                *shared.caller.get() = thread::current();
+            }
+        });
         shared.cursor.store(0, Ordering::Relaxed);
         shared
             .remaining
@@ -593,10 +605,13 @@ impl WorkerPool {
         let n = items.len();
         self.run(n, |i| {
             debug_assert!(i < n);
-            // SAFETY: `i < n` is in bounds and the cursor in `run` claims
-            // each index exactly once, so this is the only live reference
-            // to element `i`.
-            let item = unsafe { &mut *slots.slot(i) };
+            let item = crate::race_region!("exclusive job slot", {
+                crate::race_write!(slots.0.wrapping_add(i), 1);
+                // SAFETY: `i < n` is in bounds and the cursor in `run`
+                // claims each index exactly once, so this is the only live
+                // reference to element `i`.
+                unsafe { &mut *slots.slot(i) }
+            });
             f(i, item);
         });
     }

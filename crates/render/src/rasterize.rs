@@ -174,6 +174,8 @@ pub fn rasterize_with(
         );
         let rect = rects[i];
         if let Some(view) = &job.view {
+            // Shadow race detection: claim this job's disjoint pixel rows.
+            view.race_register();
             debug_assert_eq!(
                 (rect.0, rect.1, rect.2 - rect.0, rect.3 - rect.1),
                 (view.x0(), view.y0(), view.width(), view.height()),

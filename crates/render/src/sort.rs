@@ -210,12 +210,19 @@ impl RadixSorter {
                 let out = HistOut(hist.as_mut_ptr());
                 let out = &out;
                 pool.run(chunks, |c| {
-                    // SAFETY: chunk `c` exclusively owns its histogram row
-                    // (`run` yields each chunk index exactly once), and the
-                    // table was resized to `chunks * RADIX_BUCKETS` above.
-                    let h = unsafe {
-                        std::slice::from_raw_parts_mut(out.0.add(c * RADIX_BUCKETS), RADIX_BUCKETS)
-                    };
+                    let h = crate::race_region!("per-chunk histogram row", {
+                        crate::race_write!(out.0.wrapping_add(c * RADIX_BUCKETS), RADIX_BUCKETS);
+                        // SAFETY: chunk `c` exclusively owns its histogram
+                        // row (`run` yields each chunk index exactly once),
+                        // and the table was resized to
+                        // `chunks * RADIX_BUCKETS` above.
+                        unsafe {
+                            std::slice::from_raw_parts_mut(
+                                out.0.add(c * RADIX_BUCKETS),
+                                RADIX_BUCKETS,
+                            )
+                        }
+                    });
                     let lo = c * chunk;
                     let hi = (lo + chunk).min(n);
                     for &k in &src[lo..hi] {
@@ -258,16 +265,20 @@ impl RadixSorter {
                         let at = cursor[b] as usize;
                         cursor[b] += 1;
                         debug_assert!(at < n);
-                        // SAFETY: the placement table gives every (chunk,
-                        // bucket) a contiguous range disjoint from all
-                        // others (exclusive prefix over exact counts), the
-                        // cursor stays inside that range, and `at < n`
-                        // bounds both destination buffers, which were
-                        // resized to `n` above.
-                        unsafe {
-                            *out.keys.add(at) = k;
-                            *out.vals.add(at) = src_v[i];
-                        }
+                        crate::race_region!("disjoint scatter slots", {
+                            crate::race_write!(out.keys.wrapping_add(at), 1);
+                            crate::race_write!(out.vals.wrapping_add(at), 1);
+                            // SAFETY: the placement table gives every
+                            // (chunk, bucket) a contiguous range disjoint
+                            // from all others (exclusive prefix over exact
+                            // counts), the cursor stays inside that range,
+                            // and `at < n` bounds both destination buffers,
+                            // which were resized to `n` above.
+                            unsafe {
+                                *out.keys.add(at) = k;
+                                *out.vals.add(at) = src_v[i];
+                            }
+                        });
                     }
                 });
             }

@@ -30,10 +30,100 @@
 //! Outside a model run the shadow primitives fall through to plain `std`
 //! behavior, so a model-check build still passes the ordinary suites.
 //!
-//! `Ordering` is always the real `std` enum; the shadow checker accepts
-//! and ignores it (it explores sequentially consistent interleavings —
-//! the weaker orderings used by the protocols are audited by hand at each
-//! call site).
+//! `Ordering` is always the real `std` enum. The shadow checker executes
+//! sequentially consistently, but the ordering each call site requests is
+//! **machine-checked**, not hand-audited: it decides which happens-before
+//! edges the operation contributes to the race detector's vector clocks
+//! (`Relaxed` contributes none), so a protocol that under-orders a
+//! publication shows up as a data race on the instrumented ranges below.
+//!
+//! # Race instrumentation
+//!
+//! The renderer's `unsafe` disjoint-write sites (radix scatter ranges,
+//! pool job-slot publication, frame-graph `UnsafeCell` slots, framebuffer
+//! tile rows) are annotated with three macros:
+//!
+//! * [`race_region!`](crate::race_region) — a purely lexical marker
+//!   wrapping the unsafe block; the static
+//!   `unsafe-instrumentation-coverage` rule of `gaurast-check deep`
+//!   requires every hot-path-reachable unsafe write to sit inside one (or
+//!   carry `// gaurast-check: allow(race): reason`). Expands to its body
+//!   in every build.
+//! * [`race_write!`](crate::race_write) / [`race_read!`](crate::race_read)
+//!   — register the accessed address range with the happens-before race
+//!   detector ([`gaurast_check::races`]). In ordinary builds they expand
+//!   to `()` — zero codegen. Under `--cfg gaurast_model_check` they
+//!   record `[ptr, ptr + len·size_of::<T>())` for the calling shadow
+//!   thread, and an overlapping access unordered by happens-before fails
+//!   the model run with both sites and the reproduction schedule.
+
+/// Pointer-range registration helpers behind the instrumentation macros.
+/// Model-check builds forward to [`gaurast_check::races`]; ordinary builds
+/// compile them to empty `#[inline(always)]` bodies, so `race_read!` /
+/// `race_write!` cost nothing while still type-checking their arguments.
+pub mod races {
+    /// Registers `len` elements starting at `ptr` as written by the
+    /// calling shadow thread (no-op outside a model run).
+    #[cfg(gaurast_model_check)]
+    pub fn write_range<T>(ptr: *const T, len: usize, site: &'static str) {
+        gaurast_check::races::write_range(ptr as usize, len * core::mem::size_of::<T>(), site);
+    }
+
+    /// Registers `len` elements starting at `ptr` as read by the calling
+    /// shadow thread (no-op outside a model run).
+    #[cfg(gaurast_model_check)]
+    pub fn read_range<T>(ptr: *const T, len: usize, site: &'static str) {
+        gaurast_check::races::read_range(ptr as usize, len * core::mem::size_of::<T>(), site);
+    }
+
+    /// Ordinary build: compiles to nothing.
+    #[cfg(not(gaurast_model_check))]
+    #[inline(always)]
+    pub fn write_range<T>(_ptr: *const T, _len: usize, _site: &'static str) {}
+
+    /// Ordinary build: compiles to nothing.
+    #[cfg(not(gaurast_model_check))]
+    #[inline(always)]
+    pub fn read_range<T>(_ptr: *const T, _len: usize, _site: &'static str) {}
+}
+
+/// Lexically marks a region of unsafe shared-memory access for the static
+/// `unsafe-instrumentation-coverage` rule (`gaurast-check deep`): every
+/// unsafe write reachable from a hot root must sit inside a `race_region!`
+/// (or carry an explicit `allow(race)` justification). Expands to its body
+/// unchanged in **every** build — the label is documentation, the macro is
+/// the machine-visible marker.
+#[macro_export]
+macro_rules! race_region {
+    ($label:expr, $body:block) => {
+        $body
+    };
+}
+
+/// Registers a write of `$len` elements starting at pointer `$ptr` with
+/// the shadow race detector, stamped with the call site's `file:line`. In
+/// ordinary builds the helper it calls is an empty `#[inline(always)]`
+/// function — zero codegen; under `--cfg gaurast_model_check` the byte
+/// range is recorded on the shadow memory map and checked for
+/// happens-before ordering against every conflicting access (see
+/// [`sync`](crate::sync) module docs).
+#[macro_export]
+macro_rules! race_write {
+    ($ptr:expr, $len:expr) => {
+        $crate::sync::races::write_range($ptr, $len, concat!(file!(), ":", line!()))
+    };
+}
+
+/// Registers a read of `$len` elements starting at pointer `$ptr` with
+/// the shadow race detector — the read side of
+/// [`race_write!`](crate::race_write), with the same zero-cost ordinary
+/// build.
+#[macro_export]
+macro_rules! race_read {
+    ($ptr:expr, $len:expr) => {
+        $crate::sync::races::read_range($ptr, $len, concat!(file!(), ":", line!()))
+    };
+}
 
 /// Atomic types used by the renderer's lock-free protocols.
 pub mod atomic {
