@@ -17,7 +17,7 @@ use gaurast_render::pipeline::{render, RenderConfig, Stage2Mode};
 use gaurast_render::pool::WorkerPool;
 use gaurast_render::preprocess::{preprocess_prepared_pooled, preprocess_prepared_visible_pooled};
 use gaurast_render::tile::{bin_splats_legacy, bin_splats_pooled};
-use gaurast_render::{FrameArena, Framebuffer};
+use gaurast_render::{FrameArena, Framebuffer, VectorMode};
 use gaurast_scene::generator::SceneParams;
 use gaurast_scene::{Camera, PreparedScene};
 
@@ -180,10 +180,65 @@ fn bench_visibility_culling(c: &mut Criterion) {
     group.finish();
 }
 
+/// SIMD data-path A/B: one raster-heavy frame under every [`VectorMode`]
+/// (verbatim scalar, 4-wide SSE4.1, 8-wide AVX2), serial and 4-wide —
+/// forced modes degrade to the host's detected level, so on narrow CPUs
+/// the records converge to the scalar time. Also writes the
+/// machine-readable `BENCH_simd.json` artifact (Stage-1 ms, Stage-3 ms,
+/// frames/s per mode, bit-identity asserted in the harness).
+fn bench_vector_modes(c: &mut Criterion) {
+    let scene = SceneParams::new(20_000)
+        .seed(42)
+        .generate()
+        .expect("valid params");
+    let cam = camera();
+
+    let mut group = c.benchmark_group("vector_modes");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        for mode in [
+            VectorMode::Scalar,
+            VectorMode::ForceSse,
+            VectorMode::ForceAvx2,
+        ] {
+            let cfg = RenderConfig::default()
+                .with_workers(workers)
+                .with_vector_mode(mode);
+            group.bench_function(
+                format!("full_frame_{mode:?}_workers_{workers}").to_lowercase(),
+                |b| {
+                    b.iter(|| render(&scene, &cam, &cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Every vector mode through the full pipeline must stay bit-identical
+    // (the cheap always-on guard next to the numbers).
+    let cfg = RenderConfig::default().with_workers(1);
+    let scene = SceneParams::new(4_000).seed(7).generate().expect("valid");
+    let reference = render(&scene, &cam, &cfg.with_vector_mode(VectorMode::Scalar));
+    for mode in [VectorMode::ForceSse, VectorMode::ForceAvx2] {
+        let out = render(&scene, &cam, &cfg.with_vector_mode(mode));
+        assert!(
+            reference.image == out.image && reference.workload == out.workload,
+            "vector mode {mode:?} diverged"
+        );
+    }
+
+    // The machine-readable artifact rides along with the bench run.
+    match gaurast_bench::simd_report::write_artifact(true) {
+        Ok(summary) => println!("{summary}"),
+        Err(e) => eprintln!("could not write BENCH_simd.json: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_frame_scaling,
     bench_stage2_sort,
+    bench_vector_modes,
     bench_visibility_culling
 );
 criterion_main!(benches);

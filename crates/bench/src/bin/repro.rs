@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Artifact ids: `tab1 tab2 fig4 fig5 fig8 fig9 fig10 tab3 fig11 sec5c
-//! sec5d ablations quality sweep compare batch scaling culling sort pool`.
+//! sec5d ablations quality sweep compare batch scaling culling sort pool
+//! simd`.
 
 use gaurast::backend::BackendKind;
 use gaurast::engine::EngineBuilder;
@@ -25,7 +26,7 @@ use gaurast_scene::nerf360::{Nerf360Scene, SceneScale};
 static ALLOC: gaurast_bench::alloc_counter::CountingAllocator =
     gaurast_bench::alloc_counter::CountingAllocator;
 
-const ALL_IDS: [&str; 20] = [
+const ALL_IDS: [&str; 21] = [
     "tab1",
     "tab2",
     "fig4",
@@ -46,6 +47,7 @@ const ALL_IDS: [&str; 20] = [
     "culling",
     "sort",
     "pool",
+    "simd",
 ];
 
 fn main() {
@@ -219,6 +221,15 @@ fn main() {
                 // artifact with both mode records.
                 let text = gaurast_bench::pool_report::write_artifact(quick)
                     .expect("BENCH_pool.json must be writable and well-formed");
+                section(&text);
+            }
+            "simd" => {
+                // SIMD data-path A/B: scalar vs 4-wide SSE4.1 vs 8-wide
+                // AVX2 Stage-1/Stage-3 kernels, bit-identity asserted,
+                // plus the machine-readable BENCH_simd.json artifact with
+                // all three mode records.
+                let text = gaurast_bench::simd_report::write_artifact(quick)
+                    .expect("BENCH_simd.json must be writable and well-formed");
                 section(&text);
             }
             "culling" => {

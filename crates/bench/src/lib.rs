@@ -2,13 +2,15 @@
 //! `benches/` and the paper-artifact reproduction binary in
 //! `src/bin/repro.rs`. The library hosts the shared Stage-2 measurement
 //! harness ([`sort_report`]), the persistent-pool A/B harness
-//! ([`pool_report`]), and the counting allocator they use to prove the
+//! ([`pool_report`]), the SIMD data-path A/B harness ([`simd_report`]),
+//! and the counting allocator the first two use to prove the
 //! steady-state zero-allocation contracts.
 
 #![deny(missing_docs)]
 
 pub mod alloc_counter;
 pub mod pool_report;
+pub mod simd_report;
 pub mod sort_report;
 
 /// Where bench binaries drop their output files: `target/artifacts/`

@@ -191,6 +191,8 @@ const UBIQUITOUS_METHODS: &[&str] = &[
     "chunks",
     "chunks_mut",
     "chunks_exact",
+    "chunks_exact_mut",
+    "get_or_init",
     "windows",
     "sort",
     "sort_by",
@@ -471,7 +473,28 @@ const STD_FREE_FNS: &[&str] = &[
     "identity",
     "abs",
     "sqrt",
+    // `#[cfg(not(...))]` predicates parse as plain calls; `not` is also
+    // `std::ops::Not` — either way, no workspace body to edge to.
+    "not",
 ];
+
+/// Workspace kernels defined *inside* `macro_rules!` bodies
+/// (`stage1_kernel!` in `crates/render/src/simd/stage1.rs`): like
+/// [`MACRO_IMPL_METHODS`], the parser skips macro bodies, so these never
+/// become graph nodes. Their bodies are straight-line per-lane register
+/// math over `core::arch` intrinsics — no allocation, no panic path, no
+/// ambient input — and the file sits in the line lint's `HOT_FILES` set,
+/// which polices macro-body text too (the line rules are textual).
+const MACRO_KERNEL_FNS: &[&str] = &["group_sse", "group_avx2"];
+
+/// `core::arch::x86_64` vector intrinsics (`_mm_add_ps`,
+/// `_mm256_blendv_ps`, …): per-lane register value math with no effects
+/// the deep rules track — no allocation, no panics, deterministic. The
+/// `unsafe` / `#[target_feature]` discipline around them is the line
+/// lint's SAFETY-comment rule, not a call-graph property.
+fn is_vector_intrinsic(name: &str) -> bool {
+    name.starts_with("_mm_") || name.starts_with("_mm256_")
+}
 
 /// One call site the resolver could not map to any workspace function or
 /// known-external vocabulary. Counted and reported, never dropped.
@@ -733,7 +756,11 @@ fn resolve_one(
                 // call site itself adds no edge.
                 return Targets::External;
             }
-            if STD_FREE_FNS.contains(&call.name.as_str()) || is_constructor(&call.name) {
+            if STD_FREE_FNS.contains(&call.name.as_str())
+                || MACRO_KERNEL_FNS.contains(&call.name.as_str())
+                || is_vector_intrinsic(&call.name)
+                || is_constructor(&call.name)
+            {
                 // Uppercase-initial callees are tuple-struct or enum
                 // variant constructors (`InvalidConfig(msg)`, `Cuda(id)`)
                 // or trait-bound sugar (`Fn(…)`): data construction, not

@@ -5,7 +5,7 @@ use crate::backend::BackendKind;
 use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::{Precision, RasterizerConfig};
 use gaurast_render::pipeline::Stage2Mode;
-use gaurast_render::DEFAULT_TILE_SIZE;
+use gaurast_render::{VectorMode, DEFAULT_TILE_SIZE};
 use gaurast_scene::{GaussianScene, PreparedScene, VisibilityCache};
 use std::sync::Arc;
 
@@ -46,6 +46,7 @@ pub struct EngineBuilder {
     image_policy: ImagePolicy,
     culling: bool,
     stage2: Stage2Mode,
+    vector_mode: VectorMode,
     vis_cache: Option<Arc<VisibilityCache>>,
 }
 
@@ -71,6 +72,7 @@ impl EngineBuilder {
             image_policy: ImagePolicy::Discard,
             culling: true,
             stage2: Stage2Mode::default(),
+            vector_mode: VectorMode::default(),
             vis_cache: None,
         }
     }
@@ -148,6 +150,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the vector data path for the reference pass's Stage-1 and
+    /// Stage-3 hot loops. The default, [`VectorMode::Auto`], resolves to
+    /// the widest SIMD level the host CPU supports (AVX2 → SSE4.1 →
+    /// scalar); `Force*` modes degrade to the best supported level at or
+    /// below the request. Frames are **bit-identical** at every level —
+    /// the knob only trades wall-clock time. The `GAURAST_VECTOR`
+    /// environment variable overrides the configured mode process-wide.
+    pub fn vector_mode(mut self, mode: VectorMode) -> Self {
+        self.vector_mode = mode;
+        self
+    }
+
     /// Shares an existing visible-set cache with this session (sessions
     /// over the same scene and camera poses then build each set once).
     /// By default every session gets its own cache.
@@ -191,6 +205,7 @@ impl EngineBuilder {
             self.backend,
             self.culling,
             self.stage2,
+            self.vector_mode,
             self.vis_cache
                 .unwrap_or_else(|| Arc::new(VisibilityCache::new())),
         ))

@@ -48,9 +48,11 @@ use gaurast_gpu::CudaGpuModel;
 use gaurast_hw::RasterizerConfig;
 use gaurast_render::pipeline::{PreprocessStats, Stage2Mode};
 use gaurast_render::pool::WorkerPool;
-use gaurast_render::preprocess::{preprocess_prepared_pooled, preprocess_prepared_visible_pooled};
-use gaurast_render::rasterize::rasterize_with;
-use gaurast_render::{FrameArena, Framebuffer, RasterWorkload};
+use gaurast_render::preprocess::{
+    preprocess_prepared_pooled_level, preprocess_prepared_visible_pooled_level,
+};
+use gaurast_render::rasterize::rasterize_with_level;
+use gaurast_render::{FrameArena, Framebuffer, RasterWorkload, SimdLevel, VectorMode};
 use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibilityCache};
 use gaurast_sched::{replay, FrameCost, SequenceReport};
 use std::sync::Arc;
@@ -193,6 +195,12 @@ pub struct Engine {
     /// by default; output is bit-identical either way — see
     /// [`Stage2Mode`]).
     pub(crate) stage2: Stage2Mode,
+    /// Requested vector data path for the reference pass (output is
+    /// bit-identical at every level — see [`VectorMode`]).
+    pub(crate) vector_mode: VectorMode,
+    /// `vector_mode` resolved against the host CPU once at session
+    /// construction; every reference-pass stage dispatches on this.
+    level: SimdLevel,
     /// Pose-keyed visible-set store, possibly shared with other sessions
     /// (the `RenderService` hands every session one cache).
     vis_cache: Arc<VisibilityCache>,
@@ -219,6 +227,7 @@ impl Clone for Engine {
             self.kind,
             self.culling,
             self.stage2,
+            self.vector_mode,
             Arc::clone(&self.vis_cache),
         )
     }
@@ -236,6 +245,7 @@ impl Engine {
         kind: BackendKind,
         culling: bool,
         stage2: Stage2Mode,
+        vector_mode: VectorMode,
         vis_cache: Arc<VisibilityCache>,
     ) -> Self {
         let backend = make_backend(kind, hw_config);
@@ -249,6 +259,8 @@ impl Engine {
             kind,
             culling,
             stage2,
+            vector_mode,
+            level: vector_mode.resolve(),
             vis_cache,
             pool: WorkerPool::new(workers),
             backend,
@@ -317,6 +329,20 @@ impl Engine {
         self.stage2
     }
 
+    /// The requested vector data path for the reference pass (see
+    /// [`EngineBuilder::vector_mode`]). Frames are bit-identical at every
+    /// level; the knob trades wall-clock time only.
+    pub fn vector_mode(&self) -> VectorMode {
+        self.vector_mode
+    }
+
+    /// The concrete SIMD kernel set the reference pass runs — the
+    /// session's [`Self::vector_mode`] resolved against the host CPU once
+    /// at construction.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.level
+    }
+
     /// The session's visible-set cache. Sessions built through a
     /// `RenderService` (and `Engine::clone`) share one cache, so batch
     /// requests over the same scene and quantized camera pose build each
@@ -361,7 +387,13 @@ impl Engine {
     ) -> (RasterWorkload, ReferencePass) {
         let (pre, cull) = if self.culling {
             let (visible, cache_hit) = self.vis_cache.get_or_build(&self.scene, camera);
-            let pre = preprocess_prepared_visible_pooled(&self.scene, camera, &visible, &self.pool);
+            let pre = preprocess_prepared_visible_pooled_level(
+                &self.scene,
+                camera,
+                &visible,
+                &self.pool,
+                self.level,
+            );
             let cull = CullStats {
                 enabled: true,
                 frustum_depth: visible.culled_depth(),
@@ -371,7 +403,7 @@ impl Engine {
             (pre, cull)
         } else {
             (
-                preprocess_prepared_pooled(&self.scene, camera, &self.pool),
+                preprocess_prepared_pooled_level(&self.scene, camera, &self.pool, self.level),
                 CullStats::default(),
             )
         };
@@ -401,10 +433,13 @@ impl Engine {
             // The buffer moves into the reference pass (and from there into
             // the report) instead of being cloned every frame.
             let mut fb = Framebuffer::new(camera.width(), camera.height());
-            let raster = rasterize_with(&mut workload, Some(&mut fb), &self.pool);
+            let raster = rasterize_with_level(&mut workload, Some(&mut fb), &self.pool, self.level);
             (raster, Some(fb))
         } else {
-            (rasterize_with(&mut workload, None, &self.pool), None)
+            (
+                rasterize_with_level(&mut workload, None, &self.pool, self.level),
+                None,
+            )
         };
         let wall_s = started.elapsed().as_secs_f64().max(MIN_STAGE_S);
 
@@ -764,6 +799,49 @@ mod tests {
         let e = EngineBuilder::new(scene).workers(3).build().unwrap();
         assert_eq!(e.workers(), 3);
         assert_eq!(e.clone().workers(), 3, "clone keeps the worker policy");
+    }
+
+    #[test]
+    fn vector_modes_are_bit_identical_at_the_engine_level() {
+        let scene = SceneParams::new(1200).seed(17).generate().unwrap();
+        let mut scalar = EngineBuilder::new(scene)
+            .backend(BackendKind::Software)
+            .image_policy(ImagePolicy::Retain)
+            .vector_mode(VectorMode::Scalar)
+            .build()
+            .unwrap();
+        assert_eq!(scalar.vector_mode(), VectorMode::Scalar);
+        assert_eq!(scalar.simd_level(), scalar.vector_mode().resolve());
+        let cam = camera(96, 64);
+        let a = scalar.render_frame(&cam);
+        for mode in [
+            VectorMode::ForceSse,
+            VectorMode::ForceAvx2,
+            VectorMode::Auto,
+        ] {
+            let mut e = EngineBuilder::shared(Arc::clone(scalar.prepared()))
+                .backend(BackendKind::Software)
+                .image_policy(ImagePolicy::Retain)
+                .vector_mode(mode)
+                .build()
+                .unwrap();
+            assert_eq!(e.vector_mode(), mode);
+            assert_eq!(e.clone().vector_mode(), mode, "clone keeps the mode");
+            let b = e.render_frame(&cam);
+            assert_eq!(
+                a.image
+                    .as_ref()
+                    .unwrap()
+                    .mean_abs_diff(b.image.as_ref().unwrap()),
+                0.0,
+                "vectorized frame must be bit-identical under {mode:?}"
+            );
+            assert_eq!(a.ops, b.ops, "op tallies under {mode:?}");
+            assert_eq!(a.stats.visible, b.stats.visible);
+            assert_eq!(a.stats.culled, b.stats.culled);
+            assert_eq!(a.stats.blend_work, b.stats.blend_work);
+            assert_eq!(a.stats.blends_committed, b.stats.blends_committed);
+        }
     }
 
     #[test]

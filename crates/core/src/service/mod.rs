@@ -59,7 +59,7 @@ use gaurast_gpu::{device, CudaGpuModel};
 use gaurast_hw::RasterizerConfig;
 use gaurast_render::pipeline::Stage2Mode;
 use gaurast_render::pool::resolve_workers;
-use gaurast_render::DEFAULT_TILE_SIZE;
+use gaurast_render::{VectorMode, DEFAULT_TILE_SIZE};
 use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibilityCache};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -236,6 +236,7 @@ pub struct RenderServiceBuilder {
     image_policy: ImagePolicy,
     culling: bool,
     stage2: Stage2Mode,
+    vector_mode: VectorMode,
 }
 
 impl Default for RenderServiceBuilder {
@@ -257,6 +258,7 @@ impl RenderServiceBuilder {
             image_policy: ImagePolicy::Discard,
             culling: true,
             stage2: Stage2Mode::default(),
+            vector_mode: VectorMode::default(),
         }
     }
 
@@ -335,6 +337,15 @@ impl RenderServiceBuilder {
         self
     }
 
+    /// Selects the vector data path for every session's Stage-1 and
+    /// Stage-3 hot loops ([`VectorMode::Auto`] by default; see
+    /// [`EngineBuilder::vector_mode`]). Frames are bit-identical at every
+    /// level.
+    pub fn vector_mode(mut self, mode: VectorMode) -> Self {
+        self.vector_mode = mode;
+        self
+    }
+
     /// Validates the configuration and builds the service.
     ///
     /// # Errors
@@ -381,6 +392,7 @@ impl RenderServiceBuilder {
             image_policy: self.image_policy,
             culling: self.culling,
             stage2: self.stage2,
+            vector_mode: self.vector_mode,
             vis_cache: Arc::new(VisibilityCache::new()),
         })
     }
@@ -400,6 +412,7 @@ pub struct RenderService {
     image_policy: ImagePolicy,
     culling: bool,
     stage2: Stage2Mode,
+    vector_mode: VectorMode,
     /// One visible-set cache shared by *every* session the service opens:
     /// batch requests sharing a scene and (quantized) camera pose build
     /// each set once, across workers.
@@ -672,6 +685,7 @@ impl RenderService {
             .image_policy(self.image_policy)
             .frustum_culling(self.culling)
             .stage2_mode(self.stage2)
+            .vector_mode(self.vector_mode)
             .visibility_cache(Arc::clone(&self.vis_cache))
             .build()
             .map_err(|e| {

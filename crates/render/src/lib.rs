@@ -68,6 +68,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod preprocess;
 pub mod rasterize;
+pub mod simd;
 pub mod sort;
 pub mod sync;
 pub mod tile;
@@ -78,7 +79,8 @@ mod workload;
 pub use framebuffer::{Framebuffer, TileViewMut};
 pub use pool::WorkerPool;
 pub use preprocess::Splat2D;
-pub use workload::{FrameArena, RasterWorkload, TileRef};
+pub use simd::{SimdLevel, VectorMode};
+pub use workload::{FrameArena, RasterWorkload, SplatSoA, TileRef};
 
 /// Default tile edge in pixels — the 16×16 tiling of the reference 3DGS
 /// rasterizer, also the granularity of GauRast's tile buffers.

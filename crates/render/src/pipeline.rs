@@ -5,9 +5,10 @@ use crate::graph::{self, frame, GraphMode, GraphRunner, NodeId};
 use crate::ops::OpCounts;
 use crate::pool::WorkerPool;
 use crate::preprocess::{
-    preprocess_pooled, preprocess_range, PreprocessOutput, Splat2D, PREPROCESS_CHUNK,
+    preprocess_pooled_level, preprocess_range_level, PreprocessOutput, Splat2D, PREPROCESS_CHUNK,
 };
-use crate::rasterize::{rasterize_with, RasterStats};
+use crate::rasterize::{rasterize_with_level, RasterStats};
+use crate::simd::{SimdLevel, VectorMode};
 use crate::sort::{key_tile, pack_key};
 use crate::tile::{bin_splats_legacy, bin_splats_pooled, tile_range};
 use crate::workload::{FrameArena, RasterWorkload};
@@ -76,6 +77,12 @@ pub struct RenderConfig {
     /// reference). Both modes are bit-identical; ignored by the legacy
     /// Stage-2 path, which predates the graph.
     pub graph: GraphMode,
+    /// Vector data path for the Stage-1/Stage-3 hot loops
+    /// ([`VectorMode::Auto`] by default — widest supported SIMD level,
+    /// scalar where unsupported). Resolved once per frame; every mode is
+    /// bit-identical (see [`crate::simd`]), overridable process-wide via
+    /// the [`crate::simd::VECTOR_ENV`] environment variable.
+    pub vector_mode: VectorMode,
 }
 
 impl Default for RenderConfig {
@@ -85,6 +92,7 @@ impl Default for RenderConfig {
             workers: 0,
             stage2: Stage2Mode::default(),
             graph: GraphMode::default(),
+            vector_mode: VectorMode::default(),
         }
     }
 }
@@ -112,6 +120,15 @@ impl RenderConfig {
     /// frame-graph mode.
     pub fn with_graph(self, graph: GraphMode) -> Self {
         Self { graph, ..self }
+    }
+
+    /// A configuration identical to this one but with an explicit vector
+    /// mode.
+    pub fn with_vector_mode(self, vector_mode: VectorMode) -> Self {
+        Self {
+            vector_mode,
+            ..self
+        }
     }
 }
 
@@ -284,10 +301,13 @@ fn run_frame(
     pool: &WorkerPool,
     image: Option<&mut Framebuffer>,
 ) -> (RasterWorkload, PreprocessStats, RasterStats) {
+    // One resolution per frame: CPUID probe and env override are cached
+    // process-wide, so this is a pair of cheap enum reads.
+    let level = config.vector_mode.resolve();
     if config.stage2 == Stage2Mode::LegacyPerTile {
         // The escape-hatch path predates the frame graph: classic staged
         // execution, one barrier per stage.
-        let pre = preprocess_pooled(scene, camera, pool);
+        let pre = preprocess_pooled_level(scene, camera, pool, level);
         let pre_stats = PreprocessStats::from(&pre);
         let mut workload = config.stage2.bin(
             pre.splats,
@@ -297,7 +317,7 @@ fn run_frame(
             arena,
             pool,
         );
-        let raster = rasterize_with(&mut workload, image, pool);
+        let raster = rasterize_with_level(&mut workload, image, pool, level);
         return (workload, pre_stats, raster);
     }
 
@@ -319,6 +339,7 @@ fn run_frame(
         arena,
         image,
         n_chunks,
+        level,
     );
     graph::execute(&plan, pool, &mut runner);
     let out = runner.finish();
@@ -383,6 +404,8 @@ struct FrameRunner<'a> {
     arena: &'a mut FrameArena,
     image: Option<&'a mut Framebuffer>,
     n_chunks: usize,
+    /// Resolved SIMD level for this frame's Stage-1/Stage-3 kernels.
+    level: SimdLevel,
     /// Per-chunk Stage-1 outputs (S1 job `c` writes slot `c`).
     chunks: ChunkSlots<PreprocessOutput>,
     /// Per-chunk key counts (COUNT job `c` writes slot `c`).
@@ -413,6 +436,7 @@ struct FrameRunner<'a> {
 unsafe impl Sync for FrameRunner<'_> {}
 
 impl<'a> FrameRunner<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         scene: &'a GaussianScene,
         camera: &'a Camera,
@@ -421,6 +445,7 @@ impl<'a> FrameRunner<'a> {
         arena: &'a mut FrameArena,
         image: Option<&'a mut Framebuffer>,
         n_chunks: usize,
+        level: SimdLevel,
     ) -> Self {
         assert!(tile_size > 0, "tile size must be positive");
         Self {
@@ -431,6 +456,7 @@ impl<'a> FrameRunner<'a> {
             arena,
             image,
             n_chunks,
+            level,
             chunks: ChunkSlots::new(n_chunks),
             counts: ChunkSlots::new(n_chunks),
             splat_base: Vec::with_capacity(n_chunks + 1),
@@ -463,11 +489,12 @@ impl<'a> FrameRunner<'a> {
             // during the dispatch).
             unsafe { self.chunks.slot(c) }
         });
-        *slot = preprocess_range(
+        *slot = preprocess_range_level(
             self.scene,
             self.camera,
             &|_, g| g.covariance(),
             self.chunk_range(c),
+            self.level,
         );
     }
 
@@ -606,6 +633,7 @@ impl<'a> FrameRunner<'a> {
             values,
             offsets,
             processed,
+            soa,
             ..
         } = &mut *self.arena;
         offsets.clear();
@@ -626,6 +654,7 @@ impl<'a> FrameRunner<'a> {
             std::mem::take(values),
             std::mem::take(offsets),
             std::mem::take(processed),
+            std::mem::take(soa),
         ));
     }
 
@@ -633,7 +662,8 @@ impl<'a> FrameRunner<'a> {
     /// (per-tile pool jobs; writes pixels only when an image is held).
     fn raster(&mut self) {
         if let Some(workload) = self.workload.as_mut() {
-            self.raster = rasterize_with(workload, self.image.as_deref_mut(), self.pool);
+            self.raster =
+                rasterize_with_level(workload, self.image.as_deref_mut(), self.pool, self.level);
         }
     }
 

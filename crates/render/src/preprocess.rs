@@ -13,6 +13,7 @@
 
 use crate::ops::OpCounts;
 use crate::pool::WorkerPool;
+use crate::simd::SimdLevel;
 use gaurast_math::{Mat2, Mat3, Vec2, Vec3};
 use gaurast_scene::{Camera, GaussianScene, PreparedScene, VisibleSet};
 use std::ops::Range;
@@ -135,7 +136,20 @@ pub fn preprocess_pooled(
     camera: &Camera,
     pool: &WorkerPool,
 ) -> PreprocessOutput {
-    preprocess_chunked(scene, camera, |_, g| g.covariance(), pool)
+    preprocess_pooled_level(scene, camera, pool, SimdLevel::Scalar)
+}
+
+/// [`preprocess_pooled`] running the kernels of the given [`SimdLevel`].
+/// Bit-identical to the scalar pass at every level (see [`crate::simd`]);
+/// `level` must not exceed [`crate::simd::detected_level`] — callers obtain
+/// it from [`crate::simd::VectorMode::resolve`], which clamps.
+pub fn preprocess_pooled_level(
+    scene: &GaussianScene,
+    camera: &Camera,
+    pool: &WorkerPool,
+    level: SimdLevel,
+) -> PreprocessOutput {
+    preprocess_chunked(scene, camera, |_, g| g.covariance(), pool, level)
 }
 
 /// Runs Stage 1 over a [`PreparedScene`], reusing its precomputed
@@ -170,8 +184,19 @@ pub fn preprocess_prepared_pooled(
     camera: &Camera,
     pool: &WorkerPool,
 ) -> PreprocessOutput {
+    preprocess_prepared_pooled_level(prepared, camera, pool, SimdLevel::Scalar)
+}
+
+/// [`preprocess_prepared_pooled`] running the kernels of the given
+/// [`SimdLevel`]. Bit-identical to the scalar pass at every level.
+pub fn preprocess_prepared_pooled_level(
+    prepared: &PreparedScene,
+    camera: &Camera,
+    pool: &WorkerPool,
+    level: SimdLevel,
+) -> PreprocessOutput {
     let covariances = prepared.covariances();
-    preprocess_chunked(prepared.scene(), camera, |i, _| covariances[i], pool)
+    preprocess_chunked(prepared.scene(), camera, |i, _| covariances[i], pool, level)
 }
 
 /// [`preprocess_prepared`] restricted to a [`VisibleSet`]: Stage 1 only
@@ -206,6 +231,21 @@ pub fn preprocess_prepared_visible_pooled(
     visible: &VisibleSet,
     pool: &WorkerPool,
 ) -> PreprocessOutput {
+    preprocess_prepared_visible_pooled_level(prepared, camera, visible, pool, SimdLevel::Scalar)
+}
+
+/// [`preprocess_prepared_visible_pooled`] running the kernels of the given
+/// [`SimdLevel`]. Bit-identical to the scalar pass at every level.
+///
+/// # Panics
+/// Panics when the set's generation tag does not match `prepared`.
+pub fn preprocess_prepared_visible_pooled_level(
+    prepared: &PreparedScene,
+    camera: &Camera,
+    visible: &VisibleSet,
+    pool: &WorkerPool,
+    level: SimdLevel,
+) -> PreprocessOutput {
     assert_eq!(
         visible.scene_generation(),
         prepared.generation(),
@@ -216,14 +256,14 @@ pub fn preprocess_prepared_visible_pooled(
     let scene = prepared.scene();
     let idx = visible.indices();
     let mut out = if pool.is_serial() || idx.len() <= PREPROCESS_CHUNK {
-        preprocess_indices(scene, camera, &covariance_of, idx)
+        preprocess_indices(scene, camera, &covariance_of, idx, level)
     } else {
         let n_chunks = idx.len().div_ceil(PREPROCESS_CHUNK);
         let mut chunks: Vec<PreprocessOutput> = vec![PreprocessOutput::default(); n_chunks];
         pool.run_mut(&mut chunks, |c, chunk| {
             let start = c * PREPROCESS_CHUNK;
             let end = (start + PREPROCESS_CHUNK).min(idx.len());
-            *chunk = preprocess_indices(scene, camera, &covariance_of, &idx[start..end]);
+            *chunk = preprocess_indices(scene, camera, &covariance_of, &idx[start..end], level);
         });
         stitch(chunks)
     };
@@ -243,16 +283,17 @@ fn preprocess_chunked(
     camera: &Camera,
     covariance_of: impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync,
     pool: &WorkerPool,
+    level: SimdLevel,
 ) -> PreprocessOutput {
     if pool.is_serial() || scene.len() <= PREPROCESS_CHUNK {
-        return preprocess_range(scene, camera, &covariance_of, 0..scene.len());
+        return preprocess_range_level(scene, camera, &covariance_of, 0..scene.len(), level);
     }
     let n_chunks = scene.len().div_ceil(PREPROCESS_CHUNK);
     let mut chunks: Vec<PreprocessOutput> = vec![PreprocessOutput::default(); n_chunks];
     pool.run_mut(&mut chunks, |i, chunk| {
         let start = i * PREPROCESS_CHUNK;
         let end = (start + PREPROCESS_CHUNK).min(scene.len());
-        *chunk = preprocess_range(scene, camera, &covariance_of, start..end);
+        *chunk = preprocess_range_level(scene, camera, &covariance_of, start..end, level);
     });
     stitch(chunks)
 }
@@ -275,14 +316,15 @@ fn stitch(chunks: Vec<PreprocessOutput>) -> PreprocessOutput {
 /// The Stage-1 loop over one contiguous Gaussian index range (see
 /// [`preprocess_over`]). Exposed crate-wide as the per-chunk job of the
 /// frame graph's Stage-1 node ([`crate::pipeline::render_with_pool`]).
-pub(crate) fn preprocess_range(
+pub(crate) fn preprocess_range_level(
     scene: &GaussianScene,
     camera: &Camera,
     covariance_of: &(impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync),
     range: Range<usize>,
+    level: SimdLevel,
 ) -> PreprocessOutput {
     let len = range.len();
-    preprocess_over(scene, camera, covariance_of, len, range)
+    preprocess_over_level(scene, camera, covariance_of, len, range, level)
 }
 
 /// The Stage-1 loop over an explicit ascending index list (the visible-set
@@ -292,14 +334,40 @@ fn preprocess_indices(
     camera: &Camera,
     covariance_of: &(impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync),
     indices: &[u32],
+    level: SimdLevel,
 ) -> PreprocessOutput {
-    preprocess_over(
+    preprocess_over_level(
         scene,
         camera,
         covariance_of,
         indices.len(),
         indices.iter().map(|&i| i as usize),
+        level,
     )
+}
+
+/// Dispatches one Stage-1 index sequence to the scalar reference kernel or
+/// the SIMD lane-group kernels (`crate::simd::stage1`) — bit-identical
+/// either way.
+fn preprocess_over_level(
+    scene: &GaussianScene,
+    camera: &Camera,
+    covariance_of: &(impl Fn(usize, &gaurast_scene::Gaussian3) -> Mat3 + Sync),
+    count: usize,
+    indices: impl Iterator<Item = usize>,
+    level: SimdLevel,
+) -> PreprocessOutput {
+    match level {
+        SimdLevel::Scalar => preprocess_over(scene, camera, covariance_of, count, indices),
+        simd => crate::simd::stage1::preprocess_over_simd(
+            scene,
+            camera,
+            covariance_of,
+            count,
+            indices,
+            simd,
+        ),
+    }
 }
 
 /// The Stage-1 loop over an arbitrary ascending Gaussian index sequence,

@@ -13,6 +13,7 @@ use crate::framebuffer::{Framebuffer, TileViewMut};
 use crate::ops::{Subtask, SubtaskCounts};
 use crate::pool::WorkerPool;
 use crate::preprocess::Splat2D;
+use crate::simd::SimdLevel;
 use crate::workload::RasterWorkload;
 use crate::{ALPHA_CUTOFF, TRANSMITTANCE_EPS};
 use gaurast_math::{Vec2, Vec3};
@@ -120,9 +121,29 @@ struct TileJob<'l, 'fb> {
 /// workload.
 pub fn rasterize_with(
     workload: &mut RasterWorkload,
-    mut fb: Option<&mut Framebuffer>,
+    fb: Option<&mut Framebuffer>,
     pool: &WorkerPool,
 ) -> RasterStats {
+    rasterize_with_level(workload, fb, pool, SimdLevel::Scalar)
+}
+
+/// [`rasterize_with`] with an explicit SIMD data path: tiles run the
+/// verbatim scalar kernel at [`SimdLevel::Scalar`] and the SoA lane-group
+/// kernels (`crate::simd::stage3`) at `Sse`/`Avx2` — with bit-identical
+/// outputs (image bytes, op tallies, processed counts) at every level, on
+/// every worker count. A `level` above the host's detected capability is
+/// clamped down (sound, because all levels agree bit-for-bit).
+///
+/// # Panics
+/// Panics when a provided framebuffer's dimensions do not match the
+/// workload.
+pub fn rasterize_with_level(
+    workload: &mut RasterWorkload,
+    mut fb: Option<&mut Framebuffer>,
+    pool: &WorkerPool,
+    level: SimdLevel,
+) -> RasterStats {
+    let level = level.min(crate::simd::detected_level());
     if let Some(fb) = fb.as_deref_mut() {
         assert_eq!(
             (fb.width(), fb.height()),
@@ -153,6 +174,7 @@ pub fn rasterize_with(
         None => (0..n_tiles).map(|_| None).collect(), // gaurast-check: allow(alloc): same staging list, record-only shape
     };
     let splats = workload.splats();
+    let soa = workload.soa();
     let mut jobs: Vec<TileJob<'_, '_>> = (0..n_tiles)
         .zip(views.drain(..))
         .map(|(i, view)| TileJob {
@@ -182,7 +204,16 @@ pub fn rasterize_with(
                 "tile view must cover exactly the workload's tile rect"
             );
         }
-        (job.processed, job.stats) = rasterize_tile(splats, job.list, rect, job.view.as_mut());
+        (job.processed, job.stats) = match level {
+            SimdLevel::Scalar => rasterize_tile(splats, job.list, rect, job.view.as_mut()),
+            simd => crate::simd::stage3::rasterize_tile_simd(
+                soa,
+                job.list,
+                rect,
+                job.view.as_mut(),
+                simd,
+            ),
+        };
     });
 
     let mut stats = RasterStats::default();

@@ -136,6 +136,17 @@ pub mod atomic {
     pub use gaurast_check::shadow::AtomicUsize;
 }
 
+/// One-time initialization primitives used for process-wide caches that
+/// must be resolved **outside** the per-frame hot path (CPU-feature
+/// detection, environment-variable overrides). `OnceLock` is plain `std`
+/// in every build — its `get_or_init` is not a yield point of the shadow
+/// scheduler because the values cached behind it are set once before any
+/// frame work and then only read, so no interleaving can observe an
+/// intermediate state the real `std` implementation would not produce.
+pub mod lazy {
+    pub use std::sync::OnceLock;
+}
+
 /// Thread spawning, parking and handles used by the worker pool: the
 /// scoped primitives (legacy protocols) plus the non-scoped
 /// `spawn`/`park`/`unpark` set the persistent [`crate::pool::WorkerPool`]

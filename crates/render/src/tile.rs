@@ -149,6 +149,7 @@ pub fn bin_splats_pooled(
         values,
         offsets,
         std::mem::take(&mut arena.processed),
+        std::mem::take(&mut arena.soa),
     )
 }
 
@@ -209,6 +210,7 @@ pub fn bin_splats_legacy(
         values,
         offsets,
         std::mem::take(&mut arena.processed),
+        std::mem::take(&mut arena.soa),
     )
 }
 

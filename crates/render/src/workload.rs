@@ -17,6 +17,104 @@
 use crate::preprocess::Splat2D;
 use crate::sort::RadixSorter;
 
+/// Structure-of-arrays view of the frame's splat list — the lane-friendly
+/// memory the SIMD Stage-3 kernels read (`crate::simd::stage3`).
+///
+/// Every field is one contiguous `f32` array, index-aligned with the
+/// [`RasterWorkload::splats`] slice it is derived from:
+///
+/// ```text
+/// x:       [ mean.x  | mean.x  | ... ]   splat center, pixels
+/// y:       [ mean.y  | mean.y  | ... ]
+/// depth:   [ depth   | depth   | ... ]   camera-space z
+/// conic_a: [ conic[0]| conic[0]| ... ]   inverse-covariance terms
+/// conic_b: [ conic[1]| conic[1]| ... ]
+/// conic_c: [ conic[2]| conic[2]| ... ]
+/// alpha:   [ opacity | opacity | ... ]
+/// r/g/b:   [ color   | color   | ... ]   evaluated SH color
+/// ```
+///
+/// A gather that would cost one strided `Splat2D` load per lane becomes a
+/// single broadcast per field. The buffers live in the session
+/// [`FrameArena`] and are refilled during CSR construction
+/// (`RasterWorkload::from_csr`), so steady-state frames do not allocate.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SplatSoA {
+    /// Splat center x (`Splat2D::mean.x`).
+    pub(crate) x: Vec<f32>,
+    /// Splat center y (`Splat2D::mean.y`).
+    pub(crate) y: Vec<f32>,
+    /// Camera-space depth (`Splat2D::depth`).
+    pub(crate) depth: Vec<f32>,
+    /// Inverse-covariance term `conic[0]`.
+    pub(crate) conic_a: Vec<f32>,
+    /// Inverse-covariance term `conic[1]`.
+    pub(crate) conic_b: Vec<f32>,
+    /// Inverse-covariance term `conic[2]`.
+    pub(crate) conic_c: Vec<f32>,
+    /// Splat opacity (`Splat2D::opacity`).
+    pub(crate) alpha: Vec<f32>,
+    /// Red channel of the evaluated color.
+    pub(crate) r: Vec<f32>,
+    /// Green channel of the evaluated color.
+    pub(crate) g: Vec<f32>,
+    /// Blue channel of the evaluated color.
+    pub(crate) b: Vec<f32>,
+}
+
+impl SplatSoA {
+    /// Number of splats in the view.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when the view holds no splats.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Refills every column from `splats`, reusing the existing buffer
+    /// capacity (steady-state frames stay allocation-free).
+    pub(crate) fn fill(&mut self, splats: &[Splat2D]) {
+        self.x.clear();
+        self.y.clear();
+        self.depth.clear();
+        self.conic_a.clear();
+        self.conic_b.clear();
+        self.conic_c.clear();
+        self.alpha.clear();
+        self.r.clear();
+        self.g.clear();
+        self.b.clear();
+        self.x.reserve(splats.len());
+        self.y.reserve(splats.len());
+        self.depth.reserve(splats.len());
+        self.conic_a.reserve(splats.len());
+        self.conic_b.reserve(splats.len());
+        self.conic_c.reserve(splats.len());
+        self.alpha.reserve(splats.len());
+        self.r.reserve(splats.len());
+        self.g.reserve(splats.len());
+        self.b.reserve(splats.len());
+        for s in splats {
+            self.x.push(s.mean.x);
+            self.y.push(s.mean.y);
+            self.depth.push(s.depth);
+            self.conic_a.push(s.conic[0]);
+            self.conic_b.push(s.conic[1]);
+            self.conic_c.push(s.conic[2]);
+            self.alpha.push(s.opacity);
+            self.r.push(s.color.x);
+            self.g.push(s.color.y);
+            self.b.push(s.color.z);
+        }
+    }
+}
+
 /// Per-tile, depth-ordered rasterization work for one frame, in CSR form.
 #[derive(Clone, Debug)]
 pub struct RasterWorkload {
@@ -35,11 +133,15 @@ pub struct RasterWorkload {
     /// Per-tile processed counts recorded by the reference rasterizer;
     /// empty until [`RasterWorkload::set_processed`] runs.
     processed: Vec<u32>,
+    /// Structure-of-arrays view of `splats`, derived during CSR
+    /// construction for the SIMD Stage-3 kernels.
+    soa: SplatSoA,
 }
 
 impl PartialEq for RasterWorkload {
     /// Equality over the semantic content: grid, splats, CSR table, and
-    /// processed counts.
+    /// processed counts. The SoA view is excluded — it is derived
+    /// column-for-column from `splats`, so it carries no extra state.
     fn eq(&self, other: &Self) -> bool {
         (
             self.width,
@@ -111,6 +213,7 @@ impl RasterWorkload {
             values,
             offsets,
             Vec::new(),
+            SplatSoA::default(),
         )
     }
 
@@ -119,11 +222,17 @@ impl RasterWorkload {
     /// buffer whose capacity is reused by the next
     /// [`RasterWorkload::set_processed`].
     ///
+    /// `soa` may carry recycled structure-of-arrays buffers (usually
+    /// `mem::take`n from [`FrameArena::soa`]); it is refilled from
+    /// `splats` here so every workload leaves construction with an
+    /// index-aligned [`SplatSoA`] view.
+    ///
     /// # Panics
     /// Panics when the offset table does not match the grid or is not a
     /// monotone cover of `values`. Index bounds are a `debug_assert` — the
     /// binning paths emit indices straight from the splat iteration, and
     /// this constructor is on the per-frame hot path.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_csr(
         width: u32,
         height: u32,
@@ -132,6 +241,7 @@ impl RasterWorkload {
         values: Vec<u32>,
         offsets: Vec<u32>,
         mut processed: Vec<u32>,
+        mut soa: SplatSoA,
     ) -> Self {
         assert!(tile_size > 0, "tile size must be positive");
         assert!(width > 0 && height > 0, "image dimensions must be positive");
@@ -167,6 +277,7 @@ impl RasterWorkload {
             "non-finite splat reached RasterWorkload"
         );
         processed.clear();
+        soa.fill(&splats);
         Self {
             width,
             height,
@@ -177,6 +288,7 @@ impl RasterWorkload {
             values,
             offsets,
             processed,
+            soa,
         }
     }
 
@@ -220,6 +332,14 @@ impl RasterWorkload {
     #[inline]
     pub fn splats(&self) -> &[Splat2D] {
         &self.splats
+    }
+
+    /// Structure-of-arrays view of [`RasterWorkload::splats`], column
+    /// arrays index-aligned with the slice (the memory layout the SIMD
+    /// Stage-3 kernels read).
+    #[inline]
+    pub fn soa(&self) -> &SplatSoA {
+        &self.soa
     }
 
     /// The flat CSR value buffer: every (splat, tile) pair, tile-major,
@@ -351,6 +471,7 @@ impl RasterWorkload {
         arena.values = self.values;
         arena.offsets = self.offsets;
         arena.processed = self.processed;
+        arena.soa = self.soa;
     }
 
     /// Length of the longest tile list (load-imbalance metric).
@@ -419,6 +540,8 @@ pub struct FrameArena {
     pub(crate) processed: Vec<u32>,
     /// Legacy-path per-tile lists ([`crate::tile::bin_splats_legacy`]).
     pub(crate) lists: Vec<Vec<u32>>,
+    /// Recycled structure-of-arrays splat buffers ([`SplatSoA`]).
+    pub(crate) soa: SplatSoA,
     /// Cached frame-graph execution plan, reused while the chunk count and
     /// graph mode stay put ([`crate::graph::PlanCache`]).
     pub(crate) plan: crate::graph::PlanCache,
@@ -563,6 +686,7 @@ mod tests {
             vec![0, 0],
             vec![0, 2, 1, 1, 2],
             Vec::new(),
+            SplatSoA::default(),
         );
     }
 
@@ -577,6 +701,7 @@ mod tests {
             vec![0, 0],
             vec![0, 1, 1, 1, 1],
             Vec::new(),
+            SplatSoA::default(),
         );
     }
 
@@ -585,9 +710,31 @@ mod tests {
         let mut arena = FrameArena::new();
         let w = workload_2x2();
         let values_cap = w.values.capacity();
+        let soa_cap = w.soa.x.capacity();
         w.recycle_into(&mut arena);
         assert!(arena.values.capacity() >= values_cap);
+        assert!(arena.soa.x.capacity() >= soa_cap);
         assert_eq!(arena.offsets.len(), 5);
+    }
+
+    #[test]
+    fn soa_columns_align_with_splats() {
+        let w = workload_2x2();
+        let soa = w.soa();
+        assert_eq!(soa.len(), w.splats().len());
+        assert!(!soa.is_empty());
+        for (i, s) in w.splats().iter().enumerate() {
+            assert_eq!(soa.x[i].to_bits(), s.mean.x.to_bits());
+            assert_eq!(soa.y[i].to_bits(), s.mean.y.to_bits());
+            assert_eq!(soa.depth[i].to_bits(), s.depth.to_bits());
+            assert_eq!(soa.conic_a[i].to_bits(), s.conic[0].to_bits());
+            assert_eq!(soa.conic_b[i].to_bits(), s.conic[1].to_bits());
+            assert_eq!(soa.conic_c[i].to_bits(), s.conic[2].to_bits());
+            assert_eq!(soa.alpha[i].to_bits(), s.opacity.to_bits());
+            assert_eq!(soa.r[i].to_bits(), s.color.x.to_bits());
+            assert_eq!(soa.g[i].to_bits(), s.color.y.to_bits());
+            assert_eq!(soa.b[i].to_bits(), s.color.z.to_bits());
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use gaurast_math::Vec3;
 use gaurast_render::pipeline::{render, render_record_only, RenderConfig};
 use gaurast_render::pool::WorkerPool;
 use gaurast_render::preprocess::{preprocess_prepared_pooled, preprocess_prepared_visible_pooled};
+use gaurast_render::VectorMode;
 use gaurast_scene::{Camera, Gaussian3, GaussianScene, PreparedScene};
 use proptest::prelude::*;
 
@@ -72,6 +73,30 @@ proptest! {
         prop_assert_eq!(&out.image, &serial.image);
         prop_assert_eq!(out.preprocess, serial.preprocess);
         prop_assert_eq!(out.raster, serial.raster);
+    }
+
+    /// The SIMD lane-group kernels on the same hostile regime: every
+    /// vector mode must take the identical cull branches (per-lane masks
+    /// replicate the scalar branch priority, including NaN comparisons)
+    /// and blend the identical pixels.
+    #[test]
+    fn hostile_scenes_vector_modes_are_bit_identical(
+        gaussians in prop::collection::vec(hostile_gaussian_strategy(), 1..60),
+        width in 1u32..70,
+        height in 1u32..70,
+        workers in 1usize..5,
+    ) {
+        let scene = GaussianScene::from_gaussians(gaussians).expect("validated");
+        let camera = small_camera(width, height);
+        let base = RenderConfig::default().with_workers(workers);
+        let reference = render(&scene, &camera, &base.with_vector_mode(VectorMode::Scalar));
+        for mode in [VectorMode::ForceSse, VectorMode::ForceAvx2] {
+            let out = render(&scene, &camera, &base.with_vector_mode(mode));
+            prop_assert_eq!(&reference.image, &out.image, "image under {:?}", mode);
+            prop_assert_eq!(&reference.workload, &out.workload, "workload under {:?}", mode);
+            prop_assert_eq!(reference.preprocess, out.preprocess, "stage-1 stats under {:?}", mode);
+            prop_assert_eq!(reference.raster, out.raster, "stage-3 stats under {:?}", mode);
+        }
     }
 
     #[test]
